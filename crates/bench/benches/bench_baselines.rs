@@ -1,0 +1,35 @@
+//! E8 — baseline comparison: construction cost of every scheduling strategy
+//! on the same heterogeneous cluster (their *quality* is compared by the
+//! experiment harness; this bench tracks planning overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnow_bench::BENCH_SEEDS;
+use hnow_core::{build_schedule, Strategy};
+use hnow_model::NetParams;
+use hnow_workload::bimodal_cluster;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let net = NetParams::new(3);
+    let set = bimodal_cluster(512, 0.25, BENCH_SEEDS[1]).expect("valid instance");
+    let mut group = c.benchmark_group("baseline_construction_n512");
+    for strategy in [
+        Strategy::Greedy,
+        Strategy::GreedyRefined,
+        Strategy::FastestNodeFirst,
+        Strategy::Binomial,
+        Strategy::Chain,
+        Strategy::Star,
+        Strategy::Random,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| build_schedule(s, black_box(&set), net, BENCH_SEEDS[2])),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

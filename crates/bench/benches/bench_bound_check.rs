@@ -1,0 +1,50 @@
+//! E3 — Theorem 1: cost of the exact reference solver used to audit the
+//! approximation bound (branch-and-bound on small instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnow_bench::BENCH_SEEDS;
+use hnow_core::algorithms::optimal::{search, SearchOptions};
+use hnow_core::bounds::{lower_bound, theorem1_bound};
+use hnow_model::NetParams;
+use hnow_workload::RandomClusterConfig;
+use std::hint::black_box;
+
+fn bench_bound_check(c: &mut Criterion) {
+    let net = NetParams::new(2);
+    let mut group = c.benchmark_group("bound_check");
+    group.sample_size(20);
+    for &n in &[5usize, 7, 9] {
+        let set = RandomClusterConfig {
+            destinations: n,
+            min_send: 5,
+            max_send: 40,
+            min_ratio: 1.05,
+            max_ratio: 1.85,
+            random_source: true,
+        }
+        .generate(BENCH_SEEDS[1])
+        .expect("valid instance");
+        group.bench_with_input(BenchmarkId::new("exact_search", n), &set, |b, set| {
+            b.iter(|| {
+                search(
+                    black_box(set),
+                    net,
+                    SearchOptions {
+                        node_budget: 5_000_000,
+                        ..SearchOptions::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bound_terms", n), &set, |b, set| {
+            b.iter(|| {
+                let lb = lower_bound(black_box(set), net);
+                theorem1_bound(set, lb.value)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_check);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 — Theorem 2: the limited-heterogeneity dynamic program scales
+//! polynomially (O(n^{2k})) in the cluster size for fixed k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnow_core::algorithms::dp::DpTable;
+use hnow_model::{MessageSize, NetParams, TypedMulticast};
+use hnow_workload::{standard_class_table, two_class_table};
+use std::hint::black_box;
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let net = NetParams::new(2);
+    let size = MessageSize::from_kib(4);
+    let mut group = c.benchmark_group("dp_scaling");
+    group.sample_size(10);
+
+    // k = 2: grow the cluster.
+    let two = two_class_table();
+    for &n in &[8usize, 16, 32, 64] {
+        let typed = TypedMulticast::from_classes(&two, size, 0, vec![n / 2, n - n / 2]).unwrap();
+        group.bench_with_input(BenchmarkId::new("k2", n), &typed, |b, typed| {
+            b.iter(|| DpTable::build(black_box(typed), net))
+        });
+    }
+
+    // k = 4: smaller clusters, same polynomial structure.
+    let four = standard_class_table();
+    for &per_class in &[1usize, 2, 3] {
+        let typed = TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("k4", per_class * 4),
+            &typed,
+            |b, typed| b.iter(|| DpTable::build(black_box(typed), net)),
+        );
+    }
+
+    // Reconstruction and queries are effectively free once the table exists.
+    let typed = TypedMulticast::from_classes(&two, size, 0, vec![16, 16]).unwrap();
+    let table = DpTable::build(&typed, net);
+    group.bench_function("reconstruct_k2_n32", |b| {
+        b.iter(|| black_box(&table).reconstruct_schedule().unwrap())
+    });
+    group.bench_function("query_k2_n32", |b| {
+        b.iter(|| black_box(&table).query(0, &[7, 9]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1 — Figure 1: cost of planning and evaluating the paper's example
+//! instance with every relevant algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::optimal_schedule;
+use hnow_core::schedule::evaluate;
+use hnow_experiments::figure1::{figure1_instance, figure1a_schedule};
+use hnow_sim::execute;
+use std::hint::black_box;
+
+fn bench_figure1(c: &mut Criterion) {
+    let (set, net) = figure1_instance();
+    let tree = figure1a_schedule();
+
+    let mut group = c.benchmark_group("figure1");
+    group.bench_function("evaluate_schedule_a", |b| {
+        b.iter(|| evaluate(black_box(&tree), black_box(&set), net).unwrap())
+    });
+    group.bench_function("greedy_plain", |b| {
+        b.iter(|| greedy_with_options(black_box(&set), net, GreedyOptions::PLAIN))
+    });
+    group.bench_function("greedy_refined", |b| {
+        b.iter(|| greedy_with_options(black_box(&set), net, GreedyOptions::REFINED))
+    });
+    group.bench_function("exact_optimum", |b| {
+        b.iter(|| optimal_schedule(black_box(&set), net))
+    });
+    group.bench_function("simulate_schedule_a", |b| {
+        b.iter(|| execute(black_box(&tree), black_box(&set), net).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

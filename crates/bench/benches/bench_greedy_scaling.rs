@@ -1,0 +1,29 @@
+//! E2 — Lemma 1: the greedy algorithm scales as O(n log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hnow_bench::BENCH_SEEDS;
+use hnow_core::greedy_schedule;
+use hnow_model::NetParams;
+use hnow_workload::RandomClusterConfig;
+use std::hint::black_box;
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let net = NetParams::new(2);
+    let mut group = c.benchmark_group("greedy_scaling");
+    for &n in &[64usize, 256, 1024, 4096, 16384] {
+        let set = RandomClusterConfig {
+            destinations: n,
+            ..RandomClusterConfig::default()
+        }
+        .generate(BENCH_SEEDS[0])
+        .expect("valid instance");
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| greedy_schedule(black_box(set), net))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_scaling);
+criterion_main!(benches);

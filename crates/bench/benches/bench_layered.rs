@@ -1,0 +1,64 @@
+//! E4 + E5 — Lemma 2 / Lemma 3 machinery: layered exhaustive search,
+//! layeredness checking, and the power-of-two rounding construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnow_bench::BENCH_SEEDS;
+use hnow_core::algorithms::optimal::{search, Objective, SearchOptions};
+use hnow_core::algorithms::transform::power_of_two_rounding;
+use hnow_core::greedy_schedule;
+use hnow_core::schedule::is_layered;
+use hnow_model::NetParams;
+use hnow_workload::RandomClusterConfig;
+use std::hint::black_box;
+
+fn bench_layered(c: &mut Criterion) {
+    let net = NetParams::new(1);
+    let mut group = c.benchmark_group("layered");
+    group.sample_size(20);
+    for &n in &[5usize, 7] {
+        let set = RandomClusterConfig {
+            destinations: n,
+            min_send: 2,
+            max_send: 12,
+            min_ratio: 1.0,
+            max_ratio: 1.8,
+            random_source: true,
+        }
+        .generate(BENCH_SEEDS[2])
+        .expect("valid instance");
+        group.bench_with_input(
+            BenchmarkId::new("layered_delivery_search", n),
+            &set,
+            |b, set| {
+                b.iter(|| {
+                    search(
+                        black_box(set),
+                        net,
+                        SearchOptions {
+                            objective: Objective::Delivery,
+                            layered_only: true,
+                            node_budget: 5_000_000,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    let big = RandomClusterConfig {
+        destinations: 1024,
+        ..RandomClusterConfig::default()
+    }
+    .generate(BENCH_SEEDS[3])
+    .expect("valid instance");
+    let tree = greedy_schedule(&big, net);
+    group.bench_function("is_layered_n1024", |b| {
+        b.iter(|| is_layered(black_box(&tree), black_box(&big), net).unwrap())
+    });
+    group.bench_function("power_of_two_rounding_n1024", |b| {
+        b.iter(|| power_of_two_rounding(black_box(&big)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layered);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E7 — the leaf refinement pass: its cost relative to the greedy
+//! construction it post-processes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hnow_bench::{BENCH_SEEDS, BENCH_SIZES};
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::schedule::refine_leaves;
+use hnow_model::NetParams;
+use hnow_workload::bimodal_cluster;
+use std::hint::black_box;
+
+fn bench_refinement(c: &mut Criterion) {
+    let net = NetParams::new(3);
+    let mut group = c.benchmark_group("leaf_refinement");
+    for &n in BENCH_SIZES.iter().take(4) {
+        let set = bimodal_cluster(n, 0.25, BENCH_SEEDS[0]).expect("valid instance");
+        let plain = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+        group.bench_with_input(BenchmarkId::new("refine_only", n), &n, |b, _| {
+            b.iter(|| refine_leaves(black_box(&plain), black_box(&set), net).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_plus_refine", n), &n, |b, _| {
+            b.iter(|| greedy_with_options(black_box(&set), net, GreedyOptions::REFINED))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refinement);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E9 — simulator throughput: discrete-event execution of planned schedules,
+//! nominal and perturbed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hnow_bench::{BENCH_SEEDS, BENCH_SIZES};
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_model::NetParams;
+use hnow_sim::{execute, execute_with_specs, PerturbConfig};
+use hnow_workload::RandomClusterConfig;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let net = NetParams::new(2);
+    let mut group = c.benchmark_group("simulator");
+    for &n in BENCH_SIZES.iter().take(4) {
+        let set = RandomClusterConfig {
+            destinations: n,
+            ..RandomClusterConfig::default()
+        }
+        .generate(BENCH_SEEDS[3])
+        .expect("valid instance");
+        let tree = greedy_with_options(&set, net, GreedyOptions::REFINED);
+        let perturbed = PerturbConfig::new(0.25, BENCH_SEEDS[0]).perturb(&set);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("nominal", n), &n, |b, _| {
+            b.iter(|| execute(black_box(&tree), black_box(&set), net).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("perturbed", n), &n, |b, _| {
+            b.iter(|| execute_with_specs(black_box(&tree), black_box(&perturbed), net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! The actual benchmark definitions live under `benches/`; this library crate
+//! only exists so the bench package has a compilation unit and a place for
+//! small utilities reused by several bench targets.
+
+/// Deterministic seeds used across all bench targets so that repeated runs
+/// measure identical workloads.
+pub const BENCH_SEEDS: [u64; 4] = [0xC0FFEE, 0xBADCAFE, 0x5EED, 0x1CEB00DA];
+
+/// Standard destination-count scale used by throughput-style benches.
+pub const BENCH_SIZES: [usize; 5] = [16, 64, 256, 1024, 4096];

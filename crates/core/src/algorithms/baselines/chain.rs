@@ -1,0 +1,102 @@
+//! Chain (pipeline) and star (separate addressing) schedules.
+
+use crate::schedule::tree::ScheduleTree;
+use hnow_model::{MulticastSet, NodeId};
+
+/// Builds the linear pipeline schedule: the source sends to `p_1`, which
+/// sends to `p_2`, and so on. Every node makes at most one transmission, so
+/// the completion time grows linearly with the number of destinations —
+/// the worst reasonable baseline for large multicasts, but the one with the
+/// least per-node load.
+pub fn chain_schedule(set: &MulticastSet) -> ScheduleTree {
+    let n = set.num_nodes();
+    let mut tree = ScheduleTree::new(n);
+    for i in 1..n {
+        tree.attach(NodeId(i - 1), NodeId(i))
+            .expect("chain attaches each node once");
+    }
+    tree
+}
+
+/// Builds the "separate addressing" schedule: the source transmits to every
+/// destination itself, in canonical (fast-first) order. This is what a
+/// system without any multicast support does; the source's sending overhead
+/// is incurred once per destination.
+pub fn star_schedule(set: &MulticastSet) -> ScheduleTree {
+    let n = set.num_nodes();
+    let mut tree = ScheduleTree::new(n);
+    for i in 1..n {
+        tree.attach(NodeId(0), NodeId(i))
+            .expect("star attaches each node once");
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::times::{evaluate, reception_completion};
+    use crate::schedule::validate::validate;
+    use hnow_model::{NetParams, NodeSpec, Time};
+
+    fn sample() -> (MulticastSet, NetParams) {
+        (
+            MulticastSet::new(
+                NodeSpec::new(2, 2),
+                vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(3, 4)],
+            )
+            .unwrap(),
+            NetParams::new(1),
+        )
+    }
+
+    #[test]
+    fn chain_times_accumulate_along_the_pipeline() {
+        let (set, net) = sample();
+        let tree = chain_schedule(&set);
+        validate(&tree, &set).unwrap();
+        let t = evaluate(&tree, &set, net).unwrap();
+        // p1: 2+1+1 = 4; p2: 4+1+1+1 = 7; p3: 7+1+1+4 = 13.
+        assert_eq!(t.reception(NodeId(1)), Time::new(4));
+        assert_eq!(t.reception(NodeId(2)), Time::new(7));
+        assert_eq!(t.reception(NodeId(3)), Time::new(13));
+        assert_eq!(tree.height(), 3);
+    }
+
+    #[test]
+    fn star_times_serialize_at_the_source() {
+        let (set, net) = sample();
+        let tree = star_schedule(&set);
+        validate(&tree, &set).unwrap();
+        let t = evaluate(&tree, &set, net).unwrap();
+        // i-th destination delivered at 2i + 1.
+        assert_eq!(t.reception(NodeId(1)), Time::new(4));
+        assert_eq!(t.reception(NodeId(2)), Time::new(6));
+        assert_eq!(t.reception(NodeId(3)), Time::new(11));
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn chain_grows_linearly_star_grows_linearly_greedy_logarithmically() {
+        let set = MulticastSet::homogeneous(NodeSpec::new(1, 1), 32);
+        let net = NetParams::new(1);
+        let chain = reception_completion(&chain_schedule(&set), &set, net).unwrap();
+        let star = reception_completion(&star_schedule(&set), &set, net).unwrap();
+        let greedy = reception_completion(
+            &crate::algorithms::greedy::greedy_schedule(&set, net),
+            &set,
+            net,
+        )
+        .unwrap();
+        assert!(chain.raw() >= 32 * 3);
+        assert!(star.raw() >= 32 + 2);
+        assert!(greedy < star.min(chain));
+    }
+
+    #[test]
+    fn empty_instances() {
+        let set = MulticastSet::new(NodeSpec::new(1, 1), vec![]).unwrap();
+        assert!(chain_schedule(&set).is_complete());
+        assert!(star_schedule(&set).is_complete());
+    }
+}

@@ -1,0 +1,127 @@
+//! Fastest-node-first: the greedy algorithm of the heterogeneous-*node*
+//! model, evaluated under the receive-send model.
+//!
+//! Banikazemi, Moorthy and Panda (1998) proposed, for the model in which
+//! each node has a single message-initiation cost, the greedy rule "the
+//! earliest-available holder sends to the fastest remaining destination".
+//! This baseline runs exactly that construction while *pretending* the
+//! receive overheads and the network latency do not exist (as that model
+//! assumes), and then the resulting tree is evaluated under the true
+//! receive-send model. The gap to the paper's greedy algorithm measures the
+//! value of modelling receive overheads explicitly.
+
+use crate::schedule::tree::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Builds the fastest-node-first schedule.
+///
+/// The construction is identical to the paper's greedy algorithm except that
+/// the availability of a holder is computed in the heterogeneous-node model
+/// (initiation cost = sending overhead, no receive overhead, no latency);
+/// the `net` parameter is accepted only so the signature matches the other
+/// strategies — it does not influence the tree shape.
+pub fn fastest_node_first_schedule(set: &MulticastSet, _net: NetParams) -> ScheduleTree {
+    let n = set.num_destinations();
+    let mut tree = ScheduleTree::new(set.num_nodes());
+    if n == 0 {
+        return tree;
+    }
+    let mut heap: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::with_capacity(n + 1);
+    heap.push(Reverse((set.source().send(), NodeId::SOURCE)));
+    for i in 1..=n {
+        let dest = NodeId(i);
+        let Reverse((avail, holder)) = heap.pop().expect("heap is never empty");
+        tree.attach(holder, dest)
+            .expect("fnf attaches each destination exactly once");
+        // In the heterogeneous-node model the destination holds the message
+        // at `avail` and can complete its own first send o_send later.
+        heap.push(Reverse((avail + set.spec(dest).send(), dest)));
+        heap.push(Reverse((avail + set.spec(holder).send(), holder)));
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy::greedy_schedule;
+    use crate::schedule::times::reception_completion;
+    use crate::schedule::validate::validate;
+    use hnow_model::NodeSpec;
+
+    #[test]
+    fn builds_valid_schedules() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 2),
+                NodeSpec::new(2, 3),
+                NodeSpec::new(5, 9),
+            ],
+        )
+        .unwrap();
+        let net = NetParams::new(2);
+        let tree = fastest_node_first_schedule(&set, net);
+        validate(&tree, &set).unwrap();
+    }
+
+    #[test]
+    fn ignores_latency_in_tree_shape() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+        )
+        .unwrap();
+        let a = fastest_node_first_schedule(&set, NetParams::new(0));
+        let b = fastest_node_first_schedule(&set, NetParams::new(50));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_greedy_when_recv_and_latency_vanish() {
+        // With zero receive overheads and zero latency the two models agree,
+        // so the trees have the same completion time.
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 0),
+            vec![
+                NodeSpec::new(1, 0),
+                NodeSpec::new(2, 0),
+                NodeSpec::new(3, 0),
+                NodeSpec::new(4, 0),
+            ],
+        )
+        .unwrap();
+        let net = NetParams::new(0);
+        let fnf = fastest_node_first_schedule(&set, net);
+        let greedy = greedy_schedule(&set, net);
+        assert_eq!(
+            reception_completion(&fnf, &set, net).unwrap(),
+            reception_completion(&greedy, &set, net).unwrap()
+        );
+    }
+
+    #[test]
+    fn greedy_is_at_least_as_good_under_the_true_model() {
+        // With large receive overheads the fnf availability estimates are
+        // badly wrong; the receive-send greedy should not lose.
+        let set = MulticastSet::new(
+            NodeSpec::new(1, 2),
+            vec![
+                NodeSpec::new(1, 2),
+                NodeSpec::new(1, 2),
+                NodeSpec::new(2, 20),
+                NodeSpec::new(2, 20),
+                NodeSpec::new(3, 30),
+                NodeSpec::new(3, 30),
+            ],
+        )
+        .unwrap();
+        let net = NetParams::new(4);
+        let fnf = reception_completion(&fastest_node_first_schedule(&set, net), &set, net).unwrap();
+        let greedy = reception_completion(&greedy_schedule(&set, net), &set, net).unwrap();
+        assert!(greedy <= fnf, "greedy {greedy} vs fnf {fnf}");
+    }
+}

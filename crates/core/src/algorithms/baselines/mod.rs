@@ -1,0 +1,148 @@
+//! Baseline multicast schedules.
+//!
+//! The paper's introduction positions the receive-send greedy algorithm
+//! against simpler strategies: heterogeneity-oblivious trees (binomial,
+//! chain, separate addressing) and the greedy algorithm for the older
+//! heterogeneous-*node* model of Banikazemi et al. / Hall et al. These
+//! baselines are used by experiment E8 to reproduce the comparison
+//! landscape: every baseline builds a schedule tree, and every tree is
+//! evaluated under the *true* receive-send model, so the comparison captures
+//! exactly the cost of ignoring (part of) the heterogeneity.
+
+mod binomial;
+mod chain;
+mod fnf;
+mod random_tree;
+
+pub use binomial::binomial_schedule;
+pub use chain::{chain_schedule, star_schedule};
+pub use fnf::fastest_node_first_schedule;
+pub use random_tree::{random_schedule, SplitMix64};
+
+use crate::schedule::tree::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a schedule-construction strategy, used by experiments and
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// The paper's greedy algorithm (Lemma 1).
+    Greedy,
+    /// Greedy followed by the leaf refinement of Section 3.
+    GreedyRefined,
+    /// The Theorem 2 dynamic program (optimal for limited heterogeneity).
+    DpOptimal,
+    /// Greedy for the heterogeneous-node model, evaluated under the
+    /// receive-send model.
+    FastestNodeFirst,
+    /// Heterogeneity-oblivious binomial tree.
+    Binomial,
+    /// Linear pipeline through all destinations.
+    Chain,
+    /// The source sends to every destination itself ("separate addressing").
+    Star,
+    /// A uniformly random valid schedule.
+    Random,
+}
+
+impl Strategy {
+    /// Short human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Greedy => "greedy",
+            Strategy::GreedyRefined => "greedy+leaf",
+            Strategy::DpOptimal => "dp-optimal",
+            Strategy::FastestNodeFirst => "fnf",
+            Strategy::Binomial => "binomial",
+            Strategy::Chain => "chain",
+            Strategy::Star => "star",
+            Strategy::Random => "random",
+        }
+    }
+}
+
+/// Builds the schedule prescribed by a baseline strategy.
+///
+/// `seed` is only used by [`Strategy::Random`]. [`Strategy::DpOptimal`]
+/// groups the instance into types and is exact but exponential in the number
+/// of *distinct* types; the other strategies are linear or `O(n log n)`.
+pub fn build_schedule(
+    strategy: Strategy,
+    set: &MulticastSet,
+    net: NetParams,
+    seed: u64,
+) -> ScheduleTree {
+    use crate::algorithms::dp::DpTable;
+    use crate::algorithms::greedy::{greedy_with_options, GreedyOptions};
+    match strategy {
+        Strategy::Greedy => greedy_with_options(set, net, GreedyOptions::PLAIN),
+        Strategy::GreedyRefined => greedy_with_options(set, net, GreedyOptions::REFINED),
+        Strategy::DpOptimal => {
+            let typed = hnow_model::TypedMulticast::from_multicast_set(set);
+            DpTable::optimal_schedule(&typed, net)
+                .expect("typed reconstruction of a well-formed instance succeeds")
+                .0
+        }
+        Strategy::FastestNodeFirst => fastest_node_first_schedule(set, net),
+        Strategy::Binomial => binomial_schedule(set),
+        Strategy::Chain => chain_schedule(set),
+        Strategy::Star => star_schedule(set),
+        Strategy::Random => random_schedule(set, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::validate::validate;
+    use hnow_model::NodeSpec;
+
+    #[test]
+    fn every_strategy_builds_a_valid_schedule() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+                NodeSpec::new(4, 6),
+                NodeSpec::new(4, 6),
+            ],
+        )
+        .unwrap();
+        let net = NetParams::new(1);
+        let strategies = [
+            Strategy::Greedy,
+            Strategy::GreedyRefined,
+            Strategy::DpOptimal,
+            Strategy::FastestNodeFirst,
+            Strategy::Binomial,
+            Strategy::Chain,
+            Strategy::Star,
+            Strategy::Random,
+        ];
+        for s in strategies {
+            let tree = build_schedule(s, &set, net, 7);
+            validate(&tree, &set).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn strategy_names_are_unique() {
+        let strategies = [
+            Strategy::Greedy,
+            Strategy::GreedyRefined,
+            Strategy::DpOptimal,
+            Strategy::FastestNodeFirst,
+            Strategy::Binomial,
+            Strategy::Chain,
+            Strategy::Star,
+            Strategy::Random,
+        ];
+        let mut names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), strategies.len());
+    }
+}

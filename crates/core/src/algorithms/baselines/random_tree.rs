@@ -1,0 +1,126 @@
+//! Uniformly random valid schedules.
+//!
+//! Random schedules provide the "no intelligence at all" reference point in
+//! the baseline comparison and are also used by property tests as a source
+//! of arbitrary valid trees. To keep `hnow-core` dependency-free the module
+//! carries its own tiny deterministic generator ([`SplitMix64`]) rather than
+//! depending on the `rand` crate; experiments that need richer distributions
+//! layer `rand` on top in `hnow-workload`.
+
+use crate::schedule::tree::ScheduleTree;
+use hnow_model::{MulticastSet, NodeId};
+
+/// Minimal deterministic pseudo-random generator (SplitMix64), sufficient
+/// for shuffling and parent selection.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping; the slight modulo bias is
+        // irrelevant for schedule sampling.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Builds a random valid schedule: destinations are inserted in a random
+/// order, each attached (as the last child) to a uniformly chosen node that
+/// already holds the message.
+pub fn random_schedule(set: &MulticastSet, seed: u64) -> ScheduleTree {
+    let n = set.num_destinations();
+    let mut rng = SplitMix64::new(seed);
+    let mut tree = ScheduleTree::new(set.num_nodes());
+    // Random insertion order (Fisher–Yates).
+    let mut order: Vec<NodeId> = (1..=n).map(NodeId).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.next_below((i + 1) as u64) as usize;
+        order.swap(i, j);
+    }
+    let mut holders: Vec<NodeId> = vec![NodeId::SOURCE];
+    for dest in order {
+        let parent = holders[rng.next_below(holders.len() as u64) as usize];
+        tree.attach(parent, dest)
+            .expect("random construction attaches each destination once");
+        holders.push(dest);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::validate::validate;
+    use hnow_model::NodeSpec;
+
+    fn sample_set(n: usize) -> MulticastSet {
+        let specs = (0..n)
+            .map(|i| NodeSpec::new(1 + (i as u64 % 4), 1 + (i as u64 % 4) * 2))
+            .collect();
+        MulticastSet::new(NodeSpec::new(2, 3), specs).unwrap()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_bounded() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(c.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn random_schedules_are_valid_and_deterministic_per_seed() {
+        let set = sample_set(12);
+        for seed in 0..20u64 {
+            let t1 = random_schedule(&set, seed);
+            let t2 = random_schedule(&set, seed);
+            assert_eq!(t1, t2);
+            validate(&t1, &set).unwrap();
+        }
+    }
+
+    #[test]
+    fn different_seeds_produce_different_trees() {
+        let set = sample_set(10);
+        let distinct: std::collections::HashSet<String> = (0..10u64)
+            .map(|s| format!("{:?}", random_schedule(&set, s)))
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn trivial_instance() {
+        let set = MulticastSet::new(NodeSpec::new(1, 1), vec![]).unwrap();
+        assert!(random_schedule(&set, 3).is_complete());
+    }
+}

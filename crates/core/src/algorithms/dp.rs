@@ -1,0 +1,438 @@
+//! Optimal multicast for limited heterogeneity (Section 4, Theorem 2).
+//!
+//! When the cluster contains only `k` distinct workstation **types**, the
+//! optimal multicast problem becomes tractable: the paper's Lemma 4 gives a
+//! recurrence over states `τ(s, i_1, …, i_k)` — the minimum reception
+//! completion time of a multicast from a source of type `s` to `i_j`
+//! destinations of type `j`:
+//!
+//! ```text
+//! τ(s, 0, …, 0) = 0
+//! τ(s, i_1, …, i_k) =
+//!   min over ℓ with i_ℓ ≥ 1, and over 0 ≤ y_j ≤ i_j (y_ℓ ≤ i_ℓ − 1), of
+//!     max( τ(ℓ, y_1, …, y_k)                       + S(s) + L + R(ℓ),
+//!          τ(s, i_1 − y_1, …, i_ℓ − 1 − y_ℓ, …)    + S(s) )
+//! ```
+//!
+//! The source's first transmission goes to some node of type `ℓ`, which then
+//! optimally serves a sub-multicast described by the `y_j`; concurrently the
+//! source (after its first sending overhead) optimally serves everything
+//! that remains. Filling the table bottom-up costs `O(k² · n^{2k})`
+//! (`O(n^{2k})` for constant `k`), and the completed table answers *every*
+//! multicast over the same node types in constant time — the paper suggests
+//! precomputing it exactly for this reason.
+//!
+//! [`DpTable`] exposes the table, the optimum for the instance it was built
+//! from, arbitrary queries, and reconstruction of an optimal
+//! [`ScheduleTree`].
+
+use crate::error::CoreError;
+use crate::schedule::tree::ScheduleTree;
+use hnow_model::{NetParams, NodeId, Time, TypedMulticast};
+use std::collections::VecDeque;
+
+/// Dynamic-programming table of optimal reception completion times for a
+/// limited-heterogeneity cluster.
+#[derive(Debug, Clone)]
+pub struct DpTable {
+    typed: TypedMulticast,
+    net: NetParams,
+    /// Upper bound (inclusive) of each count dimension: the instance's
+    /// per-class destination counts.
+    dims: Vec<usize>,
+    /// Radix offsets for mixed-radix indexing of count vectors.
+    strides: Vec<usize>,
+    /// Number of count-vector states (product of `dims[j] + 1`).
+    count_states: usize,
+    /// `value[s * count_states + idx(counts)]` = τ(s, counts).
+    value: Vec<Time>,
+    /// Best first-transmission choice per state: `(ℓ, packed index of the
+    /// subtree count vector y)`. `usize::MAX` for base states.
+    choice: Vec<(usize, usize)>,
+}
+
+impl DpTable {
+    /// Builds the full table for the given typed instance: all states
+    /// `τ(s, j_1, …, j_k)` with `j_ℓ ≤ i_ℓ` and every source type `s`.
+    pub fn build(typed: &TypedMulticast, net: NetParams) -> DpTable {
+        let k = typed.k();
+        let dims: Vec<usize> = typed.counts().to_vec();
+        let mut strides = vec![0usize; k];
+        let mut count_states = 1usize;
+        for j in 0..k {
+            strides[j] = count_states;
+            count_states *= dims[j] + 1;
+        }
+        let total_states = k * count_states;
+        let mut table = DpTable {
+            typed: typed.clone(),
+            net,
+            dims,
+            strides,
+            count_states,
+            value: vec![Time::MAX; total_states],
+            choice: vec![(usize::MAX, usize::MAX); total_states],
+        };
+        table.fill();
+        table
+    }
+
+    /// Convenience: builds the table and immediately reconstructs an optimal
+    /// schedule for the instance, returning `(schedule, optimum)`.
+    pub fn optimal_schedule(
+        typed: &TypedMulticast,
+        net: NetParams,
+    ) -> Result<(ScheduleTree, Time), CoreError> {
+        let table = DpTable::build(typed, net);
+        let tree = table.reconstruct_schedule()?;
+        Ok((tree, table.optimum()))
+    }
+
+    fn idx_of(&self, counts: &[usize]) -> usize {
+        counts
+            .iter()
+            .zip(&self.strides)
+            .map(|(&c, &s)| c * s)
+            .sum()
+    }
+
+    fn counts_of(&self, mut idx: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.dims.len()];
+        for j in 0..self.dims.len() {
+            counts[j] = idx % (self.dims[j] + 1);
+            idx /= self.dims[j] + 1;
+        }
+        counts
+    }
+
+    fn state(&self, source: usize, count_idx: usize) -> usize {
+        source * self.count_states + count_idx
+    }
+
+    fn fill(&mut self) {
+        let k = self.dims.len();
+        // Order count vectors by their total so every dependency (which has a
+        // strictly smaller total) is already computed.
+        let mut order: Vec<usize> = (0..self.count_states).collect();
+        order.sort_by_key(|&idx| self.counts_of(idx).iter().sum::<usize>());
+
+        for &count_idx in &order {
+            let counts = self.counts_of(count_idx);
+            let total: usize = counts.iter().sum();
+            for s in 0..k {
+                let state = self.state(s, count_idx);
+                if total == 0 {
+                    self.value[state] = Time::ZERO;
+                    continue;
+                }
+                let send_s = self.typed.spec_of(s).send();
+                let mut best = Time::MAX;
+                let mut best_choice = (usize::MAX, usize::MAX);
+                for first in 0..k {
+                    if counts[first] == 0 {
+                        continue;
+                    }
+                    let recv_first = self.typed.spec_of(first).recv();
+                    let head = send_s + self.net.latency() + recv_first;
+                    // Remaining counts if the subtree takes `y` plus the
+                    // first node itself.
+                    let mut avail = counts.clone();
+                    avail[first] -= 1;
+                    // Enumerate all y with 0 ≤ y_j ≤ avail[j].
+                    let mut y = vec![0usize; k];
+                    loop {
+                        let y_idx = self.idx_of(&y);
+                        let subtree = self.value[self.state(first, y_idx)];
+                        let mut rest = vec![0usize; k];
+                        for j in 0..k {
+                            rest[j] = avail[j] - y[j];
+                        }
+                        let rest_idx = self.idx_of(&rest);
+                        let remaining = self.value[self.state(s, rest_idx)];
+                        debug_assert_ne!(subtree, Time::MAX);
+                        debug_assert_ne!(remaining, Time::MAX);
+                        let completion = (subtree + head).max(remaining + send_s);
+                        if completion < best {
+                            best = completion;
+                            best_choice = (first, y_idx);
+                        }
+                        // Advance y in mixed radix.
+                        let mut j = 0;
+                        loop {
+                            if j == k {
+                                break;
+                            }
+                            if y[j] < avail[j] {
+                                y[j] += 1;
+                                break;
+                            }
+                            y[j] = 0;
+                            j += 1;
+                        }
+                        if j == k {
+                            break;
+                        }
+                    }
+                }
+                self.value[state] = best;
+                self.choice[state] = best_choice;
+            }
+        }
+    }
+
+    /// Number of distinct types `k`.
+    pub fn k(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Number of states stored in the table.
+    pub fn num_states(&self) -> usize {
+        self.value.len()
+    }
+
+    /// The optimal reception completion time for the instance the table was
+    /// built from.
+    pub fn optimum(&self) -> Time {
+        self.query(self.typed.source_class(), self.typed.counts())
+            .expect("the instance's own state is always in the table")
+    }
+
+    /// τ(source type, per-class counts) for any sub-instance covered by the
+    /// table (i.e. `counts[j] ≤` the build instance's counts). Returns `None`
+    /// for out-of-range queries.
+    pub fn query(&self, source_class: usize, counts: &[usize]) -> Option<Time> {
+        if source_class >= self.k() || counts.len() != self.k() {
+            return None;
+        }
+        if counts.iter().zip(&self.dims).any(|(&c, &d)| c > d) {
+            return None;
+        }
+        Some(self.value[self.state(source_class, self.idx_of(counts))])
+    }
+
+    /// Reconstructs an optimal schedule tree for the build instance, over the
+    /// node ids of [`TypedMulticast::to_multicast_set`].
+    pub fn reconstruct_schedule(&self) -> Result<ScheduleTree, CoreError> {
+        let n = self.typed.total_destinations();
+        let mut tree = ScheduleTree::new(n + 1);
+        // Pools of concrete node ids per class, consumed front to back.
+        let mut pools: Vec<VecDeque<NodeId>> = (0..self.k())
+            .map(|c| self.typed.node_ids_for_class(c).into())
+            .collect();
+        self.expand(
+            self.typed.source_class(),
+            self.idx_of(self.typed.counts()),
+            NodeId::SOURCE,
+            &mut pools,
+            &mut tree,
+        )?;
+        Ok(tree)
+    }
+
+    fn expand(
+        &self,
+        source_class: usize,
+        count_idx: usize,
+        root: NodeId,
+        pools: &mut [VecDeque<NodeId>],
+        tree: &mut ScheduleTree,
+    ) -> Result<(), CoreError> {
+        let counts = self.counts_of(count_idx);
+        if counts.iter().all(|&c| c == 0) {
+            return Ok(());
+        }
+        let (first, y_idx) = self.choice[self.state(source_class, count_idx)];
+        debug_assert_ne!(first, usize::MAX, "non-base state must have a choice");
+        let child = pools[first]
+            .pop_front()
+            .ok_or(CoreError::ClassPoolExhausted { class: first })?;
+        tree.attach(root, child)?;
+        // The child's subtree consumes the y nodes.
+        self.expand(first, y_idx, child, pools, tree)?;
+        // The root continues with everything that remains.
+        let y = self.counts_of(y_idx);
+        let mut rest = counts;
+        rest[first] -= 1;
+        for j in 0..self.k() {
+            rest[j] -= y[j];
+        }
+        let rest_idx = self.idx_of(&rest);
+        self.expand(source_class, rest_idx, root, pools, tree)
+    }
+}
+
+/// Convenience: computes the optimal reception completion time of an
+/// arbitrary [`MulticastSet`](hnow_model::MulticastSet) by grouping its nodes
+/// into types and running the dynamic program.
+///
+/// This is exact for any instance, but its running time is exponential in
+/// the number of *distinct* node types, so it is only practical when that
+/// number is small (Theorem 2's setting).
+pub fn dp_optimum(set: &hnow_model::MulticastSet, net: NetParams) -> Time {
+    let typed = TypedMulticast::from_multicast_set(set);
+    DpTable::build(&typed, net).optimum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy::{greedy_with_options, GreedyOptions};
+    use crate::schedule::times::reception_completion;
+    use crate::schedule::validate::validate;
+    use hnow_model::{MulticastSet, NodeSpec};
+
+    fn figure1_typed() -> TypedMulticast {
+        TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            1,
+            vec![3, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_optimum_is_eight() {
+        let table = DpTable::build(&figure1_typed(), NetParams::new(1));
+        // The paper's Figure 1 shows schedules of length 10 and 9; the true
+        // optimum for this instance is 8.
+        assert_eq!(table.optimum(), Time::new(8));
+    }
+
+    #[test]
+    fn reconstruction_matches_table_value() {
+        let typed = figure1_typed();
+        let net = NetParams::new(1);
+        let (tree, value) = DpTable::optimal_schedule(&typed, net).unwrap();
+        let set = typed.to_multicast_set().unwrap();
+        validate(&tree, &set).unwrap();
+        assert_eq!(reception_completion(&tree, &set, net).unwrap(), value);
+    }
+
+    #[test]
+    fn single_type_reduces_to_homogeneous_broadcast() {
+        // k = 1, recv = 0, L = 0: optimum is ⌈log2(n+1)⌉ · send.
+        for n in [1usize, 2, 3, 4, 7, 8, 15] {
+            let typed =
+                TypedMulticast::new(vec![NodeSpec::new(3, 0)], 0, vec![n]).unwrap();
+            let table = DpTable::build(&typed, NetParams::new(0));
+            let rounds = usize::BITS - n.leading_zeros();
+            assert_eq!(table.optimum(), Time::new(3 * u64::from(rounds)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn empty_multicast_is_zero() {
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            0,
+            vec![0, 0],
+        )
+        .unwrap();
+        let table = DpTable::build(&typed, NetParams::new(1));
+        assert_eq!(table.optimum(), Time::ZERO);
+        let tree = table.reconstruct_schedule().unwrap();
+        assert!(tree.is_complete());
+        assert_eq!(tree.num_destinations(), 0);
+    }
+
+    #[test]
+    fn dp_never_exceeds_greedy() {
+        let cases = vec![
+            (vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)], 1, vec![3, 1]),
+            (vec![NodeSpec::new(1, 1), NodeSpec::new(4, 7)], 0, vec![5, 5]),
+            (
+                vec![NodeSpec::new(1, 1), NodeSpec::new(2, 2), NodeSpec::new(6, 9)],
+                2,
+                vec![4, 3, 2],
+            ),
+        ];
+        for latency in [0u64, 1, 3] {
+            let net = NetParams::new(latency);
+            for (specs, src, counts) in &cases {
+                let typed = TypedMulticast::new(specs.clone(), *src, counts.clone()).unwrap();
+                let set = typed.to_multicast_set().unwrap();
+                let dp = DpTable::build(&typed, net).optimum();
+                let greedy_tree = greedy_with_options(&set, net, GreedyOptions::REFINED);
+                let greedy = reception_completion(&greedy_tree, &set, net).unwrap();
+                assert!(dp <= greedy, "dp {dp} > greedy {greedy}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_answers_sub_multicast_queries() {
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            1,
+            vec![3, 2],
+        )
+        .unwrap();
+        let net = NetParams::new(1);
+        let table = DpTable::build(&typed, net);
+        // Every sub-instance must agree with a table built directly for it.
+        for a in 0..=3usize {
+            for b in 0..=2usize {
+                for s in 0..2usize {
+                    let direct = TypedMulticast::new(
+                        vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+                        s,
+                        vec![a, b],
+                    )
+                    .unwrap();
+                    let expected = DpTable::build(&direct, net).optimum();
+                    assert_eq!(table.query(s, &[a, b]), Some(expected), "s={s} a={a} b={b}");
+                }
+            }
+        }
+        // Out-of-range queries.
+        assert_eq!(table.query(0, &[4, 0]), None);
+        assert_eq!(table.query(5, &[1, 1]), None);
+        assert_eq!(table.query(0, &[1]), None);
+    }
+
+    #[test]
+    fn dp_optimum_for_plain_multicast_set() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+            ],
+        )
+        .unwrap();
+        assert_eq!(dp_optimum(&set, NetParams::new(1)), Time::new(8));
+    }
+
+    #[test]
+    fn single_destination_value() {
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(2, 5), NodeSpec::new(3, 7)],
+            0,
+            vec![0, 1],
+        )
+        .unwrap();
+        let table = DpTable::build(&typed, NetParams::new(4));
+        // send(src) + L + recv(dest) = 2 + 4 + 7.
+        assert_eq!(table.optimum(), Time::new(13));
+    }
+
+    #[test]
+    fn reconstruction_respects_class_membership() {
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(5, 8)],
+            0,
+            vec![4, 3],
+        )
+        .unwrap();
+        let net = NetParams::new(2);
+        let (tree, value) = DpTable::optimal_schedule(&typed, net).unwrap();
+        let set = typed.to_multicast_set().unwrap();
+        validate(&tree, &set).unwrap();
+        assert_eq!(reception_completion(&tree, &set, net).unwrap(), value);
+        // The set's canonical order puts the four fast nodes first.
+        assert_eq!(set.destination(0), NodeSpec::new(1, 1));
+        assert_eq!(set.destination(6), NodeSpec::new(5, 8));
+    }
+}

@@ -1,0 +1,474 @@
+//! Exact optimal multicast schedules by branch-and-bound.
+//!
+//! The optimal multicast problem in the receive-send model is NP-complete in
+//! the strong sense, so no polynomial-time exact algorithm is expected for
+//! arbitrary heterogeneity. This module provides an exhaustive
+//! branch-and-bound search over *normalized* schedules (schedules without
+//! idle time, which the paper shows is without loss of generality) for the
+//! small instances used to measure the greedy algorithm's empirical
+//! approximation ratio (experiment E3) and to cross-check the Theorem 2
+//! dynamic program (experiment E6).
+//!
+//! The search constructs schedules **chronologically**: at each step it picks
+//! a node that already holds the message and lets it make its next
+//! (time-wise fixed) transmission to some destination that has not yet been
+//! reached, requiring delivery times to be generated in non-decreasing
+//! order. Identical destinations and identically situated senders are
+//! de-duplicated, the greedy schedule seeds the incumbent, and simple lower
+//! bounds prune the tree. Instances with up to roughly a dozen destinations
+//! are solved exactly in well under a second; a configurable node budget
+//! keeps larger requests from running away (the result then reports
+//! `proven_optimal = false`).
+
+use crate::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use crate::schedule::times::evaluate;
+use crate::schedule::tree::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId, Time};
+
+/// Which completion time the search minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimise the reception completion time `R_T` (the paper's objective).
+    #[default]
+    Reception,
+    /// Minimise the delivery completion time `D_T` (used when validating
+    /// Lemma 2 / Corollary 1, which are statements about `D_T`).
+    Delivery,
+}
+
+/// Options for the exact search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Completion-time objective.
+    pub objective: Objective,
+    /// Restrict the search to **layered** schedules (destinations reached in
+    /// non-decreasing overhead order, per the non-strict layeredness
+    /// definition used by [`crate::schedule::validate::is_layered`]).
+    /// Combined with [`Objective::Delivery`] this enumerates exactly the
+    /// schedule class of Lemma 2.
+    pub layered_only: bool,
+    /// Maximum number of branch-and-bound nodes to explore before giving up
+    /// and returning the incumbent.
+    pub node_budget: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            objective: Objective::Reception,
+            layered_only: false,
+            node_budget: 50_000_000,
+        }
+    }
+}
+
+/// Result of an exact search.
+#[derive(Debug, Clone)]
+pub struct OptimalResult {
+    /// The best schedule found.
+    pub tree: ScheduleTree,
+    /// Its completion time under the chosen objective.
+    pub value: Time,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes_explored: u64,
+    /// Whether the search ran to completion (and `value` is therefore the
+    /// true optimum) or stopped at the node budget.
+    pub proven_optimal: bool,
+}
+
+struct Searcher<'a> {
+    set: &'a MulticastSet,
+    net: NetParams,
+    options: SearchOptions,
+    /// Chronological list of (sender, destination) decisions on the current
+    /// path.
+    path: Vec<(NodeId, NodeId)>,
+    /// Best decision list found so far.
+    best_path: Vec<(NodeId, NodeId)>,
+    best_value: Time,
+    nodes_explored: u64,
+    budget_exhausted: bool,
+    // Per-node state, indexed by NodeId.
+    attached: Vec<bool>,
+    reception: Vec<Time>,
+    sends_made: Vec<u64>,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(set: &'a MulticastSet, net: NetParams, options: SearchOptions) -> Self {
+        let n = set.num_nodes();
+        let mut attached = vec![false; n];
+        attached[0] = true;
+        Searcher {
+            set,
+            net,
+            options,
+            path: Vec::with_capacity(n),
+            best_path: Vec::new(),
+            best_value: Time::MAX,
+            nodes_explored: 0,
+            budget_exhausted: false,
+            attached,
+            reception: vec![Time::ZERO; n],
+            sends_made: vec![0; n],
+        }
+    }
+
+    /// Next delivery-completion time of an attached node: the instant its
+    /// `(sends_made + 1)`-th transmission would be delivered.
+    fn next_avail(&self, v: NodeId) -> Time {
+        let spec = self.set.spec(v);
+        self.reception[v.index()] + (self.sends_made[v.index()] + 1) * spec.send() + self.net.latency()
+    }
+
+    fn objective_of(&self, delivery: Time, dest: NodeId) -> Time {
+        match self.options.objective {
+            Objective::Reception => delivery + self.set.spec(dest).recv(),
+            Objective::Delivery => delivery,
+        }
+    }
+
+    fn seed_incumbent(&mut self) {
+        // The incumbent must itself lie inside the searched schedule class:
+        // leaf refinement can produce a non-layered schedule, so layered
+        // searches seed with the plain greedy schedule (which is layered).
+        let opts = match (self.options.objective, self.options.layered_only) {
+            (Objective::Reception, false) => GreedyOptions::REFINED,
+            _ => GreedyOptions::PLAIN,
+        };
+        let tree = greedy_with_options(self.set, self.net, opts);
+        let timing = evaluate(&tree, self.set, self.net).expect("greedy tree is complete");
+        self.best_value = match self.options.objective {
+            Objective::Reception => timing.reception_completion(),
+            Objective::Delivery => timing.delivery_completion(),
+        };
+        // Record the greedy schedule as a chronological decision list so the
+        // incumbent tree can be rebuilt uniformly.
+        let mut decisions: Vec<(Time, NodeId, NodeId)> = Vec::new();
+        for v in tree.bfs() {
+            for &c in tree.children(v) {
+                decisions.push((timing.delivery(c), v, c));
+            }
+        }
+        decisions.sort_by_key(|&(d, _, c)| (d, c));
+        self.best_path = decisions.into_iter().map(|(_, p, c)| (p, c)).collect();
+    }
+
+    fn search(&mut self, last_delivery: Time, current_value: Time, num_attached: usize) {
+        self.nodes_explored += 1;
+        if self.nodes_explored > self.options.node_budget {
+            self.budget_exhausted = true;
+            return;
+        }
+        let n = self.set.num_nodes();
+        if num_attached == n {
+            if current_value < self.best_value {
+                self.best_value = current_value;
+                self.best_path = self.path.clone();
+            }
+            return;
+        }
+
+        // Senders that are still "alive": attached nodes whose next fixed
+        // transmission time has not already been passed chronologically.
+        let mut alive: Vec<(Time, NodeId)> = Vec::new();
+        for v in (0..n).map(NodeId) {
+            if self.attached[v.index()] {
+                let avail = self.next_avail(v);
+                if avail >= last_delivery {
+                    alive.push((avail, v));
+                }
+            }
+        }
+        if alive.is_empty() {
+            return; // Remaining destinations can never be reached: dead end.
+        }
+        alive.sort_unstable_by_key(|&(t, v)| (t, v));
+        let earliest_next = alive[0].0;
+
+        // Lower bound.
+        let mut lb = current_value;
+        match self.options.objective {
+            Objective::Reception => {
+                for v in (1..n).map(NodeId) {
+                    if !self.attached[v.index()] {
+                        lb = lb.max(earliest_next + self.set.spec(v).recv());
+                    }
+                }
+            }
+            Objective::Delivery => {
+                lb = lb.max(earliest_next);
+            }
+        }
+        if lb >= self.best_value {
+            return;
+        }
+
+        // Candidate destinations: unattached, de-duplicated by spec. In
+        // layered mode only the fastest remaining speed class may be served.
+        let mut candidates: Vec<NodeId> = Vec::new();
+        let mut last_spec = None;
+        for v in (1..n).map(NodeId) {
+            if self.attached[v.index()] {
+                continue;
+            }
+            let spec = self.set.spec(v);
+            if Some(spec) == last_spec {
+                continue;
+            }
+            last_spec = Some(spec);
+            candidates.push(v);
+            if self.options.layered_only {
+                break; // Destinations are sorted: the first unattached spec
+                       // is the fastest remaining class.
+            }
+        }
+
+        // Candidate senders: de-duplicated by (spec, next availability).
+        let mut senders: Vec<(Time, NodeId)> = Vec::new();
+        let mut seen: Vec<(Time, hnow_model::NodeSpec)> = Vec::new();
+        for &(avail, v) in &alive {
+            let spec = self.set.spec(v);
+            if seen.iter().any(|&(a, s)| a == avail && s == spec) {
+                continue;
+            }
+            seen.push((avail, spec));
+            senders.push((avail, v));
+        }
+
+        for &(avail, sender) in &senders {
+            for &dest in &candidates {
+                let delivery = avail;
+                let new_value = current_value.max(self.objective_of(delivery, dest));
+                if new_value >= self.best_value {
+                    continue;
+                }
+                // Apply.
+                self.attached[dest.index()] = true;
+                self.reception[dest.index()] = delivery + self.set.spec(dest).recv();
+                self.sends_made[sender.index()] += 1;
+                self.path.push((sender, dest));
+
+                self.search(delivery, new_value, num_attached + 1);
+
+                // Undo.
+                self.path.pop();
+                self.sends_made[sender.index()] -= 1;
+                self.reception[dest.index()] = Time::ZERO;
+                self.attached[dest.index()] = false;
+
+                if self.budget_exhausted {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn build_tree(&self) -> ScheduleTree {
+        let mut tree = ScheduleTree::new(self.set.num_nodes());
+        for &(parent, child) in &self.best_path {
+            tree.attach(parent, child)
+                .expect("decision lists are consistent by construction");
+        }
+        tree
+    }
+}
+
+/// Finds an optimal schedule for the reception completion time with default
+/// search options.
+pub fn optimal_schedule(set: &MulticastSet, net: NetParams) -> OptimalResult {
+    search(set, net, SearchOptions::default())
+}
+
+/// Runs the exact branch-and-bound search with explicit options.
+pub fn search(set: &MulticastSet, net: NetParams, options: SearchOptions) -> OptimalResult {
+    let mut searcher = Searcher::new(set, net, options);
+    searcher.seed_incumbent();
+    searcher.search(Time::ZERO, Time::ZERO, 1);
+    OptimalResult {
+        tree: searcher.build_tree(),
+        value: searcher.best_value,
+        nodes_explored: searcher.nodes_explored,
+        proven_optimal: !searcher.budget_exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::dp::dp_optimum;
+    use crate::schedule::times::{delivery_completion, reception_completion};
+    use crate::schedule::validate::{is_layered, validate};
+    use hnow_model::NodeSpec;
+
+    fn figure1() -> (MulticastSet, NetParams) {
+        let slow = NodeSpec::new(2, 3);
+        let fast = NodeSpec::new(1, 1);
+        (
+            MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap(),
+            NetParams::new(1),
+        )
+    }
+
+    #[test]
+    fn figure1_optimum_is_eight() {
+        let (set, net) = figure1();
+        let result = optimal_schedule(&set, net);
+        assert!(result.proven_optimal);
+        assert_eq!(result.value, Time::new(8));
+        validate(&result.tree, &set).unwrap();
+        assert_eq!(
+            reception_completion(&result.tree, &set, net).unwrap(),
+            Time::new(8)
+        );
+    }
+
+    #[test]
+    fn matches_dp_on_two_type_instances() {
+        let cases = vec![
+            (NodeSpec::new(1, 1), NodeSpec::new(2, 3), 3usize, 2usize),
+            (NodeSpec::new(1, 2), NodeSpec::new(3, 5), 2, 3),
+            (NodeSpec::new(2, 2), NodeSpec::new(4, 7), 4, 2),
+        ];
+        for (fast, slow, nf, ns) in cases {
+            for latency in [0u64, 1, 3] {
+                let net = NetParams::new(latency);
+                let mut dests = vec![fast; nf];
+                dests.extend(vec![slow; ns]);
+                let set = MulticastSet::new(slow, dests).unwrap();
+                let exact = optimal_schedule(&set, net);
+                assert!(exact.proven_optimal);
+                assert_eq!(
+                    exact.value,
+                    dp_optimum(&set, net),
+                    "fast={fast} slow={slow} nf={nf} ns={ns} L={latency}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_never_exceeds_greedy() {
+        let set = MulticastSet::new(
+            NodeSpec::new(3, 4),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 2),
+                NodeSpec::new(3, 4),
+                NodeSpec::new(5, 8),
+                NodeSpec::new(6, 9),
+            ],
+        )
+        .unwrap();
+        let net = NetParams::new(2);
+        let greedy = greedy_with_options(&set, net, GreedyOptions::REFINED);
+        let greedy_r = reception_completion(&greedy, &set, net).unwrap();
+        let exact = optimal_schedule(&set, net);
+        assert!(exact.proven_optimal);
+        assert!(exact.value <= greedy_r);
+    }
+
+    #[test]
+    fn homogeneous_optimum_matches_doubling() {
+        for n in [1usize, 3, 6, 7] {
+            let set = MulticastSet::homogeneous(NodeSpec::new(2, 0), n);
+            let net = NetParams::new(0);
+            let result = optimal_schedule(&set, net);
+            assert!(result.proven_optimal);
+            let rounds = usize::BITS - n.leading_zeros();
+            assert_eq!(result.value, Time::new(2 * u64::from(rounds)), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn delivery_objective_layered_matches_greedy_delivery() {
+        // Corollary 1: greedy attains the minimum delivery completion time
+        // over layered schedules.
+        let instances = vec![
+            figure1().0,
+            MulticastSet::new(
+                NodeSpec::new(2, 2),
+                vec![
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(3, 4),
+                    NodeSpec::new(4, 6),
+                ],
+            )
+            .unwrap(),
+        ];
+        for set in instances {
+            for latency in [0u64, 2] {
+                let net = NetParams::new(latency);
+                let options = SearchOptions {
+                    objective: Objective::Delivery,
+                    layered_only: true,
+                    node_budget: 10_000_000,
+                };
+                let exact = search(&set, net, options);
+                assert!(exact.proven_optimal);
+                let greedy = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+                assert_eq!(
+                    exact.value,
+                    delivery_completion(&greedy, &set, net).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layered_search_returns_layered_schedules() {
+        let (set, net) = figure1();
+        let options = SearchOptions {
+            objective: Objective::Reception,
+            layered_only: true,
+            node_budget: 1_000_000,
+        };
+        let result = search(&set, net, options);
+        assert!(result.proven_optimal);
+        assert!(is_layered(&result.tree, &set, net).unwrap());
+        // Unrestricted search can only do better or equal.
+        let free = optimal_schedule(&set, net);
+        assert!(free.value <= result.value);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let net = NetParams::new(1);
+        let empty = MulticastSet::new(NodeSpec::new(2, 2), vec![]).unwrap();
+        let r = optimal_schedule(&empty, net);
+        assert_eq!(r.value, Time::ZERO);
+        assert!(r.proven_optimal);
+
+        let single = MulticastSet::new(NodeSpec::new(2, 2), vec![NodeSpec::new(3, 4)]).unwrap();
+        let r = optimal_schedule(&single, net);
+        assert_eq!(r.value, Time::new(2 + 1 + 4));
+    }
+
+    #[test]
+    fn node_budget_is_respected() {
+        let set = MulticastSet::new(
+            NodeSpec::new(1, 1),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 2),
+                NodeSpec::new(3, 3),
+                NodeSpec::new(4, 4),
+                NodeSpec::new(5, 5),
+                NodeSpec::new(6, 6),
+                NodeSpec::new(7, 7),
+            ],
+        )
+        .unwrap();
+        let net = NetParams::new(1);
+        let options = SearchOptions {
+            node_budget: 5,
+            ..SearchOptions::default()
+        };
+        let result = search(&set, net, options);
+        // The incumbent (greedy) is still a valid schedule.
+        validate(&result.tree, &set).unwrap();
+        assert!(!result.proven_optimal);
+        assert!(result.nodes_explored <= 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Instance transformations used in the proof of Theorem 1.
+//!
+//! Theorem 1 bounds the greedy algorithm by relating the original multicast
+//! set `S` to a *rounded* set `S'`:
+//!
+//! * every sending overhead is rounded up to the next power of two, and
+//! * every receiving overhead is replaced by `⌈α_max⌉ ·` (the rounded
+//!   sending overhead), so that all receive-send ratios in `S'` equal the
+//!   same integer `C = ⌈α_max⌉`.
+//!
+//! Each sending overhead in `S'` is less than `2` times, and each receiving
+//! overhead less than `2·⌈α_max⌉/α_min` times, the
+//! corresponding overhead in `S`, every pair of distinct sending overheads
+//! in `S'` differs by a power-of-two factor, and (by Lemma 3 / Corollary 1)
+//! the greedy schedule for `S'` attains the optimal delivery completion time
+//! for `S'`. Chaining these facts yields the approximation bound.
+//!
+//! This module implements the `S → S'` construction and the predicates the
+//! lemma needs, so that the proof's intermediate quantities can be measured
+//! empirically (experiment E5).
+
+use hnow_model::{ModelError, MulticastSet, NodeSpec};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of the power-of-two rounding construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundedInstance {
+    /// The rounded multicast set `S'`.
+    pub set: MulticastSet,
+    /// The uniform integer receive-send ratio `C = ⌈α_max⌉` of `S'`.
+    pub uniform_ratio: u64,
+    /// Largest factor by which any sending overhead grew (`< 2`).
+    pub max_send_growth: f64,
+    /// Largest factor by which any receiving overhead grew
+    /// (`< 2·⌈α_max⌉/α_min`).
+    pub max_recv_growth: f64,
+}
+
+fn next_power_of_two(v: u64) -> u64 {
+    v.next_power_of_two()
+}
+
+/// Builds the rounded instance `S'` from `S` (Theorem 1's construction).
+///
+/// Returns an error only if the rounded overheads violate the model's
+/// correlation assumption, which cannot happen for inputs accepted by
+/// [`MulticastSet::new`] (rounding is monotone), so in practice this always
+/// succeeds.
+pub fn power_of_two_rounding(set: &MulticastSet) -> Result<RoundedInstance, ModelError> {
+    let c = set.alpha_max().ceil().max(1.0) as u64;
+    let mut max_send_growth: f64 = 1.0;
+    let mut max_recv_growth: f64 = 1.0;
+    let round = |spec: NodeSpec, max_s: &mut f64, max_r: &mut f64| {
+        let send = next_power_of_two(spec.send().raw());
+        let recv = c * send;
+        *max_s = max_s.max(send as f64 / spec.send().as_f64());
+        if spec.recv().raw() > 0 {
+            *max_r = max_r.max(recv as f64 / spec.recv().as_f64());
+        }
+        NodeSpec::new(send, recv)
+    };
+    let source = round(set.source(), &mut max_send_growth, &mut max_recv_growth);
+    let destinations = set
+        .destinations()
+        .iter()
+        .map(|&d| round(d, &mut max_send_growth, &mut max_recv_growth))
+        .collect();
+    Ok(RoundedInstance {
+        set: MulticastSet::new(source, destinations)?,
+        uniform_ratio: c,
+        max_send_growth,
+        max_recv_growth,
+    })
+}
+
+/// Returns the uniform integer receive-send ratio `C` shared by every node
+/// of the instance, or `None` if the ratios are not all equal to the same
+/// integer (Lemma 3's precondition).
+pub fn uniform_integer_ratio(set: &MulticastSet) -> Option<u64> {
+    let mut ratio = None;
+    for (_, spec) in set.iter_nodes() {
+        let send = spec.send().raw();
+        let recv = spec.recv().raw();
+        if recv % send != 0 {
+            return None;
+        }
+        let c = recv / send;
+        match ratio {
+            None => ratio = Some(c),
+            Some(existing) if existing == c => {}
+            Some(_) => return None,
+        }
+    }
+    ratio
+}
+
+/// Whether every sending overhead in the instance is a power of two (so any
+/// two distinct sending overheads differ by a factor `2^k`, as Lemma 3
+/// requires).
+pub fn has_power_of_two_sends(set: &MulticastSet) -> bool {
+    set.iter_nodes()
+        .all(|(_, spec)| spec.send().raw().is_power_of_two())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnow_model::Time;
+
+    fn figure1() -> MulticastSet {
+        let slow = NodeSpec::new(2, 3);
+        let fast = NodeSpec::new(1, 1);
+        MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap()
+    }
+
+    #[test]
+    fn rounding_produces_uniform_power_of_two_instance() {
+        let set = MulticastSet::new(
+            NodeSpec::new(3, 5),
+            vec![NodeSpec::new(1, 1), NodeSpec::new(5, 7), NodeSpec::new(6, 11)],
+        )
+        .unwrap();
+        let rounded = power_of_two_rounding(&set).unwrap();
+        assert!(has_power_of_two_sends(&rounded.set));
+        assert_eq!(
+            uniform_integer_ratio(&rounded.set),
+            Some(rounded.uniform_ratio)
+        );
+        // α_max of the original set is 11/6 < 2, so C = 2.
+        assert_eq!(rounded.uniform_ratio, 2);
+        // Sends grow by strictly less than 2.
+        assert!(rounded.max_send_growth < 2.0);
+        // Receives grow by strictly less than 2·⌈α_max⌉/α_min.
+        let bound = 2.0 * set.alpha_max().ceil() / set.alpha_min();
+        assert!(rounded.max_recv_growth < bound);
+    }
+
+    #[test]
+    fn figure1_rounding() {
+        let rounded = power_of_two_rounding(&figure1()).unwrap();
+        // α_max = 1.5 → C = 2; slow (2,3) → (2,4); fast (1,1) → (1,2).
+        assert_eq!(rounded.uniform_ratio, 2);
+        assert_eq!(rounded.set.source(), NodeSpec::new(2, 4));
+        assert_eq!(rounded.set.destination(0), NodeSpec::new(1, 2));
+        assert_eq!(rounded.set.destination(3), NodeSpec::new(2, 4));
+    }
+
+    #[test]
+    fn rounded_overheads_dominate_originals() {
+        let sets = vec![
+            figure1(),
+            MulticastSet::new(
+                NodeSpec::new(7, 9),
+                vec![NodeSpec::new(2, 3), NodeSpec::new(9, 13), NodeSpec::new(20, 37)],
+            )
+            .unwrap(),
+        ];
+        for set in sets {
+            let rounded = power_of_two_rounding(&set).unwrap();
+            for ((_, orig), (_, r)) in set.iter_nodes().zip(rounded.set.iter_nodes()) {
+                assert!(r.send() >= orig.send());
+                assert!(r.recv() >= orig.recv());
+                assert!(r.send() < Time::new(2 * orig.send().raw()));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_ratio_detection() {
+        let uniform = MulticastSet::new(
+            NodeSpec::new(1, 2),
+            vec![NodeSpec::new(2, 4), NodeSpec::new(4, 8)],
+        )
+        .unwrap();
+        assert_eq!(uniform_integer_ratio(&uniform), Some(2));
+
+        let non_uniform = figure1();
+        assert_eq!(uniform_integer_ratio(&non_uniform), None);
+
+        let fractional = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![NodeSpec::new(2, 3)],
+        )
+        .unwrap();
+        assert_eq!(uniform_integer_ratio(&fractional), None);
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(has_power_of_two_sends(
+            &MulticastSet::new(NodeSpec::new(4, 4), vec![NodeSpec::new(1, 1), NodeSpec::new(8, 8)])
+                .unwrap()
+        ));
+        // Figure 1's sends (1 and 2) are powers of two; a send of 3 is not.
+        assert!(has_power_of_two_sends(&figure1()));
+        assert!(!has_power_of_two_sends(
+            &MulticastSet::new(NodeSpec::new(3, 4), vec![NodeSpec::new(1, 1)]).unwrap()
+        ));
+    }
+
+    #[test]
+    fn zero_recv_nodes_round_cleanly() {
+        // Heterogeneous-node-model embeddings have zero receive overheads;
+        // the rounding still produces a uniform-ratio instance.
+        let set = MulticastSet::new(
+            NodeSpec::new(3, 0),
+            vec![NodeSpec::new(1, 0), NodeSpec::new(5, 0)],
+        )
+        .unwrap();
+        let rounded = power_of_two_rounding(&set).unwrap();
+        assert!(has_power_of_two_sends(&rounded.set));
+        assert_eq!(rounded.uniform_ratio, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Schedule statistics for reporting and ablation experiments.
+
+use crate::error::CoreError;
+use crate::schedule::times::evaluate;
+use crate::schedule::tree::ScheduleTree;
+use crate::schedule::validate::is_layered_with_timing;
+use hnow_model::{MulticastSet, NetParams, NodeId, Time};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a complete schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Reception completion time `R_T`.
+    pub reception_completion: Time,
+    /// Delivery completion time `D_T`.
+    pub delivery_completion: Time,
+    /// Height of the tree (edges on the longest root-to-leaf path).
+    pub depth: usize,
+    /// Largest number of transmissions made by any single node.
+    pub max_fanout: usize,
+    /// Number of transmissions made by the source.
+    pub source_fanout: usize,
+    /// Number of leaf destinations.
+    pub num_leaves: usize,
+    /// Number of forwarding destinations (internal, excluding the source).
+    pub num_forwarders: usize,
+    /// Whether the schedule is layered.
+    pub layered: bool,
+    /// Total busy time summed over all nodes (send + receive overheads
+    /// actually incurred), a proxy for the processor cycles the multicast
+    /// steals from the application.
+    pub total_busy_time: Time,
+    /// Sum over destinations of the reception time — proportional to the
+    /// average time a destination waits for the message.
+    pub sum_reception_times: Time,
+}
+
+/// Computes summary statistics of a complete schedule.
+pub fn stats(
+    tree: &ScheduleTree,
+    set: &MulticastSet,
+    net: NetParams,
+) -> Result<ScheduleStats, CoreError> {
+    let timing = evaluate(tree, set, net)?;
+    let mut max_fanout = 0usize;
+    let mut total_busy = Time::ZERO;
+    for (id, spec) in set.iter_nodes() {
+        let fanout = tree.children(id).len();
+        max_fanout = max_fanout.max(fanout);
+        total_busy += spec.send() * (fanout as u64);
+        if !id.is_source() {
+            total_busy += spec.recv();
+        }
+    }
+    let sum_reception_times = set
+        .destination_ids()
+        .map(|v| timing.reception(v))
+        .sum::<Time>();
+    let num_leaves = tree.leaves().len();
+    let num_forwarders = tree
+        .internal_nodes()
+        .iter()
+        .filter(|v| !v.is_source())
+        .count();
+    Ok(ScheduleStats {
+        reception_completion: timing.reception_completion(),
+        delivery_completion: timing.delivery_completion(),
+        depth: tree.height(),
+        max_fanout,
+        source_fanout: tree.children(NodeId::SOURCE).len(),
+        num_leaves,
+        num_forwarders,
+        layered: is_layered_with_timing(&timing, set),
+        total_busy_time: total_busy,
+        sum_reception_times,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::baselines::{chain_schedule, star_schedule};
+    use crate::algorithms::greedy::greedy_schedule;
+    use hnow_model::NodeSpec;
+
+    fn figure1() -> (MulticastSet, NetParams) {
+        let slow = NodeSpec::new(2, 3);
+        let fast = NodeSpec::new(1, 1);
+        (
+            MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap(),
+            NetParams::new(1),
+        )
+    }
+
+    #[test]
+    fn greedy_stats_for_figure1() {
+        let (set, net) = figure1();
+        let tree = greedy_schedule(&set, net);
+        let s = stats(&tree, &set, net).unwrap();
+        assert_eq!(s.reception_completion, Time::new(10));
+        assert!(s.layered);
+        assert_eq!(s.num_leaves + s.num_forwarders, 4);
+        assert!(s.max_fanout >= s.source_fanout.min(1));
+        // Busy time: every destination incurs its receive overhead once and
+        // each sender its send overhead per transmission.
+        assert!(s.total_busy_time >= Time::new(1 + 1 + 1 + 3));
+    }
+
+    #[test]
+    fn star_vs_chain_shapes() {
+        let (set, net) = figure1();
+        let star = stats(&star_schedule(&set), &set, net).unwrap();
+        assert_eq!(star.depth, 1);
+        assert_eq!(star.source_fanout, 4);
+        assert_eq!(star.num_forwarders, 0);
+        assert_eq!(star.num_leaves, 4);
+
+        let chain = stats(&chain_schedule(&set), &set, net).unwrap();
+        assert_eq!(chain.depth, 4);
+        assert_eq!(chain.max_fanout, 1);
+        assert_eq!(chain.num_leaves, 1);
+        assert_eq!(chain.num_forwarders, 3);
+    }
+
+    #[test]
+    fn sum_reception_times_orders_strategies_sensibly() {
+        let (set, net) = figure1();
+        let greedy = stats(&greedy_schedule(&set, net), &set, net).unwrap();
+        let chain = stats(&chain_schedule(&set), &set, net).unwrap();
+        assert!(greedy.sum_reception_times <= chain.sum_reception_times);
+    }
+
+    #[test]
+    fn incomplete_schedule_is_an_error() {
+        let (set, net) = figure1();
+        let tree = ScheduleTree::new(5);
+        assert!(matches!(
+            stats(&tree, &set, net),
+            Err(CoreError::IncompleteSchedule { .. })
+        ));
+    }
+}

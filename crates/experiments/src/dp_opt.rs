@@ -1,0 +1,183 @@
+//! Experiment E6 — the limited-heterogeneity dynamic program (Theorem 2).
+//!
+//! Two claims are exercised: the dynamic program is *optimal* (cross-checked
+//! against the exact branch-and-bound solver on small instances), and it
+//! scales polynomially so that realistic clusters with a handful of
+//! workstation types are solved exactly where the general problem is
+//! NP-complete. The table also reports how much the greedy approximation
+//! loses against the DP optimum at sizes far beyond what branch-and-bound
+//! can reach.
+
+use crate::table::Table;
+use hnow_core::algorithms::dp::DpTable;
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::{search, SearchOptions};
+use hnow_core::schedule::reception_completion;
+use hnow_model::{MessageSize, NetParams, TypedMulticast};
+use hnow_workload::{standard_class_table, two_class_table};
+use serde::{Deserialize, Serialize};
+
+/// One DP measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpSample {
+    /// Number of distinct types `k`.
+    pub k: usize,
+    /// Total destinations `n`.
+    pub n: usize,
+    /// DP optimum.
+    pub dp_optimal: u64,
+    /// Greedy (leaf-refined) completion on the same instance.
+    pub greedy_refined: u64,
+    /// Exact branch-and-bound optimum, when the instance is small enough to
+    /// solve (`None` otherwise).
+    pub exact: Option<u64>,
+    /// Number of DP states computed.
+    pub dp_states: usize,
+    /// greedy / dp ratio.
+    pub greedy_ratio: f64,
+}
+
+/// Configuration of the DP experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DpConfig {
+    /// Largest per-class count used with the two-class table.
+    pub two_class_max: usize,
+    /// Largest per-class count used with the four-class table.
+    pub four_class_max: usize,
+    /// Destination-count threshold below which the exact solver cross-checks
+    /// the DP.
+    pub exact_limit: usize,
+    /// Network latency.
+    pub latency: u64,
+    /// Message size at which the class profiles are evaluated.
+    pub message_kib: u64,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        DpConfig {
+            two_class_max: 24,
+            four_class_max: 6,
+            exact_limit: 9,
+            latency: 2,
+            message_kib: 4,
+        }
+    }
+}
+
+fn measure(typed: &TypedMulticast, net: NetParams, exact_limit: usize) -> DpSample {
+    let table = DpTable::build(typed, net);
+    let set = typed.to_multicast_set().expect("typed instance is valid");
+    let greedy = greedy_with_options(&set, net, GreedyOptions::REFINED);
+    let greedy_r = reception_completion(&greedy, &set, net).unwrap();
+    let exact = if typed.total_destinations() <= exact_limit {
+        let result = search(
+            &set,
+            net,
+            SearchOptions {
+                node_budget: 5_000_000,
+                ..SearchOptions::default()
+            },
+        );
+        result.proven_optimal.then(|| result.value.raw())
+    } else {
+        None
+    };
+    let dp_optimal = table.optimum().raw();
+    DpSample {
+        k: typed.k(),
+        n: typed.total_destinations(),
+        dp_optimal,
+        greedy_refined: greedy_r.raw(),
+        exact,
+        dp_states: table.num_states(),
+        greedy_ratio: greedy_r.as_f64() / (dp_optimal.max(1)) as f64,
+    }
+}
+
+/// Runs the experiment across two-class and four-class clusters of growing
+/// size.
+pub fn run(config: &DpConfig) -> Vec<DpSample> {
+    let net = NetParams::new(config.latency);
+    let size = MessageSize::from_kib(config.message_kib);
+    let mut samples = Vec::new();
+
+    // Two classes (fast/legacy), equal split, slow source.
+    let two = two_class_table();
+    let mut n = 2usize;
+    while n <= config.two_class_max {
+        let typed =
+            TypedMulticast::from_classes(&two, size, 1, vec![n / 2, n - n / 2]).unwrap();
+        samples.push(measure(&typed, net, config.exact_limit));
+        n *= 2;
+    }
+
+    // Four classes, equal split, fastest source.
+    let four = standard_class_table();
+    let mut per_class = 1usize;
+    while per_class <= config.four_class_max {
+        let typed =
+            TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
+        samples.push(measure(&typed, net, config.exact_limit));
+        per_class *= 2;
+    }
+    samples
+}
+
+/// Renders the experiment table.
+pub fn table(samples: &[DpSample]) -> Table {
+    let mut t = Table::new(
+        "E6 / Theorem 2 — dynamic program vs greedy and exact search",
+        &[
+            "k",
+            "n",
+            "dp optimum",
+            "exact optimum",
+            "greedy+leaf",
+            "greedy/dp",
+            "dp states",
+        ],
+    );
+    for s in samples {
+        t.push_row(vec![
+            s.k.into(),
+            s.n.into(),
+            s.dp_optimal.into(),
+            s.exact
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string())
+                .into(),
+            s.greedy_refined.into(),
+            s.greedy_ratio.into(),
+            s.dp_states.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_matches_exact_and_bounds_greedy() {
+        let config = DpConfig {
+            two_class_max: 8,
+            four_class_max: 2,
+            exact_limit: 8,
+            latency: 1,
+            message_kib: 4,
+        };
+        let samples = run(&config);
+        assert!(!samples.is_empty());
+        for s in &samples {
+            if let Some(exact) = s.exact {
+                assert_eq!(s.dp_optimal, exact, "DP must equal the exact optimum: {s:?}");
+            }
+            assert!(s.dp_optimal <= s.greedy_refined);
+            assert!(s.greedy_ratio >= 1.0 - 1e-9);
+        }
+        let t = table(&samples);
+        assert_eq!(t.rows.len(), samples.len());
+    }
+}

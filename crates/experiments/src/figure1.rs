@@ -1,0 +1,140 @@
+//! Experiment E1 — reproduction of the paper's Figure 1.
+//!
+//! Figure 1 shows two schedules for the same 5-node instance (slow source,
+//! three fast destinations, one slow destination, latency 1): schedule (a)
+//! completes at time 10 and schedule (b) at time 9. This experiment rebuilds
+//! both schedules exactly, checks their completion times against the paper,
+//! and additionally reports what the crate's algorithms produce for the same
+//! instance: the plain greedy algorithm (10, matching (a)), the
+//! leaf-refined greedy (8), and the exact optimum (8) — the paper never
+//! claims 9 is optimal, so the stronger schedules are consistent with it.
+
+use crate::table::Table;
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::optimal_schedule;
+use hnow_core::schedule::{evaluate, reception_completion, ScheduleTree};
+use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec, Time};
+use serde::{Deserialize, Serialize};
+
+/// The Figure 1 instance: slow source (2, 3), three fast destinations
+/// (1, 1), one slow destination (2, 3), latency 1.
+pub fn figure1_instance() -> (MulticastSet, NetParams) {
+    let slow = NodeSpec::new(2, 3);
+    let fast = NodeSpec::new(1, 1);
+    (
+        MulticastSet::new(slow, vec![fast, fast, fast, slow]).expect("figure 1 instance is valid"),
+        NetParams::new(1),
+    )
+}
+
+/// The schedule of Figure 1(a): the source sends to two fast nodes; the
+/// first fast node forwards to the remaining fast node and then to the slow
+/// node. Completion time 10.
+pub fn figure1a_schedule() -> ScheduleTree {
+    let mut tree = ScheduleTree::new(5);
+    tree.attach(NodeId(0), NodeId(1)).unwrap();
+    tree.attach(NodeId(0), NodeId(2)).unwrap();
+    tree.attach(NodeId(1), NodeId(3)).unwrap();
+    tree.attach(NodeId(1), NodeId(4)).unwrap();
+    tree
+}
+
+/// The schedule of Figure 1(b): the same tree, but the forwarding fast node
+/// serves the slow destination *first*. Completion time 9.
+pub fn figure1b_schedule() -> ScheduleTree {
+    let mut tree = ScheduleTree::new(5);
+    tree.attach(NodeId(0), NodeId(1)).unwrap();
+    tree.attach(NodeId(0), NodeId(2)).unwrap();
+    tree.attach(NodeId(1), NodeId(4)).unwrap();
+    tree.attach(NodeId(1), NodeId(3)).unwrap();
+    tree
+}
+
+/// Result of the Figure 1 reproduction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Figure1Report {
+    /// Completion of the paper's schedule (a); the paper reports 10.
+    pub schedule_a: Time,
+    /// Completion of the paper's schedule (b); the paper reports 9.
+    pub schedule_b: Time,
+    /// Completion of the plain greedy schedule.
+    pub greedy: Time,
+    /// Completion of the leaf-refined greedy schedule.
+    pub greedy_refined: Time,
+    /// Exact optimal completion.
+    pub optimal: Time,
+    /// Per-destination reception times of schedule (a), in node-id order —
+    /// the bracketed numbers of the figure.
+    pub schedule_a_receptions: Vec<Time>,
+}
+
+/// Runs the Figure 1 reproduction.
+pub fn run() -> Figure1Report {
+    let (set, net) = figure1_instance();
+    let a = figure1a_schedule();
+    let b = figure1b_schedule();
+    let timing_a = evaluate(&a, &set, net).expect("figure 1(a) is complete");
+    let schedule_b = reception_completion(&b, &set, net).expect("figure 1(b) is complete");
+    let greedy = reception_completion(&greedy_with_options(&set, net, GreedyOptions::PLAIN), &set, net)
+        .unwrap();
+    let greedy_refined = reception_completion(
+        &greedy_with_options(&set, net, GreedyOptions::REFINED),
+        &set,
+        net,
+    )
+    .unwrap();
+    let optimal = optimal_schedule(&set, net).value;
+    Figure1Report {
+        schedule_a: timing_a.reception_completion(),
+        schedule_b,
+        greedy,
+        greedy_refined,
+        optimal,
+        schedule_a_receptions: set.destination_ids().map(|v| timing_a.reception(v)).collect(),
+    }
+}
+
+/// Renders the report as the experiment table.
+pub fn table(report: &Figure1Report) -> Table {
+    let mut t = Table::new(
+        "E1 / Figure 1 — completion times for the 5-node example",
+        &["schedule", "paper", "measured"],
+    );
+    t.push_row(vec!["figure 1(a)".into(), 10u64.into(), report.schedule_a.raw().into()]);
+    t.push_row(vec!["figure 1(b)".into(), 9u64.into(), report.schedule_b.raw().into()]);
+    t.push_row(vec!["greedy (Lemma 1)".into(), "-".into(), report.greedy.raw().into()]);
+    t.push_row(vec![
+        "greedy + leaf refinement".into(),
+        "-".into(),
+        report.greedy_refined.raw().into(),
+    ]);
+    t.push_row(vec!["exact optimum".into(), "-".into(), report.optimal.raw().into()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper() {
+        let report = run();
+        assert_eq!(report.schedule_a, Time::new(10));
+        assert_eq!(report.schedule_b, Time::new(9));
+        assert_eq!(report.greedy, Time::new(10));
+        assert_eq!(report.greedy_refined, Time::new(8));
+        assert_eq!(report.optimal, Time::new(8));
+        // The bracketed reception times of Figure 1(a): 4, 6, 7 and 10.
+        let mut receptions: Vec<u64> =
+            report.schedule_a_receptions.iter().map(|t| t.raw()).collect();
+        receptions.sort_unstable();
+        assert_eq!(receptions, vec![4, 6, 7, 10]);
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let t = table(&run());
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.to_markdown().contains("figure 1(a)"));
+    }
+}

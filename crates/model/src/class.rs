@@ -1,0 +1,393 @@
+//! Workstation classes and limited-heterogeneity instances.
+//!
+//! Section 4 of the paper considers HNOWs with *limited heterogeneity*: an
+//! arbitrary number of workstations drawn from a fixed number `k` of distinct
+//! workstation **types**. [`ClassTable`] describes the available types (each
+//! with a message-length-dependent [`OverheadProfile`]) and
+//! [`TypedMulticast`] describes a multicast as "a source of type `s` plus
+//! `i_j` destinations of type `j`", the exact state shape used by the
+//! dynamic program of Theorem 2.
+
+use crate::error::ModelError;
+use crate::multicast::MulticastSet;
+use crate::node::{NodeId, NodeSpec};
+use crate::overhead::OverheadProfile;
+use crate::params::MessageSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A workstation type: a human-readable name plus its overhead profile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeClass {
+    /// Descriptive name ("fast-ethernet-pc", "legacy-sparc", …).
+    pub name: String,
+    /// Affine overhead model of this type.
+    pub profile: OverheadProfile,
+}
+
+impl NodeClass {
+    /// Creates a class from a name and profile.
+    pub fn new(name: impl Into<String>, profile: OverheadProfile) -> Self {
+        NodeClass {
+            name: name.into(),
+            profile,
+        }
+    }
+
+    /// Creates a class with constant (message-length-independent) overheads.
+    pub fn constant(name: impl Into<String>, send: u64, recv: u64) -> Self {
+        NodeClass::new(name, OverheadProfile::constant(send, recv))
+    }
+}
+
+impl fmt::Display for NodeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.profile)
+    }
+}
+
+/// The set of workstation types present in a cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTable {
+    classes: Vec<NodeClass>,
+}
+
+impl ClassTable {
+    /// Creates a table from a non-empty list of classes.
+    pub fn new(classes: Vec<NodeClass>) -> Result<Self, ModelError> {
+        if classes.is_empty() {
+            return Err(ModelError::EmptyClassTable);
+        }
+        Ok(ClassTable { classes })
+    }
+
+    /// Number of distinct types, the `k` of Theorem 2.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The classes in declaration order.
+    #[inline]
+    pub fn classes(&self) -> &[NodeClass] {
+        &self.classes
+    }
+
+    /// A single class by index.
+    pub fn class(&self, index: usize) -> Result<&NodeClass, ModelError> {
+        self.classes.get(index).ok_or(ModelError::UnknownClass {
+            class: index,
+            num_classes: self.classes.len(),
+        })
+    }
+
+    /// Evaluates every class's profile at the given message size.
+    pub fn specs_at(&self, size: MessageSize) -> Result<Vec<NodeSpec>, ModelError> {
+        self.classes.iter().map(|c| c.profile.at(size)).collect()
+    }
+}
+
+/// A limited-heterogeneity multicast instance: a source of class
+/// `source_class` plus `counts[j]` destinations of class `j`, with the class
+/// overheads already evaluated at a concrete message size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypedMulticast {
+    specs: Vec<NodeSpec>,
+    names: Vec<String>,
+    source_class: usize,
+    counts: Vec<usize>,
+}
+
+impl TypedMulticast {
+    /// Creates a typed multicast directly from per-class overheads.
+    pub fn new(
+        specs: Vec<NodeSpec>,
+        source_class: usize,
+        counts: Vec<usize>,
+    ) -> Result<Self, ModelError> {
+        if specs.is_empty() {
+            return Err(ModelError::EmptyClassTable);
+        }
+        if counts.len() != specs.len() {
+            return Err(ModelError::CountLengthMismatch {
+                got: counts.len(),
+                expected: specs.len(),
+            });
+        }
+        if source_class >= specs.len() {
+            return Err(ModelError::UnknownClass {
+                class: source_class,
+                num_classes: specs.len(),
+            });
+        }
+        let names = (0..specs.len()).map(|i| format!("type-{i}")).collect();
+        Ok(TypedMulticast {
+            specs,
+            names,
+            source_class,
+            counts,
+        })
+    }
+
+    /// Creates a typed multicast from a class table evaluated at a message
+    /// size.
+    pub fn from_classes(
+        table: &ClassTable,
+        size: MessageSize,
+        source_class: usize,
+        counts: Vec<usize>,
+    ) -> Result<Self, ModelError> {
+        let specs = table.specs_at(size)?;
+        let mut typed = TypedMulticast::new(specs, source_class, counts)?;
+        typed.names = table.classes().iter().map(|c| c.name.clone()).collect();
+        Ok(typed)
+    }
+
+    /// Groups the destinations of an arbitrary [`MulticastSet`] into classes
+    /// of identical overheads, producing the typed view used by the Theorem 2
+    /// dynamic program. The source always contributes a class (possibly with
+    /// zero destinations of that class).
+    pub fn from_multicast_set(set: &MulticastSet) -> Self {
+        let mut specs: Vec<NodeSpec> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let class_of = |spec: NodeSpec, specs: &mut Vec<NodeSpec>, counts: &mut Vec<usize>| {
+            if let Some(pos) = specs.iter().position(|&s| s == spec) {
+                pos
+            } else {
+                specs.push(spec);
+                counts.push(0);
+                specs.len() - 1
+            }
+        };
+        let source_class = class_of(set.source(), &mut specs, &mut counts);
+        for &d in set.destinations() {
+            let c = class_of(d, &mut specs, &mut counts);
+            counts[c] += 1;
+        }
+        let names = (0..specs.len()).map(|i| format!("type-{i}")).collect();
+        TypedMulticast {
+            specs,
+            names,
+            source_class,
+            counts,
+        }
+    }
+
+    /// Number of distinct types `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The class index of the source node.
+    #[inline]
+    pub fn source_class(&self) -> usize {
+        self.source_class
+    }
+
+    /// Per-class destination counts `i_1, …, i_k`.
+    #[inline]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Overheads of class `c`.
+    #[inline]
+    pub fn spec_of(&self, c: usize) -> NodeSpec {
+        self.specs[c]
+    }
+
+    /// All class overheads.
+    #[inline]
+    pub fn specs(&self) -> &[NodeSpec] {
+        &self.specs
+    }
+
+    /// Class names (for reporting).
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Total number of destinations `n = Σ i_j`.
+    #[inline]
+    pub fn total_destinations(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Expands the typed instance into an explicit [`MulticastSet`].
+    ///
+    /// The expansion pushes destinations class by class in declaration order;
+    /// because [`MulticastSet::new`] sorts stably by overhead, destinations
+    /// of equal-speed classes keep their class-then-ordinal order, which is
+    /// what [`TypedMulticast::node_ids_for_class`] relies on.
+    pub fn to_multicast_set(&self) -> Result<MulticastSet, ModelError> {
+        let mut destinations = Vec::with_capacity(self.total_destinations());
+        for (c, &count) in self.counts.iter().enumerate() {
+            destinations.extend(std::iter::repeat(self.specs[c]).take(count));
+        }
+        MulticastSet::new(self.specs[self.source_class], destinations)
+    }
+
+    /// The [`NodeId`]s (in the canonical order of
+    /// [`TypedMulticast::to_multicast_set`]) that belong to class `c`.
+    ///
+    /// Used by the dynamic program to turn its class-level schedule into a
+    /// concrete schedule tree over node ids.
+    pub fn node_ids_for_class(&self, class: usize) -> Vec<NodeId> {
+        // Reproduce the expansion + stable sort performed by
+        // `to_multicast_set` and record where each class's copies land.
+        let mut slots: Vec<(NodeSpec, usize)> = Vec::with_capacity(self.total_destinations());
+        for (c, &count) in self.counts.iter().enumerate() {
+            slots.extend(std::iter::repeat((self.specs[c], c)).take(count));
+        }
+        slots.sort_by(|a, b| a.0.speed_cmp(&b.0));
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c))| *c == class)
+            .map(|(i, _)| NodeId(i + 1))
+            .collect()
+    }
+}
+
+impl fmt::Display for TypedMulticast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "source class {} -> counts {:?} over {} types",
+            self.names[self.source_class],
+            self.counts,
+            self.k()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_classes() -> ClassTable {
+        ClassTable::new(vec![
+            NodeClass::constant("fast", 1, 1),
+            NodeClass::constant("slow", 2, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn class_table_basics() {
+        let table = two_classes();
+        assert_eq!(table.k(), 2);
+        assert_eq!(table.class(0).unwrap().name, "fast");
+        assert!(matches!(
+            table.class(9),
+            Err(ModelError::UnknownClass { class: 9, .. })
+        ));
+        assert!(matches!(
+            ClassTable::new(vec![]),
+            Err(ModelError::EmptyClassTable)
+        ));
+        let specs = table.specs_at(MessageSize(0)).unwrap();
+        assert_eq!(specs, vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)]);
+    }
+
+    #[test]
+    fn typed_multicast_validation() {
+        let specs = vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)];
+        assert!(TypedMulticast::new(specs.clone(), 0, vec![1, 2]).is_ok());
+        assert!(matches!(
+            TypedMulticast::new(specs.clone(), 5, vec![1, 2]),
+            Err(ModelError::UnknownClass { .. })
+        ));
+        assert!(matches!(
+            TypedMulticast::new(specs.clone(), 0, vec![1]),
+            Err(ModelError::CountLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            TypedMulticast::new(vec![], 0, vec![]),
+            Err(ModelError::EmptyClassTable)
+        ));
+    }
+
+    #[test]
+    fn figure1_as_typed_instance() {
+        // Slow source, three fast destinations, one slow destination.
+        let typed = TypedMulticast::from_classes(
+            &two_classes(),
+            MessageSize(0),
+            1,
+            vec![3, 1],
+        )
+        .unwrap();
+        assert_eq!(typed.k(), 2);
+        assert_eq!(typed.total_destinations(), 4);
+        let set = typed.to_multicast_set().unwrap();
+        assert_eq!(set.source(), NodeSpec::new(2, 3));
+        assert_eq!(set.num_destinations(), 4);
+        assert_eq!(set.destination(0), NodeSpec::new(1, 1));
+        assert_eq!(set.destination(3), NodeSpec::new(2, 3));
+    }
+
+    #[test]
+    fn node_ids_follow_canonical_order() {
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            1,
+            vec![3, 1],
+        )
+        .unwrap();
+        // Fast destinations occupy ids 1..=3, the slow one id 4.
+        assert_eq!(
+            typed.node_ids_for_class(0),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(typed.node_ids_for_class(1), vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn roundtrip_from_multicast_set() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+                NodeSpec::new(4, 6),
+            ],
+        )
+        .unwrap();
+        let typed = TypedMulticast::from_multicast_set(&set);
+        assert_eq!(typed.k(), 3);
+        assert_eq!(typed.total_destinations(), 4);
+        assert_eq!(typed.spec_of(typed.source_class()), NodeSpec::new(2, 3));
+        let back = typed.to_multicast_set().unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn equal_speed_classes_keep_declaration_order() {
+        // Two classes with identical overheads: ids are assigned class 0
+        // first, then class 1 (stable sort).
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1)],
+            0,
+            vec![2, 2],
+        )
+        .unwrap();
+        assert_eq!(typed.node_ids_for_class(0), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(typed.node_ids_for_class(1), vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn display() {
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            1,
+            vec![3, 1],
+        )
+        .unwrap();
+        assert!(typed.to_string().contains("type-1"));
+        assert!(NodeClass::constant("fast", 1, 1).to_string().contains("fast"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Error types for instance construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A node was declared with a zero sending overhead. The paper requires
+    /// positive integer sending overheads; a zero would let a node transmit
+    /// infinitely fast and degenerate the scheduling problem.
+    ZeroSendOverhead {
+        /// Index of the offending node within the input destination list
+        /// (or `usize::MAX` for the source).
+        index: usize,
+    },
+    /// Two nodes violate the model's correlation assumption: one has a
+    /// strictly smaller sending overhead but a strictly larger receiving
+    /// overhead than the other, so the nodes cannot be totally ordered by
+    /// "speed".
+    OverheadInversion {
+        /// The faster-sending node's (send, recv) overheads.
+        faster: (u64, u64),
+        /// The slower-sending node's (send, recv) overheads.
+        slower: (u64, u64),
+    },
+    /// A limited-heterogeneity instance referenced a class index that does
+    /// not exist in its [`ClassTable`](crate::ClassTable).
+    UnknownClass {
+        /// The out-of-range class index.
+        class: usize,
+        /// Number of classes in the table.
+        num_classes: usize,
+    },
+    /// A class table was constructed with no classes.
+    EmptyClassTable,
+    /// A typed multicast's per-class destination counts had the wrong length.
+    CountLengthMismatch {
+        /// Length of the supplied count vector.
+        got: usize,
+        /// Number of classes expected.
+        expected: usize,
+    },
+    /// An overhead profile evaluated to a zero sending overhead at the given
+    /// message size.
+    DegenerateProfile {
+        /// Message size (bytes) at which the profile degenerated.
+        message_size: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ZeroSendOverhead { index } => {
+                if *index == usize::MAX {
+                    write!(f, "source node has a zero sending overhead")
+                } else {
+                    write!(f, "destination {index} has a zero sending overhead")
+                }
+            }
+            ModelError::OverheadInversion { faster, slower } => write!(
+                f,
+                "overhead inversion: node with send overhead {} has receive overhead {} while \
+                 node with larger send overhead {} has smaller receive overhead {}",
+                faster.0, faster.1, slower.0, slower.1
+            ),
+            ModelError::UnknownClass { class, num_classes } => write!(
+                f,
+                "class index {class} out of range (table has {num_classes} classes)"
+            ),
+            ModelError::EmptyClassTable => write!(f, "class table must contain at least one class"),
+            ModelError::CountLengthMismatch { got, expected } => write!(
+                f,
+                "per-class count vector has length {got} but the class table has {expected} classes"
+            ),
+            ModelError::DegenerateProfile { message_size } => write!(
+                f,
+                "overhead profile evaluates to a zero sending overhead at message size {message_size}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (ModelError::ZeroSendOverhead { index: 3 }, "destination 3"),
+            (
+                ModelError::ZeroSendOverhead { index: usize::MAX },
+                "source node",
+            ),
+            (
+                ModelError::OverheadInversion {
+                    faster: (1, 9),
+                    slower: (2, 3),
+                },
+                "inversion",
+            ),
+            (
+                ModelError::UnknownClass {
+                    class: 7,
+                    num_classes: 3,
+                },
+                "out of range",
+            ),
+            (ModelError::EmptyClassTable, "at least one class"),
+            (
+                ModelError::CountLengthMismatch {
+                    got: 2,
+                    expected: 3,
+                },
+                "length 2",
+            ),
+            (
+                ModelError::DegenerateProfile { message_size: 0 },
+                "message size 0",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: Error>(_e: E) {}
+        takes_error(ModelError::EmptyClassTable);
+    }
+}

@@ -1,0 +1,84 @@
+//! The heterogeneous-node model of Banikazemi et al. (1998) and
+//! Hall et al. (1998).
+//!
+//! Each node `x` has a single *message initiation cost* `c(x)`; when `x`
+//! sends to `y`, `x` is busy for `c(x)` time units and `y` holds the message
+//! (and may itself begin sending) at time `c(x)` after the send began. There
+//! is no separate receive cost and no network latency term.
+//!
+//! The embedding into the receive-send model sets `o_send(x) = c(x)`,
+//! `o_recv(x) = 0` and `L = 0`, which reproduces exactly the same delivery
+//! dynamics: a destination may forward the message the instant its parent
+//! finishes the corresponding send.
+
+use super::{Instance, IntoReceiveSend};
+use crate::error::ModelError;
+use crate::multicast::MulticastSet;
+use crate::node::NodeSpec;
+use crate::params::NetParams;
+use serde::{Deserialize, Serialize};
+
+/// A multicast instance in the heterogeneous-node model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeteroNodeModel {
+    /// Message initiation cost of the source node.
+    pub source_cost: u64,
+    /// Message initiation costs of the destination nodes.
+    pub destination_costs: Vec<u64>,
+}
+
+impl HeteroNodeModel {
+    /// Creates an instance from per-node initiation costs.
+    pub fn new(source_cost: u64, destination_costs: Vec<u64>) -> Self {
+        HeteroNodeModel {
+            source_cost,
+            destination_costs,
+        }
+    }
+}
+
+impl IntoReceiveSend for HeteroNodeModel {
+    fn to_instance(&self) -> Result<Instance, ModelError> {
+        let source = NodeSpec::try_new(self.source_cost, 0)
+            .ok_or(ModelError::ZeroSendOverhead { index: usize::MAX })?;
+        let destinations = self
+            .destination_costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| NodeSpec::try_new(c, 0).ok_or(ModelError::ZeroSendOverhead { index: i }))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Instance::new(
+            MulticastSet::new(source, destinations)?,
+            NetParams::zero_latency(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn embedding() {
+        let m = HeteroNodeModel::new(3, vec![1, 2, 5]);
+        let inst = m.to_instance().unwrap();
+        assert_eq!(inst.net.latency(), Time::ZERO);
+        assert_eq!(inst.set.source(), NodeSpec::new(3, 0));
+        assert_eq!(inst.set.num_destinations(), 3);
+        assert_eq!(inst.set.destination(0), NodeSpec::new(1, 0));
+        assert_eq!(inst.set.destination(2), NodeSpec::new(5, 0));
+    }
+
+    #[test]
+    fn zero_cost_is_rejected() {
+        assert!(matches!(
+            HeteroNodeModel::new(0, vec![1]).to_instance(),
+            Err(ModelError::ZeroSendOverhead { index: usize::MAX })
+        ));
+        assert!(matches!(
+            HeteroNodeModel::new(1, vec![1, 0]).to_instance(),
+            Err(ModelError::ZeroSendOverhead { index: 1 })
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! The LogP model of Culler et al. (1993).
+//!
+//! LogP characterises a homogeneous machine by the network latency `L`, the
+//! per-message processor overhead `o` (paid on both send and receive), the
+//! gap `g` (minimum interval between consecutive sends of one processor) and
+//! the processor count `P`.
+//!
+//! The embedding into the receive-send model is the standard one used when
+//! comparing single-message broadcast algorithms: the sender is occupied
+//! `max(o, g)` per transmission (it cannot start the next send before the
+//! gap has elapsed), the receiver is occupied `o`, and the wire latency is
+//! `L`. For a single short message this reproduces LogP's arrival times
+//! exactly when `g ≤ o`, and is the usual conservative approximation when
+//! `g > o` (the receive overhead is still `o`, but back-to-back sends are
+//! spaced by `g`).
+
+use super::{Instance, IntoReceiveSend};
+use crate::error::ModelError;
+use crate::multicast::MulticastSet;
+use crate::node::NodeSpec;
+use crate::params::NetParams;
+use serde::{Deserialize, Serialize};
+
+/// A broadcast instance in the LogP model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogPModel {
+    /// Wire latency `L`.
+    pub latency: u64,
+    /// Per-message processor overhead `o`.
+    pub overhead: u64,
+    /// Gap `g` between consecutive sends of a processor.
+    pub gap: u64,
+    /// Total processor count `P` (including the source).
+    pub processors: usize,
+}
+
+impl LogPModel {
+    /// Creates a LogP instance.
+    pub fn new(latency: u64, overhead: u64, gap: u64, processors: usize) -> Self {
+        LogPModel {
+            latency,
+            overhead,
+            gap,
+            processors,
+        }
+    }
+}
+
+impl IntoReceiveSend for LogPModel {
+    fn to_instance(&self) -> Result<Instance, ModelError> {
+        let send = self.overhead.max(self.gap).max(1);
+        let spec = NodeSpec::new(send, self.overhead);
+        let destinations = self.processors.saturating_sub(1);
+        Ok(Instance::new(
+            MulticastSet::homogeneous(spec, destinations),
+            NetParams::new(self.latency),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn embedding() {
+        let m = LogPModel::new(6, 2, 4, 8);
+        let inst = m.to_instance().unwrap();
+        assert_eq!(inst.set.num_destinations(), 7);
+        assert_eq!(inst.set.source(), NodeSpec::new(4, 2));
+        assert_eq!(inst.net.latency(), Time::new(6));
+    }
+
+    #[test]
+    fn overhead_dominated_machine() {
+        let m = LogPModel::new(1, 5, 2, 4);
+        let inst = m.to_instance().unwrap();
+        assert_eq!(inst.set.source(), NodeSpec::new(5, 5));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        // All-zero overhead/gap still yields a positive send overhead.
+        let inst = LogPModel::new(0, 0, 0, 2).to_instance().unwrap();
+        assert_eq!(inst.set.source(), NodeSpec::new(1, 0));
+        // A single processor means no destinations.
+        assert_eq!(
+            LogPModel::new(1, 1, 1, 1)
+                .to_instance()
+                .unwrap()
+                .num_destinations(),
+            0
+        );
+    }
+}

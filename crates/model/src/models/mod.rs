@@ -1,0 +1,76 @@
+//! Communication models.
+//!
+//! The workspace's scheduling algorithms all operate on the **heterogeneous
+//! receive-send model** (a [`MulticastSet`] plus [`NetParams`]). This module
+//! bundles that pair into an [`Instance`] and provides the reference models
+//! the paper discusses in its introduction — the heterogeneous-node model of
+//! Banikazemi et al. and Hall et al., the classical one-port model, the
+//! postal model and LogP — each with a documented embedding into the
+//! receive-send model so the same algorithms can be exercised on instances
+//! originating from any of them.
+//!
+//! The embeddings are *faithful for scheduling purposes*: they preserve the
+//! time at which a node may begin forwarding the message and the time at
+//! which a destination has fully received it. Where a model leaves a
+//! parameter unconstrained (e.g. the one-port model has no separate receive
+//! cost), the embedding uses the neutral value and says so in its docs.
+
+mod hetero_node;
+mod logp;
+mod one_port;
+mod postal;
+
+pub use hetero_node::HeteroNodeModel;
+pub use logp::LogPModel;
+pub use one_port::OnePortModel;
+pub use postal::PostalModel;
+
+use crate::error::ModelError;
+use crate::multicast::MulticastSet;
+use crate::params::NetParams;
+use serde::{Deserialize, Serialize};
+
+/// A complete receive-send multicast instance: the participating nodes plus
+/// the network parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Source and destination overheads.
+    pub set: MulticastSet,
+    /// Network latency.
+    pub net: NetParams,
+}
+
+impl Instance {
+    /// Bundles a multicast set and network parameters.
+    pub fn new(set: MulticastSet, net: NetParams) -> Self {
+        Instance { set, net }
+    }
+
+    /// Number of destinations.
+    pub fn num_destinations(&self) -> usize {
+        self.set.num_destinations()
+    }
+}
+
+/// A model that can be embedded into the receive-send model.
+pub trait IntoReceiveSend {
+    /// Produces the equivalent receive-send instance.
+    fn to_instance(&self) -> Result<Instance, ModelError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+
+    #[test]
+    fn instance_bundle() {
+        let set = MulticastSet::new(NodeSpec::new(1, 1), vec![NodeSpec::new(2, 3)]).unwrap();
+        let inst = Instance::new(set.clone(), NetParams::new(2));
+        assert_eq!(inst.num_destinations(), 1);
+        assert_eq!(inst.set, set);
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(inst, back);
+    }
+}

@@ -1,0 +1,86 @@
+//! The homogeneous one-port model.
+//!
+//! Every node can take part in at most one transmission per communication
+//! step, each transmission takes exactly one step, and all nodes are
+//! identical — the classical setting in which binomial-tree broadcast is
+//! optimal and completes in `⌈log2(n+1)⌉` steps.
+//!
+//! The embedding sets `o_send = step`, `o_recv = 0`, `L = 0`: a receiver
+//! obtains the message at the moment the sender's step completes and can
+//! immediately begin its own sends, exactly as in the one-port model.
+
+use super::{Instance, IntoReceiveSend};
+use crate::error::ModelError;
+use crate::multicast::MulticastSet;
+use crate::node::NodeSpec;
+use crate::params::NetParams;
+use serde::{Deserialize, Serialize};
+
+/// A broadcast instance in the homogeneous one-port model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnePortModel {
+    /// Number of destination nodes.
+    pub destinations: usize,
+    /// Duration of one communication step.
+    pub step: u64,
+}
+
+impl OnePortModel {
+    /// Creates a one-port instance with `destinations` receivers and the
+    /// given step length.
+    pub fn new(destinations: usize, step: u64) -> Self {
+        OnePortModel { destinations, step }
+    }
+
+    /// The optimal broadcast completion time in this model:
+    /// `⌈log2(n+1)⌉ · step` (binomial tree).
+    pub fn optimal_completion(&self) -> u64 {
+        let total = self.destinations as u64 + 1;
+        let rounds = 64 - (total - 1).leading_zeros() as u64;
+        rounds * self.step
+    }
+}
+
+impl IntoReceiveSend for OnePortModel {
+    fn to_instance(&self) -> Result<Instance, ModelError> {
+        let spec = NodeSpec::try_new(self.step, 0).ok_or(ModelError::ZeroSendOverhead {
+            index: usize::MAX,
+        })?;
+        Ok(Instance::new(
+            MulticastSet::homogeneous(spec, self.destinations),
+            NetParams::zero_latency(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding() {
+        let m = OnePortModel::new(7, 2);
+        let inst = m.to_instance().unwrap();
+        assert_eq!(inst.set.num_destinations(), 7);
+        assert!(inst.set.is_homogeneous());
+        assert_eq!(inst.set.source(), NodeSpec::new(2, 0));
+    }
+
+    #[test]
+    fn optimal_completion_is_log_rounds() {
+        // 7 destinations + source = 8 nodes → 3 rounds.
+        assert_eq!(OnePortModel::new(7, 1).optimal_completion(), 3);
+        assert_eq!(OnePortModel::new(7, 5).optimal_completion(), 15);
+        // 8 destinations + source = 9 nodes → 4 rounds.
+        assert_eq!(OnePortModel::new(8, 1).optimal_completion(), 4);
+        // Single destination → 1 round.
+        assert_eq!(OnePortModel::new(1, 1).optimal_completion(), 1);
+        // No destinations → 0 rounds.
+        assert_eq!(OnePortModel::new(0, 1).optimal_completion(), 0);
+    }
+
+    #[test]
+    fn zero_step_is_rejected() {
+        assert!(OnePortModel::new(3, 0).to_instance().is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! The postal model of Bar-Noy and Kipnis (1994).
+//!
+//! A sender is occupied for one time unit per message; the message reaches
+//! its destination `λ ≥ 1` time units after the send began, at which point
+//! the destination may itself start sending. All nodes are identical.
+//!
+//! The embedding sets `o_send = 1`, `L = λ − 1`, `o_recv = 0`: the
+//! destination holds the message `λ` units after the send began and is not
+//! otherwise occupied, matching the postal semantics.
+
+use super::{Instance, IntoReceiveSend};
+use crate::error::ModelError;
+use crate::multicast::MulticastSet;
+use crate::node::NodeSpec;
+use crate::params::NetParams;
+use serde::{Deserialize, Serialize};
+
+/// A broadcast instance in the postal model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PostalModel {
+    /// Number of destination nodes.
+    pub destinations: usize,
+    /// The postal latency `λ ≥ 1`.
+    pub lambda: u64,
+}
+
+impl PostalModel {
+    /// Creates a postal-model instance. `lambda` values below 1 are clamped
+    /// to 1 (the model requires `λ ≥ 1`).
+    pub fn new(destinations: usize, lambda: u64) -> Self {
+        PostalModel {
+            destinations,
+            lambda: lambda.max(1),
+        }
+    }
+}
+
+impl IntoReceiveSend for PostalModel {
+    fn to_instance(&self) -> Result<Instance, ModelError> {
+        let spec = NodeSpec::new(1, 0);
+        Ok(Instance::new(
+            MulticastSet::homogeneous(spec, self.destinations),
+            NetParams::new(self.lambda - 1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn embedding() {
+        let m = PostalModel::new(5, 4);
+        let inst = m.to_instance().unwrap();
+        assert_eq!(inst.net.latency(), Time::new(3));
+        assert_eq!(inst.set.num_destinations(), 5);
+        assert_eq!(inst.set.source(), NodeSpec::new(1, 0));
+    }
+
+    #[test]
+    fn lambda_one_reduces_to_one_port() {
+        let inst = PostalModel::new(3, 1).to_instance().unwrap();
+        assert_eq!(inst.net.latency(), Time::ZERO);
+    }
+
+    #[test]
+    fn lambda_is_clamped_to_at_least_one() {
+        assert_eq!(PostalModel::new(3, 0).lambda, 1);
+    }
+}

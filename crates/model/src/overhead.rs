@@ -1,0 +1,161 @@
+//! Message-length-dependent overhead profiles.
+//!
+//! Footnote 1 of the paper notes that the receive-send model of Banikazemi
+//! et al. has both fixed and message-length-dependent components for the
+//! sending overhead, the receiving overhead and the latency. For a multicast
+//! of a given message length the components are combined into single integer
+//! values. [`OverheadProfile`] captures the per-node affine cost functions
+//! and performs exactly that collapse.
+
+use crate::error::ModelError;
+use crate::node::NodeSpec;
+use crate::params::MessageSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of bytes per "payload unit" used by the per-unit cost components.
+///
+/// Using a kilobyte granularity keeps the evaluated integer overheads in a
+/// realistic range (tens to thousands of microsecond-scale units) for message
+/// sizes from a few bytes up to megabytes.
+pub const BYTES_PER_UNIT: u64 = 1024;
+
+/// Affine overhead model for a single workstation class:
+/// `overhead(m) = fixed + per_unit * ceil(m / 1024)`.
+///
+/// All costs are expressed in the same abstract integer time unit used by
+/// the rest of the workspace (think microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OverheadProfile {
+    /// Fixed component of the sending overhead.
+    pub send_fixed: u64,
+    /// Per-KiB component of the sending overhead.
+    pub send_per_unit: u64,
+    /// Fixed component of the receiving overhead.
+    pub recv_fixed: u64,
+    /// Per-KiB component of the receiving overhead.
+    pub recv_per_unit: u64,
+}
+
+impl OverheadProfile {
+    /// Creates a new profile from its four affine coefficients.
+    pub const fn new(
+        send_fixed: u64,
+        send_per_unit: u64,
+        recv_fixed: u64,
+        recv_per_unit: u64,
+    ) -> Self {
+        OverheadProfile {
+            send_fixed,
+            send_per_unit,
+            recv_fixed,
+            recv_per_unit,
+        }
+    }
+
+    /// A profile with no message-length dependence: constant overheads.
+    pub const fn constant(send: u64, recv: u64) -> Self {
+        OverheadProfile::new(send, 0, recv, 0)
+    }
+
+    /// Number of payload units a message of `size` occupies (at least one for
+    /// a non-empty message, zero for an empty one).
+    fn units(size: MessageSize) -> u64 {
+        size.bytes().div_ceil(BYTES_PER_UNIT)
+    }
+
+    /// Evaluates the profile at a message size, producing the concrete
+    /// per-multicast overheads.
+    ///
+    /// Returns [`ModelError::DegenerateProfile`] if the evaluated sending
+    /// overhead would be zero (e.g. an all-zero profile with an empty
+    /// message), because the receive-send model requires positive sending
+    /// overheads.
+    pub fn at(&self, size: MessageSize) -> Result<NodeSpec, ModelError> {
+        let units = Self::units(size);
+        let send = self.send_fixed + self.send_per_unit * units;
+        let recv = self.recv_fixed + self.recv_per_unit * units;
+        NodeSpec::try_new(send, recv).ok_or(ModelError::DegenerateProfile {
+            message_size: size.bytes(),
+        })
+    }
+
+    /// The receive-send ratio of this profile at a given message size.
+    pub fn ratio_at(&self, size: MessageSize) -> Result<f64, ModelError> {
+        Ok(self.at(size)?.receive_send_ratio())
+    }
+}
+
+impl fmt::Display for OverheadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "send {}+{}/KiB, recv {}+{}/KiB",
+            self.send_fixed, self.send_per_unit, self.recv_fixed, self.recv_per_unit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_profile_ignores_message_size() {
+        let p = OverheadProfile::constant(2, 3);
+        let small = p.at(MessageSize(1)).unwrap();
+        let large = p.at(MessageSize::from_kib(512)).unwrap();
+        assert_eq!(small, large);
+        assert_eq!(small, NodeSpec::new(2, 3));
+    }
+
+    #[test]
+    fn affine_profile_scales_with_size() {
+        let p = OverheadProfile::new(10, 2, 20, 5);
+        // 4 KiB => 4 units.
+        let spec = p.at(MessageSize::from_kib(4)).unwrap();
+        assert_eq!(spec, NodeSpec::new(10 + 8, 20 + 20));
+        // 1 byte still counts as one unit.
+        let spec1 = p.at(MessageSize(1)).unwrap();
+        assert_eq!(spec1, NodeSpec::new(12, 25));
+        // Empty message: only fixed parts.
+        let spec0 = p.at(MessageSize(0)).unwrap();
+        assert_eq!(spec0, NodeSpec::new(10, 20));
+    }
+
+    #[test]
+    fn partial_units_round_up() {
+        let p = OverheadProfile::new(0, 3, 0, 3);
+        // 1500 bytes → 2 units.
+        let spec = p.at(MessageSize(1500)).unwrap();
+        assert_eq!(spec, NodeSpec::new(6, 6));
+    }
+
+    #[test]
+    fn degenerate_profile_is_rejected() {
+        let p = OverheadProfile::new(0, 0, 5, 0);
+        assert_eq!(
+            p.at(MessageSize(0)),
+            Err(ModelError::DegenerateProfile { message_size: 0 })
+        );
+        // With a per-unit send component a non-empty message is fine.
+        let p2 = OverheadProfile::new(0, 1, 5, 0);
+        assert!(p2.at(MessageSize(10)).is_ok());
+    }
+
+    #[test]
+    fn ratio_shifts_with_message_size() {
+        // Receive side has a larger per-unit cost, so the ratio grows with
+        // the message size — the behaviour reported for real clusters.
+        let p = OverheadProfile::new(10, 1, 10, 2);
+        let small = p.ratio_at(MessageSize::from_kib(1)).unwrap();
+        let large = p.ratio_at(MessageSize::from_kib(100)).unwrap();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn display() {
+        let p = OverheadProfile::new(1, 2, 3, 4);
+        assert_eq!(p.to_string(), "send 1+2/KiB, recv 3+4/KiB");
+    }
+}

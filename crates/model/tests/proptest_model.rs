@@ -1,0 +1,97 @@
+//! Property-based tests of the core model data structures.
+
+use hnow_model::{MulticastSet, NodeSpec, Time, TypedMulticast};
+use proptest::prelude::*;
+
+/// Inversion-free spec lists: (send, send + extra) pairs, monotonised.
+fn arb_specs(max_len: usize) -> impl Strategy<Value = Vec<NodeSpec>> {
+    prop::collection::vec((1u64..=30, 0u64..=40), 1..=max_len).prop_map(|raw| {
+        let mut raw: Vec<(u64, u64)> = raw.into_iter().map(|(s, e)| (s, s + e)).collect();
+        raw.sort_unstable();
+        let mut last = 0;
+        raw.into_iter()
+            .map(|(s, r)| {
+                let r = r.max(last);
+                last = r;
+                NodeSpec::new(s, r)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Construction keeps destinations sorted, preserves the multiset of
+    /// specs, and exposes consistent aggregate quantities.
+    #[test]
+    fn multicast_set_canonical_form(specs in arb_specs(24)) {
+        let source = specs[0];
+        let dests = specs[1..].to_vec();
+        let set = MulticastSet::new(source, dests.clone()).unwrap();
+        // Sorted non-decreasing by (send, recv).
+        for pair in set.destinations().windows(2) {
+            prop_assert!(pair[0].speed_key() <= pair[1].speed_key());
+        }
+        // Same multiset of destination specs.
+        let mut a: Vec<_> = dests.iter().map(|s| s.speed_key()).collect();
+        let mut b: Vec<_> = set.destinations().iter().map(|s| s.speed_key()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Aggregates.
+        prop_assert!(set.alpha_max() >= set.alpha_min());
+        prop_assert!(set.num_distinct_types() >= 1);
+        prop_assert!(set.num_distinct_types() <= set.num_nodes());
+        if set.num_destinations() > 0 {
+            let max_recv = set.destinations().iter().map(|s| s.recv()).max().unwrap();
+            prop_assert!(set.beta() <= max_recv);
+        } else {
+            prop_assert_eq!(set.beta(), Time::ZERO);
+        }
+        // Node-id access is consistent with iteration order.
+        for (id, spec) in set.iter_nodes() {
+            prop_assert_eq!(set.spec(id), spec);
+        }
+    }
+
+    /// Grouping a set into types and expanding it back is lossless.
+    #[test]
+    fn typed_multicast_roundtrip(specs in arb_specs(20)) {
+        let set = MulticastSet::new(specs[0], specs[1..].to_vec()).unwrap();
+        let typed = TypedMulticast::from_multicast_set(&set);
+        prop_assert_eq!(typed.total_destinations(), set.num_destinations());
+        prop_assert_eq!(typed.k(), set.num_distinct_types());
+        let back = typed.to_multicast_set().unwrap();
+        prop_assert_eq!(back, set.clone());
+        // Every destination id is claimed by exactly one class.
+        let mut claimed: Vec<usize> = (0..typed.k())
+            .flat_map(|c| typed.node_ids_for_class(c))
+            .map(|id| id.index())
+            .collect();
+        claimed.sort_unstable();
+        prop_assert_eq!(claimed, (1..=set.num_destinations()).collect::<Vec<_>>());
+    }
+
+    /// Inverted overhead pairs are always rejected.
+    #[test]
+    fn inversions_are_rejected(send_gap in 1u64..=10, recv_gap in 1u64..=10) {
+        let faster_sender = NodeSpec::new(5, 5 + recv_gap);
+        let slower_sender = NodeSpec::new(5 + send_gap, 5);
+        let result = MulticastSet::new(NodeSpec::new(1, 1), vec![faster_sender, slower_sender]);
+        prop_assert!(result.is_err());
+    }
+
+    /// Time arithmetic behaves like plain integers.
+    #[test]
+    fn time_arithmetic(a in 0u64..=1_000_000, b in 0u64..=1_000_000, k in 0u64..=1000) {
+        let ta = Time::new(a);
+        let tb = Time::new(b);
+        prop_assert_eq!((ta + tb).raw(), a + b);
+        prop_assert_eq!((ta * k).raw(), a * k);
+        prop_assert_eq!(ta.max(tb).raw(), a.max(b));
+        prop_assert_eq!(ta.saturating_sub(tb).raw(), a.saturating_sub(b));
+        prop_assert_eq!(ta.checked_sub(tb).map(Time::raw), a.checked_sub(b));
+        prop_assert_eq!(ta < tb, a < b);
+    }
+}

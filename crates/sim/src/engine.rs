@@ -1,0 +1,236 @@
+//! The discrete-event execution engine.
+//!
+//! [`execute`] plays a complete schedule tree forward under the receive-send
+//! model: every node incurs its sending overhead once per child (in the
+//! recorded delivery order, back to back), the message travels for the
+//! network latency, and the destination incurs its receiving overhead before
+//! it may begin its own transmissions. The engine tracks every busy interval
+//! and verifies that no node is ever double-booked — precisely the
+//! occupancy constraint that defines the model — so it serves as an
+//! independent check of the closed-form times computed by
+//! [`hnow_core::schedule::times`] and as the substrate for perturbed
+//! (what-if) executions in which the actual overheads differ from the ones
+//! the schedule was planned with.
+
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::trace::{Activity, BusyInterval, SimTrace};
+use hnow_core::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec, Time};
+
+/// Executes a schedule with the overheads of the given multicast set.
+pub fn execute(
+    tree: &ScheduleTree,
+    set: &MulticastSet,
+    net: NetParams,
+) -> Result<SimTrace, SimError> {
+    let specs: Vec<NodeSpec> = (0..set.num_nodes()).map(|i| set.spec(NodeId(i))).collect();
+    execute_with_specs(tree, &specs, net)
+}
+
+/// Executes a schedule with explicit per-node overheads (indexed by node
+/// id). This is the entry point used for perturbed executions, where the
+/// *actual* overheads differ from the nominal ones the schedule was planned
+/// with; the spec vector therefore does not need to satisfy the model's
+/// correlation assumption.
+pub fn execute_with_specs(
+    tree: &ScheduleTree,
+    specs: &[NodeSpec],
+    net: NetParams,
+) -> Result<SimTrace, SimError> {
+    if specs.len() != tree.num_nodes() {
+        return Err(SimError::SpecLengthMismatch {
+            got: specs.len(),
+            expected: tree.num_nodes(),
+        });
+    }
+    if !tree.is_complete() {
+        return Err(SimError::Schedule(
+            hnow_core::CoreError::IncompleteSchedule {
+                missing: tree.num_unattached(),
+            },
+        ));
+    }
+    let n = tree.num_nodes();
+    let mut timelines: Vec<Vec<BusyInterval>> = vec![Vec::new(); n];
+    let mut busy_until: Vec<Time> = vec![Time::ZERO; n];
+    let mut delivery = vec![Time::ZERO; n];
+    let mut reception = vec![Time::ZERO; n];
+
+    let mut queue = EventQueue::new();
+
+    // A node that holds the message schedules all its sends back to back.
+    let schedule_sends = |node: NodeId,
+                          ready_at: Time,
+                          queue: &mut EventQueue,
+                          tree: &ScheduleTree| {
+        let mut t = ready_at;
+        for (i, &child) in tree.children(node).iter().enumerate() {
+            queue.push(
+                t,
+                Event::SendStart {
+                    sender: node,
+                    receiver: child,
+                    rank: (i + 1) as u64,
+                },
+            );
+            t += specs[node.index()].send();
+        }
+    };
+
+    // The source holds the message at time zero.
+    schedule_sends(NodeId::SOURCE, Time::ZERO, &mut queue, tree);
+
+    let busy = |node: NodeId,
+                    start: Time,
+                    dur: Time,
+                    activity: Activity,
+                    busy_until: &mut [Time],
+                    timelines: &mut [Vec<BusyInterval>]|
+     -> Result<Time, SimError> {
+        if start < busy_until[node.index()] {
+            return Err(SimError::OccupancyViolation {
+                node,
+                at: start,
+                busy_until: busy_until[node.index()],
+            });
+        }
+        let end = start + dur;
+        busy_until[node.index()] = end;
+        timelines[node.index()].push(BusyInterval {
+            start,
+            end,
+            activity,
+        });
+        Ok(end)
+    };
+
+    while let Some((time, event)) = queue.pop() {
+        match event {
+            Event::SendStart {
+                sender,
+                receiver,
+                rank: _,
+            } => {
+                let end = busy(
+                    sender,
+                    time,
+                    specs[sender.index()].send(),
+                    Activity::Send { to: receiver },
+                    &mut busy_until,
+                    &mut timelines,
+                )?;
+                queue.push(end + net.latency(), Event::Arrival { sender, receiver });
+            }
+            Event::Arrival { sender, receiver } => {
+                delivery[receiver.index()] = time;
+                let end = busy(
+                    receiver,
+                    time,
+                    specs[receiver.index()].recv(),
+                    Activity::Receive { from: sender },
+                    &mut busy_until,
+                    &mut timelines,
+                )?;
+                queue.push(end, Event::ReceiveComplete { node: receiver });
+            }
+            Event::ReceiveComplete { node } => {
+                reception[node.index()] = time;
+                schedule_sends(node, time, &mut queue, tree);
+            }
+        }
+    }
+
+    let completion = reception[1..].iter().copied().max().unwrap_or(Time::ZERO);
+    Ok(SimTrace {
+        timelines,
+        delivery,
+        reception,
+        completion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnow_core::algorithms::greedy::greedy_schedule;
+    use hnow_core::schedule::evaluate;
+    use hnow_model::NodeSpec;
+
+    fn figure1() -> (MulticastSet, NetParams) {
+        let slow = NodeSpec::new(2, 3);
+        let fast = NodeSpec::new(1, 1);
+        (
+            MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap(),
+            NetParams::new(1),
+        )
+    }
+
+    #[test]
+    fn simulation_matches_analytic_times_for_greedy() {
+        let (set, net) = figure1();
+        let tree = greedy_schedule(&set, net);
+        let trace = execute(&tree, &set, net).unwrap();
+        let timing = evaluate(&tree, &set, net).unwrap();
+        assert_eq!(trace.completion, timing.reception_completion());
+        for v in set.destination_ids() {
+            assert_eq!(trace.delivery(v), timing.delivery(v));
+            assert_eq!(trace.reception(v), timing.reception(v));
+        }
+    }
+
+    #[test]
+    fn busy_intervals_never_overlap() {
+        let (set, net) = figure1();
+        let tree = greedy_schedule(&set, net);
+        let trace = execute(&tree, &set, net).unwrap();
+        for timeline in &trace.timelines {
+            for pair in timeline.windows(2) {
+                assert!(pair[0].end <= pair[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_execution_uses_actual_overheads() {
+        let (set, net) = figure1();
+        let tree = greedy_schedule(&set, net);
+        // Double every receive overhead at "run time".
+        let specs: Vec<NodeSpec> = (0..set.num_nodes())
+            .map(|i| {
+                let s = set.spec(NodeId(i));
+                NodeSpec::new(s.send().raw(), s.recv().raw() * 2)
+            })
+            .collect();
+        let nominal = execute(&tree, &set, net).unwrap();
+        let actual = execute_with_specs(&tree, &specs, net).unwrap();
+        assert!(actual.completion > nominal.completion);
+    }
+
+    #[test]
+    fn spec_length_mismatch_is_reported() {
+        let (set, net) = figure1();
+        let tree = greedy_schedule(&set, net);
+        let err = execute_with_specs(&tree, &[NodeSpec::new(1, 1)], net).unwrap_err();
+        assert!(matches!(err, SimError::SpecLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn incomplete_schedule_is_rejected() {
+        let (set, net) = figure1();
+        let tree = hnow_core::ScheduleTree::new(set.num_nodes());
+        assert!(matches!(
+            execute(&tree, &set, net),
+            Err(SimError::Schedule(_))
+        ));
+    }
+
+    #[test]
+    fn empty_multicast_completes_at_zero() {
+        let set = MulticastSet::new(NodeSpec::new(2, 2), vec![]).unwrap();
+        let tree = hnow_core::ScheduleTree::new(1);
+        let trace = execute(&tree, &set, NetParams::new(1)).unwrap();
+        assert_eq!(trace.completion, Time::ZERO);
+        assert!(trace.timelines[0].is_empty());
+    }
+}

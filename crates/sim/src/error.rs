@@ -1,0 +1,87 @@
+//! Simulator error types.
+
+use hnow_core::CoreError;
+use hnow_model::{NodeId, Time};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while executing a schedule on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The schedule tree was malformed (incomplete, wrong size, …).
+    Schedule(CoreError),
+    /// The per-node overhead vector does not match the schedule size.
+    SpecLengthMismatch {
+        /// Number of overhead entries supplied.
+        got: usize,
+        /// Number of nodes in the schedule.
+        expected: usize,
+    },
+    /// A node was asked to start a communication overhead while still busy
+    /// with another one — the receive-send model forbids this, so hitting it
+    /// means the schedule or the engine is inconsistent.
+    OccupancyViolation {
+        /// The node that would have been double-booked.
+        node: NodeId,
+        /// The time at which the conflicting activity was to start.
+        at: Time,
+        /// The time until which the node is already busy.
+        busy_until: Time,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+            SimError::SpecLengthMismatch { got, expected } => write!(
+                f,
+                "overhead vector has {got} entries but the schedule has {expected} nodes"
+            ),
+            SimError::OccupancyViolation {
+                node,
+                at,
+                busy_until,
+            } => write!(
+                f,
+                "node {node} asked to start an overhead at {at} while busy until {busy_until}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::OccupancyViolation {
+            node: NodeId(2),
+            at: Time::new(5),
+            busy_until: Time::new(7),
+        };
+        assert!(e.to_string().contains("busy until 7"));
+        let wrapped: SimError = CoreError::IncompleteSchedule { missing: 1 }.into();
+        assert!(wrapped.to_string().contains("invalid schedule"));
+        assert!(Error::source(&wrapped).is_some());
+        let mism = SimError::SpecLengthMismatch { got: 2, expected: 3 };
+        assert!(mism.to_string().contains("2 entries"));
+    }
+}

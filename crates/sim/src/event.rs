@@ -1,0 +1,105 @@
+//! Discrete events and the event queue.
+
+use hnow_model::{NodeId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A discrete event in the execution of a multicast schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Event {
+    /// `sender` begins incurring its sending overhead for the transmission
+    /// to `receiver` (its `rank`-th transmission overall, 1-based).
+    SendStart {
+        /// The transmitting node.
+        sender: NodeId,
+        /// The destination of this transmission.
+        receiver: NodeId,
+        /// 1-based index of this transmission at the sender.
+        rank: u64,
+    },
+    /// The message (sent by `sender`) arrives at `receiver` after the network
+    /// latency; the receiver begins incurring its receiving overhead.
+    Arrival {
+        /// The transmitting node.
+        sender: NodeId,
+        /// The node at which the message arrives.
+        receiver: NodeId,
+    },
+    /// `node` finishes its receiving overhead and now fully holds the
+    /// message; it may begin its own transmissions.
+    ReceiveComplete {
+        /// The node that completed reception.
+        node: NodeId,
+    },
+}
+
+/// Time-ordered event queue with a deterministic tie-break (insertion
+/// sequence number), so simulations are reproducible regardless of heap
+/// internals.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, Event)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Time, event: Event) {
+        self.heap.push(Reverse((time, self.seq, event)));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event (ties resolved in insertion order).
+    pub fn pop(&mut self) -> Option<(Time, Event)> {
+        self.heap.pop().map(|Reverse((t, _, e))| (t, e))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::new(5), Event::ReceiveComplete { node: NodeId(1) });
+        q.push(Time::new(2), Event::ReceiveComplete { node: NodeId(2) });
+        q.push(Time::new(9), Event::ReceiveComplete { node: NodeId(3) });
+        assert_eq!(q.len(), 3);
+        let (t1, _) = q.pop().unwrap();
+        let (t2, _) = q.pop().unwrap();
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!((t1.raw(), t2.raw(), t3.raw()), (2, 5, 9));
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10usize {
+            q.push(Time::new(4), Event::ReceiveComplete { node: NodeId(i) });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
+            Event::ReceiveComplete { node } => node.index(),
+            _ => unreachable!(),
+        })
+        .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+}

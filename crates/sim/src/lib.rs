@@ -1,0 +1,54 @@
+//! # hnow-sim
+//!
+//! Discrete-event execution substrate for multicast schedules in the
+//! heterogeneous receive-send model.
+//!
+//! The original paper's model was validated against a physical
+//! heterogeneous-NOW testbed by Banikazemi et al.; this crate is the
+//! synthetic stand-in (see DESIGN.md §2): it plays a planned
+//! [`ScheduleTree`](hnow_core::ScheduleTree) forward event by event,
+//! enforcing the model's node-occupancy constraint, recording every busy
+//! interval, and optionally substituting *perturbed* run-time overheads for
+//! the nominal ones the schedule was planned with.
+//!
+//! * [`engine`] — the event-driven executor ([`execute`],
+//!   [`execute_with_specs`]).
+//! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
+//!   rendering.
+//! * [`perturb`] — reproducible multiplicative overhead jitter.
+//! * [`validate`] — cross-check of simulated against closed-form times.
+//!
+//! ```
+//! use hnow_core::greedy_schedule;
+//! use hnow_model::{MulticastSet, NetParams, NodeSpec};
+//! use hnow_sim::execute;
+//!
+//! let set = MulticastSet::new(
+//!     NodeSpec::new(2, 3),
+//!     vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+//! )
+//! .unwrap();
+//! let net = NetParams::new(1);
+//! let tree = greedy_schedule(&set, net);
+//! let trace = execute(&tree, &set, net).unwrap();
+//! println!("{}", trace.render_gantt(60));
+//! assert!(trace.completion.raw() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod perturb;
+pub mod trace;
+pub mod validate;
+
+pub use engine::{execute, execute_with_specs};
+pub use error::SimError;
+pub use event::{Event, EventQueue};
+pub use perturb::PerturbConfig;
+pub use trace::{Activity, BusyInterval, SimTrace};
+pub use validate::check_against_analytic;

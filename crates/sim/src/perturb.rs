@@ -1,0 +1,130 @@
+//! Run-time overhead perturbation.
+//!
+//! The receive-send model's parameters are measured averages; on a real
+//! cluster the per-message overheads fluctuate with protocol behaviour,
+//! cache state and operating-system noise. Experiment E9 executes planned
+//! schedules with *perturbed* actual overheads to measure how robust the
+//! different scheduling strategies are to this modelling error. This is the
+//! synthetic stand-in for the testbed validation of Banikazemi et al.
+//! (documented in DESIGN.md §2).
+
+use hnow_model::{MulticastSet, NodeId, NodeSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a multiplicative overhead perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbConfig {
+    /// Maximum relative deviation, e.g. `0.25` means every overhead is
+    /// independently scaled by a factor drawn uniformly from
+    /// `[1 − 0.25, 1 + 0.25]`.
+    pub relative_jitter: f64,
+    /// RNG seed, so perturbed runs are reproducible.
+    pub seed: u64,
+}
+
+impl PerturbConfig {
+    /// Creates a configuration with the given jitter and seed.
+    pub fn new(relative_jitter: f64, seed: u64) -> Self {
+        PerturbConfig {
+            relative_jitter: relative_jitter.max(0.0),
+            seed,
+        }
+    }
+
+    /// Draws perturbed per-node overheads for every participant of `set`
+    /// (indexed by node id, source first). Sending overheads stay at least 1
+    /// so the perturbed values remain valid model parameters.
+    pub fn perturb(&self, set: &MulticastSet) -> Vec<NodeSpec> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..set.num_nodes())
+            .map(|i| {
+                let spec = set.spec(NodeId(i));
+                let send = self.scale(spec.send().raw(), &mut rng).max(1);
+                let recv = self.scale(spec.recv().raw(), &mut rng);
+                NodeSpec::new(send, recv)
+            })
+            .collect()
+    }
+
+    fn scale(&self, value: u64, rng: &mut StdRng) -> u64 {
+        if value == 0 || self.relative_jitter == 0.0 {
+            return value;
+        }
+        let factor = 1.0 + rng.gen_range(-self.relative_jitter..=self.relative_jitter);
+        (value as f64 * factor).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnow_model::Time;
+
+    fn sample_set() -> MulticastSet {
+        MulticastSet::new(
+            NodeSpec::new(10, 15),
+            vec![
+                NodeSpec::new(8, 9),
+                NodeSpec::new(10, 15),
+                NodeSpec::new(20, 33),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let set = sample_set();
+        let specs = PerturbConfig::new(0.0, 7).perturb(&set);
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(*spec, set.spec(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let set = sample_set();
+        let a = PerturbConfig::new(0.3, 42).perturb(&set);
+        let b = PerturbConfig::new(0.3, 42).perturb(&set);
+        assert_eq!(a, b);
+        let c = PerturbConfig::new(0.3, 43).perturb(&set);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perturbed_values_stay_within_the_jitter_band() {
+        let set = sample_set();
+        let jitter = 0.25;
+        for seed in 0..50u64 {
+            let specs = PerturbConfig::new(jitter, seed).perturb(&set);
+            for (i, spec) in specs.iter().enumerate() {
+                let nominal = set.spec(NodeId(i));
+                let lo = (nominal.send().as_f64() * (1.0 - jitter)).floor();
+                let hi = (nominal.send().as_f64() * (1.0 + jitter)).ceil();
+                assert!(spec.send().as_f64() >= lo && spec.send().as_f64() <= hi);
+                let lo = (nominal.recv().as_f64() * (1.0 - jitter)).floor();
+                let hi = (nominal.recv().as_f64() * (1.0 + jitter)).ceil();
+                assert!(spec.recv().as_f64() >= lo && spec.recv().as_f64() <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn send_overheads_never_collapse_to_zero() {
+        let set = MulticastSet::new(NodeSpec::new(1, 0), vec![NodeSpec::new(1, 1)]).unwrap();
+        for seed in 0..20u64 {
+            let specs = PerturbConfig::new(0.9, seed).perturb(&set);
+            for spec in specs {
+                assert!(spec.send() >= Time::new(1));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_jitter_is_clamped() {
+        let cfg = PerturbConfig::new(-0.5, 1);
+        assert_eq!(cfg.relative_jitter, 0.0);
+    }
+}

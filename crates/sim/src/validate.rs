@@ -1,0 +1,70 @@
+//! Cross-checking the simulator against the analytic timing.
+
+use crate::engine::execute;
+use crate::error::SimError;
+use hnow_core::schedule::evaluate;
+use hnow_core::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId};
+
+/// Executes the schedule on the simulator and verifies that every delivery
+/// and reception time matches the closed-form evaluation of
+/// [`hnow_core::schedule::times`]. Returns the node ids that disagree (empty
+/// when the two agree everywhere, which is the expected outcome).
+pub fn check_against_analytic(
+    tree: &ScheduleTree,
+    set: &MulticastSet,
+    net: NetParams,
+) -> Result<Vec<NodeId>, SimError> {
+    let trace = execute(tree, set, net)?;
+    let timing = evaluate(tree, set, net)?;
+    let mut mismatches = Vec::new();
+    for v in set.destination_ids() {
+        if trace.delivery(v) != timing.delivery(v) || trace.reception(v) != timing.reception(v) {
+            mismatches.push(v);
+        }
+    }
+    if trace.completion != timing.reception_completion() && mismatches.is_empty() {
+        mismatches.push(NodeId::SOURCE);
+    }
+    Ok(mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnow_core::algorithms::baselines::{build_schedule, Strategy};
+    use hnow_model::NodeSpec;
+
+    #[test]
+    fn simulator_agrees_with_analytic_times_for_every_strategy() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+                NodeSpec::new(4, 6),
+                NodeSpec::new(4, 6),
+                NodeSpec::new(9, 14),
+            ],
+        )
+        .unwrap();
+        let strategies = [
+            Strategy::Greedy,
+            Strategy::GreedyRefined,
+            Strategy::FastestNodeFirst,
+            Strategy::Binomial,
+            Strategy::Chain,
+            Strategy::Star,
+            Strategy::Random,
+        ];
+        for latency in [0u64, 1, 7] {
+            let net = NetParams::new(latency);
+            for s in strategies {
+                let tree = build_schedule(s, &set, net, 11);
+                let mismatches = check_against_analytic(&tree, &set, net).unwrap();
+                assert!(mismatches.is_empty(), "{}: {mismatches:?}", s.name());
+            }
+        }
+    }
+}

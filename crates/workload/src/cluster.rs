@@ -1,0 +1,110 @@
+//! Deterministic cluster construction.
+
+use crate::error::WorkloadError;
+use hnow_model::{ClassTable, MessageSize, MulticastSet, TypedMulticast};
+
+/// Description of a limited-heterogeneity cluster: how many destinations of
+/// each class participate in the multicast and which class the source
+/// belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// The workstation classes present in the cluster.
+    pub table: ClassTable,
+    /// Class index of the source node.
+    pub source_class: usize,
+    /// Number of destination nodes per class.
+    pub counts: Vec<usize>,
+}
+
+impl ClusterSpec {
+    /// Creates a cluster description.
+    pub fn new(table: ClassTable, source_class: usize, counts: Vec<usize>) -> Self {
+        ClusterSpec {
+            table,
+            source_class,
+            counts,
+        }
+    }
+
+    /// Total number of destinations.
+    pub fn num_destinations(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Materialises the cluster at a message size as a typed instance
+    /// (the form the Theorem 2 dynamic program consumes).
+    pub fn typed(&self, size: MessageSize) -> Result<TypedMulticast, WorkloadError> {
+        TypedMulticast::from_classes(&self.table, size, self.source_class, self.counts.clone())
+            .map_err(WorkloadError::from)
+    }
+
+    /// Materialises the cluster at a message size as an explicit multicast
+    /// set.
+    pub fn multicast_set(&self, size: MessageSize) -> Result<MulticastSet, WorkloadError> {
+        Ok(self.typed(size)?.to_multicast_set()?)
+    }
+}
+
+/// A fast/slow mix: `n` destinations of which a fraction `slow_fraction` are
+/// of the slow class, the rest of the fast class. The source is fast unless
+/// `slow_source` is set.
+pub fn fast_slow_mix(
+    table: &ClassTable,
+    fast_class: usize,
+    slow_class: usize,
+    n: usize,
+    slow_fraction: f64,
+    slow_source: bool,
+) -> ClusterSpec {
+    let slow_count = ((n as f64) * slow_fraction.clamp(0.0, 1.0)).round() as usize;
+    let slow_count = slow_count.min(n);
+    let mut counts = vec![0usize; table.k()];
+    counts[fast_class] += n - slow_count;
+    counts[slow_class] += slow_count;
+    ClusterSpec::new(
+        table.clone(),
+        if slow_source { slow_class } else { fast_class },
+        counts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{default_message_size, figure1_class_table, two_class_table};
+
+    #[test]
+    fn figure1_cluster_round_trips() {
+        let spec = ClusterSpec::new(figure1_class_table(), 1, vec![3, 1]);
+        assert_eq!(spec.num_destinations(), 4);
+        let set = spec.multicast_set(MessageSize(0)).unwrap();
+        assert_eq!(set.num_destinations(), 4);
+        assert_eq!(set.source().send().raw(), 2);
+        let typed = spec.typed(MessageSize(0)).unwrap();
+        assert_eq!(typed.counts(), &[3, 1]);
+    }
+
+    #[test]
+    fn fast_slow_mix_counts() {
+        let table = two_class_table();
+        let spec = fast_slow_mix(&table, 0, 1, 10, 0.3, false);
+        assert_eq!(spec.counts, vec![7, 3]);
+        assert_eq!(spec.source_class, 0);
+        let all_slow = fast_slow_mix(&table, 0, 1, 8, 1.5, true);
+        assert_eq!(all_slow.counts, vec![0, 8]);
+        assert_eq!(all_slow.source_class, 1);
+        let none_slow = fast_slow_mix(&table, 0, 1, 8, 0.0, false);
+        assert_eq!(none_slow.counts, vec![8, 0]);
+    }
+
+    #[test]
+    fn materialised_sets_respect_the_model_assumptions() {
+        let table = two_class_table();
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let spec = fast_slow_mix(&table, 0, 1, 16, frac, false);
+            let set = spec.multicast_set(default_message_size()).unwrap();
+            assert_eq!(set.num_destinations(), 16);
+            assert!(set.alpha_max() >= set.alpha_min());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Workload generation errors.
+
+use hnow_model::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while generating clusters or scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The underlying model rejected the generated instance.
+    Model(ModelError),
+    /// A generator was asked for an empty cluster where at least one
+    /// destination is required.
+    EmptyCluster,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Model(e) => write!(f, "model error: {e}"),
+            WorkloadError::EmptyCluster => write!(f, "generated cluster has no destinations"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Model(e) => Some(e),
+            WorkloadError::EmptyCluster => None,
+        }
+    }
+}
+
+impl From<ModelError> for WorkloadError {
+    fn from(e: ModelError) -> Self {
+        WorkloadError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: WorkloadError = ModelError::EmptyClassTable.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(Error::source(&e).is_some());
+        assert!(WorkloadError::EmptyCluster.to_string().contains("no destinations"));
+        assert!(Error::source(&WorkloadError::EmptyCluster).is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! Seeded random cluster generators.
+//!
+//! Random instances drive the bound-validation and comparison experiments.
+//! All generators take an explicit seed and are deterministic, and every
+//! generated instance satisfies the model's correlation assumption (no
+//! overhead inversions) by construction: nodes are generated as (sending
+//! overhead, receive-send ratio) pairs, sorted by sending overhead, and the
+//! receiving overheads are then monotonised.
+
+use crate::error::WorkloadError;
+use hnow_model::{MulticastSet, NodeSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the random cluster generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomClusterConfig {
+    /// Number of destination nodes.
+    pub destinations: usize,
+    /// Smallest sending overhead (inclusive).
+    pub min_send: u64,
+    /// Largest sending overhead (inclusive).
+    pub max_send: u64,
+    /// Smallest receive-send ratio (the `α_min` the instance aims for).
+    pub min_ratio: f64,
+    /// Largest receive-send ratio (the `α_max` the instance aims for).
+    pub max_ratio: f64,
+    /// Whether the source is drawn like a destination (`false` makes the
+    /// source the fastest possible node).
+    pub random_source: bool,
+}
+
+impl Default for RandomClusterConfig {
+    /// Overheads 5–50 with ratios in the published 1.05–1.85 range.
+    fn default() -> Self {
+        RandomClusterConfig {
+            destinations: 16,
+            min_send: 5,
+            max_send: 50,
+            min_ratio: 1.05,
+            max_ratio: 1.85,
+            random_source: true,
+        }
+    }
+}
+
+impl RandomClusterConfig {
+    /// Generates a multicast set from this configuration and a seed.
+    pub fn generate(&self, seed: u64) -> Result<MulticastSet, WorkloadError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = |rng: &mut StdRng| -> (u64, f64) {
+            let send = rng.gen_range(self.min_send..=self.max_send.max(self.min_send));
+            let ratio = if self.max_ratio > self.min_ratio {
+                rng.gen_range(self.min_ratio..=self.max_ratio)
+            } else {
+                self.min_ratio
+            };
+            (send.max(1), ratio.max(0.0))
+        };
+        let mut raw: Vec<(u64, f64)> = (0..self.destinations).map(|_| draw(&mut rng)).collect();
+        let source_raw = if self.random_source {
+            draw(&mut rng)
+        } else {
+            (self.min_send.max(1), self.min_ratio.max(0.0))
+        };
+        raw.push(source_raw);
+        // Sort by sending overhead and monotonise the receiving overheads so
+        // the correlation assumption holds even after rounding.
+        raw.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()));
+        let mut specs = Vec::with_capacity(raw.len());
+        let mut last_recv = 0u64;
+        for &(send, ratio) in &raw {
+            let mut recv = (send as f64 * ratio).round() as u64;
+            if recv < last_recv {
+                recv = last_recv;
+            }
+            last_recv = recv;
+            specs.push(NodeSpec::new(send, recv));
+        }
+        // All draws are i.i.d., so the source can be any of the generated
+        // nodes: a uniformly drawn one when `random_source` is set, otherwise
+        // the fastest node (index 0 after sorting).
+        let source = if self.random_source {
+            specs.swap_remove(rng.gen_range(0..specs.len()))
+        } else {
+            specs.remove(0)
+        };
+        Ok(MulticastSet::new(source, specs)?)
+    }
+}
+
+/// Generates a bimodal "fast majority plus slow stragglers" cluster:
+/// `destinations` nodes of which `slow_fraction` are drawn from a band an
+/// order of magnitude slower than the rest.
+pub fn bimodal_cluster(
+    destinations: usize,
+    slow_fraction: f64,
+    seed: u64,
+) -> Result<MulticastSet, WorkloadError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slow_count = ((destinations as f64) * slow_fraction.clamp(0.0, 1.0)).round() as usize;
+    let slow_count = slow_count.min(destinations);
+    let mut raw: Vec<(u64, f64)> = Vec::with_capacity(destinations + 1);
+    for i in 0..destinations {
+        let (lo, hi) = if i < slow_count { (60, 120) } else { (5, 15) };
+        raw.push((rng.gen_range(lo..=hi), rng.gen_range(1.05..=1.85)));
+    }
+    // Fast source.
+    raw.push((rng.gen_range(5..=15), rng.gen_range(1.05..=1.85)));
+    raw.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()));
+    let mut specs = Vec::with_capacity(raw.len());
+    let mut last_recv = 0u64;
+    for &(send, ratio) in &raw {
+        let recv = ((send as f64 * ratio).round() as u64).max(last_recv);
+        last_recv = recv;
+        specs.push(NodeSpec::new(send, recv));
+    }
+    let source = specs.remove(0); // fastest node is the source
+    Ok(MulticastSet::new(source, specs)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = RandomClusterConfig::default();
+        assert_eq!(cfg.generate(9).unwrap(), cfg.generate(9).unwrap());
+        assert_ne!(cfg.generate(9).unwrap(), cfg.generate(10).unwrap());
+    }
+
+    #[test]
+    fn generated_instances_are_valid_and_sized() {
+        let cfg = RandomClusterConfig {
+            destinations: 40,
+            ..RandomClusterConfig::default()
+        };
+        for seed in 0..30u64 {
+            let set = cfg.generate(seed).unwrap();
+            assert_eq!(set.num_destinations(), 40);
+            assert!(set.alpha_min() >= 0.9, "alpha_min {}", set.alpha_min());
+            assert!(set.alpha_max() <= 2.1, "alpha_max {}", set.alpha_max());
+        }
+    }
+
+    #[test]
+    fn ratio_band_is_respected_approximately() {
+        // Rounding to integers distorts ratios slightly; the distortion must
+        // stay small for realistic overhead magnitudes.
+        let cfg = RandomClusterConfig {
+            destinations: 64,
+            min_send: 20,
+            max_send: 200,
+            min_ratio: 1.05,
+            max_ratio: 1.85,
+            random_source: true,
+        };
+        let set = cfg.generate(123).unwrap();
+        assert!(set.alpha_min() > 1.0);
+        assert!(set.alpha_max() < 1.95);
+    }
+
+    #[test]
+    fn degenerate_configs_still_generate() {
+        let cfg = RandomClusterConfig {
+            destinations: 3,
+            min_send: 4,
+            max_send: 4,
+            min_ratio: 1.0,
+            max_ratio: 1.0,
+            random_source: false,
+        };
+        let set = cfg.generate(0).unwrap();
+        assert_eq!(set.num_destinations(), 3);
+        assert!(set.is_homogeneous());
+    }
+
+    #[test]
+    fn empty_cluster_is_allowed_by_generator() {
+        let cfg = RandomClusterConfig {
+            destinations: 0,
+            ..RandomClusterConfig::default()
+        };
+        let set = cfg.generate(5).unwrap();
+        assert_eq!(set.num_destinations(), 0);
+    }
+
+    #[test]
+    fn bimodal_clusters_have_a_wide_spread() {
+        let set = bimodal_cluster(20, 0.3, 7).unwrap();
+        assert_eq!(set.num_destinations(), 20);
+        let min_send = set
+            .destinations()
+            .iter()
+            .map(|s| s.send().raw())
+            .min()
+            .unwrap();
+        let max_send = set
+            .destinations()
+            .iter()
+            .map(|s| s.send().raw())
+            .max()
+            .unwrap();
+        assert!(max_send >= 4 * min_send, "{min_send}..{max_send}");
+        // Source is the fastest node.
+        assert!(set.source().send().raw() <= min_send);
+    }
+
+    #[test]
+    fn bimodal_extremes() {
+        assert!(bimodal_cluster(10, 0.0, 1).unwrap().num_destinations() == 10);
+        assert!(bimodal_cluster(10, 1.0, 1).unwrap().num_destinations() == 10);
+    }
+}

@@ -1,0 +1,35 @@
+//! # hnow-workload
+//!
+//! Cluster, scenario and parameter-sweep generators for the HNOW multicast
+//! experiments.
+//!
+//! The paper's assumptions are grounded in measurements of real late-1990s
+//! workstation clusters (receive-send ratios between 1.05 and 1.85, an order
+//! of magnitude between the fastest and the slowest protocol stacks). We do
+//! not have that hardware; [`profiles`] defines synthetic workstation
+//! classes spanning those published ranges, [`cluster`] composes them into
+//! limited-heterogeneity clusters, [`generator`] draws fully random and
+//! bimodal clusters with seeds, [`scenario`] bundles reproducible experiment
+//! inputs, and [`sweep`] builds the parameter series the experiment harness
+//! iterates over.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cluster;
+pub mod error;
+pub mod generator;
+pub mod profiles;
+pub mod scenario;
+pub mod sweep;
+
+pub use cluster::{fast_slow_mix, ClusterSpec};
+pub use error::WorkloadError;
+pub use generator::{bimodal_cluster, RandomClusterConfig};
+pub use profiles::{
+    default_message_size, fast_workstation, figure1_class_table, legacy_workstation,
+    midrange_workstation, slow_workstation, standard_class_table, two_class_table,
+};
+pub use scenario::{ClusterKind, Scenario};
+pub use sweep::{Sweep, SweepPoint};

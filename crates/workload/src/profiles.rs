@@ -1,0 +1,131 @@
+//! Synthetic workstation profiles.
+//!
+//! The paper motivates its assumptions with published measurements: real
+//! workstation clusters of the late 1990s exhibited receive-send ratios
+//! between roughly 1.05 and 1.85 (Banikazemi et al. 1999; Chun, Mainwaring
+//! and Culler 1998). We do not have those machines, so this module defines a
+//! family of *synthetic* workstation classes whose fixed and per-kilobyte
+//! overhead components span the published ratio range and the published
+//! fast/slow spread (roughly one order of magnitude between the fastest
+//! network interface and a legacy protocol stack). Every experiment that
+//! needs "a realistic cluster" draws from these profiles, and the
+//! substitution is documented in DESIGN.md §2.
+
+use hnow_model::{ClassTable, MessageSize, NodeClass, OverheadProfile};
+
+/// A modern, well-tuned workstation with a user-level messaging layer
+/// (ratio ≈ 1.1 at small messages).
+pub fn fast_workstation() -> NodeClass {
+    NodeClass::new("fast-ws", OverheadProfile::new(10, 3, 12, 3))
+}
+
+/// A mid-range workstation using a kernel TCP stack (ratio ≈ 1.3).
+pub fn midrange_workstation() -> NodeClass {
+    NodeClass::new("mid-ws", OverheadProfile::new(22, 5, 29, 7))
+}
+
+/// A slower desktop-class machine (ratio ≈ 1.5).
+pub fn slow_workstation() -> NodeClass {
+    NodeClass::new("slow-ws", OverheadProfile::new(40, 9, 60, 14))
+}
+
+/// A legacy machine with an expensive protocol stack (ratio ≈ 1.8, close to
+/// the top of the published range).
+pub fn legacy_workstation() -> NodeClass {
+    NodeClass::new("legacy-ws", OverheadProfile::new(75, 18, 135, 33))
+}
+
+/// The standard four-class table used by most experiments.
+pub fn standard_class_table() -> ClassTable {
+    ClassTable::new(vec![
+        fast_workstation(),
+        midrange_workstation(),
+        slow_workstation(),
+        legacy_workstation(),
+    ])
+    .expect("non-empty class list")
+}
+
+/// A two-class (fast/slow) table matching the flavour of the paper's
+/// Figure 1 example.
+pub fn two_class_table() -> ClassTable {
+    ClassTable::new(vec![fast_workstation(), legacy_workstation()])
+        .expect("non-empty class list")
+}
+
+/// The exact node classes of the paper's Figure 1 (constant overheads:
+/// fast = (1, 1), slow = (2, 3)).
+pub fn figure1_class_table() -> ClassTable {
+    ClassTable::new(vec![
+        NodeClass::constant("figure1-fast", 1, 1),
+        NodeClass::constant("figure1-slow", 2, 3),
+    ])
+    .expect("non-empty class list")
+}
+
+/// Default message size used by experiments when none is specified (4 KiB —
+/// a typical control-message / small-collective payload).
+pub fn default_message_size() -> MessageSize {
+    MessageSize::from_kib(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_span_the_published_range() {
+        let size = default_message_size();
+        let table = standard_class_table();
+        let mut ratios: Vec<f64> = table
+            .classes()
+            .iter()
+            .map(|c| c.profile.ratio_at(size).unwrap())
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(*ratios.first().unwrap() >= 1.0);
+        assert!(*ratios.first().unwrap() <= 1.2);
+        assert!(*ratios.last().unwrap() >= 1.6);
+        assert!(*ratios.last().unwrap() <= 1.9);
+    }
+
+    #[test]
+    fn classes_are_consistently_ordered_by_speed() {
+        // Faster classes must dominate slower ones at every message size the
+        // experiments use, so mixed clusters never violate the model's
+        // correlation assumption.
+        let sizes = [
+            MessageSize(64),
+            MessageSize::from_kib(1),
+            MessageSize::from_kib(4),
+            MessageSize::from_kib(64),
+            MessageSize::from_kib(1024),
+        ];
+        let table = standard_class_table();
+        for size in sizes {
+            let specs = table.specs_at(size).unwrap();
+            for pair in specs.windows(2) {
+                assert!(pair[0].send() <= pair[1].send(), "at {size}");
+                assert!(pair[0].recv() <= pair[1].recv(), "at {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_table_matches_the_paper() {
+        let specs = figure1_class_table().specs_at(MessageSize(0)).unwrap();
+        assert_eq!(specs[0].send().raw(), 1);
+        assert_eq!(specs[0].recv().raw(), 1);
+        assert_eq!(specs[1].send().raw(), 2);
+        assert_eq!(specs[1].recv().raw(), 3);
+    }
+
+    #[test]
+    fn fast_and_legacy_are_roughly_an_order_of_magnitude_apart() {
+        let size = default_message_size();
+        let fast = fast_workstation().profile.at(size).unwrap();
+        let legacy = legacy_workstation().profile.at(size).unwrap();
+        let spread = legacy.send().as_f64() / fast.send().as_f64();
+        assert!(spread > 5.0 && spread < 15.0, "spread = {spread}");
+    }
+}

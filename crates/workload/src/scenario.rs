@@ -1,0 +1,124 @@
+//! Serialisable experiment scenarios.
+//!
+//! A scenario bundles everything needed to reproduce one experimental data
+//! point: the cluster composition, the message size, the network latency and
+//! the seed. Scenarios serialise to JSON so experiment inputs can be stored
+//! alongside their results.
+
+use crate::error::WorkloadError;
+use crate::generator::{bimodal_cluster, RandomClusterConfig};
+use hnow_model::{models::Instance, MulticastSet, NetParams};
+use serde::{Deserialize, Serialize};
+
+/// How the cluster of a scenario is generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterKind {
+    /// Random cluster with overheads and ratios drawn from bands.
+    Random(RandomClusterConfig),
+    /// Bimodal fast/slow cluster with the given number of destinations and
+    /// slow fraction.
+    Bimodal {
+        /// Number of destination nodes.
+        destinations: usize,
+        /// Fraction of destinations drawn from the slow band.
+        slow_fraction: f64,
+    },
+    /// The exact 5-node instance of the paper's Figure 1.
+    Figure1,
+}
+
+/// A reproducible experiment scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (used as a table row label).
+    pub name: String,
+    /// Cluster composition.
+    pub cluster: ClusterKind,
+    /// Network latency `L`.
+    pub latency: u64,
+    /// RNG seed for generated clusters.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    pub fn new(name: impl Into<String>, cluster: ClusterKind, latency: u64, seed: u64) -> Self {
+        Scenario {
+            name: name.into(),
+            cluster,
+            latency,
+            seed,
+        }
+    }
+
+    /// The Figure 1 scenario of the paper.
+    pub fn figure1() -> Self {
+        Scenario::new("figure1", ClusterKind::Figure1, 1, 0)
+    }
+
+    /// Materialises the scenario into a concrete receive-send instance.
+    pub fn instance(&self) -> Result<Instance, WorkloadError> {
+        let net = NetParams::new(self.latency);
+        let set = match &self.cluster {
+            ClusterKind::Random(cfg) => cfg.generate(self.seed)?,
+            ClusterKind::Bimodal {
+                destinations,
+                slow_fraction,
+            } => bimodal_cluster(*destinations, *slow_fraction, self.seed)?,
+            ClusterKind::Figure1 => {
+                let slow = hnow_model::NodeSpec::new(2, 3);
+                let fast = hnow_model::NodeSpec::new(1, 1);
+                MulticastSet::new(slow, vec![fast, fast, fast, slow])?
+            }
+        };
+        Ok(Instance::new(set, net))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_scenario() {
+        let inst = Scenario::figure1().instance().unwrap();
+        assert_eq!(inst.num_destinations(), 4);
+        assert_eq!(inst.net.latency().raw(), 1);
+    }
+
+    #[test]
+    fn scenarios_serialize_and_reproduce() {
+        let scenario = Scenario::new(
+            "random-32",
+            ClusterKind::Random(RandomClusterConfig {
+                destinations: 32,
+                ..RandomClusterConfig::default()
+            }),
+            3,
+            99,
+        );
+        let json = serde_json::to_string(&scenario).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(scenario, back);
+        assert_eq!(
+            scenario.instance().unwrap(),
+            back.instance().unwrap(),
+            "same scenario must produce the same instance"
+        );
+    }
+
+    #[test]
+    fn bimodal_scenario() {
+        let scenario = Scenario::new(
+            "bimodal",
+            ClusterKind::Bimodal {
+                destinations: 12,
+                slow_fraction: 0.25,
+            },
+            2,
+            5,
+        );
+        let inst = scenario.instance().unwrap();
+        assert_eq!(inst.num_destinations(), 12);
+    }
+}

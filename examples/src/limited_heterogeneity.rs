@@ -1,0 +1,67 @@
+//! Domain scenario: optimal collective planning for a cluster with a small
+//! number of workstation types (experiment E6 / Theorem 2).
+//!
+//! Many production clusters are bought in batches, so they contain thousands
+//! of machines but only a handful of machine *types*. For such clusters the
+//! Theorem 2 dynamic program precomputes a table of optimal multicast
+//! schedules for **every** possible multicast over those types; a runtime
+//! system can then answer "what is the best way to multicast from this node
+//! to that subset?" in constant time. This example builds the table for a
+//! two-type and a four-type cluster, queries several sub-multicasts, and
+//! reconstructs an optimal schedule tree.
+//!
+//! Run with `cargo run -p hnow-examples --bin limited_heterogeneity`.
+
+use hnow_core::algorithms::dp::DpTable;
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::schedule::reception_completion;
+use hnow_experiments::dp_opt::{run, table, DpConfig};
+use hnow_model::{MessageSize, NetParams, TypedMulticast};
+use hnow_workload::{default_message_size, standard_class_table, two_class_table};
+
+fn main() {
+    let net = NetParams::new(2);
+    let size: MessageSize = default_message_size();
+
+    println!("== Precomputing the optimal-schedule table for a 24-node, two-type cluster ==\n");
+    let table2 = two_class_table();
+    let typed = TypedMulticast::from_classes(&table2, size, 0, vec![16, 8]).unwrap();
+    let dp = DpTable::build(&typed, net);
+    println!(
+        "table built: k = {}, {} states, optimum for the full multicast = {}",
+        dp.k(),
+        dp.num_states(),
+        dp.optimum()
+    );
+
+    println!("\nconstant-time queries against the precomputed table:");
+    for (fast, slow) in [(16usize, 8usize), (8, 8), (16, 0), (0, 8), (4, 2), (1, 1)] {
+        let value = dp.query(0, &[fast, slow]).unwrap();
+        println!("  {fast:>2} fast + {slow:>2} legacy destinations -> optimal completion {value}");
+    }
+
+    let (tree, value) = DpTable::optimal_schedule(&typed, net).unwrap();
+    let set = typed.to_multicast_set().unwrap();
+    let greedy = greedy_with_options(&set, net, GreedyOptions::REFINED);
+    let greedy_r = reception_completion(&greedy, &set, net).unwrap();
+    println!(
+        "\noptimal schedule reconstructed: depth {}, completion {} (greedy+leaf achieves {})",
+        tree.height(),
+        value,
+        greedy_r
+    );
+
+    println!("\n== Four workstation types (standard profile table) ==\n");
+    let table4 = standard_class_table();
+    let typed4 = TypedMulticast::from_classes(&table4, size, 0, vec![5, 5, 5, 5]).unwrap();
+    let dp4 = DpTable::build(&typed4, net);
+    println!(
+        "k = 4, n = 20: {} states, optimum = {}",
+        dp4.num_states(),
+        dp4.optimum()
+    );
+
+    println!("\n== E6 summary table (DP vs exact search vs greedy) ==\n");
+    let samples = run(&DpConfig::default());
+    println!("{}", table(&samples).to_markdown());
+}

@@ -1,0 +1,32 @@
+//! Shared fixtures for the cross-crate integration test suite.
+//!
+//! The integration tests live in `tests/tests/*.rs`; this small library
+//! provides instance builders reused by several of them.
+
+use hnow_model::{MulticastSet, NetParams, NodeSpec};
+
+/// The exact 5-node instance of Figure 1 of the paper: a slow source, three
+/// fast destinations and one slow destination, with network latency `L = 1`.
+///
+/// Fast nodes have `o_send = o_recv = 1`; slow nodes have `o_send = 2`,
+/// `o_recv = 3`.
+pub fn figure1_instance() -> (MulticastSet, NetParams) {
+    let slow = NodeSpec::new(2, 3);
+    let fast = NodeSpec::new(1, 1);
+    let set = MulticastSet::new(slow, vec![fast, fast, fast, slow]).expect("valid instance");
+    (set, NetParams::new(1))
+}
+
+/// A small mixed cluster useful for deterministic integration checks.
+pub fn small_mixed_instance() -> (MulticastSet, NetParams) {
+    let specs = vec![
+        NodeSpec::new(1, 1),
+        NodeSpec::new(1, 2),
+        NodeSpec::new(2, 3),
+        NodeSpec::new(3, 4),
+        NodeSpec::new(2, 2),
+        NodeSpec::new(4, 6),
+    ];
+    let set = MulticastSet::new(NodeSpec::new(1, 1), specs).expect("valid instance");
+    (set, NetParams::new(2))
+}

@@ -1,0 +1,110 @@
+//! E7 and E8 — the leaf refinement and the baseline comparison, exercised
+//! across crates on generated workloads.
+
+use hnow_core::schedule::{reception_completion, refine_leaves, validate};
+use hnow_core::{build_schedule, Strategy};
+use hnow_integration::small_mixed_instance;
+use hnow_model::NetParams;
+use hnow_workload::{bimodal_cluster, RandomClusterConfig};
+use proptest::prelude::*;
+
+#[test]
+fn every_strategy_produces_valid_schedules_on_generated_clusters() {
+    for seed in 0..5u64 {
+        let set = RandomClusterConfig {
+            destinations: 25,
+            ..RandomClusterConfig::default()
+        }
+        .generate(seed)
+        .unwrap();
+        let net = NetParams::new(2);
+        for strategy in [
+            Strategy::Greedy,
+            Strategy::GreedyRefined,
+            Strategy::FastestNodeFirst,
+            Strategy::Binomial,
+            Strategy::Chain,
+            Strategy::Star,
+            Strategy::Random,
+        ] {
+            let tree = build_schedule(strategy, &set, net, seed);
+            validate(&tree, &set).unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+        }
+    }
+}
+
+#[test]
+fn refined_greedy_beats_oblivious_baselines_on_bimodal_clusters() {
+    for seed in 0..8u64 {
+        for slow_fraction in [0.1, 0.3, 0.6] {
+            let set = bimodal_cluster(32, slow_fraction, seed).unwrap();
+            let net = NetParams::new(4);
+            let greedy = reception_completion(
+                &build_schedule(Strategy::GreedyRefined, &set, net, seed),
+                &set,
+                net,
+            )
+            .unwrap();
+            for strategy in [Strategy::Binomial, Strategy::Chain, Strategy::Star, Strategy::Random] {
+                let other = reception_completion(
+                    &build_schedule(strategy, &set, net, seed),
+                    &set,
+                    net,
+                )
+                .unwrap();
+                assert!(
+                    greedy <= other,
+                    "seed {seed} frac {slow_fraction}: greedy {greedy} lost to {} {other}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn small_mixed_instance_orders_strategies_as_expected() {
+    let (set, net) = small_mixed_instance();
+    let completion = |s: Strategy| {
+        reception_completion(&build_schedule(s, &set, net, 1), &set, net)
+            .unwrap()
+            .raw()
+    };
+    let refined = completion(Strategy::GreedyRefined);
+    let dp = completion(Strategy::DpOptimal);
+    assert!(dp <= refined);
+    assert!(refined <= completion(Strategy::Chain));
+    assert!(refined <= completion(Strategy::Star));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Leaf refinement never increases completion on any valid schedule, of
+    /// any strategy, on any instance.
+    #[test]
+    fn leaf_refinement_never_hurts_any_schedule(
+        seed in 0u64..500,
+        n in 2usize..18,
+        latency in 0u64..=4,
+        strategy_idx in 0usize..4,
+    ) {
+        let strategies = [Strategy::Greedy, Strategy::Binomial, Strategy::Random, Strategy::Chain];
+        let set = RandomClusterConfig {
+            destinations: n,
+            ..RandomClusterConfig::default()
+        }
+        .generate(seed)
+        .unwrap();
+        let net = NetParams::new(latency);
+        let tree = build_schedule(strategies[strategy_idx], &set, net, seed);
+        let before = reception_completion(&tree, &set, net).unwrap();
+        let refined = refine_leaves(&tree, &set, net).unwrap();
+        validate(&refined, &set).unwrap();
+        let after = reception_completion(&refined, &set, net).unwrap();
+        prop_assert!(after <= before);
+        // Refinement is idempotent in value.
+        let twice = refine_leaves(&refined, &set, net).unwrap();
+        prop_assert_eq!(reception_completion(&twice, &set, net).unwrap(), after);
+    }
+}

@@ -1,0 +1,138 @@
+//! E6 — the Theorem 2 dynamic program agrees with the exact search and
+//! bounds every heuristic from below.
+
+use hnow_core::algorithms::dp::{dp_optimum, DpTable};
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::{search, SearchOptions};
+use hnow_core::schedule::{reception_completion, validate};
+use hnow_model::{NetParams, NodeSpec, TypedMulticast};
+use proptest::prelude::*;
+
+fn arb_typed(max_per_class: usize) -> impl Strategy<Value = TypedMulticast> {
+    (
+        1u64..=5,
+        0u64..=4,
+        2u64..=9,
+        0u64..=8,
+        0..=max_per_class,
+        0..=max_per_class,
+        prop::bool::ANY,
+    )
+        .prop_map(|(s1, e1, ds, de, c1, c2, slow_source)| {
+            let fast = NodeSpec::new(s1, s1 + e1);
+            let slow = NodeSpec::new(s1 + ds, s1 + e1 + ds + de);
+            let source = if slow_source { 1 } else { 0 };
+            TypedMulticast::new(vec![fast, slow], source, vec![c1, c2]).expect("valid typed")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DP optimum equals the branch-and-bound optimum on every small
+    /// two-type instance, and its reconstructed schedule attains it.
+    #[test]
+    fn dp_equals_exact_optimum(typed in arb_typed(4), latency in 0u64..=3) {
+        let net = NetParams::new(latency);
+        let table = DpTable::build(&typed, net);
+        let set = typed.to_multicast_set().unwrap();
+        let exact = search(&set, net, SearchOptions {
+            node_budget: 2_000_000,
+            ..SearchOptions::default()
+        });
+        prop_assume!(exact.proven_optimal);
+        prop_assert_eq!(table.optimum(), exact.value);
+
+        let tree = table.reconstruct_schedule().unwrap();
+        validate(&tree, &set).unwrap();
+        prop_assert_eq!(reception_completion(&tree, &set, net).unwrap(), table.optimum());
+    }
+
+    /// The DP optimum never exceeds any heuristic's completion time.
+    #[test]
+    fn dp_lower_bounds_every_heuristic(typed in arb_typed(8), latency in 0u64..=4) {
+        let net = NetParams::new(latency);
+        let set = typed.to_multicast_set().unwrap();
+        let optimum = dp_optimum(&set, net);
+        for strategy in [
+            hnow_core::Strategy::Greedy,
+            hnow_core::Strategy::GreedyRefined,
+            hnow_core::Strategy::FastestNodeFirst,
+            hnow_core::Strategy::Binomial,
+            hnow_core::Strategy::Chain,
+            hnow_core::Strategy::Star,
+            hnow_core::Strategy::Random,
+        ] {
+            let tree = hnow_core::build_schedule(strategy, &set, net, 5);
+            let r = reception_completion(&tree, &set, net).unwrap();
+            prop_assert!(optimum <= r, "{}: {} < dp {}", strategy.name(), r, optimum);
+        }
+    }
+
+    /// Note: the optimum is *not* monotone in the destination counts — adding
+    /// a fast destination can lower the completion time because the new node
+    /// doubles as a relay (e.g. fast (1,1) / slow (3,3), slow source, L = 0:
+    /// three slow destinations need 12 alone but only 9 with one fast helper
+    /// added). The properties below are the ones that do hold.
+    ///
+    /// The optimum respects the first-delivery lower bound and is monotone in
+    /// the network latency.
+    #[test]
+    fn dp_optimum_respects_lower_bound_and_latency_monotonicity(
+        typed in arb_typed(5),
+        latency in 0u64..=3,
+    ) {
+        let net = NetParams::new(latency);
+        let table = DpTable::build(&typed, net);
+        let opt = table.optimum();
+        if typed.total_destinations() > 0 {
+            // First delivery: the source sends once, the message crosses the
+            // network, and some destination of a class actually present must
+            // incur that class's receive overhead.
+            let min_recv = (0..typed.k())
+                .filter(|&c| typed.counts()[c] > 0)
+                .map(|c| typed.spec_of(c).recv())
+                .min()
+                .unwrap();
+            let src_send = typed.spec_of(typed.source_class()).send();
+            prop_assert!(opt >= src_send + net.latency() + min_recv);
+        } else {
+            prop_assert_eq!(opt, hnow_model::Time::ZERO);
+        }
+        let slower_net = NetParams::new(latency + 3);
+        let slower = DpTable::build(&typed, slower_net).optimum();
+        prop_assert!(slower >= opt);
+    }
+}
+
+/// The helper-node phenomenon discussed above, pinned as a concrete case.
+#[test]
+fn adding_a_fast_helper_can_lower_the_optimum() {
+    let net = NetParams::new(0);
+    let fast = NodeSpec::new(1, 1);
+    let slow = NodeSpec::new(3, 3);
+    let without = TypedMulticast::new(vec![fast, slow], 1, vec![0, 3]).unwrap();
+    let with = TypedMulticast::new(vec![fast, slow], 1, vec![1, 3]).unwrap();
+    let t_without = DpTable::build(&without, net).optimum();
+    let t_with = DpTable::build(&with, net).optimum();
+    assert!(
+        t_with < t_without,
+        "expected the fast helper to lower the optimum: {t_with} vs {t_without}"
+    );
+}
+
+#[test]
+fn greedy_never_beats_dp_on_standard_profiles() {
+    use hnow_model::MessageSize;
+    use hnow_workload::standard_class_table;
+    let table = standard_class_table();
+    let net = NetParams::new(3);
+    for counts in [[2usize, 2, 2, 2], [4, 0, 0, 4], [0, 3, 3, 0], [6, 2, 1, 1]] {
+        let typed = TypedMulticast::from_classes(&table, MessageSize::from_kib(4), 0, counts.to_vec())
+            .unwrap();
+        let set = typed.to_multicast_set().unwrap();
+        let dp = DpTable::build(&typed, net).optimum();
+        let greedy = greedy_with_options(&set, net, GreedyOptions::REFINED);
+        assert!(dp <= reception_completion(&greedy, &set, net).unwrap());
+    }
+}

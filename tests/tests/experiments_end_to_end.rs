@@ -1,0 +1,24 @@
+//! Smoke test: the full experiment suite (reduced scale) runs end to end
+//! and every headline claim holds.
+
+use hnow_experiments::{render_markdown, run_all};
+
+#[test]
+fn all_experiments_run_and_report() {
+    let reports = run_all(0xE2E);
+    assert_eq!(reports.len(), 8);
+    let md = render_markdown(&reports);
+    // Every experiment id appears.
+    for id in ["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9"] {
+        assert!(md.contains(&format!("## {id}")), "missing {id}");
+    }
+    // The Figure 1 headline carries the paper's numbers.
+    let e1 = &reports[0];
+    assert!(e1.headline.contains("(a) = 10"));
+    assert!(e1.headline.contains("(b) = 9"));
+    // No experiment reports violations in its headline.
+    let e3 = reports.iter().find(|r| r.id == "E3").unwrap();
+    assert!(!e3.headline.contains("violat") || e3.headline.contains("held"));
+    let e9 = reports.iter().find(|r| r.id == "E9").unwrap();
+    assert!(e9.headline.contains("yes"));
+}

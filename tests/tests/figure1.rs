@@ -1,0 +1,53 @@
+//! E1 — the paper's Figure 1, verified end to end across crates: model
+//! construction, schedule evaluation, greedy planning, exact search,
+//! simulator execution.
+
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::optimal_schedule;
+use hnow_core::schedule::{evaluate, is_layered};
+use hnow_experiments::figure1::{figure1a_schedule, figure1b_schedule};
+use hnow_integration::figure1_instance;
+use hnow_sim::execute;
+
+#[test]
+fn schedule_a_completes_at_ten_with_the_paper_receptions() {
+    let (set, net) = figure1_instance();
+    let timing = evaluate(&figure1a_schedule(), &set, net).unwrap();
+    assert_eq!(timing.reception_completion().raw(), 10);
+    let mut receptions: Vec<u64> = set
+        .destination_ids()
+        .map(|v| timing.reception(v).raw())
+        .collect();
+    receptions.sort_unstable();
+    assert_eq!(receptions, vec![4, 6, 7, 10]);
+}
+
+#[test]
+fn schedule_b_completes_at_nine() {
+    let (set, net) = figure1_instance();
+    let timing = evaluate(&figure1b_schedule(), &set, net).unwrap();
+    assert_eq!(timing.reception_completion().raw(), 9);
+}
+
+#[test]
+fn greedy_matches_schedule_a_and_refinement_beats_schedule_b() {
+    let (set, net) = figure1_instance();
+    let plain = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+    let refined = greedy_with_options(&set, net, GreedyOptions::REFINED);
+    assert_eq!(evaluate(&plain, &set, net).unwrap().reception_completion().raw(), 10);
+    assert!(is_layered(&plain, &set, net).unwrap());
+    assert_eq!(
+        evaluate(&refined, &set, net).unwrap().reception_completion().raw(),
+        8
+    );
+}
+
+#[test]
+fn exact_optimum_is_eight_and_simulator_confirms_it() {
+    let (set, net) = figure1_instance();
+    let result = optimal_schedule(&set, net);
+    assert!(result.proven_optimal);
+    assert_eq!(result.value.raw(), 8);
+    let trace = execute(&result.tree, &set, net).unwrap();
+    assert_eq!(trace.completion.raw(), 8);
+}

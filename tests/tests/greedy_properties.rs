@@ -1,0 +1,101 @@
+//! Property-based tests of the greedy algorithm and its guarantees
+//! (Lemma 1, Theorem 1, the leaf refinement).
+
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::{search, SearchOptions};
+use hnow_core::bounds::{lower_bound, theorem1_bound};
+use hnow_core::schedule::{is_layered, reception_completion, validate};
+use hnow_model::{MulticastSet, NetParams, NodeSpec};
+use proptest::prelude::*;
+
+/// Generates an arbitrary valid multicast set: overheads are built as
+/// (send, send + extra) pairs, sorted and monotonised so the correlation
+/// assumption always holds.
+fn arb_multicast(max_destinations: usize) -> impl Strategy<Value = MulticastSet> {
+    (
+        prop::collection::vec((1u64..=12, 0u64..=14), 1..=max_destinations + 1),
+    )
+        .prop_map(|(raw,)| {
+            let mut raw: Vec<(u64, u64)> = raw.into_iter().map(|(s, e)| (s, s + e)).collect();
+            raw.sort_unstable();
+            let mut last_recv = 0;
+            let specs: Vec<NodeSpec> = raw
+                .into_iter()
+                .map(|(s, r)| {
+                    let r = r.max(last_recv);
+                    last_recv = r;
+                    NodeSpec::new(s, r)
+                })
+                .collect();
+            let source = specs[0];
+            MulticastSet::new(source, specs[1..].to_vec()).expect("monotone specs are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The greedy schedule is always structurally valid and layered, and the
+    /// leaf refinement never increases the completion time.
+    #[test]
+    fn greedy_is_valid_layered_and_refinement_never_hurts(
+        set in arb_multicast(20),
+        latency in 0u64..=6,
+    ) {
+        let net = NetParams::new(latency);
+        let plain = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+        let refined = greedy_with_options(&set, net, GreedyOptions::REFINED);
+        validate(&plain, &set).unwrap();
+        validate(&refined, &set).unwrap();
+        prop_assert!(is_layered(&plain, &set, net).unwrap());
+        let plain_r = reception_completion(&plain, &set, net).unwrap();
+        let refined_r = reception_completion(&refined, &set, net).unwrap();
+        prop_assert!(refined_r <= plain_r);
+        // Completion is never below the instance lower bound.
+        let lb = lower_bound(&set, net);
+        prop_assert!(refined_r >= lb.value);
+    }
+
+    /// Theorem 1 holds against the exact optimum on small instances.
+    #[test]
+    fn theorem1_bound_holds_against_exact_optimum(
+        set in arb_multicast(6),
+        latency in 0u64..=4,
+    ) {
+        let net = NetParams::new(latency);
+        let greedy = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+        let greedy_r = reception_completion(&greedy, &set, net).unwrap();
+        let exact = search(&set, net, SearchOptions {
+            node_budget: 2_000_000,
+            ..SearchOptions::default()
+        });
+        prop_assume!(exact.proven_optimal);
+        prop_assert!(exact.value <= greedy_r);
+        if set.num_destinations() > 0 {
+            prop_assert!(
+                greedy_r.as_f64() < theorem1_bound(&set, exact.value),
+                "greedy {} >= bound {}",
+                greedy_r,
+                theorem1_bound(&set, exact.value)
+            );
+        }
+        // The generic lower bound never exceeds the true optimum.
+        prop_assert!(lower_bound(&set, net).value <= exact.value);
+    }
+
+    /// Greedy completion is monotone in the latency: a slower network can
+    /// never make the same instance finish earlier.
+    #[test]
+    fn greedy_completion_is_monotone_in_latency(set in arb_multicast(12)) {
+        let mut prev = None;
+        for latency in [0u64, 1, 2, 4, 8] {
+            let net = NetParams::new(latency);
+            let tree = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+            let r = reception_completion(&tree, &set, net).unwrap();
+            if let Some(p) = prev {
+                prop_assert!(r >= p);
+            }
+            prev = Some(r);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! E4 and E5 — the layered-schedule results behind Theorem 1, checked
+//! across crates with randomly generated instances.
+
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::algorithms::optimal::{search, Objective, SearchOptions};
+use hnow_core::algorithms::transform::{
+    has_power_of_two_sends, power_of_two_rounding, uniform_integer_ratio,
+};
+use hnow_core::schedule::delivery_completion;
+use hnow_model::NetParams;
+use hnow_workload::RandomClusterConfig;
+
+fn small_instances(n: usize, count: usize) -> Vec<hnow_model::MulticastSet> {
+    (0..count)
+        .map(|seed| {
+            RandomClusterConfig {
+                destinations: n,
+                min_send: 1,
+                max_send: 10,
+                min_ratio: 1.0,
+                max_ratio: 1.8,
+                random_source: true,
+            }
+            .generate(seed as u64 * 31 + 7)
+            .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn corollary1_greedy_minimises_delivery_over_layered_schedules() {
+    for set in small_instances(6, 12) {
+        for latency in [0u64, 1, 3] {
+            let net = NetParams::new(latency);
+            let greedy = greedy_with_options(&set, net, GreedyOptions::PLAIN);
+            let greedy_d = delivery_completion(&greedy, &set, net).unwrap();
+            let layered_opt = search(
+                &set,
+                net,
+                SearchOptions {
+                    objective: Objective::Delivery,
+                    layered_only: true,
+                    node_budget: 3_000_000,
+                },
+            );
+            assert!(layered_opt.proven_optimal);
+            assert_eq!(
+                greedy_d, layered_opt.value,
+                "greedy D_T must equal the layered optimum (L={latency}, set={set})"
+            );
+        }
+    }
+}
+
+#[test]
+fn equation4_rounded_greedy_equals_unrestricted_delivery_optimum() {
+    for set in small_instances(6, 10) {
+        let rounded = power_of_two_rounding(&set).unwrap();
+        assert!(has_power_of_two_sends(&rounded.set));
+        assert_eq!(
+            uniform_integer_ratio(&rounded.set),
+            Some(rounded.uniform_ratio)
+        );
+        for latency in [0u64, 2] {
+            let net = NetParams::new(latency);
+            let greedy = greedy_with_options(&rounded.set, net, GreedyOptions::PLAIN);
+            let greedy_d = delivery_completion(&greedy, &rounded.set, net).unwrap();
+            let opt = search(
+                &rounded.set,
+                net,
+                SearchOptions {
+                    objective: Objective::Delivery,
+                    layered_only: false,
+                    node_budget: 3_000_000,
+                },
+            );
+            assert!(opt.proven_optimal);
+            assert_eq!(
+                greedy_d, opt.value,
+                "equation (4): greedy must be delivery-optimal on the rounded instance"
+            );
+        }
+    }
+}
+
+#[test]
+fn rounding_growth_factors_match_theorem1_analysis() {
+    for set in small_instances(10, 10) {
+        let rounded = power_of_two_rounding(&set).unwrap();
+        assert!(rounded.max_send_growth < 2.0 + 1e-9);
+        let bound = 2.0 * set.alpha_max().ceil() / set.alpha_min();
+        assert!(
+            rounded.max_recv_growth < bound + 1e-9,
+            "recv growth {} exceeds 2*alpha_max/alpha_min = {}",
+            rounded.max_recv_growth,
+            bound
+        );
+    }
+}

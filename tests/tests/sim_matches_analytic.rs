@@ -1,0 +1,137 @@
+//! E9 — the discrete-event simulator reproduces the closed-form schedule
+//! times for every strategy on arbitrary instances, and perturbed execution
+//! behaves sanely.
+
+use hnow_core::schedule::evaluate;
+use hnow_core::{build_schedule, Strategy as Algo};
+use hnow_model::{MulticastSet, NetParams, NodeSpec};
+use hnow_sim::{check_against_analytic, execute, execute_with_specs, PerturbConfig};
+use proptest::prelude::*;
+
+fn arb_multicast(
+    max_destinations: usize,
+) -> impl proptest::strategy::Strategy<Value = MulticastSet> {
+    prop::collection::vec((1u64..=10, 0u64..=12), 1..=max_destinations + 1).prop_map(|raw| {
+        let mut raw: Vec<(u64, u64)> = raw.into_iter().map(|(s, e)| (s, s + e)).collect();
+        raw.sort_unstable();
+        let mut last = 0;
+        let specs: Vec<NodeSpec> = raw
+            .into_iter()
+            .map(|(s, r)| {
+                let r = r.max(last);
+                last = r;
+                NodeSpec::new(s, r)
+            })
+            .collect();
+        MulticastSet::new(specs[0], specs[1..].to_vec()).unwrap()
+    })
+}
+
+const ALL_STRATEGIES: [Algo; 7] = [
+    Algo::Greedy,
+    Algo::GreedyRefined,
+    Algo::FastestNodeFirst,
+    Algo::Binomial,
+    Algo::Chain,
+    Algo::Star,
+    Algo::Random,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Simulated times equal analytic times for every strategy.
+    #[test]
+    fn simulator_equals_analytic(
+        set in arb_multicast(16),
+        latency in 0u64..=5,
+        strategy_idx in 0usize..ALL_STRATEGIES.len(),
+        seed in 0u64..1000,
+    ) {
+        let net = NetParams::new(latency);
+        let tree = build_schedule(ALL_STRATEGIES[strategy_idx], &set, net, seed);
+        let mismatches = check_against_analytic(&tree, &set, net).unwrap();
+        prop_assert!(mismatches.is_empty(), "{mismatches:?}");
+    }
+
+    /// Busy intervals never overlap and total busy time is exactly the sum
+    /// of incurred overheads.
+    #[test]
+    fn busy_intervals_are_consistent(
+        set in arb_multicast(12),
+        latency in 0u64..=4,
+    ) {
+        let net = NetParams::new(latency);
+        let tree = build_schedule(Algo::Greedy, &set, net, 0);
+        let trace = execute(&tree, &set, net).unwrap();
+        for (i, timeline) in trace.timelines.iter().enumerate() {
+            for pair in timeline.windows(2) {
+                prop_assert!(pair[0].end <= pair[1].start);
+            }
+            let spec = set.spec(hnow_model::NodeId(i));
+            let expected = spec.send() * (tree.children(hnow_model::NodeId(i)).len() as u64)
+                + if i == 0 { hnow_model::Time::ZERO } else { spec.recv() };
+            prop_assert_eq!(trace.busy_time(hnow_model::NodeId(i)), expected);
+        }
+    }
+
+    /// Uniformly scaling every overhead up can never make the perturbed
+    /// execution finish earlier than the nominal one.
+    #[test]
+    fn inflating_overheads_never_helps(
+        set in arb_multicast(10),
+        latency in 0u64..=3,
+        extra in 1u64..=5,
+    ) {
+        let net = NetParams::new(latency);
+        let tree = build_schedule(Algo::GreedyRefined, &set, net, 1);
+        let nominal = execute(&tree, &set, net).unwrap();
+        let inflated: Vec<NodeSpec> = (0..set.num_nodes())
+            .map(|i| {
+                let s = set.spec(hnow_model::NodeId(i));
+                NodeSpec::new(s.send().raw() + extra, s.recv().raw() + extra)
+            })
+            .collect();
+        let slower = execute_with_specs(&tree, &inflated, net).unwrap();
+        prop_assert!(slower.completion >= nominal.completion);
+    }
+}
+
+#[test]
+fn evaluate_and_execute_agree_on_a_large_cluster() {
+    use hnow_workload::RandomClusterConfig;
+    let set = RandomClusterConfig {
+        destinations: 200,
+        ..RandomClusterConfig::default()
+    }
+    .generate(99)
+    .unwrap();
+    let net = NetParams::new(3);
+    for strategy in ALL_STRATEGIES {
+        let tree = build_schedule(strategy, &set, net, 4);
+        let timing = evaluate(&tree, &set, net).unwrap();
+        let trace = execute(&tree, &set, net).unwrap();
+        assert_eq!(trace.completion, timing.reception_completion(), "{}", strategy.name());
+    }
+}
+
+#[test]
+fn perturbation_band_respected_end_to_end() {
+    use hnow_workload::RandomClusterConfig;
+    let set = RandomClusterConfig {
+        destinations: 30,
+        ..RandomClusterConfig::default()
+    }
+    .generate(7)
+    .unwrap();
+    let net = NetParams::new(2);
+    let tree = build_schedule(Algo::GreedyRefined, &set, net, 0);
+    let nominal = execute(&tree, &set, net).unwrap().completion;
+    for seed in 0..10u64 {
+        let specs = PerturbConfig::new(0.2, seed).perturb(&set);
+        let perturbed = execute_with_specs(&tree, &specs, net).unwrap().completion;
+        // ±20% jitter plus integer rounding slack per hop.
+        assert!(perturbed.as_f64() <= nominal.as_f64() * 1.2 + 2.0 * set.num_nodes() as f64);
+        assert!(perturbed.as_f64() >= nominal.as_f64() * 0.7);
+    }
+}
