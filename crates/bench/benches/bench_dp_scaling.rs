@@ -26,11 +26,9 @@ fn bench_dp_scaling(c: &mut Criterion) {
     let four = standard_class_table();
     for &per_class in &[1usize, 2, 3] {
         let typed = TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("k4", per_class * 4),
-            &typed,
-            |b, typed| b.iter(|| DpTable::build(black_box(typed), net)),
-        );
+        group.bench_with_input(BenchmarkId::new("k4", per_class * 4), &typed, |b, typed| {
+            b.iter(|| DpTable::build(black_box(typed), net))
+        });
     }
 
     // Reconstruction and queries are effectively free once the table exists.

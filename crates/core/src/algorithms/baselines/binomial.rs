@@ -75,11 +75,7 @@ mod tests {
         // node at index 3 (0-based canonical position among 6).
         let fast = NodeSpec::new(1, 1);
         let slow = NodeSpec::new(10, 15);
-        let set = MulticastSet::new(
-            fast,
-            vec![fast, fast, fast, slow, slow, slow],
-        )
-        .unwrap();
+        let set = MulticastSet::new(fast, vec![fast, fast, fast, slow, slow, slow]).unwrap();
         let net = NetParams::new(1);
         let binom = binomial_schedule(&set);
         let greedy = crate::algorithms::greedy::greedy_schedule(&set, net);

@@ -43,7 +43,11 @@ mod tests {
         (
             MulticastSet::new(
                 NodeSpec::new(2, 2),
-                vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(3, 4)],
+                vec![
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(3, 4),
+                ],
             )
             .unwrap(),
             NetParams::new(1),

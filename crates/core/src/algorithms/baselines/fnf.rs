@@ -72,7 +72,11 @@ mod tests {
     fn ignores_latency_in_tree_shape() {
         let set = MulticastSet::new(
             NodeSpec::new(2, 3),
-            vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+            ],
         )
         .unwrap();
         let a = fastest_node_first_schedule(&set, NetParams::new(0));

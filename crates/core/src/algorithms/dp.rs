@@ -89,20 +89,18 @@ impl DpTable {
     }
 
     fn idx_of(&self, counts: &[usize]) -> usize {
-        counts
-            .iter()
-            .zip(&self.strides)
-            .map(|(&c, &s)| c * s)
-            .sum()
+        counts.iter().zip(&self.strides).map(|(&c, &s)| c * s).sum()
     }
 
     fn counts_of(&self, mut idx: usize) -> Vec<usize> {
-        let mut counts = vec![0usize; self.dims.len()];
-        for j in 0..self.dims.len() {
-            counts[j] = idx % (self.dims[j] + 1);
-            idx /= self.dims[j] + 1;
-        }
-        counts
+        self.dims
+            .iter()
+            .map(|&dim| {
+                let count = idx % (dim + 1);
+                idx /= dim + 1;
+                count
+            })
+            .collect()
     }
 
     fn state(&self, source: usize, count_idx: usize) -> usize {
@@ -312,8 +310,7 @@ mod tests {
     fn single_type_reduces_to_homogeneous_broadcast() {
         // k = 1, recv = 0, L = 0: optimum is ⌈log2(n+1)⌉ · send.
         for n in [1usize, 2, 3, 4, 7, 8, 15] {
-            let typed =
-                TypedMulticast::new(vec![NodeSpec::new(3, 0)], 0, vec![n]).unwrap();
+            let typed = TypedMulticast::new(vec![NodeSpec::new(3, 0)], 0, vec![n]).unwrap();
             let table = DpTable::build(&typed, NetParams::new(0));
             let rounds = usize::BITS - n.leading_zeros();
             assert_eq!(table.optimum(), Time::new(3 * u64::from(rounds)), "n = {n}");
@@ -338,10 +335,22 @@ mod tests {
     #[test]
     fn dp_never_exceeds_greedy() {
         let cases = vec![
-            (vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)], 1, vec![3, 1]),
-            (vec![NodeSpec::new(1, 1), NodeSpec::new(4, 7)], 0, vec![5, 5]),
             (
-                vec![NodeSpec::new(1, 1), NodeSpec::new(2, 2), NodeSpec::new(6, 9)],
+                vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+                1,
+                vec![3, 1],
+            ),
+            (
+                vec![NodeSpec::new(1, 1), NodeSpec::new(4, 7)],
+                0,
+                vec![5, 5],
+            ),
+            (
+                vec![
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(2, 2),
+                    NodeSpec::new(6, 9),
+                ],
                 2,
                 vec![4, 3, 2],
             ),

@@ -172,10 +172,12 @@ mod tests {
         let empty = MulticastSet::new(NodeSpec::new(3, 3), vec![]).unwrap();
         let tree = greedy_schedule(&empty, net);
         assert!(tree.is_complete());
-        assert_eq!(reception_completion(&tree, &empty, net).unwrap(), Time::ZERO);
+        assert_eq!(
+            reception_completion(&tree, &empty, net).unwrap(),
+            Time::ZERO
+        );
 
-        let single =
-            MulticastSet::new(NodeSpec::new(3, 6), vec![NodeSpec::new(2, 5)]).unwrap();
+        let single = MulticastSet::new(NodeSpec::new(3, 6), vec![NodeSpec::new(2, 5)]).unwrap();
         let tree = greedy_schedule(&single, net);
         // o_send(src) + L + o_recv(dest) = 3 + 2 + 5.
         assert_eq!(

@@ -118,7 +118,9 @@ impl<'a> Searcher<'a> {
     /// `(sends_made + 1)`-th transmission would be delivered.
     fn next_avail(&self, v: NodeId) -> Time {
         let spec = self.set.spec(v);
-        self.reception[v.index()] + (self.sends_made[v.index()] + 1) * spec.send() + self.net.latency()
+        self.reception[v.index()]
+            + (self.sends_made[v.index()] + 1) * spec.send()
+            + self.net.latency()
     }
 
     fn objective_of(&self, delivery: Time, dest: NodeId) -> Time {

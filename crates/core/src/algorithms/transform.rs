@@ -117,7 +117,11 @@ mod tests {
     fn rounding_produces_uniform_power_of_two_instance() {
         let set = MulticastSet::new(
             NodeSpec::new(3, 5),
-            vec![NodeSpec::new(1, 1), NodeSpec::new(5, 7), NodeSpec::new(6, 11)],
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(5, 7),
+                NodeSpec::new(6, 11),
+            ],
         )
         .unwrap();
         let rounded = power_of_two_rounding(&set).unwrap();
@@ -151,7 +155,11 @@ mod tests {
             figure1(),
             MulticastSet::new(
                 NodeSpec::new(7, 9),
-                vec![NodeSpec::new(2, 3), NodeSpec::new(9, 13), NodeSpec::new(20, 37)],
+                vec![
+                    NodeSpec::new(2, 3),
+                    NodeSpec::new(9, 13),
+                    NodeSpec::new(20, 37),
+                ],
             )
             .unwrap(),
         ];
@@ -177,19 +185,18 @@ mod tests {
         let non_uniform = figure1();
         assert_eq!(uniform_integer_ratio(&non_uniform), None);
 
-        let fractional = MulticastSet::new(
-            NodeSpec::new(2, 3),
-            vec![NodeSpec::new(2, 3)],
-        )
-        .unwrap();
+        let fractional = MulticastSet::new(NodeSpec::new(2, 3), vec![NodeSpec::new(2, 3)]).unwrap();
         assert_eq!(uniform_integer_ratio(&fractional), None);
     }
 
     #[test]
     fn power_of_two_detection() {
         assert!(has_power_of_two_sends(
-            &MulticastSet::new(NodeSpec::new(4, 4), vec![NodeSpec::new(1, 1), NodeSpec::new(8, 8)])
-                .unwrap()
+            &MulticastSet::new(
+                NodeSpec::new(4, 4),
+                vec![NodeSpec::new(1, 1), NodeSpec::new(8, 8)]
+            )
+            .unwrap()
         ));
         // Figure 1's sends (1 and 2) are powers of two; a send of 3 is not.
         assert!(has_power_of_two_sends(&figure1()));

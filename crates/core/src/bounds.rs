@@ -150,7 +150,11 @@ mod tests {
             MulticastSet::homogeneous(NodeSpec::new(3, 4), 6),
             MulticastSet::new(
                 NodeSpec::new(4, 7),
-                vec![NodeSpec::new(2, 2), NodeSpec::new(2, 2), NodeSpec::new(4, 7)],
+                vec![
+                    NodeSpec::new(2, 2),
+                    NodeSpec::new(2, 2),
+                    NodeSpec::new(4, 7),
+                ],
             )
             .unwrap(),
         ];

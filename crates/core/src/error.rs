@@ -60,7 +60,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node {node} out of range for a schedule of {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for a schedule of {num_nodes} nodes"
+                )
             }
             CoreError::AlreadyAttached { node } => {
                 write!(f, "node {node} is already attached to the schedule")
@@ -79,10 +82,16 @@ impl fmt::Display for CoreError {
                 "schedule has {tree_nodes} nodes but the multicast set has {set_nodes}"
             ),
             CoreError::PositionOutOfRange { position, len } => {
-                write!(f, "insertion position {position} exceeds child-list length {len}")
+                write!(
+                    f,
+                    "insertion position {position} exceeds child-list length {len}"
+                )
             }
             CoreError::ClassPoolExhausted { class } => {
-                write!(f, "no concrete nodes of class {class} left during reconstruction")
+                write!(
+                    f,
+                    "no concrete nodes of class {class} left during reconstruction"
+                )
             }
         }
     }
@@ -104,7 +113,10 @@ mod tests {
                 },
                 "out of range",
             ),
-            (CoreError::AlreadyAttached { node: NodeId(2) }, "already attached"),
+            (
+                CoreError::AlreadyAttached { node: NodeId(2) },
+                "already attached",
+            ),
             (
                 CoreError::ParentNotAttached { parent: NodeId(3) },
                 "not received",
@@ -118,7 +130,10 @@ mod tests {
                 "3 nodes",
             ),
             (
-                CoreError::PositionOutOfRange { position: 4, len: 1 },
+                CoreError::PositionOutOfRange {
+                    position: 4,
+                    len: 1,
+                },
                 "position 4",
             ),
             (CoreError::ClassPoolExhausted { class: 1 }, "class 1"),

@@ -68,10 +68,7 @@ pub fn refine_leaves(
 /// deliveries of the greedy schedule; this helper reverses an arbitrary
 /// node's child list and is mostly useful for constructing counter-examples
 /// and tests.
-pub fn reverse_children_of(
-    tree: &ScheduleTree,
-    v: NodeId,
-) -> Result<ScheduleTree, CoreError> {
+pub fn reverse_children_of(tree: &ScheduleTree, v: NodeId) -> Result<ScheduleTree, CoreError> {
     let mut out = tree.clone();
     let mut list = out.children(v).to_vec();
     list.reverse();
@@ -142,7 +139,10 @@ mod tests {
             let before = reception_completion(&tree, &set, net).unwrap();
             let refined = refine_leaves(&tree, &set, net).unwrap();
             let after = reception_completion(&refined, &set, net).unwrap();
-            assert!(after <= before, "refinement must not hurt: {after} > {before}");
+            assert!(
+                after <= before,
+                "refinement must not hurt: {after} > {before}"
+            );
         }
     }
 

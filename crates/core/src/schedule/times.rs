@@ -201,7 +201,11 @@ mod tests {
         // Source sends to every destination directly ("separate addressing").
         let set = MulticastSet::new(
             NodeSpec::new(2, 2),
-            vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(3, 4)],
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(3, 4),
+            ],
         )
         .unwrap();
         let net = NetParams::new(5);
@@ -250,7 +254,10 @@ mod tests {
     #[test]
     fn convenience_wrappers() {
         let (tree, set, net) = figure1a();
-        assert_eq!(reception_completion(&tree, &set, net).unwrap(), Time::new(10));
+        assert_eq!(
+            reception_completion(&tree, &set, net).unwrap(),
+            Time::new(10)
+        );
         assert_eq!(delivery_completion(&tree, &set, net).unwrap(), Time::new(7));
     }
 }

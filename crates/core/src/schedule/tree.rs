@@ -305,9 +305,8 @@ impl ScheduleTree {
         if self.is_ancestor(child, new_parent) {
             return Err(CoreError::ParentNotAttached { parent: new_parent });
         }
-        let old_parent = self.parent[child.index()].ok_or(CoreError::ParentNotAttached {
-            parent: child,
-        })?;
+        let old_parent =
+            self.parent[child.index()].ok_or(CoreError::ParentNotAttached { parent: child })?;
         let list = &mut self.children[old_parent.index()];
         let idx = list
             .iter()

@@ -40,7 +40,9 @@ pub fn validate(tree: &ScheduleTree, set: &MulticastSet) -> Result<(), CoreError
     }
     // Parent/child consistency.
     for v in (1..tree.num_nodes()).map(NodeId) {
-        let p = tree.parent(v).ok_or(CoreError::IncompleteSchedule { missing: 1 })?;
+        let p = tree
+            .parent(v)
+            .ok_or(CoreError::IncompleteSchedule { missing: 1 })?;
         if !tree.children(p).contains(&v) {
             return Err(CoreError::ParentNotAttached { parent: p });
         }
@@ -59,7 +61,11 @@ pub fn validate(tree: &ScheduleTree, set: &MulticastSet) -> Result<(), CoreError
 /// overheads). This crate therefore uses the non-strict form, under which
 /// every greedy schedule is layered and the Lemma 2 / Corollary 1 statements
 /// continue to hold; the deviation is recorded in DESIGN.md.
-pub fn is_layered(tree: &ScheduleTree, set: &MulticastSet, net: NetParams) -> Result<bool, CoreError> {
+pub fn is_layered(
+    tree: &ScheduleTree,
+    set: &MulticastSet,
+    net: NetParams,
+) -> Result<bool, CoreError> {
     let timing = evaluate(tree, set, net)?;
     Ok(is_layered_with_timing(&timing, set))
 }

@@ -120,7 +120,11 @@ proptest! {
 fn schedule_tree_serde_roundtrip() {
     let set = MulticastSet::new(
         NodeSpec::new(2, 3),
-        vec![NodeSpec::new(1, 1), NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+        vec![
+            NodeSpec::new(1, 1),
+            NodeSpec::new(1, 1),
+            NodeSpec::new(2, 3),
+        ],
     )
     .unwrap();
     let tree = random_schedule(&set, 9);

@@ -68,12 +68,18 @@ impl Default for BoundCheckConfig {
 fn measure(instance: &Instance, destinations: usize, seed: u64) -> BoundSample {
     let set = &instance.set;
     let net = instance.net;
-    let greedy =
-        reception_completion(&greedy_with_options(set, net, GreedyOptions::PLAIN), set, net)
-            .unwrap();
-    let refined =
-        reception_completion(&greedy_with_options(set, net, GreedyOptions::REFINED), set, net)
-            .unwrap();
+    let greedy = reception_completion(
+        &greedy_with_options(set, net, GreedyOptions::PLAIN),
+        set,
+        net,
+    )
+    .unwrap();
+    let refined = reception_completion(
+        &greedy_with_options(set, net, GreedyOptions::REFINED),
+        set,
+        net,
+    )
+    .unwrap();
     let exact = search(
         set,
         net,
@@ -114,7 +120,9 @@ pub fn run(config: &BoundCheckConfig) -> Vec<BoundSample> {
                 max_ratio: 1.85,
                 random_source: true,
             };
-            let set = cfg.generate(seed).expect("generator produces valid instances");
+            let set = cfg
+                .generate(seed)
+                .expect("generator produces valid instances");
             let instance = Instance::new(set, hnow_model::NetParams::new(config.latency));
             measure(&instance, n, seed)
         })

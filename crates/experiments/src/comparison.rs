@@ -99,12 +99,7 @@ pub fn table(parameter: &str, points: &[ComparisonPoint], strategies: &[Strategy
 
 /// Convenience: the default slow-fraction sweep of the experiment.
 pub fn default_slow_fraction_points(destinations: usize, seed: u64) -> Vec<ComparisonPoint> {
-    let sweep = Sweep::over_slow_fraction(
-        destinations,
-        &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
-        4,
-        seed,
-    );
+    let sweep = Sweep::over_slow_fraction(destinations, &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], 4, seed);
     run_sweep(&sweep, &DEFAULT_STRATEGIES, seed)
 }
 

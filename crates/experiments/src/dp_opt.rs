@@ -106,8 +106,7 @@ pub fn run(config: &DpConfig) -> Vec<DpSample> {
     let two = two_class_table();
     let mut n = 2usize;
     while n <= config.two_class_max {
-        let typed =
-            TypedMulticast::from_classes(&two, size, 1, vec![n / 2, n - n / 2]).unwrap();
+        let typed = TypedMulticast::from_classes(&two, size, 1, vec![n / 2, n - n / 2]).unwrap();
         samples.push(measure(&typed, net, config.exact_limit));
         n *= 2;
     }
@@ -116,8 +115,7 @@ pub fn run(config: &DpConfig) -> Vec<DpSample> {
     let four = standard_class_table();
     let mut per_class = 1usize;
     while per_class <= config.four_class_max {
-        let typed =
-            TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
+        let typed = TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
         samples.push(measure(&typed, net, config.exact_limit));
         per_class *= 2;
     }
@@ -172,7 +170,10 @@ mod tests {
         assert!(!samples.is_empty());
         for s in &samples {
             if let Some(exact) = s.exact {
-                assert_eq!(s.dp_optimal, exact, "DP must equal the exact optimum: {s:?}");
+                assert_eq!(
+                    s.dp_optimal, exact,
+                    "DP must equal the exact optimum: {s:?}"
+                );
             }
             assert!(s.dp_optimal <= s.greedy_refined);
             assert!(s.greedy_ratio >= 1.0 - 1e-9);

@@ -75,8 +75,12 @@ pub fn run() -> Figure1Report {
     let b = figure1b_schedule();
     let timing_a = evaluate(&a, &set, net).expect("figure 1(a) is complete");
     let schedule_b = reception_completion(&b, &set, net).expect("figure 1(b) is complete");
-    let greedy = reception_completion(&greedy_with_options(&set, net, GreedyOptions::PLAIN), &set, net)
-        .unwrap();
+    let greedy = reception_completion(
+        &greedy_with_options(&set, net, GreedyOptions::PLAIN),
+        &set,
+        net,
+    )
+    .unwrap();
     let greedy_refined = reception_completion(
         &greedy_with_options(&set, net, GreedyOptions::REFINED),
         &set,
@@ -90,7 +94,10 @@ pub fn run() -> Figure1Report {
         greedy,
         greedy_refined,
         optimal,
-        schedule_a_receptions: set.destination_ids().map(|v| timing_a.reception(v)).collect(),
+        schedule_a_receptions: set
+            .destination_ids()
+            .map(|v| timing_a.reception(v))
+            .collect(),
     }
 }
 
@@ -100,15 +107,31 @@ pub fn table(report: &Figure1Report) -> Table {
         "E1 / Figure 1 — completion times for the 5-node example",
         &["schedule", "paper", "measured"],
     );
-    t.push_row(vec!["figure 1(a)".into(), 10u64.into(), report.schedule_a.raw().into()]);
-    t.push_row(vec!["figure 1(b)".into(), 9u64.into(), report.schedule_b.raw().into()]);
-    t.push_row(vec!["greedy (Lemma 1)".into(), "-".into(), report.greedy.raw().into()]);
+    t.push_row(vec![
+        "figure 1(a)".into(),
+        10u64.into(),
+        report.schedule_a.raw().into(),
+    ]);
+    t.push_row(vec![
+        "figure 1(b)".into(),
+        9u64.into(),
+        report.schedule_b.raw().into(),
+    ]);
+    t.push_row(vec![
+        "greedy (Lemma 1)".into(),
+        "-".into(),
+        report.greedy.raw().into(),
+    ]);
     t.push_row(vec![
         "greedy + leaf refinement".into(),
         "-".into(),
         report.greedy_refined.raw().into(),
     ]);
-    t.push_row(vec!["exact optimum".into(), "-".into(), report.optimal.raw().into()]);
+    t.push_row(vec![
+        "exact optimum".into(),
+        "-".into(),
+        report.optimal.raw().into(),
+    ]);
     t
 }
 
@@ -125,8 +148,11 @@ mod tests {
         assert_eq!(report.greedy_refined, Time::new(8));
         assert_eq!(report.optimal, Time::new(8));
         // The bracketed reception times of Figure 1(a): 4, 6, 7 and 10.
-        let mut receptions: Vec<u64> =
-            report.schedule_a_receptions.iter().map(|t| t.raw()).collect();
+        let mut receptions: Vec<u64> = report
+            .schedule_a_receptions
+            .iter()
+            .map(|t| t.raw())
+            .collect();
         receptions.sort_unstable();
         assert_eq!(receptions, vec![4, 6, 7, 10]);
     }

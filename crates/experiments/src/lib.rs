@@ -101,8 +101,14 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         seed,
     };
     let layered_samples = layered::run(&layered_cfg);
-    let c1 = layered_samples.iter().filter(|s| s.corollary1_holds()).count();
-    let e4 = layered_samples.iter().filter(|s| s.equation4_holds()).count();
+    let c1 = layered_samples
+        .iter()
+        .filter(|s| s.corollary1_holds())
+        .count();
+    let e4 = layered_samples
+        .iter()
+        .filter(|s| s.equation4_holds())
+        .count();
     reports.push(ExperimentReport {
         id: "E4+E5",
         headline: format!(

@@ -83,12 +83,9 @@ pub fn run(config: &RobustnessConfig) -> Vec<RobustnessSample> {
             let matches = check_against_analytic(&tree, &instance.set, instance.net)
                 .map(|m| m.is_empty())
                 .unwrap_or(false);
-            let nominal = hnow_core::schedule::reception_completion(
-                &tree,
-                &instance.set,
-                instance.net,
-            )
-            .unwrap();
+            let nominal =
+                hnow_core::schedule::reception_completion(&tree, &instance.set, instance.net)
+                    .unwrap();
             let mut total = 0u64;
             let mut worst = 0u64;
             for trial in 0..config.trials {
@@ -154,7 +151,8 @@ mod tests {
             // With ±20% jitter the completion cannot exceed the nominal value
             // by more than ~20% plus integer rounding slack.
             assert!(
-                (s.perturbed_max as f64) <= s.nominal as f64 * 1.2 + 2.0 * config.destinations as f64,
+                (s.perturbed_max as f64)
+                    <= s.nominal as f64 * 1.2 + 2.0 * config.destinations as f64,
                 "{}: perturbed {} vs nominal {}",
                 s.strategy,
                 s.perturbed_max,
@@ -162,7 +160,10 @@ mod tests {
             );
             assert!(s.perturbed_mean > 0.0);
         }
-        let greedy = samples.iter().find(|s| s.strategy == "greedy+leaf").unwrap();
+        let greedy = samples
+            .iter()
+            .find(|s| s.strategy == "greedy+leaf")
+            .unwrap();
         let star = samples.iter().find(|s| s.strategy == "star").unwrap();
         assert!(greedy.nominal <= star.nominal);
         assert_eq!(table(&samples).rows.len(), samples.len());

@@ -224,7 +224,7 @@ impl TypedMulticast {
     pub fn to_multicast_set(&self) -> Result<MulticastSet, ModelError> {
         let mut destinations = Vec::with_capacity(self.total_destinations());
         for (c, &count) in self.counts.iter().enumerate() {
-            destinations.extend(std::iter::repeat(self.specs[c]).take(count));
+            destinations.extend(std::iter::repeat_n(self.specs[c], count));
         }
         MulticastSet::new(self.specs[self.source_class], destinations)
     }
@@ -239,7 +239,7 @@ impl TypedMulticast {
         // `to_multicast_set` and record where each class's copies land.
         let mut slots: Vec<(NodeSpec, usize)> = Vec::with_capacity(self.total_destinations());
         for (c, &count) in self.counts.iter().enumerate() {
-            slots.extend(std::iter::repeat((self.specs[c], c)).take(count));
+            slots.extend(std::iter::repeat_n((self.specs[c], c), count));
         }
         slots.sort_by(|a, b| a.0.speed_cmp(&b.0));
         slots
@@ -313,13 +313,8 @@ mod tests {
     #[test]
     fn figure1_as_typed_instance() {
         // Slow source, three fast destinations, one slow destination.
-        let typed = TypedMulticast::from_classes(
-            &two_classes(),
-            MessageSize(0),
-            1,
-            vec![3, 1],
-        )
-        .unwrap();
+        let typed =
+            TypedMulticast::from_classes(&two_classes(), MessageSize(0), 1, vec![3, 1]).unwrap();
         assert_eq!(typed.k(), 2);
         assert_eq!(typed.total_destinations(), 4);
         let set = typed.to_multicast_set().unwrap();
@@ -388,6 +383,8 @@ mod tests {
         )
         .unwrap();
         assert!(typed.to_string().contains("type-1"));
-        assert!(NodeClass::constant("fast", 1, 1).to_string().contains("fast"));
+        assert!(NodeClass::constant("fast", 1, 1)
+            .to_string()
+            .contains("fast"));
     }
 }

@@ -43,9 +43,8 @@ impl OnePortModel {
 
 impl IntoReceiveSend for OnePortModel {
     fn to_instance(&self) -> Result<Instance, ModelError> {
-        let spec = NodeSpec::try_new(self.step, 0).ok_or(ModelError::ZeroSendOverhead {
-            index: usize::MAX,
-        })?;
+        let spec = NodeSpec::try_new(self.step, 0)
+            .ok_or(ModelError::ZeroSendOverhead { index: usize::MAX })?;
         Ok(Instance::new(
             MulticastSet::homogeneous(spec, self.destinations),
             NetParams::zero_latency(),

@@ -32,10 +32,7 @@ impl MulticastSet {
     /// Builds a multicast set, sorting destinations into the canonical
     /// non-decreasing overhead order and validating the correlation
     /// assumption.
-    pub fn new(
-        source: NodeSpec,
-        mut destinations: Vec<NodeSpec>,
-    ) -> Result<Self, ModelError> {
+    pub fn new(source: NodeSpec, mut destinations: Vec<NodeSpec>) -> Result<Self, ModelError> {
         destinations.sort_by(|a, b| a.speed_cmp(b));
         let set = MulticastSet {
             source,

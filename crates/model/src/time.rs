@@ -209,10 +209,7 @@ mod tests {
     #[test]
     fn checked_and_saturating() {
         assert_eq!(Time::new(3).checked_sub(Time::new(5)), None);
-        assert_eq!(
-            Time::new(5).checked_sub(Time::new(3)),
-            Some(Time::new(2))
-        );
+        assert_eq!(Time::new(5).checked_sub(Time::new(3)), Some(Time::new(2)));
         assert_eq!(Time::new(3).saturating_sub(Time::new(5)), Time::ZERO);
         assert_eq!(Time::MAX.checked_add(Time::new(1)), None);
         assert_eq!(Time::MAX.saturating_add(Time::new(1)), Time::MAX);

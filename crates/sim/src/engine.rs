@@ -60,33 +60,31 @@ pub fn execute_with_specs(
     let mut queue = EventQueue::new();
 
     // A node that holds the message schedules all its sends back to back.
-    let schedule_sends = |node: NodeId,
-                          ready_at: Time,
-                          queue: &mut EventQueue,
-                          tree: &ScheduleTree| {
-        let mut t = ready_at;
-        for (i, &child) in tree.children(node).iter().enumerate() {
-            queue.push(
-                t,
-                Event::SendStart {
-                    sender: node,
-                    receiver: child,
-                    rank: (i + 1) as u64,
-                },
-            );
-            t += specs[node.index()].send();
-        }
-    };
+    let schedule_sends =
+        |node: NodeId, ready_at: Time, queue: &mut EventQueue, tree: &ScheduleTree| {
+            let mut t = ready_at;
+            for (i, &child) in tree.children(node).iter().enumerate() {
+                queue.push(
+                    t,
+                    Event::SendStart {
+                        sender: node,
+                        receiver: child,
+                        rank: (i + 1) as u64,
+                    },
+                );
+                t += specs[node.index()].send();
+            }
+        };
 
     // The source holds the message at time zero.
     schedule_sends(NodeId::SOURCE, Time::ZERO, &mut queue, tree);
 
     let busy = |node: NodeId,
-                    start: Time,
-                    dur: Time,
-                    activity: Activity,
-                    busy_until: &mut [Time],
-                    timelines: &mut [Vec<BusyInterval>]|
+                start: Time,
+                dur: Time,
+                activity: Activity,
+                busy_until: &mut [Time],
+                timelines: &mut [Vec<BusyInterval>]|
      -> Result<Time, SimError> {
         if start < busy_until[node.index()] {
             return Err(SimError::OccupancyViolation {

@@ -81,7 +81,10 @@ mod tests {
         let wrapped: SimError = CoreError::IncompleteSchedule { missing: 1 }.into();
         assert!(wrapped.to_string().contains("invalid schedule"));
         assert!(Error::source(&wrapped).is_some());
-        let mism = SimError::SpecLengthMismatch { got: 2, expected: 3 };
+        let mism = SimError::SpecLengthMismatch {
+            got: 2,
+            expected: 3,
+        };
         assert!(mism.to_string().contains("2 entries"));
     }
 }

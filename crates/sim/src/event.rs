@@ -95,11 +95,12 @@ mod tests {
         for i in 0..10usize {
             q.push(Time::new(4), Event::ReceiveComplete { node: NodeId(i) });
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| match e {
-            Event::ReceiveComplete { node } => node.index(),
-            _ => unreachable!(),
-        })
-        .collect();
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::ReceiveComplete { node } => node.index(),
+                _ => unreachable!(),
+            })
+            .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 }

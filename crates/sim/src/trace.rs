@@ -105,7 +105,11 @@ impl SimTrace {
                     *slot = ch;
                 }
             }
-            out.push_str(&format!("{:>5} |{}|\n", format!("p{i}"), row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{:>5} |{}|\n",
+                format!("p{i}"),
+                row.iter().collect::<String>()
+            ));
         }
         out
     }
@@ -118,9 +122,13 @@ impl fmt::Display for SimTrace {
             write!(f, "p{i}:")?;
             for interval in timeline {
                 match interval.activity {
-                    Activity::Send { to } => {
-                        write!(f, " send->{}[{},{})", to.index(), interval.start, interval.end)?
-                    }
+                    Activity::Send { to } => write!(
+                        f,
+                        " send->{}[{},{})",
+                        to.index(),
+                        interval.start,
+                        interval.end
+                    )?,
                     Activity::Receive { from } => write!(
                         f,
                         " recv<-{}[{},{})",

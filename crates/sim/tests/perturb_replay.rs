@@ -1,0 +1,91 @@
+//! Integration tests of `hnow_sim::perturb` against the replay engine:
+//! seeded jitter must be reproducible end-to-end (same seed → identical
+//! trace), and a zero-jitter replay must match the nominal analytic times.
+
+use hnow_core::schedule::evaluate;
+use hnow_core::{build_schedule, greedy_schedule, Strategy};
+use hnow_model::{MulticastSet, NetParams, NodeSpec};
+use hnow_sim::{execute_with_specs, PerturbConfig};
+
+fn mixed_instance() -> (MulticastSet, NetParams) {
+    let specs = vec![
+        NodeSpec::new(5, 6),
+        NodeSpec::new(5, 8),
+        NodeSpec::new(10, 15),
+        NodeSpec::new(10, 15),
+        NodeSpec::new(20, 33),
+        NodeSpec::new(40, 70),
+    ];
+    let set = MulticastSet::new(NodeSpec::new(5, 6), specs).expect("valid instance");
+    (set, NetParams::new(3))
+}
+
+#[test]
+fn seeded_jitter_replay_is_reproducible() {
+    let (set, net) = mixed_instance();
+    let tree = greedy_schedule(&set, net);
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let specs_a = PerturbConfig::new(0.25, seed).perturb(&set);
+        let specs_b = PerturbConfig::new(0.25, seed).perturb(&set);
+        assert_eq!(specs_a, specs_b, "perturbed specs differ for seed {seed}");
+        let trace_a = execute_with_specs(&tree, &specs_a, net).expect("replay succeeds");
+        let trace_b = execute_with_specs(&tree, &specs_b, net).expect("replay succeeds");
+        assert_eq!(trace_a, trace_b, "traces differ for seed {seed}");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_trace() {
+    let (set, net) = mixed_instance();
+    let tree = greedy_schedule(&set, net);
+    let trace_a = execute_with_specs(&tree, &PerturbConfig::new(0.25, 1).perturb(&set), net)
+        .expect("replay succeeds");
+    let trace_b = execute_with_specs(&tree, &PerturbConfig::new(0.25, 2).perturb(&set), net)
+        .expect("replay succeeds");
+    // With 25% jitter on six distinct nodes, two seeds colliding on every
+    // overhead would be astronomically unlikely; a collision here means the
+    // seed is being ignored.
+    assert_ne!(
+        trace_a, trace_b,
+        "different seeds produced identical traces"
+    );
+}
+
+#[test]
+fn zero_jitter_replay_matches_nominal_analytic_times() {
+    let (set, net) = mixed_instance();
+    for strategy in [
+        Strategy::Greedy,
+        Strategy::GreedyRefined,
+        Strategy::FastestNodeFirst,
+        Strategy::Binomial,
+        Strategy::Chain,
+        Strategy::Star,
+        Strategy::Random,
+    ] {
+        let tree = build_schedule(strategy, &set, net, 7);
+        let specs = PerturbConfig::new(0.0, 99).perturb(&set);
+        let trace = execute_with_specs(&tree, &specs, net).expect("replay succeeds");
+        let timing = evaluate(&tree, &set, net).expect("evaluation succeeds");
+        for v in set.destination_ids() {
+            assert_eq!(
+                trace.delivery(v),
+                timing.delivery(v),
+                "{}: delivery of {v:?} drifted under zero jitter",
+                strategy.name()
+            );
+            assert_eq!(
+                trace.reception(v),
+                timing.reception(v),
+                "{}: reception of {v:?} drifted under zero jitter",
+                strategy.name()
+            );
+        }
+        assert_eq!(
+            trace.completion,
+            timing.reception_completion(),
+            "{}: completion drifted under zero jitter",
+            strategy.name()
+        );
+    }
+}

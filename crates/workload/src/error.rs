@@ -48,7 +48,9 @@ mod tests {
         let e: WorkloadError = ModelError::EmptyClassTable.into();
         assert!(e.to_string().contains("model error"));
         assert!(Error::source(&e).is_some());
-        assert!(WorkloadError::EmptyCluster.to_string().contains("no destinations"));
+        assert!(WorkloadError::EmptyCluster
+            .to_string()
+            .contains("no destinations"));
         assert!(Error::source(&WorkloadError::EmptyCluster).is_none());
     }
 }

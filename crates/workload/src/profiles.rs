@@ -49,8 +49,7 @@ pub fn standard_class_table() -> ClassTable {
 /// A two-class (fast/slow) table matching the flavour of the paper's
 /// Figure 1 example.
 pub fn two_class_table() -> ClassTable {
-    ClassTable::new(vec![fast_workstation(), legacy_workstation()])
-        .expect("non-empty class list")
+    ClassTable::new(vec![fast_workstation(), legacy_workstation()]).expect("non-empty class list")
 }
 
 /// The exact node classes of the paper's Figure 1 (constant overheads:

@@ -27,7 +27,10 @@ fn main() {
     let violations = samples.iter().filter(|s| !s.bound_holds).count();
     let worst = samples.iter().map(|s| s.ratio).fold(0.0, f64::max);
     let unproven = samples.iter().filter(|s| !s.proven).count();
-    println!("bound violations: {violations} / {} instances", samples.len());
+    println!(
+        "bound violations: {violations} / {} instances",
+        samples.len()
+    );
     println!("worst observed greedy/OPT ratio: {worst:.3}");
     if unproven > 0 {
         println!("(note: {unproven} instances hit the search node budget; their optima are upper bounds)");

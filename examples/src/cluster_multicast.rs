@@ -19,7 +19,9 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(64);
 
-    println!("== E8: strategy comparison on a {destinations}-destination departmental cluster ==\n");
+    println!(
+        "== E8: strategy comparison on a {destinations}-destination departmental cluster ==\n"
+    );
     let sweep = Sweep::over_slow_fraction(
         destinations,
         &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
@@ -27,7 +29,10 @@ fn main() {
         0xD3B7 ^ destinations as u64,
     );
     let points = run_sweep(&sweep, &DEFAULT_STRATEGIES, 7);
-    println!("{}", table("slow fraction", &points, &DEFAULT_STRATEGIES).to_markdown());
+    println!(
+        "{}",
+        table("slow fraction", &points, &DEFAULT_STRATEGIES).to_markdown()
+    );
 
     // Headline: how much does ignoring heterogeneity cost at a 25% legacy mix?
     if let Some(p) = points.iter().find(|p| (p.x - 0.25).abs() < 1e-9) {

@@ -15,11 +15,17 @@ fn main() {
     println!("{}", table(&report).to_markdown());
 
     let (set, net) = figure1_instance();
-    println!("Figure 1(a) execution (completes at {}):", report.schedule_a);
+    println!(
+        "Figure 1(a) execution (completes at {}):",
+        report.schedule_a
+    );
     let trace_a = execute(&figure1a_schedule(), &set, net).expect("figure 1(a) executes");
     println!("{}", trace_a.render_gantt(60));
 
-    println!("Figure 1(b) execution (completes at {}):", report.schedule_b);
+    println!(
+        "Figure 1(b) execution (completes at {}):",
+        report.schedule_b
+    );
     let trace_b = execute(&figure1b_schedule(), &set, net).expect("figure 1(b) executes");
     println!("{}", trace_b.render_gantt(60));
 

@@ -14,11 +14,8 @@ fn main() {
     // tens of microseconds); the network latency is 2 units.
     let fast = NodeSpec::new(3, 4);
     let slow = NodeSpec::new(9, 15);
-    let set = MulticastSet::new(
-        fast,
-        vec![fast, fast, fast, fast, fast, slow, slow, slow],
-    )
-    .expect("valid multicast set");
+    let set = MulticastSet::new(fast, vec![fast, fast, fast, fast, fast, slow, slow, slow])
+        .expect("valid multicast set");
     let net = NetParams::new(2);
 
     println!("cluster: {set}");
@@ -40,7 +37,10 @@ fn main() {
     let s = stats(&tree, &set, net).expect("complete schedule");
     println!("reception completion time R_T = {}", s.reception_completion);
     println!("delivery  completion time D_T = {}", s.delivery_completion);
-    println!("tree depth = {}, source fan-out = {}", s.depth, s.source_fanout);
+    println!(
+        "tree depth = {}, source fan-out = {}",
+        s.depth, s.source_fanout
+    );
     println!("layered: {}", s.layered);
     println!();
 

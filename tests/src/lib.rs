@@ -1,9 +1,16 @@
 //! Shared fixtures for the cross-crate integration test suite.
 //!
 //! The integration tests live in `tests/tests/*.rs`; this small library
-//! provides instance builders reused by several of them.
+//! provides instance builders reused by several of them, and the scenario
+//! grid driving the cross-algorithm conformance suite
+//! (`tests/conformance.rs`).
 
+use hnow_core::Strategy;
 use hnow_model::{MulticastSet, NetParams, NodeSpec};
+use hnow_workload::{
+    bimodal_cluster, default_message_size, fast_slow_mix, figure1_class_table, two_class_table,
+    RandomClusterConfig,
+};
 
 /// The exact 5-node instance of Figure 1 of the paper: a slow source, three
 /// fast destinations and one slow destination, with network latency `L = 1`.
@@ -29,4 +36,120 @@ pub fn small_mixed_instance() -> (MulticastSet, NetParams) {
     ];
     let set = MulticastSet::new(NodeSpec::new(1, 1), specs).expect("valid instance");
     (set, NetParams::new(2))
+}
+
+/// One generated input of the conformance grid: a named instance plus its
+/// network parameters.
+#[derive(Debug, Clone)]
+pub struct ConformanceScenario {
+    /// Human-readable label, used in assertion messages.
+    pub name: String,
+    /// The multicast instance.
+    pub set: MulticastSet,
+    /// Network latency parameters.
+    pub net: NetParams,
+}
+
+impl ConformanceScenario {
+    fn new(name: impl Into<String>, set: MulticastSet, net: NetParams) -> Self {
+        ConformanceScenario {
+            name: name.into(),
+            set,
+            net,
+        }
+    }
+}
+
+/// Every heuristic planner exercised by the conformance suite. The DP and
+/// the exact branch-and-bound search are additionally exercised where their
+/// preconditions hold (`k` small for the DP, `n` small for the search).
+pub fn heuristic_planners() -> Vec<Strategy> {
+    vec![
+        Strategy::Greedy,
+        Strategy::GreedyRefined,
+        Strategy::FastestNodeFirst,
+        Strategy::Binomial,
+        Strategy::Chain,
+        Strategy::Star,
+        Strategy::Random,
+    ]
+}
+
+/// The conformance scenario grid: hand-picked shapes (Figure 1,
+/// homogeneous, degenerate) plus seeded draws from every `hnow-workload`
+/// generator family (random bands, bimodal mixes, limited-heterogeneity
+/// class tables) across several latencies and sizes.
+pub fn conformance_scenarios() -> Vec<ConformanceScenario> {
+    let mut scenarios = Vec::new();
+
+    // The paper's Figure 1 instance.
+    let (fig_set, fig_net) = figure1_instance();
+    scenarios.push(ConformanceScenario::new("figure1", fig_set, fig_net));
+
+    // Degenerate and homogeneous shapes.
+    scenarios.push(ConformanceScenario::new(
+        "single-destination",
+        MulticastSet::new(NodeSpec::new(2, 3), vec![NodeSpec::new(4, 6)]).expect("valid"),
+        NetParams::new(2),
+    ));
+    scenarios.push(ConformanceScenario::new(
+        "homogeneous-n8",
+        MulticastSet::homogeneous(NodeSpec::new(3, 4), 8),
+        NetParams::new(1),
+    ));
+    scenarios.push(ConformanceScenario::new(
+        "homogeneous-zero-latency",
+        MulticastSet::homogeneous(NodeSpec::new(2, 2), 6),
+        NetParams::new(0),
+    ));
+
+    // Limited-heterogeneity clusters from the class tables (k = 2), small
+    // enough for the exact search to cross-check the DP.
+    let size = default_message_size();
+    for (n, slow_fraction, slow_source, latency) in [
+        (6usize, 0.3, false, 2u64),
+        (8, 0.5, true, 1),
+        (9, 0.25, false, 0),
+    ] {
+        let spec = fast_slow_mix(&two_class_table(), 0, 1, n, slow_fraction, slow_source);
+        let set = spec.multicast_set(size).expect("valid cluster");
+        scenarios.push(ConformanceScenario::new(
+            format!("two-class-n{n}-slow{slow_fraction}-L{latency}"),
+            set,
+            NetParams::new(latency),
+        ));
+    }
+    let fig_mix = fast_slow_mix(&figure1_class_table(), 0, 1, 7, 0.4, true);
+    scenarios.push(ConformanceScenario::new(
+        "figure1-classes-n7",
+        fig_mix.multicast_set(size).expect("valid cluster"),
+        NetParams::new(1),
+    ));
+
+    // Random clusters across the published overhead/ratio bands.
+    for (n, latency, seed) in [(5usize, 5u64, 3u64), (8, 2, 11), (16, 3, 42), (32, 1, 7)] {
+        let set = RandomClusterConfig {
+            destinations: n,
+            ..RandomClusterConfig::default()
+        }
+        .generate(seed)
+        .expect("valid random cluster");
+        scenarios.push(ConformanceScenario::new(
+            format!("random-n{n}-L{latency}-s{seed}"),
+            set,
+            NetParams::new(latency),
+        ));
+    }
+
+    // Bimodal fast-majority / slow-straggler mixes.
+    for (n, slow_fraction, latency, seed) in [(12usize, 0.25, 3u64, 5u64), (24, 0.5, 1, 9)] {
+        let set = bimodal_cluster(n, slow_fraction, seed).expect("valid bimodal cluster");
+        scenarios.push(ConformanceScenario::new(
+            format!("bimodal-n{n}-slow{slow_fraction}-s{seed}"),
+            set,
+            NetParams::new(latency),
+        ));
+    }
+
+    scenarios
 }

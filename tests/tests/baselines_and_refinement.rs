@@ -45,13 +45,15 @@ fn refined_greedy_beats_oblivious_baselines_on_bimodal_clusters() {
                 net,
             )
             .unwrap();
-            for strategy in [Strategy::Binomial, Strategy::Chain, Strategy::Star, Strategy::Random] {
-                let other = reception_completion(
-                    &build_schedule(strategy, &set, net, seed),
-                    &set,
-                    net,
-                )
-                .unwrap();
+            for strategy in [
+                Strategy::Binomial,
+                Strategy::Chain,
+                Strategy::Star,
+                Strategy::Random,
+            ] {
+                let other =
+                    reception_completion(&build_schedule(strategy, &set, net, seed), &set, net)
+                        .unwrap();
                 assert!(
                     greedy <= other,
                     "seed {seed} frac {slow_fraction}: greedy {greedy} lost to {} {other}",

@@ -1,0 +1,275 @@
+//! Cross-algorithm conformance suite.
+//!
+//! Runs every planner against the generated scenario grid of
+//! `hnow_integration::conformance_scenarios()` and turns the paper's
+//! invariants into machine-checked contracts:
+//!
+//! * every produced schedule passes structural validation,
+//! * the closed-form `R_T`/`D_T` evaluation agrees **exactly** with the
+//!   event-driven replay of `hnow-sim`, node by node,
+//! * Theorem 1's guarantee `R_greedy ≤ C·OPT_R + β` (with
+//!   `C = 2·⌈α_max⌉/α_min`) and the always-valid lower bounds of
+//!   `hnow_core::bounds` hold, and
+//! * the Theorem 2 dynamic program matches the branch-and-bound optimum on
+//!   every limited-heterogeneity instance small enough to search exactly.
+//!
+//! This suite is the regression floor for later performance work: any
+//! planner or evaluator change that breaks a theorem or diverges from the
+//! simulator fails here with the scenario name in the message.
+
+use hnow_core::algorithms::optimal::{search, SearchOptions};
+use hnow_core::bounds::{lower_bound, theorem1_bound};
+use hnow_core::schedule::{evaluate, reception_completion, validate};
+use hnow_core::{build_schedule, dp_optimum, Strategy};
+use hnow_integration::{conformance_scenarios, heuristic_planners, ConformanceScenario};
+use hnow_model::{Time, TypedMulticast};
+use hnow_sim::{check_against_analytic, execute};
+
+/// Destination count up to which the branch-and-bound search is run as the
+/// exact reference.
+const EXACT_SEARCH_MAX_N: usize = 9;
+
+/// Distinct-type count up to which the Theorem 2 DP is priced in as a
+/// planner (its table is exponential in the number of *distinct* types).
+const DP_MAX_K: usize = 3;
+
+/// Node budget for the exact reference search.
+const SEARCH_BUDGET: u64 = 3_000_000;
+
+/// Seed for the `Strategy::Random` planner, fixed for reproducibility.
+const RANDOM_PLANNER_SEED: u64 = 0xC0FFEE;
+
+/// The planners applicable to a scenario: all heuristics, plus the DP
+/// whenever the instance's heterogeneity is limited enough.
+fn applicable_planners(scenario: &ConformanceScenario) -> Vec<Strategy> {
+    let mut planners = heuristic_planners();
+    if scenario.set.num_distinct_types() <= DP_MAX_K {
+        planners.push(Strategy::DpOptimal);
+    }
+    planners
+}
+
+#[test]
+fn scenario_grid_is_large_and_diverse() {
+    let scenarios = conformance_scenarios();
+    assert!(
+        scenarios.len() >= 10,
+        "conformance grid must exercise at least 10 scenarios, got {}",
+        scenarios.len()
+    );
+    // The grid must cover limited heterogeneity (DP-friendly), general
+    // heterogeneity, and at least one exactly-searchable size.
+    assert!(
+        scenarios
+            .iter()
+            .any(|s| s.set.num_distinct_types() <= 2
+                && s.set.num_destinations() <= EXACT_SEARCH_MAX_N)
+    );
+    assert!(scenarios.iter().any(|s| s.set.num_distinct_types() > 3));
+    assert!(scenarios
+        .iter()
+        .any(|s| s.set.num_destinations() > EXACT_SEARCH_MAX_N));
+    // Scenario names are unique so failure messages identify the input.
+    let mut names: Vec<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+}
+
+/// (a) Every planner produces a structurally valid schedule on every
+/// scenario.
+#[test]
+fn every_planner_builds_valid_schedules_on_every_scenario() {
+    for scenario in conformance_scenarios() {
+        for strategy in applicable_planners(&scenario) {
+            let tree = build_schedule(strategy, &scenario.set, scenario.net, RANDOM_PLANNER_SEED);
+            validate(&tree, &scenario.set).unwrap_or_else(|e| {
+                panic!(
+                    "{}: {} produced an invalid schedule: {e:?}",
+                    scenario.name,
+                    strategy.name()
+                )
+            });
+        }
+    }
+}
+
+/// (b) The analytic `R_T`/`D_T` evaluation equals the event-driven replay
+/// exactly — per node and in the completion time — for every planner ×
+/// scenario.
+#[test]
+fn analytic_times_match_event_driven_replay_exactly() {
+    for scenario in conformance_scenarios() {
+        for strategy in applicable_planners(&scenario) {
+            let tree = build_schedule(strategy, &scenario.set, scenario.net, RANDOM_PLANNER_SEED);
+            let mismatches = check_against_analytic(&tree, &scenario.set, scenario.net)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: {} failed to replay: {e:?}",
+                        scenario.name,
+                        strategy.name()
+                    )
+                });
+            assert!(
+                mismatches.is_empty(),
+                "{}: {} sim/analytic divergence at nodes {mismatches:?}",
+                scenario.name,
+                strategy.name()
+            );
+
+            let trace = execute(&tree, &scenario.set, scenario.net).expect("replay succeeds");
+            let timing = evaluate(&tree, &scenario.set, scenario.net).expect("evaluation succeeds");
+            assert_eq!(
+                trace.completion,
+                timing.reception_completion(),
+                "{}: {} completion mismatch",
+                scenario.name,
+                strategy.name()
+            );
+            let max_delivery = scenario
+                .set
+                .destination_ids()
+                .map(|v| trace.delivery(v))
+                .max()
+                .unwrap_or(Time::ZERO);
+            assert_eq!(
+                max_delivery,
+                timing.delivery_completion(),
+                "{}: {} delivery-completion mismatch",
+                scenario.name,
+                strategy.name()
+            );
+        }
+    }
+}
+
+/// (c) Theorem 1's bound and the always-valid lower bounds hold on every
+/// scenario. `OPT_R` is the proven branch-and-bound optimum where the
+/// instance is small enough; otherwise any planner's completion time is a
+/// valid stand-in (it only weakens the right-hand side).
+#[test]
+fn theorem1_bound_and_lower_bounds_hold() {
+    for scenario in conformance_scenarios() {
+        let lb = lower_bound(&scenario.set, scenario.net);
+        let mut best_completion: Option<Time> = None;
+        let mut greedy_completion: Option<Time> = None;
+
+        for strategy in applicable_planners(&scenario) {
+            let tree = build_schedule(strategy, &scenario.set, scenario.net, RANDOM_PLANNER_SEED);
+            let completion = reception_completion(&tree, &scenario.set, scenario.net)
+                .expect("valid schedule evaluates");
+            assert!(
+                completion >= lb.value,
+                "{}: {} completed at {completion}, below the lower bound {}",
+                scenario.name,
+                strategy.name(),
+                lb.value
+            );
+            if strategy == Strategy::Greedy {
+                greedy_completion = Some(completion);
+            }
+            best_completion = Some(match best_completion {
+                Some(best) => best.min(completion),
+                None => completion,
+            });
+        }
+        let best_completion = best_completion.expect("at least one planner ran");
+
+        // Reference optimum: exact where feasible, else the best heuristic.
+        let exact = (scenario.set.num_destinations() <= EXACT_SEARCH_MAX_N).then(|| {
+            search(
+                &scenario.set,
+                scenario.net,
+                SearchOptions {
+                    node_budget: SEARCH_BUDGET,
+                    ..SearchOptions::default()
+                },
+            )
+        });
+        let opt_ref = match &exact {
+            Some(result) if result.proven_optimal => {
+                assert!(
+                    lb.value <= result.value,
+                    "{}: lower bound {} exceeds the proven optimum {}",
+                    scenario.name,
+                    lb.value,
+                    result.value
+                );
+                assert!(
+                    result.value <= best_completion,
+                    "{}: proven optimum {} above a heuristic completion {best_completion}",
+                    scenario.name,
+                    result.value
+                );
+                result.value
+            }
+            _ => best_completion,
+        };
+
+        let greedy_r = greedy_completion.expect("Greedy is always among the planners");
+        let bound = theorem1_bound(&scenario.set, opt_ref);
+        assert!(
+            greedy_r.as_f64() <= bound,
+            "{}: Theorem 1 violated — greedy {} > {bound} (OPT_R reference {opt_ref})",
+            scenario.name,
+            greedy_r
+        );
+    }
+}
+
+/// (d) The Theorem 2 dynamic program matches the branch-and-bound optimum
+/// on every scenario with `k ≤ 2` distinct types and `n ≤ 9` destinations,
+/// and its reconstructed schedule attains that optimum.
+#[test]
+fn dp_matches_branch_and_bound_on_limited_heterogeneity() {
+    let mut cross_checked = 0usize;
+    for scenario in conformance_scenarios() {
+        if scenario.set.num_distinct_types() > 2
+            || scenario.set.num_destinations() > EXACT_SEARCH_MAX_N
+        {
+            continue;
+        }
+        let exact = search(
+            &scenario.set,
+            scenario.net,
+            SearchOptions {
+                node_budget: SEARCH_BUDGET,
+                ..SearchOptions::default()
+            },
+        );
+        assert!(
+            exact.proven_optimal,
+            "{}: exact search exhausted its budget on a small instance",
+            scenario.name
+        );
+        let dp_value = dp_optimum(&scenario.set, scenario.net);
+        assert_eq!(
+            dp_value, exact.value,
+            "{}: DP optimum {dp_value} != branch-and-bound optimum {}",
+            scenario.name, exact.value
+        );
+
+        // The reconstructed DP schedule is valid and attains the optimum.
+        let typed = TypedMulticast::from_multicast_set(&scenario.set);
+        let (tree, value) = hnow_core::DpTable::optimal_schedule(&typed, scenario.net)
+            .expect("DP reconstruction succeeds");
+        assert_eq!(
+            value, exact.value,
+            "{}: DP table value drifted",
+            scenario.name
+        );
+        validate(&tree, &scenario.set)
+            .unwrap_or_else(|e| panic!("{}: DP schedule invalid: {e:?}", scenario.name));
+        assert_eq!(
+            reception_completion(&tree, &scenario.set, scenario.net).expect("evaluates"),
+            exact.value,
+            "{}: DP schedule does not attain the optimum",
+            scenario.name
+        );
+        cross_checked += 1;
+    }
+    assert!(
+        cross_checked >= 4,
+        "expected at least 4 DP-vs-exact cross-checks, ran {cross_checked}"
+    );
+}

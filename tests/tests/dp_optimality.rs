@@ -128,8 +128,9 @@ fn greedy_never_beats_dp_on_standard_profiles() {
     let table = standard_class_table();
     let net = NetParams::new(3);
     for counts in [[2usize, 2, 2, 2], [4, 0, 0, 4], [0, 3, 3, 0], [6, 2, 1, 1]] {
-        let typed = TypedMulticast::from_classes(&table, MessageSize::from_kib(4), 0, counts.to_vec())
-            .unwrap();
+        let typed =
+            TypedMulticast::from_classes(&table, MessageSize::from_kib(4), 0, counts.to_vec())
+                .unwrap();
         let set = typed.to_multicast_set().unwrap();
         let dp = DpTable::build(&typed, net).optimum();
         let greedy = greedy_with_options(&set, net, GreedyOptions::REFINED);

@@ -34,10 +34,19 @@ fn greedy_matches_schedule_a_and_refinement_beats_schedule_b() {
     let (set, net) = figure1_instance();
     let plain = greedy_with_options(&set, net, GreedyOptions::PLAIN);
     let refined = greedy_with_options(&set, net, GreedyOptions::REFINED);
-    assert_eq!(evaluate(&plain, &set, net).unwrap().reception_completion().raw(), 10);
+    assert_eq!(
+        evaluate(&plain, &set, net)
+            .unwrap()
+            .reception_completion()
+            .raw(),
+        10
+    );
     assert!(is_layered(&plain, &set, net).unwrap());
     assert_eq!(
-        evaluate(&refined, &set, net).unwrap().reception_completion().raw(),
+        evaluate(&refined, &set, net)
+            .unwrap()
+            .reception_completion()
+            .raw(),
         8
     );
 }

@@ -12,9 +12,10 @@ use proptest::prelude::*;
 /// (send, send + extra) pairs, sorted and monotonised so the correlation
 /// assumption always holds.
 fn arb_multicast(max_destinations: usize) -> impl Strategy<Value = MulticastSet> {
-    (
-        prop::collection::vec((1u64..=12, 0u64..=14), 1..=max_destinations + 1),
-    )
+    (prop::collection::vec(
+        (1u64..=12, 0u64..=14),
+        1..=max_destinations + 1,
+    ),)
         .prop_map(|(raw,)| {
             let mut raw: Vec<(u64, u64)> = raw.into_iter().map(|(s, e)| (s, s + e)).collect();
             raw.sort_unstable();

@@ -111,7 +111,12 @@ fn evaluate_and_execute_agree_on_a_large_cluster() {
         let tree = build_schedule(strategy, &set, net, 4);
         let timing = evaluate(&tree, &set, net).unwrap();
         let trace = execute(&tree, &set, net).unwrap();
-        assert_eq!(trace.completion, timing.reception_completion(), "{}", strategy.name());
+        assert_eq!(
+            trace.completion,
+            timing.reception_completion(),
+            "{}",
+            strategy.name()
+        );
     }
 }
 

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group/bench-function API surface the workspace's bench
+//! targets register, with a deliberately small measurement loop (a short
+//! warm-up plus a fixed number of timed iterations, median reported). It has
+//! none of criterion's statistics; it exists so `cargo bench` produces
+//! comparable wall-clock numbers offline and so the bench targets compile
+//! and run in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, which criterion also provides.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id holding only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            rendered: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { rendered: name }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration measurement driver passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over a short warm-up plus measured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        let iterations = 5usize;
+        for _ in 0..iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn report(group: Option<&str>, id: &str, bencher: &mut Bencher, throughput: Option<Throughput>) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let median = bencher.median();
+    match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("bench {label:<50} median {median:>12?}  ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("bench {label:<50} median {median:>12?}  ({rate:.0} B/s)");
+        }
+        _ => println!("bench {label:<50} median {median:>12?}"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the vendored
+    /// harness always runs its fixed short loop).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Registers and immediately runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(
+            Some(&self.name),
+            &id.rendered,
+            &mut bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(
+            Some(&self.name),
+            &id.rendered,
+            &mut bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(None, &id.rendered, &mut bencher, None);
+        self
+    }
+}
+
+/// Collects bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary built with `harness = false`.
+///
+/// When cargo's test driver invokes bench binaries (`cargo test --benches`)
+/// it passes `--test`; like real criterion, the harness then only checks
+/// that it can start and runs no measurements.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let test_mode = std::env::args().any(|arg| arg == "--test");
+            if test_mode {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

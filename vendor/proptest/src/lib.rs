@@ -1,0 +1,442 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the slice of proptest the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, the `proptest!` macro with
+//! `#![proptest_config(...)]`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` macros. Cases are drawn from a deterministic per-test RNG
+//! (seeded from the test name), so failures are reproducible; there is no
+//! shrinking — the failing inputs are printed instead.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test-case values.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategies {
+        ($(($($t:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($t,)+) = self;
+                    ($($t.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Yields `true` and `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length ranges accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for vectors with element strategy `S` and length drawn
+    /// from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a vector strategy.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Case execution support used by the `proptest!` macro expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test deterministic RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        /// The underlying generator (public for the strategy impls).
+        pub rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for a named test, seeded from the test name so
+        /// every run draws the same case sequence.
+        pub fn for_test(name: &str) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                rng: StdRng::seed_from_u64(hash),
+            }
+        }
+    }
+
+    /// Why a drawn case did not count as a pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the case; draw another.
+        Reject,
+        /// `prop_assert!`-style failure with a rendered message.
+        Fail(String),
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable API surface.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Alias of the crate root, mirroring proptest's prelude.
+
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property-test functions. Each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that draws `cases` accepted inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20).saturating_add(1000),
+                    "proptest: too many prop_assume! rejections in {}",
+                    stringify!($name)
+                );
+                $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, &mut rng);)+
+                let case_desc = || {
+                    let mut desc = String::new();
+                    $(desc.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));)+
+                    desc
+                };
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => panic!(
+                        "proptest case {} of {} failed: {}\ninputs:\n{}",
+                        accepted + 1,
+                        config.cases,
+                        message,
+                        case_desc()
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (drawing a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace only uses `par_iter()` followed by ordinary iterator
+//! combinators; with no crates.io access this vendored crate degrades those
+//! call-sites to sequential `std` iterators, which keeps results identical
+//! (rayon's `collect` preserves order) at the cost of parallel speed-up. The
+//! real dependency can be swapped back in without touching call-sites.
+
+pub mod prelude {
+    //! Sequential re-implementation of the rayon prelude traits.
+
+    /// `par_iter()` on shared slices and vectors.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+
+        /// Returns a "parallel" iterator over references — sequentially
+        /// evaluated in this vendored stand-in.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `into_par_iter()` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+
+        /// Converts into a "parallel" iterator — sequentially evaluated in
+        /// this vendored stand-in.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored Value-based `serde` without `syn`/`quote`: the input item is
+//! parsed directly from the token stream. Supported shapes — everything the
+//! workspace derives on — are non-generic named-field structs, tuple
+//! structs, and enums with unit, newtype and struct variants. The
+//! `#[serde(transparent)]` attribute on newtype structs is honoured (and is
+//! the default behaviour for single-field tuple structs anyway, matching
+//! serde's JSON representation of newtypes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with the given arity.
+    Tuple { name: String, arity: usize },
+    /// Enum.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<String>),
+}
+
+/// Splits the top-level tokens of a group body into comma-separated chunks,
+/// treating `<`/`>` as nesting so generic arguments don't split fields.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading `#[...]` attributes and `pub`/`pub(...)` visibility from a
+/// token chunk.
+fn strip_attrs_and_vis(mut tokens: &[TokenTree]) -> &[TokenTree] {
+    loop {
+        match tokens {
+            [TokenTree::Punct(p), TokenTree::Group(_), rest @ ..] if p.as_char() == '#' => {
+                tokens = rest;
+            }
+            [TokenTree::Ident(id), TokenTree::Group(g), rest @ ..]
+                if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                tokens = rest;
+            }
+            [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => {
+                tokens = rest;
+            }
+            _ => return tokens,
+        }
+    }
+}
+
+/// Extracts the field names of a named-field body.
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_commas(body)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk {
+                [TokenTree::Ident(name), TokenTree::Punct(colon), ..] if colon.as_char() == ':' => {
+                    Some(name.to_string())
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> (Item, bool) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+    // Leading attributes; remember whether `#[serde(transparent)]` appears.
+    while i + 1 < tokens.len() {
+        if let (TokenTree::Punct(p), TokenTree::Group(g)) = (&tokens[i], &tokens[i + 1]) {
+            if p.as_char() == '#' {
+                if g.to_string()
+                    .replace(' ', "")
+                    .contains("serde(transparent)")
+                {
+                    transparent = true;
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    let rest = strip_attrs_and_vis(&tokens[i..]);
+    match rest {
+        [TokenTree::Ident(kw), TokenTree::Ident(name), body, ..] if kw.to_string() == "struct" => {
+            let name = name.to_string();
+            match body {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    (
+                        Item::Struct {
+                            name,
+                            fields: named_fields(&body),
+                        },
+                        transparent,
+                    )
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    (
+                        Item::Tuple {
+                            name,
+                            arity: split_commas(&body).len(),
+                        },
+                        transparent,
+                    )
+                }
+                _ => panic!("serde derive: unsupported struct shape for `{name}`"),
+            }
+        }
+        [TokenTree::Ident(kw), TokenTree::Ident(name), TokenTree::Group(g), ..]
+            if kw.to_string() == "enum" && g.delimiter() == Delimiter::Brace =>
+        {
+            let name = name.to_string();
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_commas(&body)
+                .iter()
+                .filter_map(|chunk| {
+                    let chunk = strip_attrs_and_vis(chunk);
+                    match chunk {
+                        [] => None,
+                        [TokenTree::Ident(v)] => Some(Variant::Unit(v.to_string())),
+                        [TokenTree::Ident(v), TokenTree::Group(g)]
+                            if g.delimiter() == Delimiter::Parenthesis =>
+                        {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            assert!(
+                                split_commas(&inner).len() == 1,
+                                "serde derive: only newtype tuple variants are supported"
+                            );
+                            Some(Variant::Newtype(v.to_string()))
+                        }
+                        [TokenTree::Ident(v), TokenTree::Group(g)]
+                            if g.delimiter() == Delimiter::Brace =>
+                        {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Some(Variant::Struct(v.to_string(), named_fields(&inner)))
+                        }
+                        _ => panic!("serde derive: unsupported enum variant shape"),
+                    }
+                })
+                .collect();
+            (Item::Enum { name, variants }, transparent)
+        }
+        _ => panic!("serde derive: unsupported item"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (item, _transparent) = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Tuple { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Serialize::to_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Value::Seq(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    Variant::Newtype(v) => format!(
+                        "{name}::{v}(inner) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(inner))]),"
+                    ),
+                    Variant::Struct(v, fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\"{v}\"\
+                             .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde derive: generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (item, _transparent) = parse_item(input);
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match v.get(\"{f}\") {{\n\
+                             Some(field) => ::serde::Deserialize::from_value(field)?,\n\
+                             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                                 .map_err(|_| ::serde::Error::msg(\"missing field `{f}`\"))?,\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if !matches!(v, ::serde::Value::Map(_)) {{\n\
+                             return Err(::serde::Error::msg(\"expected map for struct {name}\"));\n\
+                         }}\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::Tuple { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                             Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({i})\
+                             .ok_or_else(|| ::serde::Error::msg(\"tuple struct too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                             match v {{\n\
+                                 ::serde::Value::Seq(items) => Ok({name}({})),\n\
+                                 _ => Err(::serde::Error::msg(\"expected sequence\")),\n\
+                             }}\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!("\"{v}\" => Ok({name}::{v}),")),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Newtype(v) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(val)?)),"
+                    )),
+                    Variant::Struct(v, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(val.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::msg(\"missing field `{f}`\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {}\n\
+                                 _ => Err(::serde::Error::msg(\"unknown variant\")),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, val) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     _ => Err(::serde::Error::msg(\"unknown variant\")),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::msg(\"expected enum representation\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde derive: generated invalid Rust")
+}
