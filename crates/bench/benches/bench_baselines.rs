@@ -1,10 +1,14 @@
 //! E8 — baseline comparison: construction cost of every scheduling strategy
 //! on the same heterogeneous cluster (their *quality* is compared by the
 //! experiment harness; this bench tracks planning overhead).
+//!
+//! Drives `Planner::construct` directly with a request built once outside
+//! the measured loop, so the numbers isolate pure schedule construction —
+//! no per-iteration instance clone, no timing/bounds evaluation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hnow_bench::BENCH_SEEDS;
-use hnow_core::{build_schedule, Strategy};
+use hnow_core::planner::{self, PlanContext, PlanRequest};
 use hnow_model::NetParams;
 use hnow_workload::bimodal_cluster;
 use std::hint::black_box;
@@ -12,21 +16,22 @@ use std::hint::black_box;
 fn bench_baselines(c: &mut Criterion) {
     let net = NetParams::new(3);
     let set = bimodal_cluster(512, 0.25, BENCH_SEEDS[1]).expect("valid instance");
+    let request = PlanRequest::new(set, net).with_seed(BENCH_SEEDS[2]);
+    let ctx = PlanContext::new();
     let mut group = c.benchmark_group("baseline_construction_n512");
-    for strategy in [
-        Strategy::Greedy,
-        Strategy::GreedyRefined,
-        Strategy::FastestNodeFirst,
-        Strategy::Binomial,
-        Strategy::Chain,
-        Strategy::Star,
-        Strategy::Random,
+    for name in [
+        "greedy",
+        "greedy+leaf",
+        "fnf",
+        "binomial",
+        "chain",
+        "star",
+        "random",
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            &strategy,
-            |b, &s| b.iter(|| build_schedule(s, black_box(&set), net, BENCH_SEEDS[2])),
-        );
+        let p = planner::find(name).expect("planner registered");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| p.construct(black_box(&request), &ctx))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,110 @@
+//! Batched planning throughput: requests/sec of
+//! `hnow_core::planner::plan_many` fanning a mixed request batch across the
+//! heuristic planner fleet, at 1/4/8 rayon threads — the first BENCH
+//! baseline for the batching layer.
+//!
+//! Two extra groups isolate the two effects the facade stacks on top of the
+//! raw algorithms: the rayon fan-out (thread count sweep) and the Theorem 2
+//! DP-table cache (cold cache per batch vs one shared, pre-warmed cache).
+//!
+//! With the vendored sequential rayon stand-in every thread count measures
+//! the same sequential execution (the pool records, but cannot use, its
+//! size); with the real rayon dependency the same bench reports the actual
+//! scaling curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hnow_bench::BENCH_SEEDS;
+use hnow_core::planner::{self, plan_many_with, PlanContext, PlanRequest, Planner};
+use hnow_model::NetParams;
+use hnow_workload::{bimodal_cluster, default_message_size, fast_slow_mix, two_class_table};
+use std::hint::black_box;
+
+/// Number of requests per batch.
+const BATCH: usize = 64;
+
+/// A mixed batch: bimodal clusters of several sizes and latencies.
+fn heuristic_requests() -> Vec<PlanRequest> {
+    (0..BATCH)
+        .map(|i| {
+            let n = [16, 24, 32, 48][i % 4];
+            let slow_fraction = [0.25, 0.5][i % 2];
+            let set = bimodal_cluster(
+                n,
+                slow_fraction,
+                BENCH_SEEDS[i % BENCH_SEEDS.len()] ^ i as u64,
+            )
+            .expect("valid bimodal cluster");
+            PlanRequest::new(set, NetParams::new(1 + (i % 3) as u64)).with_seed(7)
+        })
+        .collect()
+}
+
+/// A batch drawn from one two-class table at one latency, so the DP planner
+/// can serve every request from a single whole-network table.
+fn dp_requests() -> Vec<PlanRequest> {
+    let table = two_class_table();
+    let size = default_message_size();
+    (0..BATCH)
+        .map(|i| {
+            let n = 8 + (i % 8);
+            let slow_fraction = [0.25, 0.5, 0.75][i % 3];
+            let spec = fast_slow_mix(&table, 0, 1, n, slow_fraction, true);
+            let set = spec.multicast_set(size).expect("valid cluster");
+            PlanRequest::new(set, NetParams::new(2))
+        })
+        .collect()
+}
+
+fn fleet() -> Vec<&'static dyn Planner> {
+    [
+        "greedy",
+        "greedy+leaf",
+        "fnf",
+        "binomial",
+        "chain",
+        "star",
+        "random",
+    ]
+    .iter()
+    .map(|name| planner::find(name).expect("planner registered"))
+    .collect()
+}
+
+fn bench_plan_many_threads(c: &mut Criterion) {
+    let requests = heuristic_requests();
+    let planners = fleet();
+    let mut group = c.benchmark_group("plan_many_64req_x_7planners");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for threads in [1usize, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| planner::plan_many(black_box(&planners), black_box(&requests)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_table_cache(c: &mut Criterion) {
+    let requests = dp_requests();
+    let dp: Vec<&dyn Planner> = vec![planner::find("dp-optimal").expect("registered")];
+    let mut group = c.benchmark_group("plan_many_dp_cache_64req");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("cold_cache_per_batch", |b| {
+        b.iter(|| plan_many_with(black_box(&dp), black_box(&requests), &PlanContext::new()))
+    });
+    let warm = PlanContext::new();
+    // Warm the cache once; the measured iterations then only pay lookups.
+    let _ = plan_many_with(&dp, &requests, &warm);
+    group.bench_function("shared_warm_cache", |b| {
+        b.iter(|| plan_many_with(black_box(&dp), black_box(&requests), black_box(&warm)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_many_threads, bench_dp_table_cache);
+criterion_main!(benches);

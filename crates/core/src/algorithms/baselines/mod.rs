@@ -67,29 +67,23 @@ impl Strategy {
 /// `seed` is only used by [`Strategy::Random`]. [`Strategy::DpOptimal`]
 /// groups the instance into types and is exact but exponential in the number
 /// of *distinct* types; the other strategies are linear or `O(n log n)`.
+///
+/// This is a thin compatibility shim over the unified
+/// [`planner`](crate::planner) registry: every strategy name resolves to a
+/// registered [`Planner`](crate::planner::Planner), which holds the single
+/// copy of the per-algorithm construction code.
 pub fn build_schedule(
     strategy: Strategy,
     set: &MulticastSet,
     net: NetParams,
     seed: u64,
 ) -> ScheduleTree {
-    use crate::algorithms::dp::DpTable;
-    use crate::algorithms::greedy::{greedy_with_options, GreedyOptions};
-    match strategy {
-        Strategy::Greedy => greedy_with_options(set, net, GreedyOptions::PLAIN),
-        Strategy::GreedyRefined => greedy_with_options(set, net, GreedyOptions::REFINED),
-        Strategy::DpOptimal => {
-            let typed = hnow_model::TypedMulticast::from_multicast_set(set);
-            DpTable::optimal_schedule(&typed, net)
-                .expect("typed reconstruction of a well-formed instance succeeds")
-                .0
-        }
-        Strategy::FastestNodeFirst => fastest_node_first_schedule(set, net),
-        Strategy::Binomial => binomial_schedule(set),
-        Strategy::Chain => chain_schedule(set),
-        Strategy::Star => star_schedule(set),
-        Strategy::Random => random_schedule(set, seed),
-    }
+    let request = crate::planner::PlanRequest::new(set.clone(), net).with_seed(seed);
+    crate::planner::find(strategy.name())
+        .expect("every Strategy has a registered planner of the same name")
+        .construct(&request, &crate::planner::PlanContext::new())
+        .expect("constructing a schedule for a well-formed instance succeeds")
+        .tree
 }
 
 #[cfg(test)]

@@ -28,7 +28,7 @@
 
 use crate::error::CoreError;
 use crate::schedule::tree::ScheduleTree;
-use hnow_model::{NetParams, NodeId, Time, TypedMulticast};
+use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
 use std::collections::VecDeque;
 
 /// Dynamic-programming table of optimal reception completion times for a
@@ -183,6 +183,23 @@ impl DpTable {
         self.dims.len()
     }
 
+    /// Upper bound (inclusive) of each count dimension — the per-class
+    /// destination counts of the instance the table was built from.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The class overheads the table was built over, in class-index order.
+    pub fn class_specs(&self) -> &[NodeSpec] {
+        self.typed.specs()
+    }
+
+    /// Whether a per-class count vector lies inside the table's dimensions
+    /// (and therefore can be queried and reconstructed from this table).
+    pub fn covers(&self, counts: &[usize]) -> bool {
+        counts.len() == self.k() && counts.iter().zip(&self.dims).all(|(&c, &d)| c <= d)
+    }
+
     /// Number of states stored in the table.
     pub fn num_states(&self) -> usize {
         self.value.len()
@@ -211,20 +228,44 @@ impl DpTable {
     /// Reconstructs an optimal schedule tree for the build instance, over the
     /// node ids of [`TypedMulticast::to_multicast_set`].
     pub fn reconstruct_schedule(&self) -> Result<ScheduleTree, CoreError> {
-        let n = self.typed.total_destinations();
+        let typed = self.typed.clone();
+        self.schedule_for(&typed).map(|(tree, _)| tree)
+    }
+
+    /// Reconstructs an optimal schedule (and its value) for **any** typed
+    /// instance covered by this table: same class overheads in the same
+    /// order, per-class counts within [`DpTable::dims`]. The source class
+    /// may differ from the build instance's — the table stores every source
+    /// type.
+    ///
+    /// This is the whole-network reuse the paper recommends in Section 4:
+    /// build the table once for the full cluster, then answer every
+    /// sub-multicast without re-running the dynamic program.
+    pub fn schedule_for(&self, typed: &TypedMulticast) -> Result<(ScheduleTree, Time), CoreError> {
+        if typed.specs() != self.typed.specs()
+            || !self.covers(typed.counts())
+            || typed.source_class() >= self.k()
+        {
+            return Err(CoreError::DpTableMismatch {
+                table_k: self.k(),
+                request_k: typed.k(),
+            });
+        }
+        let n = typed.total_destinations();
         let mut tree = ScheduleTree::new(n + 1);
         // Pools of concrete node ids per class, consumed front to back.
         let mut pools: Vec<VecDeque<NodeId>> = (0..self.k())
-            .map(|c| self.typed.node_ids_for_class(c).into())
+            .map(|c| typed.node_ids_for_class(c).into())
             .collect();
         self.expand(
-            self.typed.source_class(),
-            self.idx_of(self.typed.counts()),
+            typed.source_class(),
+            self.idx_of(typed.counts()),
             NodeId::SOURCE,
             &mut pools,
             &mut tree,
         )?;
-        Ok(tree)
+        let value = self.value[self.state(typed.source_class(), self.idx_of(typed.counts()))];
+        Ok((tree, value))
     }
 
     fn expand(
@@ -397,6 +438,47 @@ mod tests {
         assert_eq!(table.query(0, &[4, 0]), None);
         assert_eq!(table.query(5, &[1, 1]), None);
         assert_eq!(table.query(0, &[1]), None);
+    }
+
+    #[test]
+    fn schedule_for_serves_sub_instances_and_other_sources() {
+        let specs = vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)];
+        let net = NetParams::new(1);
+        let full = TypedMulticast::new(specs.clone(), 1, vec![3, 2]).unwrap();
+        let table = DpTable::build(&full, net);
+        assert_eq!(table.dims(), &[3, 2]);
+        assert_eq!(table.class_specs(), &specs[..]);
+        assert!(table.covers(&[2, 1]));
+        assert!(!table.covers(&[4, 0]));
+        assert!(!table.covers(&[1]));
+
+        // Every covered sub-instance (including other source classes) must
+        // match a table built directly for it, value and reconstruction.
+        for a in 0..=3usize {
+            for b in 0..=2usize {
+                for s in 0..2usize {
+                    let sub = TypedMulticast::new(specs.clone(), s, vec![a, b]).unwrap();
+                    let (tree, value) = table.schedule_for(&sub).unwrap();
+                    let direct = DpTable::build(&sub, net);
+                    assert_eq!(value, direct.optimum(), "s={s} a={a} b={b}");
+                    let set = sub.to_multicast_set().unwrap();
+                    validate(&tree, &set).unwrap();
+                    assert_eq!(reception_completion(&tree, &set, net).unwrap(), value);
+                }
+            }
+        }
+
+        // Out-of-coverage requests are rejected.
+        let too_big = TypedMulticast::new(specs.clone(), 0, vec![4, 0]).unwrap();
+        assert!(matches!(
+            table.schedule_for(&too_big),
+            Err(CoreError::DpTableMismatch { .. })
+        ));
+        let other_specs = TypedMulticast::new(vec![NodeSpec::new(5, 9)], 0, vec![2]).unwrap();
+        assert!(matches!(
+            table.schedule_for(&other_specs),
+            Err(CoreError::DpTableMismatch { .. })
+        ));
     }
 
     #[test]

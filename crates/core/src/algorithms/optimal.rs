@@ -62,6 +62,29 @@ impl Default for SearchOptions {
     }
 }
 
+impl SearchOptions {
+    /// Builder-style setter for the completion-time objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Builder-style setter for the layered-schedules-only restriction.
+    #[must_use]
+    pub fn with_layered_only(mut self, layered_only: bool) -> Self {
+        self.layered_only = layered_only;
+        self
+    }
+
+    /// Builder-style setter for the branch-and-bound node budget.
+    #[must_use]
+    pub fn with_node_budget(mut self, node_budget: u64) -> Self {
+        self.node_budget = node_budget;
+        self
+    }
+}
+
 /// Result of an exact search.
 #[derive(Debug, Clone)]
 pub struct OptimalResult {

@@ -54,6 +54,14 @@ pub enum CoreError {
         /// The class whose pool ran dry.
         class: usize,
     },
+    /// A precomputed DP table was asked about an instance it does not cover
+    /// (different class overheads, or counts beyond its dimensions).
+    DpTableMismatch {
+        /// Number of classes in the table.
+        table_k: usize,
+        /// Number of classes in the request.
+        request_k: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -91,6 +99,13 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "no concrete nodes of class {class} left during reconstruction"
+                )
+            }
+            CoreError::DpTableMismatch { table_k, request_k } => {
+                write!(
+                    f,
+                    "DP table over {table_k} class(es) does not cover the requested \
+                     {request_k}-class instance"
                 )
             }
         }
@@ -137,6 +152,13 @@ mod tests {
                 "position 4",
             ),
             (CoreError::ClassPoolExhausted { class: 1 }, "class 1"),
+            (
+                CoreError::DpTableMismatch {
+                    table_k: 2,
+                    request_k: 3,
+                },
+                "does not cover",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err:?}");

@@ -8,6 +8,11 @@
 //!
 //! ## What is in the crate
 //!
+//! * [`planner`] — the unified planning facade: [`PlanRequest`] /
+//!   [`Plan`], the [`Planner`] trait implemented by every algorithm below,
+//!   the static [`planner::registry`] with per-planner capability metadata,
+//!   and the batched [`planner::plan_many`] facade with a shared Theorem 2
+//!   DP-table cache.
 //! * [`schedule`] — ordered multicast schedule trees, delivery/reception
 //!   time evaluation (`d_T`, `r_T`, `D_T`, `R_T`), structural validation,
 //!   the layeredness predicate, and the leaf-delivery refinement.
@@ -30,9 +35,11 @@
 //!
 //! ## Quick example
 //!
+//! Every algorithm answers the same [`PlanRequest`] through the planner
+//! registry, so comparing schedulers is a loop, not a match:
+//!
 //! ```
-//! use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
-//! use hnow_core::schedule::reception_completion;
+//! use hnow_core::planner::{self, PlanRequest};
 //! use hnow_model::{MulticastSet, NetParams, NodeSpec};
 //!
 //! // Figure 1 of the paper: a slow source, three fast destinations and one
@@ -40,12 +47,22 @@
 //! let slow = NodeSpec::new(2, 3);
 //! let fast = NodeSpec::new(1, 1);
 //! let set = MulticastSet::new(slow, vec![fast, fast, fast, slow]).unwrap();
-//! let net = NetParams::new(1);
+//! let request = PlanRequest::new(set, NetParams::new(1));
 //!
-//! let plain = greedy_with_options(&set, net, GreedyOptions::PLAIN);
-//! let refined = greedy_with_options(&set, net, GreedyOptions::REFINED);
-//! assert_eq!(reception_completion(&plain, &set, net).unwrap().raw(), 10);
-//! assert_eq!(reception_completion(&refined, &set, net).unwrap().raw(), 8);
+//! // One named planner…
+//! let greedy = planner::find("greedy").unwrap().plan(&request).unwrap();
+//! let refined = planner::find("greedy+leaf").unwrap().plan(&request).unwrap();
+//! assert_eq!(greedy.reception_completion().raw(), 10);
+//! assert_eq!(refined.reception_completion().raw(), 8);
+//!
+//! // …or every planner whose capability envelope covers the instance.
+//! for p in planner::supporting_planners(&request.set) {
+//!     let plan = p.plan(&request).unwrap();
+//!     assert!(plan.reception_completion() >= plan.lower_bound.value);
+//!     if plan.proven_optimal {
+//!         assert_eq!(plan.reception_completion().raw(), 8);
+//!     }
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,6 +73,7 @@ pub mod algorithms;
 pub mod analysis;
 pub mod bounds;
 pub mod error;
+pub mod planner;
 pub mod schedule;
 
 pub use algorithms::{
@@ -65,6 +83,7 @@ pub use algorithms::{
 pub use analysis::{stats, ScheduleStats};
 pub use bounds::{lower_bound, theorem1_bound, theorem1_factor, LowerBound};
 pub use error::CoreError;
+pub use planner::{Capabilities, DpCache, Plan, PlanContext, PlanRequest, Planner, PlannerKind};
 pub use schedule::{
     delivery_completion, evaluate, is_layered, reception_completion, refine_leaves, ScheduleTiming,
     ScheduleTree,

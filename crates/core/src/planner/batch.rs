@@ -1,0 +1,208 @@
+//! Batched planning: fan requests across planners, share DP tables.
+
+use crate::algorithms::dp::DpTable;
+use crate::error::CoreError;
+use crate::planner::registry::Planner;
+use crate::planner::request::{Plan, PlanRequest};
+use hnow_model::{NetParams, NodeSpec, TypedMulticast};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Memoized Theorem 2 whole-network DP tables, shared across every request
+/// of a batch.
+///
+/// Section 4 of the paper recommends precomputing the DP table for a whole
+/// network once, because the completed table answers *every* multicast over
+/// the same workstation types. The cache implements exactly that: tables are
+/// keyed by `(class overheads, network latency)`, and a cached table serves
+/// any request whose per-class counts fit inside its dimensions. A request
+/// that outgrows the cached table triggers one rebuild with element-wise
+/// maximum dimensions, after which both shapes hit.
+///
+/// The key is the *ordered* class-spec vector, so requests share a table
+/// when their instances expose the same classes in the same order — which
+/// is what [`TypedMulticast::from_multicast_set`] produces for instances
+/// drawn from one class table with a fixed source class.
+#[derive(Debug, Default)]
+pub struct DpCache {
+    tables: Mutex<HashMap<DpCacheKey, Arc<DpTable>>>,
+    lookups: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// Cache key: the ordered class overheads plus the network parameters.
+type DpCacheKey = (Vec<NodeSpec>, NetParams);
+
+impl DpCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DpCache::default()
+    }
+
+    /// Returns a table covering `typed` at latency `net`, building (or
+    /// widening) one on miss.
+    pub fn table_for(&self, typed: &TypedMulticast, net: NetParams) -> Arc<DpTable> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let key = (typed.specs().to_vec(), net);
+        let mut tables = self.tables.lock().expect("DP cache lock poisoned");
+        if let Some(table) = tables.get(&key) {
+            if table.covers(typed.counts()) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(table);
+            }
+        }
+        // Miss (or an undersized table): build one whose dimensions also
+        // cover everything previously cached under this key.
+        let mut dims = typed.counts().to_vec();
+        if let Some(previous) = tables.get(&key) {
+            for (dim, &old) in dims.iter_mut().zip(previous.dims()) {
+                *dim = (*dim).max(old);
+            }
+        }
+        let widened = TypedMulticast::new(typed.specs().to_vec(), typed.source_class(), dims)
+            .expect("widening preserves validity of a typed instance");
+        let table = Arc::new(DpTable::build(&widened, net));
+        tables.insert(key, Arc::clone(&table));
+        table
+    }
+
+    /// Number of [`DpCache::table_for`] calls so far.
+    pub fn lookups(&self) -> usize {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from a cached table without a rebuild.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state of one planning batch: today, the [`DpCache`].
+#[derive(Debug, Default)]
+pub struct PlanContext {
+    dp: DpCache,
+}
+
+impl PlanContext {
+    /// Creates a fresh context with an empty DP cache.
+    pub fn new() -> Self {
+        PlanContext::default()
+    }
+
+    /// The batch's DP table cache.
+    pub fn dp_cache(&self) -> &DpCache {
+        &self.dp
+    }
+}
+
+/// Plans every request with every planner, in parallel over requests, with
+/// a fresh shared [`PlanContext`].
+///
+/// Returns one row per request, each row holding one result per planner in
+/// the order given. The output is identical to planning each `(request,
+/// planner)` pair sequentially with [`Planner::plan`] — parallelism and the
+/// DP cache change throughput, never results.
+pub fn plan_many(
+    planners: &[&dyn Planner],
+    requests: &[PlanRequest],
+) -> Vec<Vec<Result<Plan, CoreError>>> {
+    plan_many_with(planners, requests, &PlanContext::new())
+}
+
+/// [`plan_many`] with an explicit context, so callers can reuse one DP
+/// cache across several batches or read its statistics afterwards.
+pub fn plan_many_with(
+    planners: &[&dyn Planner],
+    requests: &[PlanRequest],
+    ctx: &PlanContext,
+) -> Vec<Vec<Result<Plan, CoreError>>> {
+    requests
+        .par_iter()
+        .map(|request| {
+            planners
+                .iter()
+                .map(|planner| planner.plan_with(request, ctx))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::registry::{find, registry};
+    use hnow_model::{MulticastSet, NodeSpec};
+
+    fn two_class_requests() -> Vec<PlanRequest> {
+        // Four instances over the same two classes with the same (slow)
+        // source class, at one latency: one DP table can serve them all.
+        let fast = NodeSpec::new(1, 1);
+        let slow = NodeSpec::new(2, 3);
+        let net = NetParams::new(1);
+        [(3usize, 3usize), (3, 1), (2, 2), (1, 3)]
+            .into_iter()
+            .map(|(nf, ns)| {
+                let mut dests = vec![fast; nf];
+                dests.extend(std::iter::repeat_n(slow, ns));
+                PlanRequest::new(MulticastSet::new(slow, dests).unwrap(), net).with_seed(7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_many_matches_sequential_planning() {
+        let requests = two_class_requests();
+        let planners: Vec<&dyn Planner> = registry().to_vec();
+        let batched = plan_many(&planners, &requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, row) in requests.iter().zip(&batched) {
+            assert_eq!(row.len(), planners.len());
+            for (planner, result) in planners.iter().zip(row) {
+                let sequential = planner.plan(request);
+                assert_eq!(result, &sequential, "{} diverged in batch", planner.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dp_tables_are_shared_across_same_class_table_requests() {
+        let requests = two_class_requests();
+        let ctx = PlanContext::new();
+        let dp = find("dp-optimal").unwrap();
+        // Plan sequentially against one shared context so the hit pattern is
+        // deterministic even if the vendored rayon is swapped for the real,
+        // parallel one.
+        let plans: Vec<_> = requests
+            .iter()
+            .map(|request| dp.plan_with(request, &ctx).unwrap())
+            .collect();
+        assert_eq!(ctx.dp_cache().lookups(), requests.len());
+        // The first (widest) request builds the table; every later request
+        // fits inside its dimensions and hits.
+        assert_eq!(ctx.dp_cache().hits(), requests.len() - 1);
+        // Cached plans equal fresh uncached plans.
+        for (request, cached) in requests.iter().zip(&plans) {
+            assert_eq!(cached, &dp.plan(request).unwrap());
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_latency_and_class_tables() {
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+        )
+        .unwrap();
+        let ctx = PlanContext::new();
+        let dp = find("dp-optimal").unwrap();
+        let r1 = PlanRequest::new(set.clone(), NetParams::new(1));
+        let r2 = PlanRequest::new(set, NetParams::new(5));
+        let p1 = dp.plan_with(&r1, &ctx).unwrap();
+        let p2 = dp.plan_with(&r2, &ctx).unwrap();
+        assert_eq!(ctx.dp_cache().lookups(), 2);
+        assert_eq!(ctx.dp_cache().hits(), 0, "different latencies never share");
+        assert!(p1.reception_completion() < p2.reception_completion());
+    }
+}

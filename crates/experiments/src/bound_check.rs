@@ -9,10 +9,8 @@
 //! greedy algorithm's practicality rests on.
 
 use crate::table::Table;
-use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
-use hnow_core::algorithms::optimal::{optimal_schedule, search, SearchOptions};
 use hnow_core::bounds::theorem1_bound;
-use hnow_core::schedule::reception_completion;
+use hnow_core::planner::{self, PlanRequest};
 use hnow_model::models::Instance;
 use hnow_workload::RandomClusterConfig;
 use rayon::prelude::*;
@@ -66,37 +64,28 @@ impl Default for BoundCheckConfig {
 }
 
 fn measure(instance: &Instance, destinations: usize, seed: u64) -> BoundSample {
-    let set = &instance.set;
-    let net = instance.net;
-    let greedy = reception_completion(
-        &greedy_with_options(set, net, GreedyOptions::PLAIN),
-        set,
-        net,
-    )
-    .unwrap();
-    let refined = reception_completion(
-        &greedy_with_options(set, net, GreedyOptions::REFINED),
-        set,
-        net,
-    )
-    .unwrap();
-    let exact = search(
-        set,
-        net,
-        SearchOptions {
-            node_budget: 5_000_000,
-            ..SearchOptions::default()
-        },
-    );
-    let bound = theorem1_bound(set, exact.value);
+    let request = PlanRequest::new(instance.set.clone(), instance.net)
+        .with_node_budget(5_000_000)
+        .with_seed(seed);
+    let plan_with = |name: &str| {
+        planner::find(name)
+            .unwrap_or_else(|| panic!("planner {name} is registered"))
+            .plan(&request)
+            .expect("planning a valid instance succeeds")
+    };
+    let greedy = plan_with("greedy").timing.reception_completion();
+    let refined = plan_with("greedy+leaf").timing.reception_completion();
+    let exact = plan_with("branch-bound");
+    let optimal = exact.timing.reception_completion();
+    let bound = theorem1_bound(&instance.set, optimal);
     BoundSample {
         destinations,
         seed,
         greedy: greedy.raw(),
         greedy_refined: refined.raw(),
-        optimal: exact.value.raw(),
+        optimal: optimal.raw(),
         proven: exact.proven_optimal,
-        ratio: greedy.as_f64() / exact.value.as_f64().max(1.0),
+        ratio: greedy.as_f64() / optimal.as_f64().max(1.0),
         bound,
         bound_holds: greedy.as_f64() < bound,
     }
@@ -133,11 +122,9 @@ pub fn run(config: &BoundCheckConfig) -> Vec<BoundSample> {
 /// quickstart example).
 pub fn figure1_sample() -> BoundSample {
     let (set, net) = crate::figure1::figure1_instance();
-    let mut sample = measure(&Instance::new(set, net), 4, 0);
-    sample.optimal = optimal_schedule(&crate::figure1::figure1_instance().0, net)
-        .value
-        .raw();
-    sample
+    // Four destinations: the branch-and-bound planner inside `measure`
+    // proves the exact optimum well within its budget.
+    measure(&Instance::new(set, net), 4, 0)
 }
 
 /// Summarises samples into the experiment table (one row per size).

@@ -9,26 +9,37 @@
 //! receive-send greedy closely but loses ground as receive overheads and
 //! latency grow, and the DP optimum (where computable) shows greedy's
 //! remaining gap is small.
+//!
+//! Planners are addressed by their registry names — there is no
+//! per-algorithm dispatch here; adding a planner to
+//! `hnow_core::planner::registry()` makes it sweepable by name.
 
 use crate::table::Table;
-use hnow_core::algorithms::baselines::{build_schedule, Strategy};
-use hnow_core::schedule::reception_completion;
+use hnow_core::planner::{self, plan_many, PlanRequest, Planner};
 use hnow_model::models::Instance;
 use hnow_workload::Sweep;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Strategies compared by default (DP is excluded here because bimodal
-/// random clusters can have many distinct types; see E6 for DP comparisons).
-pub const DEFAULT_STRATEGIES: [Strategy; 7] = [
-    Strategy::Greedy,
-    Strategy::GreedyRefined,
-    Strategy::FastestNodeFirst,
-    Strategy::Binomial,
-    Strategy::Chain,
-    Strategy::Star,
-    Strategy::Random,
+/// Registry names of the planners compared by default (the DP is excluded
+/// here because bimodal random clusters can have many distinct types; see
+/// E6 for DP comparisons).
+pub const DEFAULT_PLANNERS: [&str; 7] = [
+    "greedy",
+    "greedy+leaf",
+    "fnf",
+    "binomial",
+    "chain",
+    "star",
+    "random",
 ];
+
+/// Resolves registry names into planners, panicking on an unknown name.
+pub fn resolve_planners(names: &[&str]) -> Vec<&'static dyn Planner> {
+    names
+        .iter()
+        .map(|name| planner::find(name).unwrap_or_else(|| panic!("unknown planner name: {name}")))
+        .collect()
+}
 
 /// Completion times of every strategy on one instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,12 +48,12 @@ pub struct ComparisonPoint {
     pub x: f64,
     /// Number of destinations.
     pub destinations: usize,
-    /// `(strategy name, completion time)` pairs.
+    /// `(planner name, completion time)` pairs.
     pub completions: Vec<(String, u64)>,
 }
 
 impl ComparisonPoint {
-    /// Completion of a named strategy.
+    /// Completion of a named planner.
     pub fn completion(&self, name: &str) -> Option<u64> {
         self.completions
             .iter()
@@ -51,26 +62,39 @@ impl ComparisonPoint {
     }
 }
 
-/// Evaluates every strategy on every point of a sweep.
-pub fn run_sweep(sweep: &Sweep, strategies: &[Strategy], seed: u64) -> Vec<ComparisonPoint> {
-    sweep
+/// Evaluates every named planner on every point of a sweep, through the
+/// batched planning facade.
+pub fn run_sweep(sweep: &Sweep, planner_names: &[&str], seed: u64) -> Vec<ComparisonPoint> {
+    let planners = resolve_planners(planner_names);
+    let requests: Vec<PlanRequest> = sweep
         .points
-        .par_iter()
+        .iter()
         .map(|point| {
             let Instance { set, net } = point.instance().expect("sweep points are valid");
-            let completions = strategies
+            PlanRequest::new(set, net).with_seed(seed)
+        })
+        .collect();
+    let rows = plan_many(&planners, &requests);
+    sweep
+        .points
+        .iter()
+        .zip(&requests)
+        .zip(rows)
+        .map(|((point, request), row)| {
+            let completions = planners
                 .iter()
-                .map(|&s| {
-                    let tree = build_schedule(s, &set, net, seed);
+                .zip(row)
+                .map(|(p, plan)| {
+                    let plan = plan.expect("planning a valid sweep point succeeds");
                     (
-                        s.name().to_string(),
-                        reception_completion(&tree, &set, net).unwrap().raw(),
+                        p.name().to_string(),
+                        plan.timing.reception_completion().raw(),
                     )
                 })
                 .collect();
             ComparisonPoint {
                 x: point.x,
-                destinations: set.num_destinations(),
+                destinations: request.set.num_destinations(),
                 completions,
             }
         })
@@ -78,19 +102,18 @@ pub fn run_sweep(sweep: &Sweep, strategies: &[Strategy], seed: u64) -> Vec<Compa
 }
 
 /// Renders a sweep comparison as a table: one row per point, one column per
-/// strategy (absolute completion times).
-pub fn table(parameter: &str, points: &[ComparisonPoint], strategies: &[Strategy]) -> Table {
+/// planner (absolute completion times).
+pub fn table(parameter: &str, points: &[ComparisonPoint], planner_names: &[&str]) -> Table {
     let mut columns: Vec<&str> = vec![parameter, "n"];
-    let names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
-    columns.extend(names.iter());
+    columns.extend(planner_names.iter());
     let mut t = Table::new(
         format!("E8 / baseline comparison over {parameter}"),
         &columns,
     );
     for p in points {
         let mut row = vec![p.x.into(), p.destinations.into()];
-        for s in strategies {
-            row.push(p.completion(s.name()).unwrap_or(0).into());
+        for name in planner_names {
+            row.push(p.completion(name).unwrap_or(0).into());
         }
         t.push_row(row);
     }
@@ -100,7 +123,7 @@ pub fn table(parameter: &str, points: &[ComparisonPoint], strategies: &[Strategy
 /// Convenience: the default slow-fraction sweep of the experiment.
 pub fn default_slow_fraction_points(destinations: usize, seed: u64) -> Vec<ComparisonPoint> {
     let sweep = Sweep::over_slow_fraction(destinations, &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], 4, seed);
-    run_sweep(&sweep, &DEFAULT_STRATEGIES, seed)
+    run_sweep(&sweep, &DEFAULT_PLANNERS, seed)
 }
 
 #[cfg(test)]
@@ -149,8 +172,14 @@ mod tests {
     #[test]
     fn table_rendering() {
         let points = default_slow_fraction_points(8, 2);
-        let t = table("slow fraction", &points, &DEFAULT_STRATEGIES);
+        let t = table("slow fraction", &points, &DEFAULT_PLANNERS);
         assert_eq!(t.rows.len(), points.len());
         assert!(t.columns.iter().any(|c| c == "binomial"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown planner name")]
+    fn unknown_planner_names_are_rejected() {
+        resolve_planners(&["no-such-planner"]);
     }
 }

@@ -10,9 +10,7 @@
 
 use crate::table::Table;
 use hnow_core::algorithms::dp::DpTable;
-use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
-use hnow_core::algorithms::optimal::{search, SearchOptions};
-use hnow_core::schedule::reception_completion;
+use hnow_core::planner::{self, PlanRequest};
 use hnow_model::{MessageSize, NetParams, TypedMulticast};
 use hnow_workload::{standard_class_table, two_class_table};
 use serde::{Deserialize, Serialize};
@@ -68,18 +66,20 @@ impl Default for DpConfig {
 fn measure(typed: &TypedMulticast, net: NetParams, exact_limit: usize) -> DpSample {
     let table = DpTable::build(typed, net);
     let set = typed.to_multicast_set().expect("typed instance is valid");
-    let greedy = greedy_with_options(&set, net, GreedyOptions::REFINED);
-    let greedy_r = reception_completion(&greedy, &set, net).unwrap();
+    let request = PlanRequest::new(set, net).with_node_budget(5_000_000);
+    let greedy_r = planner::find("greedy+leaf")
+        .expect("refined greedy is registered")
+        .plan(&request)
+        .expect("planning a valid instance succeeds")
+        .timing
+        .reception_completion();
     let exact = if typed.total_destinations() <= exact_limit {
-        let result = search(
-            &set,
-            net,
-            SearchOptions {
-                node_budget: 5_000_000,
-                ..SearchOptions::default()
-            },
-        );
-        result.proven_optimal.then(|| result.value.raw())
+        let plan = planner::find("branch-bound")
+            .expect("branch-and-bound is registered")
+            .plan(&request)
+            .expect("planning a valid instance succeeds");
+        plan.proven_optimal
+            .then(|| plan.timing.reception_completion().raw())
     } else {
         None
     };

@@ -158,7 +158,7 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         tables: vec![comparison::table(
             "slow fraction",
             &comparison_points,
-            &comparison::DEFAULT_STRATEGIES,
+            &comparison::DEFAULT_PLANNERS,
         )],
     });
 

@@ -7,8 +7,9 @@
 //! the strategies degrade when the *actual* overheads at run time deviate
 //! from the nominal values the schedule was planned with?
 
+use crate::comparison::resolve_planners;
 use crate::table::Table;
-use hnow_core::algorithms::baselines::{build_schedule, Strategy};
+use hnow_core::planner::PlanRequest;
 use hnow_model::models::Instance;
 use hnow_sim::{check_against_analytic, execute_with_specs, PerturbConfig};
 use hnow_workload::RandomClusterConfig;
@@ -57,14 +58,8 @@ impl Default for RobustnessConfig {
     }
 }
 
-/// Strategies evaluated by default.
-pub const DEFAULT_STRATEGIES: [Strategy; 5] = [
-    Strategy::Greedy,
-    Strategy::GreedyRefined,
-    Strategy::FastestNodeFirst,
-    Strategy::Binomial,
-    Strategy::Star,
-];
+/// Registry names of the planners evaluated by default.
+pub const DEFAULT_PLANNERS: [&str; 5] = ["greedy", "greedy+leaf", "fnf", "binomial", "star"];
 
 /// Runs the robustness experiment.
 pub fn run(config: &RobustnessConfig) -> Vec<RobustnessSample> {
@@ -75,29 +70,30 @@ pub fn run(config: &RobustnessConfig) -> Vec<RobustnessSample> {
     let set = cluster.generate(config.seed).expect("valid instance");
     let net = hnow_model::NetParams::new(config.latency);
     let instance = Instance::new(set, net);
+    let request = PlanRequest::new(instance.set.clone(), instance.net).with_seed(config.seed);
 
-    DEFAULT_STRATEGIES
+    resolve_planners(&DEFAULT_PLANNERS)
         .par_iter()
-        .map(|&strategy| {
-            let tree = build_schedule(strategy, &instance.set, instance.net, config.seed);
-            let matches = check_against_analytic(&tree, &instance.set, instance.net)
+        .map(|planner| {
+            let plan = planner
+                .plan(&request)
+                .expect("planning a valid instance succeeds");
+            let matches = check_against_analytic(&plan.tree, &instance.set, instance.net)
                 .map(|m| m.is_empty())
                 .unwrap_or(false);
-            let nominal =
-                hnow_core::schedule::reception_completion(&tree, &instance.set, instance.net)
-                    .unwrap();
+            let nominal = plan.timing.reception_completion();
             let mut total = 0u64;
             let mut worst = 0u64;
             for trial in 0..config.trials {
                 let perturb = PerturbConfig::new(config.jitter, config.seed ^ (trial as u64 + 1));
                 let specs = perturb.perturb(&instance.set);
-                let trace = execute_with_specs(&tree, &specs, instance.net)
+                let trace = execute_with_specs(&plan.tree, &specs, instance.net)
                     .expect("perturbed execution of a complete schedule succeeds");
                 total += trace.completion.raw();
                 worst = worst.max(trace.completion.raw());
             }
             RobustnessSample {
-                strategy: strategy.name().to_string(),
+                strategy: plan.planner.to_string(),
                 nominal: nominal.raw(),
                 perturbed_mean: total as f64 / config.trials.max(1) as f64,
                 perturbed_max: worst,
@@ -145,7 +141,7 @@ mod tests {
             seed: 31,
         };
         let samples = run(&config);
-        assert_eq!(samples.len(), DEFAULT_STRATEGIES.len());
+        assert_eq!(samples.len(), DEFAULT_PLANNERS.len());
         for s in &samples {
             assert!(s.matches_analytic, "{}", s.strategy);
             // With ±20% jitter the completion cannot exceed the nominal value

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run -p hnow-examples --bin cluster_multicast [destinations]`.
 
-use hnow_experiments::comparison::{run_sweep, table, DEFAULT_STRATEGIES};
+use hnow_experiments::comparison::{run_sweep, table, DEFAULT_PLANNERS};
 use hnow_experiments::scaling::{greedy_scaling, table as scaling_table};
 use hnow_workload::Sweep;
 
@@ -28,10 +28,10 @@ fn main() {
         4,
         0xD3B7 ^ destinations as u64,
     );
-    let points = run_sweep(&sweep, &DEFAULT_STRATEGIES, 7);
+    let points = run_sweep(&sweep, &DEFAULT_PLANNERS, 7);
     println!(
         "{}",
-        table("slow fraction", &points, &DEFAULT_STRATEGIES).to_markdown()
+        table("slow fraction", &points, &DEFAULT_PLANNERS).to_markdown()
     );
 
     // Headline: how much does ignoring heterogeneity cost at a 25% legacy mix?

@@ -1,10 +1,11 @@
-//! Quickstart: plan a multicast on a small heterogeneous cluster, print the
-//! schedule tree, its timing, and an execution Gantt chart.
+//! Quickstart: plan a multicast on a small heterogeneous cluster through
+//! the unified planner facade, print the schedule tree, its timing, and an
+//! execution Gantt chart.
 //!
 //! Run with `cargo run -p hnow-examples --bin quickstart`.
 
-use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
-use hnow_core::{dp_optimum, stats};
+use hnow_core::planner::{self, PlanRequest};
+use hnow_core::stats;
 use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec};
 use hnow_sim::execute;
 
@@ -28,13 +29,19 @@ fn main() {
     );
     println!();
 
-    // Plan with the paper's greedy algorithm plus the leaf refinement.
-    let tree = greedy_with_options(&set, net, GreedyOptions::REFINED);
+    // Plan with the paper's greedy algorithm plus the leaf refinement. All
+    // planners answer the same request shape; see `compare_planners` for
+    // the full registry.
+    let request = PlanRequest::new(set.clone(), net);
+    let plan = planner::find("greedy+leaf")
+        .expect("the refined greedy planner is registered")
+        .plan(&request)
+        .expect("planning succeeds");
     println!("greedy schedule tree (children listed in delivery order):");
-    print!("{tree}");
+    print!("{}", plan.tree);
     println!();
 
-    let s = stats(&tree, &set, net).expect("complete schedule");
+    let s = stats(&plan.tree, &set, net).expect("complete schedule");
     println!("reception completion time R_T = {}", s.reception_completion);
     println!("delivery  completion time D_T = {}", s.delivery_completion);
     println!(
@@ -42,10 +49,14 @@ fn main() {
         s.depth, s.source_fanout
     );
     println!("layered: {}", s.layered);
+    println!(
+        "always-valid lower bound on OPT_R: {}",
+        plan.lower_bound.value
+    );
     println!();
 
     // Execute the plan on the discrete-event simulator and show the Gantt.
-    let trace = execute(&tree, &set, net).expect("execution succeeds");
+    let trace = execute(&plan.tree, &set, net).expect("execution succeeds");
     println!("execution trace:");
     println!("{}", trace.render_gantt(72));
     for id in set.destination_ids().take(3) {
@@ -61,10 +72,14 @@ fn main() {
 
     // Because this cluster has only two distinct workstation types, the
     // Theorem 2 dynamic program gives the exact optimum to compare against.
-    let optimum = dp_optimum(&set, net);
+    let optimum = planner::find("dp-optimal")
+        .expect("the DP planner is registered")
+        .plan(&request)
+        .expect("planning succeeds");
+    assert!(optimum.proven_optimal);
     println!(
         "exact optimum (Theorem 2 DP): {}  —  greedy is within {:.1}% of it",
-        optimum,
-        (s.reception_completion.as_f64() / optimum.as_f64() - 1.0) * 100.0
+        optimum.reception_completion(),
+        (s.reception_completion.as_f64() / optimum.reception_completion().as_f64() - 1.0) * 100.0
     );
 }

@@ -5,7 +5,6 @@
 //! grid driving the cross-algorithm conformance suite
 //! (`tests/conformance.rs`).
 
-use hnow_core::Strategy;
 use hnow_model::{MulticastSet, NetParams, NodeSpec};
 use hnow_workload::{
     bimodal_cluster, default_message_size, fast_slow_mix, figure1_class_table, two_class_table,
@@ -58,21 +57,6 @@ impl ConformanceScenario {
             net,
         }
     }
-}
-
-/// Every heuristic planner exercised by the conformance suite. The DP and
-/// the exact branch-and-bound search are additionally exercised where their
-/// preconditions hold (`k` small for the DP, `n` small for the search).
-pub fn heuristic_planners() -> Vec<Strategy> {
-    vec![
-        Strategy::Greedy,
-        Strategy::GreedyRefined,
-        Strategy::FastestNodeFirst,
-        Strategy::Binomial,
-        Strategy::Chain,
-        Strategy::Star,
-        Strategy::Random,
-    ]
 }
 
 /// The conformance scenario grid: hand-picked shapes (Figure 1,

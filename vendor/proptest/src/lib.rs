@@ -162,7 +162,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length ranges accepted by [`vec`].
+    /// Length ranges accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
