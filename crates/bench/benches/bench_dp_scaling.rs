@@ -1,8 +1,13 @@
 //! E6 — Theorem 2: the limited-heterogeneity dynamic program scales
 //! polynomially (O(n^{2k})) in the cluster size for fixed k.
+//!
+//! Sizes up to k2/n=512 and k4/per_class=8 are only tractable because of the
+//! allocation-free fill kernel; the `dp_fill_mode` group compares the
+//! shell-parallel path, the sequential path and the pre-kernel reference
+//! fill head to head at one size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hnow_core::algorithms::dp::DpTable;
+use hnow_core::algorithms::dp::{DpFillMode, DpTable};
 use hnow_model::{MessageSize, NetParams, TypedMulticast};
 use hnow_workload::{standard_class_table, two_class_table};
 use std::hint::black_box;
@@ -13,18 +18,20 @@ fn bench_dp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("dp_scaling");
     group.sample_size(10);
 
-    // k = 2: grow the cluster.
+    // k = 2: grow the cluster. The largest sizes take seconds per build —
+    // they exist to pin the kernel's reach, far past the pre-kernel n = 64.
     let two = two_class_table();
-    for &n in &[8usize, 16, 32, 64] {
+    for &n in &[8usize, 16, 32, 64, 128, 256, 512] {
         let typed = TypedMulticast::from_classes(&two, size, 0, vec![n / 2, n - n / 2]).unwrap();
         group.bench_with_input(BenchmarkId::new("k2", n), &typed, |b, typed| {
             b.iter(|| DpTable::build(black_box(typed), net))
         });
     }
 
-    // k = 4: smaller clusters, same polynomial structure.
+    // k = 4: smaller clusters, same polynomial structure (pre-kernel ceiling
+    // was per_class = 3).
     let four = standard_class_table();
-    for &per_class in &[1usize, 2, 3] {
+    for &per_class in &[1usize, 2, 3, 4, 8] {
         let typed = TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
         group.bench_with_input(BenchmarkId::new("k4", per_class * 4), &typed, |b, typed| {
             b.iter(|| DpTable::build(black_box(typed), net))
@@ -41,6 +48,27 @@ fn bench_dp_scaling(c: &mut Criterion) {
         b.iter(|| black_box(&table).query(0, &[7, 9]).unwrap())
     });
     group.finish();
+
+    // Shell-parallel vs sequential kernel vs the pre-kernel reference fill,
+    // at a size where the difference is visible but the reference is still
+    // bearable. (With the vendored sequential rayon the two kernel paths
+    // coincide; the group keeps the comparison in the criterion output so
+    // the gap appears as soon as a real rayon is swapped in.)
+    let mut modes = c.benchmark_group("dp_fill_mode");
+    modes.sample_size(10);
+    let typed = TypedMulticast::from_classes(&two, size, 0, vec![48, 48]).unwrap();
+    for (name, mode) in [
+        ("sequential", DpFillMode::Sequential),
+        ("parallel", DpFillMode::Parallel),
+    ] {
+        modes.bench_with_input(BenchmarkId::new(name, 96), &typed, |b, typed| {
+            b.iter(|| DpTable::build_with_mode(black_box(typed), net, mode))
+        });
+    }
+    modes.bench_with_input(BenchmarkId::new("reference", 96), &typed, |b, typed| {
+        b.iter(|| DpTable::build_reference(black_box(typed), net))
+    });
+    modes.finish();
 }
 
 criterion_group!(benches, bench_dp_scaling);

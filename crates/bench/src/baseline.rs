@@ -1,0 +1,289 @@
+//! Machine-readable perf-baseline harness.
+//!
+//! The Criterion targets under `benches/` are great for interactive A/B
+//! comparisons but produce no artifact a later PR can diff against. This
+//! module times a **fixed scenario grid** over the workspace's hot paths —
+//! DP table builds (sequential and shell-parallel), greedy planning, and the
+//! batched `plan_many` facade — and renders the results as a serializable
+//! [`BaselineReport`], written to `BENCH_core.json` by the `perf_baseline`
+//! example binary. The checked-in file is the repo's perf trajectory: one
+//! point per PR that touches a hot path.
+//!
+//! Wall-clock numbers vary across machines; the grid, case names and JSON
+//! schema are what stay fixed, so trajectory diffs are apples-to-apples on
+//! any single machine (such as the CI runner, which regenerates the quick
+//! grid on every push).
+
+use hnow_core::algorithms::dp::{DpFillMode, DpTable};
+use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
+use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
+use hnow_model::{MessageSize, NetParams, TypedMulticast};
+use hnow_workload::{standard_class_table, two_class_table};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Grid size of the harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// Tiny grid for CI smoke runs: finishes in well under a second.
+    Quick,
+    /// The full trajectory grid: a few seconds on a laptop-class machine.
+    Full,
+}
+
+impl BaselineMode {
+    fn label(self) -> &'static str {
+        match self {
+            BaselineMode::Quick => "quick",
+            BaselineMode::Full => "full",
+        }
+    }
+}
+
+/// One timed case of the grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineCase {
+    /// Stable case identifier, `group/variant/size`.
+    pub name: String,
+    /// Hot-path family (`dp_build`, `greedy`, `plan_many`).
+    pub group: String,
+    /// Problem size: destinations for single-instance cases, total requests
+    /// for batch cases.
+    pub size: u64,
+    /// Timed iterations (after one untimed warm-up).
+    pub iters: u64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Median iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Mean iteration, nanoseconds.
+    pub mean_ns: u64,
+}
+
+/// The serialized baseline artifact (`BENCH_core.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineReport {
+    /// Schema version of this artifact; bump when cases are renamed.
+    pub schema: u32,
+    /// Grid size the report was produced with (`quick` or `full`).
+    pub mode: String,
+    /// All timed cases, in grid order.
+    pub cases: Vec<BaselineCase>,
+}
+
+/// Times `routine` for `iters` iterations after one untimed warm-up.
+pub fn time_case(
+    group: &str,
+    name: String,
+    size: u64,
+    iters: u64,
+    mut routine: impl FnMut(),
+) -> BaselineCase {
+    routine();
+    let mut samples: Vec<u64> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        routine();
+        samples.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    samples.sort_unstable();
+    let min_ns = samples.first().copied().unwrap_or(0);
+    let median_ns = samples.get(samples.len() / 2).copied().unwrap_or(0);
+    let mean_ns = samples.iter().sum::<u64>() / samples.len().max(1) as u64;
+    BaselineCase {
+        name,
+        group: group.to_string(),
+        size,
+        iters,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+/// Runs the whole grid and returns the report.
+pub fn run(mode: BaselineMode) -> BaselineReport {
+    let mut cases = Vec::new();
+    dp_build_cases(mode, &mut cases);
+    greedy_cases(mode, &mut cases);
+    plan_many_cases(mode, &mut cases);
+    BaselineReport {
+        schema: 1,
+        mode: mode.label().to_string(),
+        cases,
+    }
+}
+
+/// DP table builds over the standard workload class tables, including a
+/// sequential-vs-parallel pair at one size so the shell-parallel speedup is
+/// part of the trajectory once a parallel rayon is in use.
+fn dp_build_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let size = MessageSize::from_kib(4);
+    let two = two_class_table();
+    let four = standard_class_table();
+
+    let (k2_sizes, k4_per_class, iters): (&[usize], &[usize], u64) = match mode {
+        BaselineMode::Quick => (&[16], &[2], 3),
+        BaselineMode::Full => (&[16, 64, 128, 256], &[2, 4], 5),
+    };
+
+    for &n in k2_sizes {
+        let typed = TypedMulticast::from_classes(&two, size, 0, vec![n / 2, n - n / 2]).unwrap();
+        cases.push(time_case(
+            "dp_build",
+            format!("dp_build/k2/{n}"),
+            n as u64,
+            iters,
+            || {
+                black_box(DpTable::build(black_box(&typed), net));
+            },
+        ));
+    }
+    for &per_class in k4_per_class {
+        let typed = TypedMulticast::from_classes(&four, size, 0, vec![per_class; 4]).unwrap();
+        let n = per_class * 4;
+        cases.push(time_case(
+            "dp_build",
+            format!("dp_build/k4/{n}"),
+            n as u64,
+            iters,
+            || {
+                black_box(DpTable::build(black_box(&typed), net));
+            },
+        ));
+    }
+
+    // Fill-mode pair at one mid-size point.
+    let n = match mode {
+        BaselineMode::Quick => 32,
+        BaselineMode::Full => 128,
+    };
+    let typed = TypedMulticast::from_classes(&two, size, 0, vec![n / 2, n / 2]).unwrap();
+    for (variant, fill_mode) in [
+        ("sequential", DpFillMode::Sequential),
+        ("parallel", DpFillMode::Parallel),
+    ] {
+        cases.push(time_case(
+            "dp_build",
+            format!("dp_build/k2-{variant}/{n}"),
+            n as u64,
+            iters,
+            || {
+                black_box(DpTable::build_with_mode(black_box(&typed), net, fill_mode));
+            },
+        ));
+    }
+}
+
+/// Refined greedy planning across cluster sizes.
+fn greedy_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let size = MessageSize::from_kib(4);
+    let four = standard_class_table();
+    let (sizes, iters): (&[usize], u64) = match mode {
+        BaselineMode::Quick => (&[256], 5),
+        BaselineMode::Full => (&[64, 1024, 4096], 10),
+    };
+    for &n in sizes {
+        let typed = TypedMulticast::from_classes(
+            &four,
+            size,
+            0,
+            vec![n / 4, n / 4, n / 4, n - 3 * (n / 4)],
+        )
+        .unwrap();
+        let set = typed.to_multicast_set().unwrap();
+        cases.push(time_case(
+            "greedy",
+            format!("greedy/refined/{n}"),
+            n as u64,
+            iters,
+            || {
+                black_box(greedy_with_options(
+                    black_box(&set),
+                    net,
+                    GreedyOptions::REFINED,
+                ));
+            },
+        ));
+    }
+}
+
+/// Batched planning through the `plan_many` facade with a shared DP cache:
+/// many sub-multicasts over one two-class cluster, planned by the greedy and
+/// exact-DP planners — the paper's precompute-once, answer-everything usage.
+fn plan_many_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(1);
+    let size = MessageSize::from_kib(4);
+    let two = two_class_table();
+    let (max_per_class, iters): (usize, u64) = match mode {
+        BaselineMode::Quick => (4, 3),
+        BaselineMode::Full => (12, 5),
+    };
+    let mut requests = Vec::new();
+    for a in 0..=max_per_class {
+        for b in 0..=max_per_class {
+            if a + b == 0 {
+                continue;
+            }
+            let typed = TypedMulticast::from_classes(&two, size, 0, vec![a, b]).unwrap();
+            requests.push(PlanRequest::new(typed.to_multicast_set().unwrap(), net).with_seed(7));
+        }
+    }
+    let planners: Vec<&dyn Planner> = ["greedy+leaf", "dp-optimal"]
+        .iter()
+        .map(|name| find(name).expect("registry planner"))
+        .collect();
+    let batch = requests.len() as u64;
+    cases.push(time_case(
+        "plan_many",
+        format!("plan_many/greedy+dp/{batch}"),
+        batch,
+        iters,
+        || {
+            // A fresh context per iteration: the measurement includes the
+            // one shared table build plus every cache-served request.
+            let ctx = PlanContext::new();
+            black_box(plan_many_with(&planners, black_box(&requests), &ctx));
+        },
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_produces_the_expected_cases() {
+        let report = run(BaselineMode::Quick);
+        assert_eq!(report.schema, 1);
+        assert_eq!(report.mode, "quick");
+        let names: Vec<&str> = report.cases.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "dp_build/k2/16",
+                "dp_build/k4/8",
+                "dp_build/k2-sequential/32",
+                "dp_build/k2-parallel/32",
+                "greedy/refined/256",
+                "plan_many/greedy+dp/24",
+            ]
+        );
+        for case in &report.cases {
+            assert!(case.iters > 0);
+            assert!(case.min_ns <= case.median_ns);
+            assert!(case.min_ns > 0, "{} measured nothing", case.name);
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = run(BaselineMode::Quick);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"schema\""));
+        assert!(json.contains("dp_build/k2/16"));
+    }
+}

@@ -25,11 +25,73 @@
 //! [`DpTable`] exposes the table, the optimum for the instance it was built
 //! from, arbitrary queries, and reconstruction of an optimal
 //! [`ScheduleTree`].
+//!
+//! # Fill kernel
+//!
+//! The table build is the hottest path in the whole workspace (the paper
+//! recommends precomputing one table per network precisely because it is
+//! expensive), so [`DpTable::build`] runs an allocation-free kernel instead
+//! of the straightforward recurrence transcription:
+//!
+//! * **Linear mixed-radix indexing.** Count vectors are packed into a mixed
+//!   radix integer. Because the subtracted vector of the recurrence satisfies
+//!   `y ≤ avail` componentwise, the subtraction has no borrows, so
+//!   `idx(avail − y) = idx(avail) − idx(y)` — the whole y-enumeration is pure
+//!   index arithmetic with zero per-iteration heap traffic.
+//! * **Shell decomposition.** Every dependency of a state has a strictly
+//!   smaller total destination count, so grouping states into "shells" of
+//!   equal total (by counting sort over a precomputed total array, replacing
+//!   a comparison sort that allocated a digit vector per state) yields a
+//!   correct parallel wavefront: states within one shell are independent and
+//!   are filled with rayon, shell by shell. Small tables keep the purely
+//!   sequential path.
+//!
+//! The pre-kernel transcription survives as [`DpTable::build_reference`], an
+//! executable specification used by the differential proptests and benches.
 
 use crate::error::CoreError;
 use crate::schedule::tree::ScheduleTree;
 use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
+use rayon::prelude::*;
 use std::collections::VecDeque;
+
+/// Largest `k` for which the fill kernel can keep its per-state digit
+/// scratch in fixed stack arrays (and therefore the largest `k` filled in
+/// parallel). `k = 8` already implies at least `2^8` states per source type;
+/// larger `k` are filled by the sequential heap-scratch path.
+const MAX_PACKED_K: usize = 8;
+
+/// Table size (count states) below which the sequential fill always wins:
+/// tiny tables finish faster than a parallel fan-out can be set up.
+const PAR_MIN_STATES: usize = 1 << 11;
+
+/// Shells smaller than this are filled inline even in parallel mode.
+const PAR_MIN_SHELL: usize = 8;
+
+/// How [`DpTable::build_with_mode`] executes the table fill. All modes
+/// produce bit-identical tables (values *and* reconstruction choices); they
+/// differ only in scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DpFillMode {
+    /// Choose sequential or shell-parallel from the table size.
+    #[default]
+    Auto,
+    /// Single-threaded fill.
+    Sequential,
+    /// Shell-parallel fill regardless of table size (still sequential when
+    /// `k` exceeds the packed-scratch limit).
+    Parallel,
+}
+
+/// Per-state output of the fill kernel: the optimal value and
+/// first-transmission choice for every source type, ready to be written back
+/// into the table after a (possibly parallel) shell evaluation.
+#[derive(Debug, Clone, Copy)]
+struct StateOut {
+    count_idx: usize,
+    values: [Time; MAX_PACKED_K],
+    choices: [(usize, usize); MAX_PACKED_K],
+}
 
 /// Dynamic-programming table of optimal reception completion times for a
 /// limited-heterogeneity cluster.
@@ -53,8 +115,36 @@ pub struct DpTable {
 
 impl DpTable {
     /// Builds the full table for the given typed instance: all states
-    /// `τ(s, j_1, …, j_k)` with `j_ℓ ≤ i_ℓ` and every source type `s`.
+    /// `τ(s, j_1, …, j_k)` with `j_ℓ ≤ i_ℓ` and every source type `s`,
+    /// using the allocation-free kernel with automatic shell parallelism.
     pub fn build(typed: &TypedMulticast, net: NetParams) -> DpTable {
+        DpTable::build_with_mode(typed, net, DpFillMode::Auto)
+    }
+
+    /// [`DpTable::build`] with an explicit fill-scheduling mode. Exposed so
+    /// benchmarks can compare the sequential and shell-parallel paths; the
+    /// resulting tables are identical in every mode.
+    pub fn build_with_mode(typed: &TypedMulticast, net: NetParams, mode: DpFillMode) -> DpTable {
+        let mut table = DpTable::empty(typed, net);
+        table.fill(mode);
+        table
+    }
+
+    /// Builds the table with the straightforward recurrence transcription
+    /// that predates the kernel: comparison-sorted state order and
+    /// per-iteration digit vectors. Kept as an executable specification — the
+    /// differential proptests assert the kernel reproduces its values and
+    /// choices exactly — and as the baseline in the fill-mode benchmarks. Use
+    /// [`DpTable::build`] everywhere else; this is *much* slower.
+    pub fn build_reference(typed: &TypedMulticast, net: NetParams) -> DpTable {
+        let mut table = DpTable::empty(typed, net);
+        table.fill_reference();
+        table
+    }
+
+    /// Allocates an unfilled table: dimensions, strides and `MAX`-initialised
+    /// value/choice storage.
+    fn empty(typed: &TypedMulticast, net: NetParams) -> DpTable {
         let k = typed.k();
         let dims: Vec<usize> = typed.counts().to_vec();
         let mut strides = vec![0usize; k];
@@ -64,7 +154,7 @@ impl DpTable {
             count_states *= dims[j] + 1;
         }
         let total_states = k * count_states;
-        let mut table = DpTable {
+        DpTable {
             typed: typed.clone(),
             net,
             dims,
@@ -72,9 +162,7 @@ impl DpTable {
             count_states,
             value: vec![Time::MAX; total_states],
             choice: vec![(usize::MAX, usize::MAX); total_states],
-        };
-        table.fill();
-        table
+        }
     }
 
     /// Convenience: builds the table and immediately reconstructs an optimal
@@ -107,7 +195,231 @@ impl DpTable {
         source * self.count_states + count_idx
     }
 
-    fn fill(&mut self) {
+    fn fill(&mut self, mode: DpFillMode) {
+        let k = self.dims.len();
+        let max_total: usize = self.dims.iter().sum();
+
+        // Total destination count per state, by running mixed-radix
+        // increment (amortised O(1) per state), and counting sort of the
+        // states into shells of equal total. Within a shell the order is
+        // ascending state index, matching the reference fill's stable sort.
+        let mut totals = vec![0u32; self.count_states];
+        let mut shell_start = vec![0usize; max_total + 2];
+        {
+            let mut digits = vec![0usize; k];
+            let mut total = 0usize;
+            for slot in totals.iter_mut() {
+                *slot = total as u32;
+                shell_start[total + 1] += 1;
+                for (digit, &dim) in digits.iter_mut().zip(&self.dims) {
+                    if *digit < dim {
+                        *digit += 1;
+                        total += 1;
+                        break;
+                    }
+                    total -= *digit;
+                    *digit = 0;
+                }
+            }
+        }
+        for t in 0..=max_total {
+            shell_start[t + 1] += shell_start[t];
+        }
+        let mut order = vec![0usize; self.count_states];
+        {
+            let mut cursor = shell_start.clone();
+            for (idx, &total) in totals.iter().enumerate() {
+                order[cursor[total as usize]] = idx;
+                cursor[total as usize] += 1;
+            }
+        }
+
+        // Base shell: the all-zero count vector is trivially complete for
+        // every source type.
+        for s in 0..k {
+            let state = self.state(s, 0);
+            self.value[state] = Time::ZERO;
+        }
+
+        // Every dependency of a shell-t state (both the subtree counts y and
+        // the remainder avail − y) has total < t, so shells are a correct
+        // parallel frontier: states within one shell never read each other.
+        let parallel = k <= MAX_PACKED_K
+            && match mode {
+                DpFillMode::Sequential => false,
+                DpFillMode::Parallel => true,
+                DpFillMode::Auto => self.count_states >= PAR_MIN_STATES,
+            };
+
+        if k <= MAX_PACKED_K {
+            for t in 1..=max_total {
+                let shell = &order[shell_start[t]..shell_start[t + 1]];
+                if parallel && shell.len() >= PAR_MIN_SHELL {
+                    let outs: Vec<StateOut> = shell
+                        .par_iter()
+                        .map(|&count_idx| self.kernel_packed(count_idx))
+                        .collect();
+                    for out in &outs {
+                        self.store(out);
+                    }
+                } else {
+                    for &count_idx in shell {
+                        let out = self.kernel_packed(count_idx);
+                        self.store(&out);
+                    }
+                }
+            }
+        } else {
+            // k beyond the stack-scratch limit: sequential fill with heap
+            // scratch reused across all states (still no per-state or
+            // per-iteration allocation).
+            let mut digits = vec![0usize; k];
+            let mut avail = vec![0usize; k];
+            let mut y = vec![0usize; k];
+            let mut values = vec![Time::MAX; k];
+            let mut choices = vec![(usize::MAX, usize::MAX); k];
+            for t in 1..=max_total {
+                for &count_idx in &order[shell_start[t]..shell_start[t + 1]] {
+                    self.kernel(
+                        count_idx,
+                        &mut digits,
+                        &mut avail,
+                        &mut y,
+                        &mut values,
+                        &mut choices,
+                    );
+                    for s in 0..k {
+                        let state = self.state(s, count_idx);
+                        self.value[state] = values[s];
+                        self.choice[state] = choices[s];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the fill kernel for one state with fixed-size stack scratch
+    /// (`k ≤ MAX_PACKED_K`), returning the per-source results by value so
+    /// shells can be evaluated in parallel and written back afterwards.
+    fn kernel_packed(&self, count_idx: usize) -> StateOut {
+        let k = self.dims.len();
+        debug_assert!(k <= MAX_PACKED_K);
+        let mut digits = [0usize; MAX_PACKED_K];
+        let mut avail = [0usize; MAX_PACKED_K];
+        let mut y = [0usize; MAX_PACKED_K];
+        let mut out = StateOut {
+            count_idx,
+            values: [Time::MAX; MAX_PACKED_K],
+            choices: [(usize::MAX, usize::MAX); MAX_PACKED_K],
+        };
+        self.kernel(
+            count_idx,
+            &mut digits[..k],
+            &mut avail[..k],
+            &mut y[..k],
+            &mut out.values[..k],
+            &mut out.choices[..k],
+        );
+        out
+    }
+
+    /// Writes one state's kernel results into the table.
+    fn store(&mut self, out: &StateOut) {
+        for s in 0..self.dims.len() {
+            let state = self.state(s, out.count_idx);
+            self.value[state] = out.values[s];
+            self.choice[state] = out.choices[s];
+        }
+    }
+
+    /// Evaluates the Lemma 4 recurrence for one non-base state, for every
+    /// source type `s`, reading only strictly-smaller-total states.
+    ///
+    /// All slice parameters have length `k`: `digits`/`avail`/`y` are digit
+    /// scratch, `out_values`/`out_choices` receive the per-source results.
+    /// The inner enumeration performs **no allocation and no division**:
+    /// `y ≤ avail` componentwise means the mixed-radix subtraction has no
+    /// borrows, so `idx(avail − y) = idx(avail) − idx(y)` and both table
+    /// reads are pure index arithmetic off the running `y_idx`.
+    fn kernel(
+        &self,
+        count_idx: usize,
+        digits: &mut [usize],
+        avail: &mut [usize],
+        y: &mut [usize],
+        out_values: &mut [Time],
+        out_choices: &mut [(usize, usize)],
+    ) {
+        let k = digits.len();
+        let cs = self.count_states;
+        let latency = self.net.latency();
+        // Decode the state's per-class counts once.
+        let mut rem = count_idx;
+        for (digit, &dim) in digits.iter_mut().zip(&self.dims) {
+            let base = dim + 1;
+            *digit = rem % base;
+            rem /= base;
+        }
+        debug_assert!(digits.iter().any(|&d| d > 0), "base state has no choice");
+        for s in 0..k {
+            let send_s = self.typed.spec_of(s).send();
+            let value_s = &self.value[s * cs..(s + 1) * cs];
+            let mut best = Time::MAX;
+            let mut best_choice = (usize::MAX, usize::MAX);
+            for first in 0..k {
+                if digits[first] == 0 {
+                    continue;
+                }
+                let head = send_s + latency + self.typed.spec_of(first).recv();
+                let value_first = &self.value[first * cs..(first + 1) * cs];
+                // Counts available to split between the first child's
+                // subtree and the source's remainder, and their packed
+                // index (linear: one stride subtraction).
+                let avail_idx = count_idx - self.strides[first];
+                avail.copy_from_slice(digits);
+                avail[first] -= 1;
+                // Enumerate all y with 0 ≤ y_j ≤ avail[j], maintaining the
+                // packed index incrementally.
+                y.fill(0);
+                let mut y_idx = 0usize;
+                loop {
+                    let subtree = value_first[y_idx];
+                    let remaining = value_s[avail_idx - y_idx];
+                    debug_assert_ne!(subtree, Time::MAX);
+                    debug_assert_ne!(remaining, Time::MAX);
+                    let completion = (subtree + head).max(remaining + send_s);
+                    if completion < best {
+                        best = completion;
+                        best_choice = (first, y_idx);
+                    }
+                    // Advance y in mixed radix.
+                    let mut j = 0;
+                    loop {
+                        if j == k {
+                            break;
+                        }
+                        if y[j] < avail[j] {
+                            y[j] += 1;
+                            y_idx += self.strides[j];
+                            break;
+                        }
+                        y_idx -= y[j] * self.strides[j];
+                        y[j] = 0;
+                        j += 1;
+                    }
+                    if j == k {
+                        break;
+                    }
+                }
+            }
+            out_values[s] = best;
+            out_choices[s] = best_choice;
+        }
+    }
+
+    /// The pre-kernel fill: direct transcription of the recurrence. See
+    /// [`DpTable::build_reference`].
+    fn fill_reference(&mut self) {
         let k = self.dims.len();
         // Order count vectors by their total so every dependency (which has a
         // strictly smaller total) is already computed.
@@ -507,6 +819,96 @@ mod tests {
         let table = DpTable::build(&typed, NetParams::new(4));
         // send(src) + L + recv(dest) = 2 + 4 + 7.
         assert_eq!(table.optimum(), Time::new(13));
+    }
+
+    /// Exhaustively compares two tables built for the same instance:
+    /// identical values for every (source, counts) state.
+    fn assert_tables_agree(a: &DpTable, b: &DpTable) {
+        assert_eq!(a.dims(), b.dims());
+        assert_eq!(a.num_states(), b.num_states());
+        let k = a.k();
+        let mut counts = vec![0usize; k];
+        loop {
+            for s in 0..k {
+                assert_eq!(
+                    a.query(s, &counts),
+                    b.query(s, &counts),
+                    "s={s} counts={counts:?}"
+                );
+            }
+            let mut j = 0;
+            while j < k {
+                if counts[j] < a.dims()[j] {
+                    counts[j] += 1;
+                    break;
+                }
+                counts[j] = 0;
+                j += 1;
+            }
+            if j == k {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn all_fill_modes_match_the_reference() {
+        let net = NetParams::new(2);
+        let cases = vec![
+            TypedMulticast::new(vec![NodeSpec::new(1, 1)], 0, vec![9]).unwrap(),
+            TypedMulticast::new(
+                vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+                1,
+                vec![4, 3],
+            )
+            .unwrap(),
+            TypedMulticast::new(
+                vec![
+                    NodeSpec::new(1, 1),
+                    NodeSpec::new(2, 2),
+                    NodeSpec::new(4, 7),
+                ],
+                0,
+                vec![3, 2, 2],
+            )
+            .unwrap(),
+        ];
+        for typed in &cases {
+            let reference = DpTable::build_reference(typed, net);
+            for mode in [
+                DpFillMode::Auto,
+                DpFillMode::Sequential,
+                DpFillMode::Parallel,
+            ] {
+                let fast = DpTable::build_with_mode(typed, net, mode);
+                assert_tables_agree(&fast, &reference);
+                // Choices match too: reconstructed trees are identical.
+                assert_eq!(
+                    fast.reconstruct_schedule().unwrap(),
+                    reference.reconstruct_schedule().unwrap(),
+                    "mode {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_paths_agree_on_a_large_two_class_table() {
+        // Large enough that DpFillMode::Auto takes the shell-parallel path.
+        let typed = TypedMulticast::new(
+            vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+            0,
+            vec![50, 50],
+        )
+        .unwrap();
+        let net = NetParams::new(1);
+        let auto = DpTable::build(&typed, net);
+        let sequential = DpTable::build_with_mode(&typed, net, DpFillMode::Sequential);
+        assert_eq!(auto.optimum(), sequential.optimum());
+        assert_eq!(
+            auto.reconstruct_schedule().unwrap(),
+            sequential.reconstruct_schedule().unwrap()
+        );
     }
 
     #[test]

@@ -99,6 +99,22 @@ pub struct OptimalResult {
     pub proven_optimal: bool,
 }
 
+/// Reusable per-recursion-depth buffers of [`Searcher::search`]. One frame
+/// exists per depth, so the hot loop never heap-allocates: each frame's
+/// vectors are cleared and refilled in place on every visit.
+#[derive(Debug, Default)]
+struct ScratchFrame {
+    /// Attached nodes whose next fixed transmission is chronologically
+    /// admissible, with that transmission's delivery time.
+    alive: Vec<(Time, NodeId)>,
+    /// Unattached destinations de-duplicated by spec.
+    candidates: Vec<NodeId>,
+    /// Alive senders de-duplicated by (availability, spec).
+    senders: Vec<(Time, NodeId)>,
+    /// Dedup key set for `senders`.
+    seen: Vec<(Time, hnow_model::NodeSpec)>,
+}
+
 struct Searcher<'a> {
     set: &'a MulticastSet,
     net: NetParams,
@@ -106,7 +122,8 @@ struct Searcher<'a> {
     /// Chronological list of (sender, destination) decisions on the current
     /// path.
     path: Vec<(NodeId, NodeId)>,
-    /// Best decision list found so far.
+    /// Best decision list found so far. Preallocated; improvements copy the
+    /// current path into it instead of cloning a fresh vector.
     best_path: Vec<(NodeId, NodeId)>,
     best_value: Time,
     nodes_explored: u64,
@@ -115,6 +132,16 @@ struct Searcher<'a> {
     attached: Vec<bool>,
     reception: Vec<Time>,
     sends_made: Vec<u64>,
+    /// Per-node sending overheads, in canonical node order.
+    send: Vec<Time>,
+    /// Per-node receiving overheads, in canonical node order. Over the
+    /// destinations (indices ≥ 1) these are non-decreasing: destinations are
+    /// sorted fast-first and the model's correlation assumption forbids a
+    /// faster sender from being a slower receiver, so the reception lower
+    /// bound only needs the largest unattached index.
+    recv: Vec<Time>,
+    /// One scratch frame per recursion depth.
+    scratch: Vec<ScratchFrame>,
 }
 
 impl<'a> Searcher<'a> {
@@ -122,33 +149,41 @@ impl<'a> Searcher<'a> {
         let n = set.num_nodes();
         let mut attached = vec![false; n];
         attached[0] = true;
+        let send: Vec<Time> = (0..n).map(|v| set.spec(NodeId(v)).send()).collect();
+        let recv: Vec<Time> = (0..n).map(|v| set.spec(NodeId(v)).recv()).collect();
+        debug_assert!(
+            recv[1..].windows(2).all(|w| w[0] <= w[1]),
+            "destination receive overheads must be non-decreasing in canonical order"
+        );
         Searcher {
             set,
             net,
             options,
             path: Vec::with_capacity(n),
-            best_path: Vec::new(),
+            best_path: Vec::with_capacity(n),
             best_value: Time::MAX,
             nodes_explored: 0,
             budget_exhausted: false,
             attached,
             reception: vec![Time::ZERO; n],
             sends_made: vec![0; n],
+            send,
+            recv,
+            scratch: (0..=n).map(|_| ScratchFrame::default()).collect(),
         }
     }
 
     /// Next delivery-completion time of an attached node: the instant its
     /// `(sends_made + 1)`-th transmission would be delivered.
     fn next_avail(&self, v: NodeId) -> Time {
-        let spec = self.set.spec(v);
         self.reception[v.index()]
-            + (self.sends_made[v.index()] + 1) * spec.send()
+            + (self.sends_made[v.index()] + 1) * self.send[v.index()]
             + self.net.latency()
     }
 
     fn objective_of(&self, delivery: Time, dest: NodeId) -> Time {
         match self.options.objective {
-            Objective::Reception => delivery + self.set.spec(dest).recv(),
+            Objective::Reception => delivery + self.recv[dest.index()],
             Objective::Delivery => delivery,
         }
     }
@@ -176,7 +211,9 @@ impl<'a> Searcher<'a> {
             }
         }
         decisions.sort_by_key(|&(d, _, c)| (d, c));
-        self.best_path = decisions.into_iter().map(|(_, p, c)| (p, c)).collect();
+        self.best_path.clear();
+        self.best_path
+            .extend(decisions.into_iter().map(|(_, p, c)| (p, c)));
     }
 
     fn search(&mut self, last_delivery: Time, current_value: Time, num_attached: usize) {
@@ -185,40 +222,57 @@ impl<'a> Searcher<'a> {
             self.budget_exhausted = true;
             return;
         }
-        let n = self.set.num_nodes();
-        if num_attached == n {
+        if num_attached == self.set.num_nodes() {
             if current_value < self.best_value {
                 self.best_value = current_value;
-                self.best_path = self.path.clone();
+                self.best_path.clear();
+                self.best_path.extend_from_slice(&self.path);
             }
             return;
         }
+        // Detach this depth's scratch frame so the recursive calls (which
+        // use strictly deeper frames) can borrow `self` freely.
+        let mut frame = std::mem::take(&mut self.scratch[num_attached]);
+        self.branch(last_delivery, current_value, num_attached, &mut frame);
+        self.scratch[num_attached] = frame;
+    }
+
+    fn branch(
+        &mut self,
+        last_delivery: Time,
+        current_value: Time,
+        num_attached: usize,
+        frame: &mut ScratchFrame,
+    ) {
+        let n = self.set.num_nodes();
 
         // Senders that are still "alive": attached nodes whose next fixed
         // transmission time has not already been passed chronologically.
-        let mut alive: Vec<(Time, NodeId)> = Vec::new();
+        frame.alive.clear();
         for v in (0..n).map(NodeId) {
             if self.attached[v.index()] {
                 let avail = self.next_avail(v);
                 if avail >= last_delivery {
-                    alive.push((avail, v));
+                    frame.alive.push((avail, v));
                 }
             }
         }
-        if alive.is_empty() {
+        if frame.alive.is_empty() {
             return; // Remaining destinations can never be reached: dead end.
         }
-        alive.sort_unstable_by_key(|&(t, v)| (t, v));
-        let earliest_next = alive[0].0;
+        frame.alive.sort_unstable_by_key(|&(t, v)| (t, v));
+        let earliest_next = frame.alive[0].0;
 
-        // Lower bound.
+        // Lower bound. Under the reception objective every unattached node
+        // still has to receive, no earlier than the earliest next delivery;
+        // receive overheads are non-decreasing in node order (see
+        // `Searcher::recv`), so the largest unattached index alone gives the
+        // max over all unattached nodes — no rescan of the specs.
         let mut lb = current_value;
         match self.options.objective {
             Objective::Reception => {
-                for v in (1..n).map(NodeId) {
-                    if !self.attached[v.index()] {
-                        lb = lb.max(earliest_next + self.set.spec(v).recv());
-                    }
+                if let Some(v) = (1..n).rev().find(|&v| !self.attached[v]) {
+                    lb = lb.max(earliest_next + self.recv[v]);
                 }
             }
             Objective::Delivery => {
@@ -231,7 +285,7 @@ impl<'a> Searcher<'a> {
 
         // Candidate destinations: unattached, de-duplicated by spec. In
         // layered mode only the fastest remaining speed class may be served.
-        let mut candidates: Vec<NodeId> = Vec::new();
+        frame.candidates.clear();
         let mut last_spec = None;
         for v in (1..n).map(NodeId) {
             if self.attached[v.index()] {
@@ -242,7 +296,7 @@ impl<'a> Searcher<'a> {
                 continue;
             }
             last_spec = Some(spec);
-            candidates.push(v);
+            frame.candidates.push(v);
             if self.options.layered_only {
                 break; // Destinations are sorted: the first unattached spec
                        // is the fastest remaining class.
@@ -250,19 +304,19 @@ impl<'a> Searcher<'a> {
         }
 
         // Candidate senders: de-duplicated by (spec, next availability).
-        let mut senders: Vec<(Time, NodeId)> = Vec::new();
-        let mut seen: Vec<(Time, hnow_model::NodeSpec)> = Vec::new();
-        for &(avail, v) in &alive {
+        frame.senders.clear();
+        frame.seen.clear();
+        for &(avail, v) in &frame.alive {
             let spec = self.set.spec(v);
-            if seen.iter().any(|&(a, s)| a == avail && s == spec) {
+            if frame.seen.iter().any(|&(a, s)| a == avail && s == spec) {
                 continue;
             }
-            seen.push((avail, spec));
-            senders.push((avail, v));
+            frame.seen.push((avail, spec));
+            frame.senders.push((avail, v));
         }
 
-        for &(avail, sender) in &senders {
-            for &dest in &candidates {
+        for &(avail, sender) in &frame.senders {
+            for &dest in &frame.candidates {
                 let delivery = avail;
                 let new_value = current_value.max(self.objective_of(delivery, dest));
                 if new_value >= self.best_value {
@@ -270,7 +324,7 @@ impl<'a> Searcher<'a> {
                 }
                 // Apply.
                 self.attached[dest.index()] = true;
-                self.reception[dest.index()] = delivery + self.set.spec(dest).recv();
+                self.reception[dest.index()] = delivery + self.recv[dest.index()];
                 self.sends_made[sender.index()] += 1;
                 self.path.push((sender, dest));
 
@@ -468,6 +522,51 @@ mod tests {
         let single = MulticastSet::new(NodeSpec::new(2, 2), vec![NodeSpec::new(3, 4)]).unwrap();
         let r = optimal_schedule(&single, net);
         assert_eq!(r.value, Time::new(2 + 1 + 4));
+    }
+
+    #[test]
+    fn nodes_explored_does_not_regress_on_figure1() {
+        // Pruning-strength regression guard: the scratch-buffer overhaul and
+        // the suffix-based reception bound must prune at least as hard as
+        // the pre-kernel implementation, which explored exactly 4 nodes on
+        // the Figure 1 instance (the refined-greedy incumbent is already
+        // optimal there).
+        let (set, net) = figure1();
+        let result = optimal_schedule(&set, net);
+        assert!(result.proven_optimal);
+        assert_eq!(result.value, Time::new(8));
+        assert!(
+            result.nodes_explored <= 4,
+            "nodes_explored regressed: {} > 4",
+            result.nodes_explored
+        );
+    }
+
+    #[test]
+    fn nodes_explored_does_not_regress_on_an_eight_destination_instance() {
+        // Same guard on a harder all-distinct instance: 28 nodes on the
+        // pre-kernel implementation.
+        let set = MulticastSet::new(
+            NodeSpec::new(1, 1),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 2),
+                NodeSpec::new(2, 3),
+                NodeSpec::new(3, 3),
+                NodeSpec::new(3, 4),
+                NodeSpec::new(4, 6),
+                NodeSpec::new(5, 8),
+                NodeSpec::new(6, 9),
+            ],
+        )
+        .unwrap();
+        let result = optimal_schedule(&set, NetParams::new(2));
+        assert!(result.proven_optimal);
+        assert!(
+            result.nodes_explored <= 28,
+            "nodes_explored regressed: {} > 28",
+            result.nodes_explored
+        );
     }
 
     #[test]

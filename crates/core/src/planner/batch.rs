@@ -43,29 +43,48 @@ impl DpCache {
 
     /// Returns a table covering `typed` at latency `net`, building (or
     /// widening) one on miss.
+    ///
+    /// Table builds are the expensive part of a batch, so they never happen
+    /// while holding the cache lock: the lock is taken briefly to probe (and
+    /// plan the widened dimensions), released for the build, then retaken
+    /// for a double-checked insert. A racing thread that inserted an
+    /// at-least-as-wide table meanwhile wins and the local build is
+    /// discarded — either table answers the request identically. If two
+    /// racing builds have incomparable dimensions the later insert wins and
+    /// the other shape misses once more; that miss probes the now-cached
+    /// table and builds the element-wise union, so the cache converges after
+    /// at most one extra rebuild per raced shape.
     pub fn table_for(&self, typed: &TypedMulticast, net: NetParams) -> Arc<DpTable> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let key = (typed.specs().to_vec(), net);
-        let mut tables = self.tables.lock().expect("DP cache lock poisoned");
-        if let Some(table) = tables.get(&key) {
-            if table.covers(typed.counts()) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(table);
-            }
-        }
-        // Miss (or an undersized table): build one whose dimensions also
-        // cover everything previously cached under this key.
+        // Probe, and on an undersized table plan dimensions that also cover
+        // everything previously cached under this key.
         let mut dims = typed.counts().to_vec();
-        if let Some(previous) = tables.get(&key) {
-            for (dim, &old) in dims.iter_mut().zip(previous.dims()) {
-                *dim = (*dim).max(old);
+        {
+            let tables = self.tables.lock().expect("DP cache lock poisoned");
+            if let Some(table) = tables.get(&key) {
+                if table.covers(typed.counts()) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(table);
+                }
+                for (dim, &old) in dims.iter_mut().zip(table.dims()) {
+                    *dim = (*dim).max(old);
+                }
             }
         }
+        // Build outside the lock.
         let widened = TypedMulticast::new(typed.specs().to_vec(), typed.source_class(), dims)
             .expect("widening preserves validity of a typed instance");
         let table = Arc::new(DpTable::build(&widened, net));
-        tables.insert(key, Arc::clone(&table));
-        table
+        // Double-checked insert.
+        let mut tables = self.tables.lock().expect("DP cache lock poisoned");
+        match tables.get(&key) {
+            Some(existing) if existing.covers(table.dims()) => Arc::clone(existing),
+            _ => {
+                tables.insert(key, Arc::clone(&table));
+                table
+            }
+        }
     }
 
     /// Number of [`DpCache::table_for`] calls so far.
@@ -186,6 +205,33 @@ mod tests {
         for (request, cached) in requests.iter().zip(&plans) {
             assert_eq!(cached, &dp.plan(request).unwrap());
         }
+    }
+
+    #[test]
+    fn outgrown_tables_are_rebuilt_with_union_dimensions() {
+        // A request bigger than the cached table forces one rebuild whose
+        // dimensions cover both shapes; afterwards both shapes hit. Also
+        // exercises the build-outside-the-lock path end to end: the returned
+        // tables must answer their requests despite probe/build/insert being
+        // three separate critical sections.
+        let specs = vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)];
+        let net = NetParams::new(1);
+        let cache = DpCache::new();
+
+        let tall = TypedMulticast::new(specs.clone(), 0, vec![4, 1]).unwrap();
+        let wide = TypedMulticast::new(specs.clone(), 0, vec![1, 4]).unwrap();
+        let t1 = cache.table_for(&tall, net);
+        assert_eq!(t1.dims(), &[4, 1]);
+        let t2 = cache.table_for(&wide, net);
+        assert_eq!(t2.dims(), &[4, 4], "rebuild takes element-wise max dims");
+        assert_eq!(cache.hits(), 0);
+
+        // Both original shapes (and anything inside the union) now hit.
+        let t3 = cache.table_for(&tall, net);
+        let t4 = cache.table_for(&wide, net);
+        assert_eq!(cache.hits(), 2);
+        assert!(Arc::ptr_eq(&t3, &t4));
+        assert_eq!(t3.query(0, tall.counts()), t1.query(0, tall.counts()));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Runs the JSON perf-baseline harness and writes `BENCH_core.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_baseline [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` runs the tiny CI smoke grid (sub-second); the default is the
+//! full trajectory grid. `--out` overrides the output path (default
+//! `BENCH_core.json` in the current directory). The report is also
+//! summarised on stdout, one line per case.
+
+use hnow_bench::baseline::{run, BaselineMode};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut mode = BaselineMode::Full;
+    let mut out = String::from("BENCH_core.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => mode = BaselineMode::Quick,
+            "--full" => mode = BaselineMode::Full,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("--out requires a path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_baseline [--quick|--full] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = run(mode);
+    for case in &report.cases {
+        println!(
+            "{:<28} size {:>5}  min {:>12} ns  median {:>12} ns  mean {:>12} ns",
+            case.name, case.size, case.min_ns, case.median_ns, case.mean_ns
+        );
+    }
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("failed to serialize report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(err) = std::fs::write(&out, json + "\n") {
+        eprintln!("failed to write {out}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} cases to {out}", report.cases.len());
+    ExitCode::SUCCESS
+}
