@@ -3,11 +3,14 @@
 //! The Criterion targets under `benches/` are great for interactive A/B
 //! comparisons but produce no artifact a later PR can diff against. This
 //! module times a **fixed scenario grid** over the workspace's hot paths —
-//! DP table builds (sequential and shell-parallel), greedy planning, and the
-//! batched `plan_many` facade — and renders the results as a serializable
-//! [`BaselineReport`], written to `BENCH_core.json` by the `perf_baseline`
-//! example binary. The checked-in file is the repo's perf trajectory: one
-//! point per PR that touches a hot path.
+//! DP table builds (sequential and shell-parallel), greedy planning, the
+//! batched `plan_many` facade, and a traffic-engine soak — and renders the
+//! results as a serializable [`BaselineReport`], written to
+//! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
+//! file is the repo's perf trajectory: one point per PR that touches a hot
+//! path, and [`compare`] diffs two reports entry by entry — the CI
+//! perf-gate runs it (`perf_baseline --compare BENCH_core.json`) to fail on
+//! gross `dp_build` regressions.
 //!
 //! Wall-clock numbers vary across machines; the grid, case names and JSON
 //! schema are what stay fixed, so trajectory diffs are apples-to-apples on
@@ -18,8 +21,10 @@ use hnow_core::algorithms::dp::{DpFillMode, DpTable};
 use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
 use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
 use hnow_model::{MessageSize, NetParams, TypedMulticast};
+use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
+use hnow_workload::traffic::{NodePool, TrafficPattern};
 use hnow_workload::{standard_class_table, two_class_table};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -42,7 +47,7 @@ impl BaselineMode {
 }
 
 /// One timed case of the grid.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BaselineCase {
     /// Stable case identifier, `group/variant/size`.
     pub name: String,
@@ -62,7 +67,7 @@ pub struct BaselineCase {
 }
 
 /// The serialized baseline artifact (`BENCH_core.json`).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BaselineReport {
     /// Schema version of this artifact; bump when cases are renamed.
     pub schema: u32,
@@ -108,6 +113,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     dp_build_cases(mode, &mut cases);
     greedy_cases(mode, &mut cases);
     plan_many_cases(mode, &mut cases);
+    traffic_soak_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -124,8 +130,10 @@ fn dp_build_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     let two = two_class_table();
     let four = standard_class_table();
 
+    // The quick grid keeps k2/64 (~3 ms/build): it is the least noisy case
+    // shared with the full grid, which is what the CI perf-gate compares.
     let (k2_sizes, k4_per_class, iters): (&[usize], &[usize], u64) = match mode {
-        BaselineMode::Quick => (&[16], &[2], 3),
+        BaselineMode::Quick => (&[16, 64], &[2], 3),
         BaselineMode::Full => (&[16, 64, 128, 256], &[2, 4], 5),
     };
 
@@ -251,6 +259,168 @@ fn plan_many_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     ));
 }
 
+/// End-to-end traffic-engine soak: a seeded Poisson session stream planned
+/// in batches and executed against shared node state — the sessions-at-scale
+/// hot path (plan_many + canonical DP-cache + the busy-interval DES).
+fn traffic_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[32, 16],
+        },
+    )
+    .expect("soak pool is valid");
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (64usize, 3u64),
+        BaselineMode::Full => (512, 5),
+    };
+    let pattern = TrafficPattern::poisson(12.0, 6);
+    let requests = pattern
+        .generate(&pool, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    for planner in ["greedy+leaf", "dp-optimal"] {
+        let engine = TrafficEngine::new(&pool, net, TrafficConfig::for_planner(planner));
+        cases.push(time_case(
+            "traffic_soak",
+            format!("traffic_soak/{planner}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                black_box(engine.run(black_box(&requests)).expect("soak run succeeds"));
+            },
+        ));
+    }
+}
+
+/// How one baseline entry moved between two reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseDelta {
+    /// Case name shared by both reports (or present in only one).
+    pub name: String,
+    /// Minimum-iteration time in the old report, if present.
+    pub old_min_ns: Option<u64>,
+    /// Minimum-iteration time in the new report, if present.
+    pub new_min_ns: Option<u64>,
+    /// `new / old` (minimum times); `None` unless both sides are present
+    /// and the old time is non-zero.
+    pub ratio: Option<f64>,
+}
+
+/// The result of comparing two baseline reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineComparison {
+    /// One delta per case name appearing in either report, in new-report
+    /// order (cases only in the old report follow at the end).
+    pub deltas: Vec<CaseDelta>,
+    /// Human-readable descriptions of every gate violation.
+    pub regressions: Vec<String>,
+}
+
+impl BaselineComparison {
+    /// Whether the gate passed (no regression beyond the factor).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Old-side minimum below which a case informs but never gates:
+/// microsecond-scale entries are dominated by machine differences and
+/// shared-runner jitter, so gating them would make CI flaky with no code
+/// change. 100 µs keeps the millisecond-scale DP kernels (the cases a
+/// regression would actually show up in) under the gate.
+pub const GATE_MIN_NS: u64 = 100_000;
+
+/// Compares `new` against `old`, gating on the cases of `gate_group`: any
+/// such case present in both reports, with an old minimum of at least
+/// [`GATE_MIN_NS`], whose minimum time grew by more than `gate_factor`× is
+/// a regression. The minimum over iterations is used because it is the most
+/// noise-robust statistic a small sample offers; `gate_factor` should stay
+/// generous (the CI gate uses 3×) since the two reports may come from
+/// differently loaded machines.
+pub fn compare(
+    old: &BaselineReport,
+    new: &BaselineReport,
+    gate_group: &str,
+    gate_factor: f64,
+) -> BaselineComparison {
+    let mut deltas = Vec::new();
+    let mut regressions = Vec::new();
+    let old_case = |name: &str| old.cases.iter().find(|c| c.name == name);
+    for case in &new.cases {
+        let old_min = old_case(&case.name).map(|c| c.min_ns);
+        let ratio = old_min
+            .filter(|&m| m > 0)
+            .map(|m| case.min_ns as f64 / m as f64);
+        if case.group == gate_group && old_min.is_some_and(|m| m >= GATE_MIN_NS) {
+            if let Some(r) = ratio {
+                if r > gate_factor {
+                    regressions.push(format!(
+                        "{}: min {} ns -> {} ns ({:.2}x > {:.2}x budget)",
+                        case.name,
+                        old_min.unwrap_or(0),
+                        case.min_ns,
+                        r,
+                        gate_factor
+                    ));
+                }
+            }
+        }
+        deltas.push(CaseDelta {
+            name: case.name.clone(),
+            old_min_ns: old_min,
+            new_min_ns: Some(case.min_ns),
+            ratio,
+        });
+    }
+    for case in &old.cases {
+        if !new.cases.iter().any(|c| c.name == case.name) {
+            deltas.push(CaseDelta {
+                name: case.name.clone(),
+                old_min_ns: Some(case.min_ns),
+                new_min_ns: None,
+                ratio: None,
+            });
+        }
+    }
+    BaselineComparison {
+        deltas,
+        regressions,
+    }
+}
+
+/// Renders a comparison as an aligned text table, one line per case.
+pub fn render_comparison(comparison: &BaselineComparison) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>14} {:>14} {:>8}\n",
+        "case", "old min (ns)", "new min (ns)", "ratio"
+    ));
+    for delta in &comparison.deltas {
+        let fmt_side = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
+        let ratio = match delta.ratio {
+            Some(r) => format!("{r:.2}x"),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<34} {:>14} {:>14} {:>8}\n",
+            delta.name,
+            fmt_side(delta.old_min_ns),
+            fmt_side(delta.new_min_ns),
+            ratio
+        ));
+    }
+    for regression in &comparison.regressions {
+        out.push_str(&format!("REGRESSION: {regression}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,11 +435,14 @@ mod tests {
             names,
             [
                 "dp_build/k2/16",
+                "dp_build/k2/64",
                 "dp_build/k4/8",
                 "dp_build/k2-sequential/32",
                 "dp_build/k2-parallel/32",
                 "greedy/refined/256",
                 "plan_many/greedy+dp/24",
+                "traffic_soak/greedy+leaf/64",
+                "traffic_soak/dp-optimal/64",
             ]
         );
         for case in &report.cases {
@@ -285,5 +458,85 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"schema\""));
         assert!(json.contains("dp_build/k2/16"));
+        assert!(json.contains("traffic_soak/greedy+leaf/64"));
+        // The artifact round-trips, which is what `--compare` relies on.
+        let back: BaselineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cases.len(), report.cases.len());
+        assert_eq!(back.cases[0].min_ns, report.cases[0].min_ns);
+    }
+
+    fn synthetic_report(entries: &[(&str, &str, u64)]) -> BaselineReport {
+        BaselineReport {
+            schema: 1,
+            mode: "quick".to_string(),
+            cases: entries
+                .iter()
+                .map(|&(name, group, min_ns)| BaselineCase {
+                    name: name.to_string(),
+                    group: group.to_string(),
+                    size: 1,
+                    iters: 1,
+                    min_ns,
+                    median_ns: min_ns,
+                    mean_ns: min_ns,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn comparison_gates_only_the_requested_group() {
+        let old = synthetic_report(&[
+            ("dp_build/k2/64", "dp_build", 4 * GATE_MIN_NS),
+            ("dp_build/k2/16", "dp_build", 100),
+            ("greedy/refined/256", "greedy", 4 * GATE_MIN_NS),
+            ("dp_build/gone", "dp_build", 50),
+        ]);
+        let new = synthetic_report(&[
+            ("dp_build/k2/64", "dp_build", 10 * GATE_MIN_NS),
+            ("dp_build/k2/16", "dp_build", 10_000),
+            ("greedy/refined/256", "greedy", 400 * GATE_MIN_NS),
+            ("traffic_soak/new/64", "traffic_soak", 9),
+        ]);
+        // 2.5x on the gated group's above-floor entry with a 3x budget:
+        // passes. The 100x greedy blow-up is outside the gated group, and
+        // the 100x on the microsecond-scale dp_build/k2/16 is under the
+        // noise floor — both only inform.
+        let ok = compare(&old, &new, "dp_build", 3.0);
+        assert!(ok.passed(), "{:?}", ok.regressions);
+        assert_eq!(ok.deltas.len(), 5, "union of both case sets");
+        let gone = ok
+            .deltas
+            .iter()
+            .find(|d| d.name == "dp_build/gone")
+            .unwrap();
+        assert_eq!(gone.new_min_ns, None);
+        let added = ok
+            .deltas
+            .iter()
+            .find(|d| d.name == "traffic_soak/new/64")
+            .unwrap();
+        assert_eq!(added.old_min_ns, None);
+        assert_eq!(added.ratio, None);
+
+        // A tighter budget trips the gate, on the above-floor entry only.
+        let bad = compare(&old, &new, "dp_build", 2.0);
+        assert!(!bad.passed());
+        assert_eq!(bad.regressions.len(), 1);
+        assert!(bad.regressions[0].contains("dp_build/k2/64"));
+        let rendered = render_comparison(&bad);
+        assert!(rendered.contains("REGRESSION"));
+        assert!(rendered.contains("2.50x"));
+    }
+
+    #[test]
+    fn comparing_a_report_against_itself_passes() {
+        let report = run(BaselineMode::Quick);
+        let comparison = compare(&report, &report, "dp_build", 3.0);
+        assert!(comparison.passed());
+        assert!(comparison
+            .deltas
+            .iter()
+            .all(|d| d.ratio.is_none() || (d.ratio.unwrap() - 1.0).abs() < 1e-12));
     }
 }

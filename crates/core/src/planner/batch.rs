@@ -16,33 +16,76 @@ use std::sync::{Arc, Mutex};
 /// Section 4 of the paper recommends precomputing the DP table for a whole
 /// network once, because the completed table answers *every* multicast over
 /// the same workstation types. The cache implements exactly that: tables are
-/// keyed by `(class overheads, network latency)`, and a cached table serves
-/// any request whose per-class counts fit inside its dimensions. A request
-/// that outgrows the cached table triggers one rebuild with element-wise
-/// maximum dimensions, after which both shapes hit.
+/// keyed by `(canonical class overheads, network latency)`, and a cached
+/// table serves any request whose per-class counts fit inside its
+/// dimensions. A request that outgrows the cached table triggers one rebuild
+/// with element-wise maximum dimensions, after which both shapes hit.
 ///
-/// The key is the *ordered* class-spec vector, so requests share a table
-/// when their instances expose the same classes in the same order — which
-/// is what [`TypedMulticast::from_multicast_set`] produces for instances
-/// drawn from one class table with a fixed source class.
+/// The key is the **canonical** class signature
+/// ([`TypedMulticast::canonical`]): classes sorted by overhead with
+/// duplicates merged. Every multicast drawn from one physical cluster —
+/// regardless of which node is the source or in which order
+/// [`TypedMulticast::from_multicast_set`] happened to number the classes —
+/// therefore shares a single table, which is what makes the cache effective
+/// across thousands of overlapping traffic sessions. The returned table is
+/// in canonical class order; reconstruct schedules from it with a canonical
+/// instance (as [`table_for`](DpCache::table_for) documents).
+///
+/// Long-running services bound the cache with
+/// [`DpCache::with_capacity`]: once more than `capacity` distinct signatures
+/// are resident, the least-recently-used table is evicted (an evicted
+/// signature simply rebuilds on its next use).
 #[derive(Debug, Default)]
 pub struct DpCache {
-    tables: Mutex<HashMap<DpCacheKey, Arc<DpTable>>>,
+    inner: Mutex<CacheInner>,
+    capacity: Option<usize>,
     lookups: AtomicUsize,
     hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
-/// Cache key: the ordered class overheads plus the network parameters.
+/// Cache key: the canonical class overheads plus the network parameters.
 type DpCacheKey = (Vec<NodeSpec>, NetParams);
 
+#[derive(Debug, Default)]
+struct CacheInner {
+    tables: HashMap<DpCacheKey, CacheEntry>,
+    /// Monotone logical clock stamping every access; unique per entry, so
+    /// LRU eviction is deterministic.
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    table: Arc<DpTable>,
+    last_used: u64,
+}
+
 impl DpCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         DpCache::default()
     }
 
+    /// Creates an empty cache holding at most `capacity` tables (≥ 1),
+    /// evicting the least-recently-used signature beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DpCache {
+            capacity: Some(capacity.max(1)),
+            ..DpCache::default()
+        }
+    }
+
     /// Returns a table covering `typed` at latency `net`, building (or
     /// widening) one on miss.
+    ///
+    /// The instance is canonicalized ([`TypedMulticast::canonical`]) before
+    /// keying, so the returned table's class order is the canonical one.
+    /// Callers that reconstruct schedules via
+    /// [`DpTable::schedule_for`] must therefore pass a canonical instance —
+    /// cheapest is to canonicalize once up front and use that form for both
+    /// the lookup and the reconstruction.
     ///
     /// Table builds are the expensive part of a batch, so they never happen
     /// while holding the cache lock: the lock is taken briefly to probe (and
@@ -54,37 +97,89 @@ impl DpCache {
     /// the other shape misses once more; that miss probes the now-cached
     /// table and builds the element-wise union, so the cache converges after
     /// at most one extra rebuild per raced shape.
+    ///
+    /// Metrics contract: every call counts one lookup, and every lookup is
+    /// either a hit or a miss (`lookups == hits + misses`, always). The miss
+    /// counter is incremented exactly once per table *built* — on the miss
+    /// path, before the build — so a racing build that loses the
+    /// double-checked insert still counts the one miss for the one build it
+    /// performed, and no path counts twice.
     pub fn table_for(&self, typed: &TypedMulticast, net: NetParams) -> Arc<DpTable> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        let canonical;
+        let typed = if typed.is_canonical() {
+            typed
+        } else {
+            canonical = typed.canonical();
+            &canonical
+        };
         let key = (typed.specs().to_vec(), net);
         // Probe, and on an undersized table plan dimensions that also cover
         // everything previously cached under this key.
         let mut dims = typed.counts().to_vec();
         {
-            let tables = self.tables.lock().expect("DP cache lock poisoned");
-            if let Some(table) = tables.get(&key) {
-                if table.covers(typed.counts()) {
+            let mut inner = self.inner.lock().expect("DP cache lock poisoned");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.tables.get_mut(&key) {
+                entry.last_used = clock;
+                if entry.table.covers(typed.counts()) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(table);
+                    return Arc::clone(&entry.table);
                 }
-                for (dim, &old) in dims.iter_mut().zip(table.dims()) {
+                for (dim, &old) in dims.iter_mut().zip(entry.table.dims()) {
                     *dim = (*dim).max(old);
                 }
             }
         }
+        // A miss: exactly one increment per table built, recorded before the
+        // build so the racing-discard path below cannot skip or double it.
+        self.misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock.
         let widened = TypedMulticast::new(typed.specs().to_vec(), typed.source_class(), dims)
             .expect("widening preserves validity of a typed instance");
         let table = Arc::new(DpTable::build(&widened, net));
         // Double-checked insert.
-        let mut tables = self.tables.lock().expect("DP cache lock poisoned");
-        match tables.get(&key) {
-            Some(existing) if existing.covers(table.dims()) => Arc::clone(existing),
+        let mut inner = self.inner.lock().expect("DP cache lock poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        let result = match inner.tables.get_mut(&key) {
+            Some(existing) if existing.table.covers(table.dims()) => {
+                existing.last_used = clock;
+                Arc::clone(&existing.table)
+            }
             _ => {
-                tables.insert(key, Arc::clone(&table));
+                inner.tables.insert(
+                    key.clone(),
+                    CacheEntry {
+                        table: Arc::clone(&table),
+                        last_used: clock,
+                    },
+                );
                 table
             }
+        };
+        // Evict least-recently-used signatures beyond capacity (never the
+        // one just touched). `last_used` stamps are unique, so the victim —
+        // and thus the whole cache state — is deterministic.
+        if let Some(cap) = self.capacity {
+            while inner.tables.len() > cap {
+                let victim = inner
+                    .tables
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(v) => {
+                        inner.tables.remove(&v);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
         }
+        result
     }
 
     /// Number of [`DpCache::table_for`] calls so far.
@@ -96,6 +191,37 @@ impl DpCache {
     pub fn hits(&self) -> usize {
         self.hits.load(Ordering::Relaxed)
     }
+
+    /// Number of lookups that built a table — exactly one per build, even
+    /// when a racing build is discarded by the double-checked insert.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of tables evicted by the LRU capacity bound.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of tables currently resident.
+    pub fn resident(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("DP cache lock poisoned")
+            .tables
+            .len()
+    }
+
+    /// Fraction of lookups served from cache (0.0 when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / lookups as f64
+        }
+    }
 }
 
 /// Shared state of one planning batch: today, the [`DpCache`].
@@ -105,9 +231,18 @@ pub struct PlanContext {
 }
 
 impl PlanContext {
-    /// Creates a fresh context with an empty DP cache.
+    /// Creates a fresh context with an empty, unbounded DP cache.
     pub fn new() -> Self {
         PlanContext::default()
+    }
+
+    /// Creates a fresh context whose DP cache holds at most `capacity`
+    /// tables (LRU eviction beyond that) — the right shape for long-running
+    /// services that see an open-ended stream of cluster signatures.
+    pub fn with_dp_capacity(capacity: usize) -> Self {
+        PlanContext {
+            dp: DpCache::with_capacity(capacity),
+        }
     }
 
     /// The batch's DP table cache.
@@ -232,6 +367,124 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         assert!(Arc::ptr_eq(&t3, &t4));
         assert_eq!(t3.query(0, tall.counts()), t1.query(0, tall.counts()));
+    }
+
+    #[test]
+    fn lookups_split_exactly_into_hits_and_misses() {
+        // Invariant of the metrics contract, across hit, build and widening
+        // paths alike.
+        let specs = vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)];
+        let net = NetParams::new(1);
+        let cache = DpCache::new();
+        let tall = TypedMulticast::new(specs.clone(), 0, vec![4, 1]).unwrap();
+        let wide = TypedMulticast::new(specs.clone(), 0, vec![1, 4]).unwrap();
+        cache.table_for(&tall, net); // build
+        cache.table_for(&tall, net); // hit
+        cache.table_for(&wide, net); // widening rebuild
+        cache.table_for(&tall, net); // hit (covered by the union)
+        assert_eq!(cache.lookups(), 4);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2, "one miss per table built");
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_stay_consistent_under_concurrent_hammering() {
+        // The racing-build audit: whatever interleaving the threads produce,
+        // every lookup is exactly one hit or one miss, and misses equal the
+        // number of builds performed (discarded racing builds included).
+        let net = NetParams::new(1);
+        let cache = std::sync::Arc::new(DpCache::new());
+        let shapes: Vec<TypedMulticast> = [(3usize, 1usize), (1, 3), (3, 3), (2, 2)]
+            .into_iter()
+            .map(|(a, b)| {
+                TypedMulticast::new(
+                    vec![NodeSpec::new(1, 1), NodeSpec::new(2, 3)],
+                    0,
+                    vec![a, b],
+                )
+                .unwrap()
+            })
+            .collect();
+        let per_thread = 8;
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                let shapes = shapes.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let typed = &shapes[(t + i) % shapes.len()];
+                        let table = cache.table_for(typed, net);
+                        assert!(table.covers(typed.counts()));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cache.lookups(), 4 * per_thread);
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
+        assert!(cache.misses() >= 1);
+        // All shapes share one canonical signature; after convergence a
+        // single table is resident.
+        assert_eq!(cache.resident(), 1);
+    }
+
+    #[test]
+    fn canonicalization_shares_tables_across_source_classes_and_orderings() {
+        // Two requests over the same physical two-class cluster, one rooted
+        // at a slow node and one at a fast node: from_multicast_set numbers
+        // their classes differently, but the canonical signature is shared,
+        // so the second request hits the first one's table.
+        let fast = NodeSpec::new(1, 1);
+        let slow = NodeSpec::new(2, 3);
+        let net = NetParams::new(1);
+        let ctx = PlanContext::new();
+        let dp = find("dp-optimal").unwrap();
+        let from_slow = PlanRequest::new(
+            MulticastSet::new(slow, vec![fast, fast, slow]).unwrap(),
+            net,
+        );
+        let from_fast = PlanRequest::new(MulticastSet::new(fast, vec![fast, slow]).unwrap(), net);
+        let p1 = dp.plan_with(&from_slow, &ctx).unwrap();
+        let p2 = dp.plan_with(&from_fast, &ctx).unwrap();
+        assert_eq!(ctx.dp_cache().lookups(), 2);
+        assert_eq!(ctx.dp_cache().misses(), 1, "one shared table build");
+        assert_eq!(ctx.dp_cache().hits(), 1);
+        // Cached plans equal fresh uncached ones.
+        assert_eq!(&p1, &dp.plan(&from_slow).unwrap());
+        assert_eq!(&p2, &dp.plan(&from_fast).unwrap());
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let net = NetParams::new(1);
+        let cache = DpCache::with_capacity(2);
+        let sig = |send: u64| {
+            TypedMulticast::new(vec![NodeSpec::new(send, send), NodeSpec::new(20, 30)], 0, {
+                vec![2, 1]
+            })
+            .unwrap()
+        };
+        let (a, b, c) = (sig(1), sig(2), sig(3));
+        cache.table_for(&a, net);
+        cache.table_for(&b, net);
+        assert_eq!(cache.resident(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // Touch `a`, then insert `c`: `b` is the LRU victim.
+        cache.table_for(&a, net);
+        cache.table_for(&c, net);
+        assert_eq!(cache.resident(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.hits(), 1);
+        // `a` survived (hit), `b` was evicted (miss + rebuild).
+        cache.table_for(&a, net);
+        assert_eq!(cache.hits(), 2);
+        cache.table_for(&b, net);
+        assert_eq!(cache.misses(), 4, "evicted signature rebuilds");
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
     }
 
     #[test]

@@ -200,7 +200,10 @@ impl Planner for DpOptimal {
         request: &PlanRequest,
         ctx: &PlanContext,
     ) -> Result<PlannedTree, CoreError> {
-        let typed = TypedMulticast::from_multicast_set(&request.set);
+        // Canonical form: the cache keys tables by canonical signature, so
+        // using it for both lookup and reconstruction shares one table
+        // across every source class and class ordering of the same cluster.
+        let typed = TypedMulticast::from_multicast_set(&request.set).canonical();
         let table = ctx.dp_cache().table_for(&typed, request.net);
         let (tree, _) = table.schedule_for(&typed)?;
         // The DP minimises the unrestricted reception completion time; for

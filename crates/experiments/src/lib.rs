@@ -14,6 +14,7 @@
 //! | E7 | [`leaf_reversal`] | Section 3 leaf refinement |
 //! | E8 | [`comparison`] | heterogeneity-aware vs oblivious scheduling |
 //! | E9 | [`robustness`] | simulator fidelity and overhead jitter |
+//! | E10 | [`traffic`] | sessions-at-scale service throughput (beyond the paper) |
 //!
 //! [`run_all`] executes a reduced version of every experiment and returns
 //! the tables; the example binaries and `EXPERIMENTS.md` are produced from
@@ -32,6 +33,7 @@ pub mod leaf_reversal;
 pub mod robustness;
 pub mod scaling;
 pub mod table;
+pub mod traffic;
 
 pub use table::{Cell, Table};
 
@@ -180,6 +182,28 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         tables: vec![robustness::table(&robustness_samples)],
     });
 
+    let traffic_cfg = traffic::TrafficStudyConfig {
+        sessions: 80,
+        mean_gaps: vec![200.0, 20.0],
+        seed,
+        ..traffic::TrafficStudyConfig::default()
+    };
+    let traffic_points = traffic::run(&traffic_cfg);
+    let peak = traffic_points
+        .iter()
+        .map(|p| p.throughput_per_kilotick)
+        .fold(0.0, f64::max);
+    reports.push(ExperimentReport {
+        id: "E10",
+        headline: format!(
+            "Traffic engine served {} sessions per load point across {} planners; peak throughput {:.2} sessions/kilotick",
+            traffic_cfg.sessions,
+            traffic::DEFAULT_PLANNERS.len(),
+            peak
+        ),
+        tables: vec![traffic::table(&traffic_points)],
+    });
+
     reports
 }
 
@@ -205,7 +229,10 @@ mod tests {
     fn run_all_produces_every_experiment() {
         let reports = run_all(0xC0FFEE);
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
-        assert_eq!(ids, vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9"]);
+        assert_eq!(
+            ids,
+            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10"]
+        );
         for report in &reports {
             assert!(!report.tables.is_empty());
             assert!(!report.headline.is_empty());
@@ -213,5 +240,6 @@ mod tests {
         let md = render_markdown(&reports);
         assert!(md.contains("## E1"));
         assert!(md.contains("## E9"));
+        assert!(md.contains("## E10"));
     }
 }

@@ -229,12 +229,65 @@ impl TypedMulticast {
         MulticastSet::new(self.specs[self.source_class], destinations)
     }
 
+    /// Whether this instance is in canonical class order: classes strictly
+    /// increasing by overhead (no duplicate overhead pairs).
+    pub fn is_canonical(&self) -> bool {
+        self.specs
+            .windows(2)
+            .all(|w| w[0].speed_cmp(&w[1]) == std::cmp::Ordering::Less)
+    }
+
+    /// Returns the canonical form of this instance: classes sorted by
+    /// overhead (fastest first) with duplicate overhead pairs merged into a
+    /// single class, counts summed, and the source class remapped.
+    ///
+    /// Two typed instances drawn from the same physical cluster describe the
+    /// same planning problem even when their classes appear in different
+    /// orders (for example, [`TypedMulticast::from_multicast_set`] numbers
+    /// classes by first appearance, so the source's class always comes
+    /// first). Canonicalization gives all of them one signature, which is
+    /// what lets a Theorem 2 DP table — and the cache holding it — be shared
+    /// across every multicast over the cluster regardless of who the source
+    /// is. Canonicalizing an already-canonical instance is the identity.
+    pub fn canonical(&self) -> TypedMulticast {
+        let mut order: Vec<usize> = (0..self.specs.len()).collect();
+        order.sort_by(|&a, &b| self.specs[a].speed_cmp(&self.specs[b]));
+        let mut specs: Vec<NodeSpec> = Vec::with_capacity(self.specs.len());
+        let mut names: Vec<String> = Vec::with_capacity(self.specs.len());
+        let mut counts: Vec<usize> = Vec::with_capacity(self.specs.len());
+        let mut map = vec![0usize; self.specs.len()];
+        for &old in &order {
+            if specs.last() == Some(&self.specs[old]) {
+                map[old] = specs.len() - 1;
+                counts[specs.len() - 1] += self.counts[old];
+            } else {
+                map[old] = specs.len();
+                specs.push(self.specs[old]);
+                names.push(self.names[old].clone());
+                counts.push(self.counts[old]);
+            }
+        }
+        TypedMulticast {
+            specs,
+            names,
+            source_class: map[self.source_class],
+            counts,
+        }
+    }
+
     /// The [`NodeId`]s (in the canonical order of
     /// [`TypedMulticast::to_multicast_set`]) that belong to class `c`.
     ///
     /// Used by the dynamic program to turn its class-level schedule into a
     /// concrete schedule tree over node ids.
     pub fn node_ids_for_class(&self, class: usize) -> Vec<NodeId> {
+        self.node_ids_by_class().swap_remove(class)
+    }
+
+    /// [`TypedMulticast::node_ids_for_class`] for every class at once, with
+    /// a single expansion and stable sort — what per-session hot paths (the
+    /// traffic engine's plan binding) should call.
+    pub fn node_ids_by_class(&self) -> Vec<Vec<NodeId>> {
         // Reproduce the expansion + stable sort performed by
         // `to_multicast_set` and record where each class's copies land.
         let mut slots: Vec<(NodeSpec, usize)> = Vec::with_capacity(self.total_destinations());
@@ -242,12 +295,11 @@ impl TypedMulticast {
             slots.extend(std::iter::repeat_n((self.specs[c], c), count));
         }
         slots.sort_by(|a, b| a.0.speed_cmp(&b.0));
-        slots
-            .iter()
-            .enumerate()
-            .filter(|(_, (_, c))| *c == class)
-            .map(|(i, _)| NodeId(i + 1))
-            .collect()
+        let mut by_class = vec![Vec::new(); self.specs.len()];
+        for (i, &(_, c)) in slots.iter().enumerate() {
+            by_class[c].push(NodeId(i + 1));
+        }
+        by_class
     }
 }
 
@@ -372,6 +424,94 @@ mod tests {
         .unwrap();
         assert_eq!(typed.node_ids_for_class(0), vec![NodeId(1), NodeId(2)]);
         assert_eq!(typed.node_ids_for_class(1), vec![NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn node_ids_by_class_matches_the_per_class_view() {
+        let typed = TypedMulticast::new(
+            vec![
+                NodeSpec::new(2, 3),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(4, 6),
+            ],
+            0,
+            vec![2, 3, 1],
+        )
+        .unwrap();
+        let all = typed.node_ids_by_class();
+        assert_eq!(all.len(), typed.k());
+        for (c, ids) in all.iter().enumerate() {
+            assert_eq!(ids, &typed.node_ids_for_class(c));
+        }
+        let mut flat: Vec<usize> = all.iter().flatten().map(|id| id.index()).collect();
+        flat.sort_unstable();
+        assert_eq!(flat, (1..=typed.total_destinations()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn canonical_sorts_and_remaps_the_source() {
+        // from_multicast_set numbers the (slow) source's class first; the
+        // canonical form lists the fast class first and remaps the source.
+        let set = MulticastSet::new(
+            NodeSpec::new(2, 3),
+            vec![
+                NodeSpec::new(1, 1),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+            ],
+        )
+        .unwrap();
+        let typed = TypedMulticast::from_multicast_set(&set);
+        assert_eq!(typed.specs()[0], NodeSpec::new(2, 3));
+        assert!(!typed.is_canonical());
+        let canon = typed.canonical();
+        assert!(canon.is_canonical());
+        assert_eq!(canon.specs(), &[NodeSpec::new(1, 1), NodeSpec::new(2, 3)]);
+        assert_eq!(canon.counts(), &[2, 1]);
+        assert_eq!(canon.source_class(), 1);
+        // Same planning problem: identical expanded multicast set.
+        assert_eq!(canon.to_multicast_set().unwrap(), set);
+        // Canonicalization is idempotent.
+        assert_eq!(canon.canonical(), canon);
+    }
+
+    #[test]
+    fn canonical_merges_duplicate_classes() {
+        let typed = TypedMulticast::new(
+            vec![
+                NodeSpec::new(2, 3),
+                NodeSpec::new(1, 1),
+                NodeSpec::new(2, 3),
+            ],
+            2,
+            vec![1, 2, 4],
+        )
+        .unwrap();
+        assert!(!typed.is_canonical());
+        let canon = typed.canonical();
+        assert_eq!(canon.specs(), &[NodeSpec::new(1, 1), NodeSpec::new(2, 3)]);
+        assert_eq!(canon.counts(), &[2, 5]);
+        assert_eq!(canon.source_class(), 1);
+        assert_eq!(canon.total_destinations(), typed.total_destinations());
+        assert_eq!(
+            canon.to_multicast_set().unwrap(),
+            typed.to_multicast_set().unwrap()
+        );
+    }
+
+    #[test]
+    fn two_instances_over_one_cluster_share_a_canonical_signature() {
+        // Different sources, different class orderings — one signature.
+        let fast = NodeSpec::new(1, 1);
+        let slow = NodeSpec::new(2, 3);
+        let a = TypedMulticast::from_multicast_set(
+            &MulticastSet::new(slow, vec![fast, fast, slow]).unwrap(),
+        );
+        let b = TypedMulticast::from_multicast_set(
+            &MulticastSet::new(fast, vec![fast, slow, slow]).unwrap(),
+        );
+        assert_ne!(a.specs(), b.specs());
+        assert_eq!(a.canonical().specs(), b.canonical().specs());
     }
 
     #[test]

@@ -29,6 +29,26 @@ pub enum SimError {
         /// The time until which the node is already busy.
         busy_until: Time,
     },
+    /// A traffic configuration named a planner missing from the registry.
+    UnknownPlanner {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A traffic session referenced a node outside the pool, or listed the
+    /// same node twice (source included).
+    MalformedSession {
+        /// Id of the offending session.
+        id: u64,
+    },
+    /// A traffic session could not be turned into a valid multicast
+    /// instance (e.g. the pool's class table violates the correlation
+    /// assumption).
+    Instance {
+        /// Id of the offending session.
+        session: u64,
+        /// The model's rejection.
+        error: hnow_model::ModelError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +67,16 @@ impl fmt::Display for SimError {
                 f,
                 "node {node} asked to start an overhead at {at} while busy until {busy_until}"
             ),
+            SimError::UnknownPlanner { name } => {
+                write!(f, "no planner named {name:?} in the registry")
+            }
+            SimError::MalformedSession { id } => write!(
+                f,
+                "session {id} references nodes outside the pool or reuses a node"
+            ),
+            SimError::Instance { session, error } => {
+                write!(f, "session {session} is not a valid instance: {error}")
+            }
         }
     }
 }
@@ -55,6 +85,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Schedule(e) => Some(e),
+            SimError::Instance { error, .. } => Some(error),
             _ => None,
         }
     }

@@ -13,6 +13,9 @@
 //!
 //! * [`engine`] — the event-driven executor ([`execute`],
 //!   [`execute_with_specs`]).
+//! * [`sessions`] — the sessions-at-scale traffic engine: thousands of
+//!   overlapping multicast sessions planned in batches and executed against
+//!   shared per-node busy state ([`TrafficEngine`], [`TrafficReport`]).
 //! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
 //!   rendering.
 //! * [`perturb`] — reproducible multiplicative overhead jitter.
@@ -43,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod perturb;
+pub mod sessions;
 pub mod trace;
 pub mod validate;
 
@@ -50,5 +54,6 @@ pub use engine::{execute, execute_with_specs};
 pub use error::SimError;
 pub use event::{Event, EventQueue};
 pub use perturb::PerturbConfig;
+pub use sessions::{CacheStats, SessionRecord, TrafficConfig, TrafficEngine, TrafficReport};
 pub use trace::{Activity, BusyInterval, SimTrace};
 pub use validate::check_against_analytic;

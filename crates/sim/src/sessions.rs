@@ -1,0 +1,784 @@
+//! Sessions-at-scale: a deterministic traffic engine driving overlapping
+//! multicast sessions through the planner and a shared-resource simulation.
+//!
+//! [`execute`](crate::execute) plays *one* schedule on an otherwise idle
+//! cluster. A multicast **service** instead sees a stream of sessions
+//! against the *same* workstations: while node `w` incurs sending overhead
+//! for session A it cannot receive or forward for session B, so overlapping
+//! sessions contend for node time. [`TrafficEngine`] models exactly that:
+//!
+//! 1. **Admission** — [`SessionRequest`]s (from
+//!    [`hnow_workload::traffic`]) are planned in arrival order, in batches,
+//!    through [`plan_many_with`] with one shared [`PlanContext`]. Each
+//!    session is reduced to its class signature, so the batch facade's
+//!    canonically-keyed [`DpCache`](hnow_core::planner::DpCache) shares one
+//!    Theorem 2 table across every session of the cluster (bounded by
+//!    [`TrafficConfig::dp_cache_capacity`]).
+//! 2. **Delivery** — a single discrete-event pass executes *all* planned
+//!    trees against per-node busy state: an activity wanting a busy node is
+//!    deferred to the node's release time (ties broken by event insertion
+//!    order, so runs are reproducible). With no contention each session
+//!    reproduces its schedule's analytic times exactly.
+//! 3. **Churn** — a session whose source cannot start serving it within its
+//!    patience ([`SessionRequest::patience`]) abandons and leaves the
+//!    system unserved.
+//!
+//! The result is a serializable [`TrafficReport`]: per-session latency
+//! records plus engine-wide throughput, queueing, utilization and DP-cache
+//! statistics. The whole pipeline is deterministic — the same requests over
+//! the same pool yield a byte-identical JSON report.
+
+use crate::error::SimError;
+use hnow_core::planner::{find, plan_many_with, Plan, PlanContext, PlanRequest, Planner};
+use hnow_model::{NetParams, Time, TypedMulticast};
+use hnow_workload::{NodePool, SessionRequest};
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a [`TrafficEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Registry name of the planner serving every session.
+    pub planner: String,
+    /// Number of sessions admitted (planned) per `plan_many` batch.
+    pub batch_size: usize,
+    /// LRU capacity of the shared DP-table cache; `None` leaves it
+    /// unbounded (fine for single-cluster traffic, wasteful for long runs
+    /// over many message sizes or latencies).
+    pub dp_cache_capacity: Option<usize>,
+}
+
+impl Default for TrafficConfig {
+    /// Refined greedy, batches of 64, at most 128 cached DP tables.
+    fn default() -> Self {
+        TrafficConfig {
+            planner: "greedy+leaf".to_string(),
+            batch_size: 64,
+            dp_cache_capacity: Some(128),
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Config with a different planner, other fields default.
+    pub fn for_planner(planner: &str) -> Self {
+        TrafficConfig {
+            planner: planner.to_string(),
+            ..TrafficConfig::default()
+        }
+    }
+}
+
+/// DP-cache statistics of one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Table lookups performed while planning.
+    pub lookups: usize,
+    /// Lookups served from a cached table.
+    pub hits: usize,
+    /// Lookups that built a table (exactly one per build).
+    pub misses: usize,
+    /// Tables evicted by the LRU capacity bound.
+    pub evictions: usize,
+}
+
+/// Outcome of one session.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SessionRecord {
+    /// Session id from the request.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: u64,
+    /// Number of destinations.
+    pub group_size: usize,
+    /// The planner's analytic reception completion `R_T` for the session's
+    /// schedule on an idle cluster (latency the session would see with zero
+    /// contention).
+    pub planned_reception: u64,
+    /// The analytic delivery completion `D_T` on an idle cluster.
+    pub planned_delivery: u64,
+    /// Whether the session left unserved (patience exceeded).
+    pub abandoned: bool,
+    /// When the source actually started serving the session (`None` if
+    /// abandoned).
+    pub started: Option<u64>,
+    /// `started - arrival`: time spent queued behind other sessions.
+    pub queue_delay: u64,
+    /// Reception completion relative to arrival (0 if abandoned).
+    pub reception_latency: u64,
+    /// Delivery completion relative to arrival (0 if abandoned).
+    pub delivery_latency: u64,
+}
+
+/// The serializable result of one traffic run.
+///
+/// Determinism contract: for a fixed pool, request vector and config, every
+/// field — including the full `per_session` vector — is identical across
+/// runs and platforms with the same float formatting, so serialized reports
+/// can be compared byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrafficReport {
+    /// Schema version of this artifact.
+    pub schema: u32,
+    /// Planner that served the sessions.
+    pub planner: String,
+    /// Admission batch size.
+    pub batch_size: usize,
+    /// Network latency `L` of the run.
+    pub net_latency: u64,
+    /// Number of offered sessions.
+    pub sessions: usize,
+    /// Sessions fully delivered.
+    pub completed: usize,
+    /// Sessions that left unserved (churn).
+    pub abandoned: usize,
+    /// Time at which the last session completed.
+    pub makespan: u64,
+    /// Completed sessions per 1000 time units of makespan.
+    pub throughput_per_kilotick: f64,
+    /// Mean reception latency over completed sessions.
+    pub mean_reception_latency: f64,
+    /// Median reception latency over completed sessions.
+    pub p50_reception_latency: u64,
+    /// 99th-percentile reception latency over completed sessions.
+    pub p99_reception_latency: u64,
+    /// Mean queue delay (start − arrival) over completed sessions.
+    pub mean_queue_delay: f64,
+    /// Mean of per-node busy-time / makespan.
+    pub mean_node_utilization: f64,
+    /// Maximum per-node busy-time / makespan.
+    pub peak_node_utilization: f64,
+    /// Shared DP-cache statistics of the planning phase.
+    pub cache: CacheStats,
+    /// One record per offered session, in request order.
+    pub per_session: Vec<SessionRecord>,
+}
+
+/// Plans and simulates streams of multicast sessions over one shared
+/// cluster. See the [module docs](self) for the model.
+#[derive(Debug)]
+pub struct TrafficEngine<'a> {
+    pool: &'a NodePool,
+    net: NetParams,
+    config: TrafficConfig,
+}
+
+/// Per-session state during planning and simulation.
+struct SessionRuntime {
+    arrival: Time,
+    deadline: Option<Time>,
+    /// Local schedule-tree node index → pool node id.
+    node_map: Vec<usize>,
+    /// Local children lists of the schedule tree (delivery order).
+    children: Vec<Vec<usize>>,
+    planned_reception: Time,
+    planned_delivery: Time,
+    started: Option<Time>,
+    abandoned: bool,
+    /// Destinations still to complete reception.
+    pending: usize,
+    completed_at: Time,
+    delivered_at: Time,
+}
+
+/// A discrete event of the shared-resource simulation. "Want" events ask
+/// for node time; while the node is busy they park in its FIFO wait queue
+/// (constant work per deferral, so saturated runs stay linear in the number
+/// of activities) and are re-injected by the node's [`SessionEvent::NodeFree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SessionEvent {
+    /// The session's local node wants to start its `child_idx`-th send.
+    WantSend { local: usize, child_idx: usize },
+    /// The message arrives at the session's local node.
+    Arrival { local: usize },
+    /// The local node wants to start its receiving overhead.
+    WantRecv { local: usize },
+    /// The pool node finishes an activity; wake its next parked waiter.
+    NodeFree { node: usize },
+}
+
+type QueueItem = Reverse<(Time, u64, usize, SessionEvent)>;
+
+impl<'a> TrafficEngine<'a> {
+    /// Creates an engine over a pool at the given network latency.
+    pub fn new(pool: &'a NodePool, net: NetParams, config: TrafficConfig) -> Self {
+        TrafficEngine { pool, net, config }
+    }
+
+    /// Plans and simulates the given sessions, returning the full report.
+    ///
+    /// Requests are admitted (planned) in slice order in batches of
+    /// [`TrafficConfig::batch_size`]; the simulation then interleaves all
+    /// sessions by arrival time against shared per-node busy state.
+    pub fn run(&self, requests: &[SessionRequest]) -> Result<TrafficReport, SimError> {
+        let planner = find(&self.config.planner).ok_or_else(|| SimError::UnknownPlanner {
+            name: self.config.planner.clone(),
+        })?;
+        let ctx = match self.config.dp_cache_capacity {
+            Some(cap) => PlanContext::with_dp_capacity(cap),
+            None => PlanContext::new(),
+        };
+        let mut sessions = Vec::with_capacity(requests.len());
+        for batch in requests.chunks(self.config.batch_size.max(1)) {
+            sessions.extend(self.admit_batch(planner, batch, &ctx)?);
+        }
+        let cache = CacheStats {
+            lookups: ctx.dp_cache().lookups(),
+            hits: ctx.dp_cache().hits(),
+            misses: ctx.dp_cache().misses(),
+            evictions: ctx.dp_cache().evictions(),
+        };
+        let busy_time = self.simulate(&mut sessions);
+        Ok(self.report(requests, &sessions, &busy_time, cache))
+    }
+
+    /// Plans one admission batch and prepares the per-session runtimes.
+    fn admit_batch(
+        &self,
+        planner: &'static dyn Planner,
+        batch: &[SessionRequest],
+        ctx: &PlanContext,
+    ) -> Result<Vec<SessionRuntime>, SimError> {
+        let mut typeds = Vec::with_capacity(batch.len());
+        let mut plan_requests = Vec::with_capacity(batch.len());
+        for request in batch {
+            let typed = self.typed_for(request)?;
+            let set = typed
+                .to_multicast_set()
+                .map_err(|error| SimError::Instance {
+                    session: request.id,
+                    error,
+                })?;
+            typeds.push(typed);
+            plan_requests.push(PlanRequest::new(set, self.net).with_seed(request.id));
+        }
+        let rows = plan_many_with(&[planner], &plan_requests, ctx);
+        let mut runtimes = Vec::with_capacity(batch.len());
+        for ((request, typed), mut row) in batch.iter().zip(typeds).zip(rows) {
+            let plan = row
+                .pop()
+                .expect("plan_many returns one result per planner")?;
+            runtimes.push(self.runtime_for(request, &typed, plan));
+        }
+        Ok(runtimes)
+    }
+
+    /// The session's class signature over the pool.
+    fn typed_for(&self, request: &SessionRequest) -> Result<TypedMulticast, SimError> {
+        let n = self.pool.len();
+        let mut seen = vec![false; n];
+        let mut counts = vec![0usize; self.pool.k()];
+        if request.source >= n {
+            return Err(SimError::MalformedSession { id: request.id });
+        }
+        seen[request.source] = true;
+        for &member in &request.members {
+            if member >= n || seen[member] {
+                return Err(SimError::MalformedSession { id: request.id });
+            }
+            seen[member] = true;
+            counts[self.pool.class_of(member)] += 1;
+        }
+        TypedMulticast::new(
+            self.pool.specs().to_vec(),
+            self.pool.class_of(request.source),
+            counts,
+        )
+        .map_err(|error| SimError::Instance {
+            session: request.id,
+            error,
+        })
+    }
+
+    /// Binds a plan's abstract schedule tree to the session's concrete pool
+    /// nodes and sets up the runtime bookkeeping. `typed` is the signature
+    /// [`TrafficEngine::typed_for`] produced for this request at admission.
+    fn runtime_for(
+        &self,
+        request: &SessionRequest,
+        typed: &TypedMulticast,
+        plan: Plan,
+    ) -> SessionRuntime {
+        let n = request.members.len() + 1;
+        // Schedule-tree node ids are over the canonical multicast set; map
+        // them back to pool nodes class by class. Within a class both sides
+        // are ascending (node_ids_by_class and the sorted member list), so
+        // the binding is deterministic.
+        let mut node_map = vec![usize::MAX; n];
+        node_map[0] = request.source;
+        let locals_by_class = typed.node_ids_by_class();
+        for (class, locals) in locals_by_class.into_iter().enumerate() {
+            let mut members_of_class: Vec<usize> = request
+                .members
+                .iter()
+                .copied()
+                .filter(|&v| self.pool.class_of(v) == class)
+                .collect();
+            members_of_class.sort_unstable();
+            debug_assert_eq!(locals.len(), members_of_class.len());
+            for (local, pool_node) in locals.into_iter().zip(members_of_class) {
+                node_map[local.index()] = pool_node;
+            }
+        }
+        let children: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                plan.tree
+                    .children(hnow_model::NodeId(v))
+                    .iter()
+                    .map(|c| c.index())
+                    .collect()
+            })
+            .collect();
+        SessionRuntime {
+            arrival: request.arrival,
+            deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
+            node_map,
+            children,
+            planned_reception: plan.timing.reception_completion(),
+            planned_delivery: plan.timing.delivery_completion(),
+            started: None,
+            abandoned: false,
+            pending: request.members.len(),
+            completed_at: request.arrival,
+            delivered_at: request.arrival,
+        }
+    }
+
+    /// The shared-resource discrete-event pass over every session. Returns
+    /// the accumulated busy time per pool node (utilization numerator).
+    fn simulate(&self, sessions: &mut [SessionRuntime]) -> Vec<u64> {
+        let n = self.pool.len();
+        let mut busy_until = vec![Time::ZERO; n];
+        let mut busy_time = vec![0u64; n];
+        // Per-node FIFO of parked "want" events. Every activity schedules a
+        // NodeFree wake at its end, and every wake re-injects exactly one
+        // waiter, so the event count stays linear in the activity count even
+        // when hundreds of sessions pile onto one hot node.
+        let mut waiting: Vec<std::collections::VecDeque<(usize, SessionEvent)>> =
+            vec![std::collections::VecDeque::new(); n];
+        let mut heap: BinaryHeap<QueueItem> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<QueueItem>,
+                    seq: &mut u64,
+                    time: Time,
+                    session: usize,
+                    event: SessionEvent| {
+            heap.push(Reverse((time, *seq, session, event)));
+            *seq += 1;
+        };
+        for (s, session) in sessions.iter().enumerate() {
+            if !session.children[0].is_empty() {
+                push(
+                    &mut heap,
+                    &mut seq,
+                    session.arrival,
+                    s,
+                    SessionEvent::WantSend {
+                        local: 0,
+                        child_idx: 0,
+                    },
+                );
+            }
+        }
+        while let Some(Reverse((t, _, s, event))) = heap.pop() {
+            if let SessionEvent::NodeFree { node } = event {
+                // Obsolete when a same-instant event already re-claimed the
+                // node; the claimant scheduled its own wake.
+                if busy_until[node] <= t {
+                    if let Some((waiter, parked)) = waiting[node].pop_front() {
+                        push(&mut heap, &mut seq, t, waiter, parked);
+                    }
+                }
+                continue;
+            }
+            let session = &mut sessions[s];
+            if session.abandoned {
+                continue;
+            }
+            match event {
+                SessionEvent::WantSend { local, child_idx } => {
+                    let node = session.node_map[local];
+                    if busy_until[node] > t {
+                        waiting[node].push_back((s, event));
+                        continue;
+                    }
+                    if session.started.is_none() {
+                        // First activity of the session: the churn gate.
+                        if session.deadline.is_some_and(|d| t > d) {
+                            session.abandoned = true;
+                            // The session declined a free node; pass it on
+                            // so parked waiters never starve.
+                            if let Some((waiter, parked)) = waiting[node].pop_front() {
+                                push(&mut heap, &mut seq, t, waiter, parked);
+                            }
+                            continue;
+                        }
+                        session.started = Some(t);
+                    }
+                    let dur = self.pool.spec_of_node(node).send();
+                    let end = t + dur;
+                    busy_until[node] = end;
+                    busy_time[node] += dur.raw();
+                    let child = session.children[local][child_idx];
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        end + self.net.latency(),
+                        s,
+                        SessionEvent::Arrival { local: child },
+                    );
+                    if child_idx + 1 < session.children[local].len() {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            end,
+                            s,
+                            SessionEvent::WantSend {
+                                local,
+                                child_idx: child_idx + 1,
+                            },
+                        );
+                    }
+                    push(&mut heap, &mut seq, end, s, SessionEvent::NodeFree { node });
+                }
+                SessionEvent::Arrival { local } => {
+                    // Delivery is the message hitting the node, busy or not;
+                    // the receive overhead queues for node time separately.
+                    session.delivered_at = session.delivered_at.max(t);
+                    push(&mut heap, &mut seq, t, s, SessionEvent::WantRecv { local });
+                }
+                SessionEvent::WantRecv { local } => {
+                    let node = session.node_map[local];
+                    if busy_until[node] > t {
+                        waiting[node].push_back((s, event));
+                        continue;
+                    }
+                    let dur = self.pool.spec_of_node(node).recv();
+                    let end = t + dur;
+                    busy_until[node] = end;
+                    busy_time[node] += dur.raw();
+                    session.pending -= 1;
+                    session.completed_at = session.completed_at.max(end);
+                    if !session.children[local].is_empty() {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            end,
+                            s,
+                            SessionEvent::WantSend {
+                                local,
+                                child_idx: 0,
+                            },
+                        );
+                    }
+                    push(&mut heap, &mut seq, end, s, SessionEvent::NodeFree { node });
+                }
+                SessionEvent::NodeFree { .. } => unreachable!("handled before the session borrow"),
+            }
+        }
+        debug_assert!(sessions
+            .iter()
+            .all(|session| session.abandoned || session.pending == 0));
+        busy_time
+    }
+
+    /// Assembles the final report.
+    fn report(
+        &self,
+        requests: &[SessionRequest],
+        sessions: &[SessionRuntime],
+        busy_time: &[u64],
+        cache: CacheStats,
+    ) -> TrafficReport {
+        let mut per_session = Vec::with_capacity(sessions.len());
+        let mut completed = 0usize;
+        let mut abandoned = 0usize;
+        let mut makespan = Time::ZERO;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut queue_delay_sum = 0u64;
+        for (request, session) in requests.iter().zip(sessions) {
+            let reception_latency = session.completed_at.saturating_sub(session.arrival).raw();
+            let delivery_latency = session.delivered_at.saturating_sub(session.arrival).raw();
+            let queue_delay = session
+                .started
+                .map(|s| s.saturating_sub(session.arrival).raw())
+                .unwrap_or(0);
+            if session.abandoned {
+                abandoned += 1;
+            } else {
+                completed += 1;
+                makespan = makespan.max(session.completed_at);
+                latencies.push(reception_latency);
+                queue_delay_sum += queue_delay;
+            }
+            per_session.push(SessionRecord {
+                id: request.id,
+                arrival: session.arrival.raw(),
+                group_size: request.members.len(),
+                planned_reception: session.planned_reception.raw(),
+                planned_delivery: session.planned_delivery.raw(),
+                abandoned: session.abandoned,
+                started: session.started.map(|s| s.raw()),
+                queue_delay,
+                reception_latency: if session.abandoned {
+                    0
+                } else {
+                    reception_latency
+                },
+                delivery_latency: if session.abandoned {
+                    0
+                } else {
+                    delivery_latency
+                },
+            });
+        }
+        latencies.sort_unstable();
+        let percentile = |q: usize| -> u64 {
+            if latencies.is_empty() {
+                0
+            } else {
+                latencies[(latencies.len() - 1) * q / 100]
+            }
+        };
+        TrafficReport {
+            schema: 1,
+            planner: self.config.planner.clone(),
+            batch_size: self.config.batch_size,
+            net_latency: self.net.latency().raw(),
+            sessions: requests.len(),
+            completed,
+            abandoned,
+            makespan: makespan.raw(),
+            throughput_per_kilotick: if makespan.is_zero() {
+                0.0
+            } else {
+                completed as f64 * 1000.0 / makespan.as_f64()
+            },
+            mean_reception_latency: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+            },
+            p50_reception_latency: percentile(50),
+            p99_reception_latency: percentile(99),
+            mean_queue_delay: if completed == 0 {
+                0.0
+            } else {
+                queue_delay_sum as f64 / completed as f64
+            },
+            mean_node_utilization: if makespan.is_zero() || busy_time.is_empty() {
+                0.0
+            } else {
+                busy_time.iter().sum::<u64>() as f64 / (busy_time.len() as f64 * makespan.as_f64())
+            },
+            peak_node_utilization: if makespan.is_zero() {
+                0.0
+            } else {
+                busy_time.iter().copied().max().unwrap_or(0) as f64 / makespan.as_f64()
+            },
+            cache,
+            per_session,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnow_workload::{
+        default_message_size, two_class_table, ChurnProfile, GroupSizeDist, TrafficPattern,
+    };
+
+    fn pool() -> NodePool {
+        NodePool::new(two_class_table(), default_message_size(), &[8, 4]).unwrap()
+    }
+
+    fn spaced_requests(pool: &NodePool, n: usize, gap: u64) -> Vec<SessionRequest> {
+        // Arrivals spaced far beyond any completion time: zero contention.
+        let pattern = TrafficPattern::poisson(1.0, 4);
+        let mut requests = pattern.generate(pool, n, 5).unwrap();
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.arrival = Time::new(i as u64 * gap);
+            r.patience = None;
+        }
+        requests
+    }
+
+    #[test]
+    fn uncontended_sessions_match_their_analytic_times() {
+        let pool = pool();
+        let requests = spaced_requests(&pool, 12, 1_000_000);
+        for planner in ["greedy", "greedy+leaf", "dp-optimal", "chain", "star"] {
+            let engine = TrafficEngine::new(
+                &pool,
+                NetParams::new(2),
+                TrafficConfig::for_planner(planner),
+            );
+            let report = engine.run(&requests).unwrap();
+            assert_eq!(report.completed, 12);
+            assert_eq!(report.abandoned, 0);
+            for record in &report.per_session {
+                assert_eq!(
+                    record.reception_latency, record.planned_reception,
+                    "{planner}: session {} diverged from analytic R_T",
+                    record.id
+                );
+                assert_eq!(
+                    record.delivery_latency, record.planned_delivery,
+                    "{planner}: session {} diverged from analytic D_T",
+                    record.id
+                );
+                assert_eq!(record.queue_delay, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn contention_delays_but_never_loses_sessions() {
+        let pool = pool();
+        // Everyone arrives at once: heavy contention on the shared nodes.
+        let mut requests = spaced_requests(&pool, 30, 1_000_000);
+        for r in &mut requests {
+            r.arrival = Time::ZERO;
+        }
+        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let report = engine.run(&requests).unwrap();
+        assert_eq!(report.completed, 30);
+        assert_eq!(report.abandoned, 0);
+        // At least one session must have waited for a busy node.
+        assert!(
+            report
+                .per_session
+                .iter()
+                .any(|r| r.reception_latency > r.planned_reception),
+            "30 simultaneous sessions on 12 nodes cannot all run contention-free"
+        );
+        assert!(report.mean_queue_delay >= 0.0);
+        assert!(report.peak_node_utilization > 0.0);
+        assert!(report.peak_node_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn reports_are_byte_identical_per_seed() {
+        let pool = pool();
+        let pattern = TrafficPattern {
+            arrivals: hnow_workload::ArrivalProfile::Poisson { mean_gap: 30.0 },
+            group_size: GroupSizeDist::Uniform { min: 2, max: 6 },
+            class_weights: None,
+            churn: Some(ChurnProfile {
+                impatient_fraction: 0.3,
+                mean_patience: 60.0,
+            }),
+        };
+        let requests = pattern.generate(&pool, 100, 42).unwrap();
+        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let a = serde_json::to_string(&engine.run(&requests).unwrap()).unwrap();
+        let b = serde_json::to_string(&engine.run(&requests).unwrap()).unwrap();
+        assert_eq!(a, b, "same requests must serialize byte-identically");
+        let other = pattern.generate(&pool, 100, 43).unwrap();
+        let c = serde_json::to_string(&engine.run(&other).unwrap()).unwrap();
+        assert_ne!(a, c, "a different seed must change the report");
+    }
+
+    #[test]
+    fn impatient_sessions_abandon_under_contention() {
+        let pool = pool();
+        let pattern = TrafficPattern::poisson(1.0, 6);
+        // A stampede with tiny patience: some sessions must give up.
+        let mut requests = pattern.generate(&pool, 40, 9).unwrap();
+        for r in &mut requests {
+            r.arrival = Time::ZERO;
+            r.patience = Some(Time::new(1));
+        }
+        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let report = engine.run(&requests).unwrap();
+        assert!(report.abandoned > 0, "tiny patience under a stampede");
+        assert_eq!(report.completed + report.abandoned, 40);
+        for record in report.per_session.iter().filter(|r| r.abandoned) {
+            assert_eq!(record.started, None);
+            assert_eq!(record.reception_latency, 0);
+        }
+        // With infinite patience nobody abandons.
+        for r in &mut requests {
+            r.patience = None;
+        }
+        let report = engine.run(&requests).unwrap();
+        assert_eq!(report.abandoned, 0);
+    }
+
+    #[test]
+    fn dp_tables_are_shared_across_a_session_stream() {
+        let pool = pool();
+        let requests = spaced_requests(&pool, 50, 10_000);
+        let engine = TrafficEngine::new(
+            &pool,
+            NetParams::new(2),
+            TrafficConfig::for_planner("dp-optimal"),
+        );
+        let report = engine.run(&requests).unwrap();
+        assert_eq!(report.cache.lookups, 50);
+        assert_eq!(
+            report.cache.lookups,
+            report.cache.hits + report.cache.misses
+        );
+        // All sessions share one canonical two-class signature; after the
+        // widest table exists everything hits.
+        assert!(
+            report.cache.misses <= 5,
+            "expected near-total table sharing, got {} misses",
+            report.cache.misses
+        );
+        assert_eq!(report.cache.evictions, 0);
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let pool = pool();
+        let requests = spaced_requests(&pool, 2, 1000);
+        let engine = TrafficEngine::new(
+            &pool,
+            NetParams::new(1),
+            TrafficConfig::for_planner("no-such-planner"),
+        );
+        assert!(matches!(
+            engine.run(&requests),
+            Err(SimError::UnknownPlanner { .. })
+        ));
+
+        let engine = TrafficEngine::new(&pool, NetParams::new(1), TrafficConfig::default());
+        let mut bad = requests.clone();
+        bad[1].members = vec![0, 0];
+        bad[1].source = 3;
+        assert!(matches!(
+            engine.run(&bad),
+            Err(SimError::MalformedSession { id }) if id == bad[1].id
+        ));
+        let mut oob = requests;
+        oob[0].members = vec![pool.len()];
+        assert!(matches!(
+            engine.run(&oob),
+            Err(SimError::MalformedSession { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_size_never_changes_results() {
+        let pool = pool();
+        let pattern = TrafficPattern::poisson(20.0, 5);
+        let requests = pattern.generate(&pool, 60, 17).unwrap();
+        let run = |batch_size: usize| {
+            let config = TrafficConfig {
+                batch_size,
+                ..TrafficConfig::default()
+            };
+            TrafficEngine::new(&pool, NetParams::new(2), config)
+                .run(&requests)
+                .unwrap()
+                .per_session
+        };
+        let one = run(1);
+        assert_eq!(one, run(7));
+        assert_eq!(one, run(1000));
+    }
+}

@@ -13,6 +13,34 @@ pub enum WorkloadError {
     /// A generator was asked for an empty cluster where at least one
     /// destination is required.
     EmptyCluster,
+    /// A traffic pattern's per-class weight vector does not match the node
+    /// pool's class count.
+    WeightMismatch {
+        /// Number of weights supplied.
+        got: usize,
+        /// Number of classes in the pool.
+        expected: usize,
+    },
+    /// A per-class node-count vector does not match the class table.
+    CountMismatch {
+        /// Number of counts supplied.
+        got: usize,
+        /// Number of classes in the table.
+        expected: usize,
+    },
+    /// A traffic pattern's per-class weights carry no positive mass.
+    DegenerateWeights,
+    /// A group-size distribution is empty (`min > max` or zero-sized
+    /// groups).
+    InvalidGroupSize {
+        /// Smallest group size of the distribution.
+        min: usize,
+        /// Largest group size of the distribution.
+        max: usize,
+    },
+    /// An arrival profile cannot generate a meaningful stream (non-positive
+    /// or non-finite Poisson mean gap, zero-session bursts).
+    DegenerateArrivals,
 }
 
 impl fmt::Display for WorkloadError {
@@ -20,6 +48,24 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::Model(e) => write!(f, "model error: {e}"),
             WorkloadError::EmptyCluster => write!(f, "generated cluster has no destinations"),
+            WorkloadError::WeightMismatch { got, expected } => write!(
+                f,
+                "traffic pattern has {got} class weights but the pool has {expected} classes"
+            ),
+            WorkloadError::CountMismatch { got, expected } => write!(
+                f,
+                "{got} per-class node counts supplied but the class table has {expected} classes"
+            ),
+            WorkloadError::DegenerateWeights => {
+                write!(f, "traffic pattern class weights have no positive mass")
+            }
+            WorkloadError::InvalidGroupSize { min, max } => {
+                write!(f, "empty group-size distribution (min {min}, max {max})")
+            }
+            WorkloadError::DegenerateArrivals => write!(
+                f,
+                "arrival profile needs a positive finite mean gap / burst size"
+            ),
         }
     }
 }
@@ -28,7 +74,7 @@ impl Error for WorkloadError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             WorkloadError::Model(e) => Some(e),
-            WorkloadError::EmptyCluster => None,
+            _ => None,
         }
     }
 }

@@ -10,8 +10,10 @@
 //! classes spanning those published ranges, [`cluster`] composes them into
 //! limited-heterogeneity clusters, [`generator`] draws fully random and
 //! bimodal clusters with seeds, [`scenario`] bundles reproducible experiment
-//! inputs, and [`sweep`] builds the parameter series the experiment harness
-//! iterates over.
+//! inputs, [`sweep`] builds the parameter series the experiment harness
+//! iterates over, and [`traffic`] turns a cluster into a streaming
+//! *service* workload: seeded arrival processes emitting thousands of
+//! overlapping multicast session requests with churn.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod generator;
 pub mod profiles;
 pub mod scenario;
 pub mod sweep;
+pub mod traffic;
 
 pub use cluster::{fast_slow_mix, ClusterSpec};
 pub use error::WorkloadError;
@@ -33,3 +36,6 @@ pub use profiles::{
 };
 pub use scenario::{ClusterKind, Scenario};
 pub use sweep::{Sweep, SweepPoint};
+pub use traffic::{
+    ArrivalProfile, ChurnProfile, GroupSizeDist, NodePool, SessionRequest, TrafficPattern,
+};

@@ -1,0 +1,142 @@
+//! Drives the sessions-at-scale traffic engine and prints its report.
+//!
+//! Usage:
+//!
+//! ```text
+//! traffic_demo [--sessions N] [--seed S] [--planner NAME] [--mean-gap G]
+//!              [--group N] [--churn] [--out PATH]
+//! ```
+//!
+//! A seeded Poisson session stream (default: 1000 sessions, mean gap 12,
+//! groups of 6) is offered to a 48-node two-class cluster and served by the
+//! chosen planner (default `greedy+leaf`). The run is deterministic: the
+//! same arguments always produce a byte-identical `TrafficReport`, which
+//! `--out` writes as JSON. `--churn` makes 30% of the sessions impatient.
+
+use hnow_model::NetParams;
+use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
+use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
+use hnow_workload::{default_message_size, two_class_table};
+use std::process::ExitCode;
+
+/// Parses a flag's value, exiting with a diagnostic on malformed input —
+/// silently substituting a default would misreport what was measured.
+fn parse<T: std::str::FromStr>(what: &str, raw: String) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{what} requires a valid value, got {raw:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let mut sessions = 1000usize;
+    let mut seed = 0u64;
+    let mut planner = String::from("greedy+leaf");
+    let mut mean_gap = 12.0f64;
+    let mut group = 6usize;
+    let mut churn = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--sessions" => sessions = parse("--sessions", take("--sessions")),
+            "--seed" => seed = parse("--seed", take("--seed")),
+            "--planner" => planner = take("--planner"),
+            "--mean-gap" => mean_gap = parse("--mean-gap", take("--mean-gap")),
+            "--group" => group = parse("--group", take("--group")),
+            "--churn" => churn = true,
+            "--out" => out = Some(take("--out")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: traffic_demo [--sessions N] [--seed S] [--planner NAME] \
+                     [--mean-gap G] [--group N] [--churn] [--out PATH]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let pool = match NodePool::new(two_class_table(), default_message_size(), &[32, 16]) {
+        Ok(pool) => pool,
+        Err(err) => {
+            eprintln!("failed to build the pool: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut pattern = TrafficPattern::poisson(mean_gap, group);
+    if churn {
+        pattern.churn = Some(ChurnProfile {
+            impatient_fraction: 0.3,
+            mean_patience: 4.0 * mean_gap,
+        });
+    }
+    let requests = match pattern.generate(&pool, sessions, seed) {
+        Ok(requests) => requests,
+        Err(err) => {
+            eprintln!("failed to generate traffic: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = TrafficEngine::new(
+        &pool,
+        NetParams::new(2),
+        TrafficConfig::for_planner(&planner),
+    );
+    let report = match engine.run(&requests) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("traffic run failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "planner {} served {} sessions over {} nodes (seed {seed})",
+        report.planner,
+        report.sessions,
+        pool.len()
+    );
+    println!(
+        "  completed {}  abandoned {}  makespan {}",
+        report.completed, report.abandoned, report.makespan
+    );
+    println!(
+        "  throughput {:.3} sessions/kilotick   utilization mean {:.3} peak {:.3}",
+        report.throughput_per_kilotick, report.mean_node_utilization, report.peak_node_utilization
+    );
+    println!(
+        "  reception latency mean {:.1}  p50 {}  p99 {}   queue delay mean {:.1}",
+        report.mean_reception_latency,
+        report.p50_reception_latency,
+        report.p99_reception_latency,
+        report.mean_queue_delay
+    );
+    println!(
+        "  dp cache: {} lookups, {} hits, {} misses, {} evictions",
+        report.cache.lookups, report.cache.hits, report.cache.misses, report.cache.evictions
+    );
+
+    if let Some(path) = out {
+        let json = match serde_json::to_string_pretty(&report) {
+            Ok(json) => json,
+            Err(err) => {
+                eprintln!("failed to serialize report: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(err) = std::fs::write(&path, json + "\n") {
+            eprintln!("failed to write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote report to {path}");
+    }
+    ExitCode::SUCCESS
+}
