@@ -4,7 +4,8 @@
 //! comparisons but produce no artifact a later PR can diff against. This
 //! module times a **fixed scenario grid** over the workspace's hot paths —
 //! DP table builds (sequential and shell-parallel), greedy planning, the
-//! batched `plan_many` facade, and a traffic-engine soak — and renders the
+//! batched `plan_many` facade, a traffic-engine soak, and a sharded-cluster
+//! soak (`sharded_soak`, the dispatcher + gateway-stitching path) — and renders the
 //! results as a serializable [`BaselineReport`], written to
 //! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
 //! file is the repo's perf trajectory: one point per PR that touches a hot
@@ -21,9 +22,10 @@ use hnow_core::algorithms::dp::{DpFillMode, DpTable};
 use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
 use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
 use hnow_model::{MessageSize, NetParams, TypedMulticast};
+use hnow_sim::cluster::{ShardedCluster, ShardedClusterConfig};
 use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
 use hnow_workload::traffic::{NodePool, TrafficPattern};
-use hnow_workload::{standard_class_table, two_class_table};
+use hnow_workload::{standard_class_table, two_class_table, ShardMap, ShardedPattern};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
@@ -114,6 +116,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     greedy_cases(mode, &mut cases);
     plan_many_cases(mode, &mut cases);
     traffic_soak_cases(mode, &mut cases);
+    sharded_soak_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -295,6 +298,55 @@ fn traffic_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     }
 }
 
+/// End-to-end sharded-cluster soak: the same seeded session stream (with a
+/// cross-shard component) served by the sharded dispatcher — per-shard plan
+/// caches, gateway stitching for cross-shard sessions, and the lazily-primed
+/// component simulation. The companion `traffic_soak` group covers the flat
+/// engine, so the pair tracks the sharded speedup over the trajectory.
+fn sharded_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[32, 16],
+        },
+    )
+    .expect("soak pool is valid");
+    let shards = 4;
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (64usize, 3u64),
+        BaselineMode::Full => (512, 5),
+    };
+    let map = ShardMap::partition(&pool, shards).expect("soak partition is valid");
+    let pattern = ShardedPattern::poisson(12.0, 6, 0.1);
+    let requests = pattern
+        .generate(&map, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    for planner in ["greedy+leaf", "dp-optimal"] {
+        let cluster = ShardedCluster::new(
+            &pool,
+            net,
+            ShardedClusterConfig::for_planner(shards, planner),
+        )
+        .expect("soak cluster is valid");
+        cases.push(time_case(
+            "sharded_soak",
+            format!("sharded_soak/{planner}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                black_box(
+                    cluster
+                        .run(black_box(&requests))
+                        .expect("soak run succeeds"),
+                );
+            },
+        ));
+    }
+}
+
 /// How one baseline entry moved between two reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct CaseDelta {
@@ -443,6 +495,8 @@ mod tests {
                 "plan_many/greedy+dp/24",
                 "traffic_soak/greedy+leaf/64",
                 "traffic_soak/dp-optimal/64",
+                "sharded_soak/greedy+leaf/64",
+                "sharded_soak/dp-optimal/64",
             ]
         );
         for case in &report.cases {

@@ -85,6 +85,6 @@ pub use bounds::{lower_bound, theorem1_bound, theorem1_factor, LowerBound};
 pub use error::CoreError;
 pub use planner::{Capabilities, DpCache, Plan, PlanContext, PlanRequest, Planner, PlannerKind};
 pub use schedule::{
-    delivery_completion, evaluate, is_layered, reception_completion, refine_leaves, ScheduleTiming,
-    ScheduleTree,
+    compose, delivery_completion, evaluate, evaluate_with_specs, is_layered, reception_completion,
+    refine_leaves, ComposedSchedule, ScheduleTiming, ScheduleTree,
 };

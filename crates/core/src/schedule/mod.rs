@@ -1,11 +1,15 @@
 //! Multicast schedule representation, timing and transformations.
 
+pub mod compose;
 pub mod ops;
 pub mod times;
 pub mod tree;
 pub mod validate;
 
+pub use compose::{compose, ComposedSchedule};
 pub use ops::{refine_leaves, reverse_children_of};
-pub use times::{delivery_completion, evaluate, reception_completion, ScheduleTiming};
+pub use times::{
+    delivery_completion, evaluate, evaluate_with_specs, reception_completion, ScheduleTiming,
+};
 pub use tree::ScheduleTree;
 pub use validate::{is_layered, is_layered_with_timing, validate};

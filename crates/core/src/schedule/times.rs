@@ -15,7 +15,7 @@
 
 use crate::error::CoreError;
 use crate::schedule::tree::ScheduleTree;
-use hnow_model::{MulticastSet, NetParams, NodeId, Time};
+use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec, Time};
 use serde::{Deserialize, Serialize};
 
 /// Evaluated timing of a complete multicast schedule.
@@ -98,6 +98,36 @@ pub fn evaluate(
             set_nodes: set.num_nodes(),
         });
     }
+    let specs: Vec<NodeSpec> = (0..set.num_nodes()).map(|i| set.spec(NodeId(i))).collect();
+    evaluate_with_specs(tree, &specs, net)
+}
+
+/// Evaluates the timing of a complete schedule with explicit per-node
+/// overheads, `specs[v]` being node `v`'s overheads.
+///
+/// This is the id-order-agnostic core of [`evaluate`]: a [`MulticastSet`]
+/// fixes the canonical speed-sorted numbering, whereas composed schedules
+/// (gateway trees with grafted per-shard subtrees, see
+/// [`compose`](crate::schedule::compose::compose)) number nodes by
+/// composition order. The spec vector carries whatever numbering the tree
+/// uses.
+///
+/// # Errors
+///
+/// * [`CoreError::SizeMismatch`] if `specs` and the tree disagree on the
+///   number of participants.
+/// * [`CoreError::IncompleteSchedule`] if some destination is not attached.
+pub fn evaluate_with_specs(
+    tree: &ScheduleTree,
+    specs: &[NodeSpec],
+    net: NetParams,
+) -> Result<ScheduleTiming, CoreError> {
+    if tree.num_nodes() != specs.len() {
+        return Err(CoreError::SizeMismatch {
+            tree_nodes: tree.num_nodes(),
+            set_nodes: specs.len(),
+        });
+    }
     if !tree.is_complete() {
         return Err(CoreError::IncompleteSchedule {
             missing: tree.num_unattached(),
@@ -108,13 +138,13 @@ pub fn evaluate(
     let mut reception = vec![Time::ZERO; n];
     // BFS guarantees parents are timed before children.
     for v in tree.bfs() {
-        let spec = set.spec(v);
+        let spec = specs[v.index()];
         let r_v = reception[v.index()];
         for (i, &child) in tree.children(v).iter().enumerate() {
             let rank = (i + 1) as u64;
             let d = r_v + rank * spec.send() + net.latency();
             delivery[child.index()] = d;
-            reception[child.index()] = d + set.spec(child).recv();
+            reception[child.index()] = d + specs[child.index()].recv();
         }
     }
     let delivery_completion = delivery[1..].iter().copied().max().unwrap_or(Time::ZERO);
@@ -247,6 +277,27 @@ mod tests {
         let tree3 = ScheduleTree::new(3);
         assert!(matches!(
             evaluate(&tree3, &set, NetParams::new(1)),
+            Err(CoreError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_with_specs_matches_set_evaluation() {
+        let (tree, set, net) = figure1a();
+        let specs: Vec<NodeSpec> = (0..set.num_nodes()).map(|i| set.spec(NodeId(i))).collect();
+        let via_set = evaluate(&tree, &set, net).unwrap();
+        let via_specs = evaluate_with_specs(&tree, &specs, net).unwrap();
+        assert_eq!(via_set, via_specs);
+        // And it accepts spec vectors no MulticastSet could produce (an
+        // inverted overhead pair), since composed/perturbed schedules need
+        // that freedom.
+        let weird = vec![NodeSpec::new(1, 9), NodeSpec::new(2, 3)];
+        let mut tiny = ScheduleTree::new(2);
+        tiny.attach(NodeId(0), NodeId(1)).unwrap();
+        let t = evaluate_with_specs(&tiny, &weird, NetParams::new(1)).unwrap();
+        assert_eq!(t.reception_completion(), Time::new(1 + 1 + 3));
+        assert!(matches!(
+            evaluate_with_specs(&tiny, &weird[..1], NetParams::new(1)),
             Err(CoreError::SizeMismatch { .. })
         ));
     }

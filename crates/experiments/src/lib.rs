@@ -15,6 +15,7 @@
 //! | E8 | [`comparison`] | heterogeneity-aware vs oblivious scheduling |
 //! | E9 | [`robustness`] | simulator fidelity and overhead jitter |
 //! | E10 | [`traffic`] | sessions-at-scale service throughput (beyond the paper) |
+//! | E11 | [`sharded`] | sharded cluster service vs the flat engine (beyond the paper) |
 //!
 //! [`run_all`] executes a reduced version of every experiment and returns
 //! the tables; the example binaries and `EXPERIMENTS.md` are produced from
@@ -32,6 +33,7 @@ pub mod layered;
 pub mod leaf_reversal;
 pub mod robustness;
 pub mod scaling;
+pub mod sharded;
 pub mod table;
 pub mod traffic;
 
@@ -204,6 +206,24 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         tables: vec![traffic::table(&traffic_points)],
     });
 
+    let sharded_cfg = sharded::ShardedStudyConfig {
+        sessions: 150,
+        shard_counts: vec![2, 4],
+        cross_fractions: vec![0.0, 0.2],
+        seed,
+        ..sharded::ShardedStudyConfig::default()
+    };
+    let sharded_points = sharded::run(&sharded_cfg);
+    let best_speedup = sharded_points.iter().map(|p| p.speedup).fold(0.0, f64::max);
+    reports.push(ExperimentReport {
+        id: "E11",
+        headline: format!(
+            "Sharded cluster served {} sessions per point at up to {:.2}x the flat engine's wall-clock speed",
+            sharded_cfg.sessions, best_speedup
+        ),
+        tables: vec![sharded::table(&sharded_points)],
+    });
+
     reports
 }
 
@@ -231,7 +251,7 @@ mod tests {
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10"]
+            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11"]
         );
         for report in &reports {
             assert!(!report.tables.is_empty());
@@ -241,5 +261,6 @@ mod tests {
         assert!(md.contains("## E1"));
         assert!(md.contains("## E9"));
         assert!(md.contains("## E10"));
+        assert!(md.contains("## E11"));
     }
 }

@@ -1,0 +1,1323 @@
+//! Sharded cluster service: a front-end dispatcher, per-shard traffic
+//! engines, and gateway-stitched cross-shard multicast.
+//!
+//! One [`TrafficEngine`](crate::sessions::TrafficEngine) plans and
+//! simulates every session against one flat pool; its per-session costs
+//! (class signatures, busy bookkeeping, one global event heap primed with
+//! every arrival) all scale with total cluster size. [`ShardedCluster`]
+//! is the service-shaped alternative for large pools:
+//!
+//! 1. **Dispatch** — a [`ShardMap`] partitions the pool into class-aware
+//!    shards; each [`SessionRequest`] is routed to the *home shard* of its
+//!    source. Sessions whose members stay inside the home shard are served
+//!    entirely by that shard.
+//! 2. **Per-shard planning** — every shard owns a
+//!    [`PlanContext`]/DP-cache and a *plan cache*: sessions reduce to their
+//!    shard-local class signature, and all sessions sharing a signature
+//!    reuse one planned tree shape (bound to their concrete nodes per
+//!    session). Deterministic planners only; a seeded planner bypasses the
+//!    plan cache.
+//! 3. **Gateway stitching** — a session spanning shards is planned in two
+//!    levels: a *gateway tree* over one designated gateway per touched
+//!    shard (the source for the home shard; the fastest member, ties by
+//!    lowest id, for remote shards), planned by the same registry planner
+//!    over the gateway class vector, then one per-shard subtree rooted at
+//!    each gateway. [`compose()`](hnow_core::schedule::compose::compose) grafts the subtrees
+//!    onto the gateway tree and re-evaluates the stitched
+//!    [`ScheduleTiming`](hnow_core::ScheduleTiming) from scratch, so the
+//!    session's planned `R_T`/`D_T` obey the ordinary occupancy semantics
+//!    and planned-vs-achieved accounting holds exactly as for flat
+//!    sessions (in a zero-jitter, zero-contention run they are equal).
+//! 4. **Component simulation** — shards joined by at least one cross-shard
+//!    session are merged (union-find) into simulation components; each
+//!    component runs its own discrete-event pass over its disjoint node
+//!    set, with arrivals injected lazily so the event heap stays at the
+//!    size of the *active* window rather than the whole request vector.
+//!    Components are dispatched through rayon, which is also the seam the
+//!    ROADMAP's parallel-DES item widens.
+//!
+//! The result is a [`ShardedTrafficReport`]: per-session records (with
+//! home shard and touched shards), per-shard and cross-shard aggregates
+//! (all NaN-free via [`TrafficMetrics`]), and per-shard DP-cache
+//! statistics. The whole pipeline is deterministic: the same `(pool,
+//! config, requests)` produce a byte-identical serialized report.
+
+use crate::error::SimError;
+use crate::sessions::{
+    bind_node_map, children_lists, record_for, CacheStats, SessionRecord, SessionRuntime,
+    TrafficConfig, TrafficMetrics,
+};
+use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
+use hnow_core::schedule::compose::compose;
+use hnow_core::ScheduleTree;
+use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
+use hnow_workload::{NodePool, SessionRequest, ShardMap};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Configuration of a [`ShardedCluster`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedClusterConfig {
+    /// Number of shards the pool is partitioned into.
+    pub shards: usize,
+    /// Per-shard engine configuration (planner, batch size, DP-cache
+    /// capacity). The same planner serves gateway trees.
+    pub traffic: TrafficConfig,
+    /// Whether per-shard plan caches reuse one planned tree shape across
+    /// sessions with the same class signature. Ignored (treated as `false`)
+    /// for planners that consume the request seed, whose plans are not a
+    /// pure function of the signature.
+    pub plan_cache: bool,
+}
+
+impl ShardedClusterConfig {
+    /// `shards` shards with the default traffic config and plan caching on.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedClusterConfig {
+            shards,
+            traffic: TrafficConfig::default(),
+            plan_cache: true,
+        }
+    }
+
+    /// Same, with a named planner.
+    pub fn for_planner(shards: usize, planner: &str) -> Self {
+        ShardedClusterConfig {
+            shards,
+            traffic: TrafficConfig::for_planner(planner),
+            plan_cache: true,
+        }
+    }
+}
+
+/// Aggregates of one shard's intra-shard traffic.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardReport {
+    /// Shard id.
+    pub shard: usize,
+    /// Nodes owned by the shard.
+    pub nodes: usize,
+    /// NaN-free aggregates over the sessions homed (and contained) in this
+    /// shard. The two node-utilization fields are the exception to the
+    /// record-subset rule: they cover *all* work the shard's nodes
+    /// performed — cross-shard sessions included — over the run-wide
+    /// makespan, so they stay in `[0, 1]` and are meaningful even for a
+    /// shard with no intra-shard sessions of its own.
+    pub metrics: TrafficMetrics,
+    /// The shard engine's DP-cache statistics.
+    pub dp_cache: CacheStats,
+    /// The shard's DP-cache hit rate (0, never NaN, when nothing was looked
+    /// up — e.g. an empty shard or a non-DP planner).
+    pub dp_hit_rate: f64,
+    /// Distinct class signatures resident in the shard's plan cache after
+    /// the run (0 when plan caching is off).
+    pub plan_signatures: usize,
+}
+
+/// One session's record plus its routing.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardedSessionRecord {
+    /// Home shard (the source's shard).
+    pub home_shard: usize,
+    /// Whether the session spanned more than the home shard.
+    pub cross: bool,
+    /// Touched shards, home first, then ascending.
+    pub shards: Vec<usize>,
+    /// The ordinary per-session record; for cross-shard sessions
+    /// `planned_reception`/`planned_delivery` are the *stitched* analytic
+    /// times of the composed two-level schedule.
+    pub record: SessionRecord,
+}
+
+/// The serializable result of one sharded run. Deterministic per `(pool,
+/// config, requests)` — byte-identical JSON across repeated runs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardedTrafficReport {
+    /// Schema version of this artifact.
+    pub schema: u32,
+    /// Planner serving every shard and the gateway trees.
+    pub planner: String,
+    /// Number of shards.
+    pub shards: usize,
+    /// Whether per-shard plan caches were active.
+    pub plan_cache: bool,
+    /// Network latency `L`.
+    pub net_latency: u64,
+    /// Offered sessions.
+    pub sessions: usize,
+    /// Sessions that spanned at least two shards.
+    pub cross_sessions: usize,
+    /// `cross_sessions / sessions` (0 when no sessions were offered).
+    pub observed_cross_fraction: f64,
+    /// Number of simulation components the shards merged into (equals
+    /// `shards` when no session crossed, 1 when cross traffic connected
+    /// everything).
+    pub components: usize,
+    /// Aggregates over every session, with utilization over every node.
+    pub total: TrafficMetrics,
+    /// Aggregates over cross-shard sessions only (utilization fields are 0
+    /// here — cross sessions borrow nodes accounted to their shards).
+    pub cross: TrafficMetrics,
+    /// The dispatcher's DP-cache statistics (gateway-tree planning).
+    pub gateway_dp_cache: CacheStats,
+    /// Gateway DP-cache hit rate (0 when nothing was looked up).
+    pub gateway_dp_hit_rate: f64,
+    /// Per-shard aggregates, in shard order.
+    pub per_shard: Vec<ShardReport>,
+    /// One record per offered session, in request order.
+    pub per_session: Vec<ShardedSessionRecord>,
+}
+
+/// A planned tree shape shared by every session with one class signature.
+struct CachedPlan {
+    /// The abstract schedule tree (canonical instance numbering).
+    tree: ScheduleTree,
+    /// `tree`'s child lists, shared into each session's runtime.
+    children: Arc<Vec<Vec<usize>>>,
+    /// Tree node ids per class, for binding to concrete nodes.
+    locals_by_class: Vec<Vec<NodeId>>,
+    planned_reception: Time,
+    planned_delivery: Time,
+}
+
+/// Plan-cache key: `(source class, per-class member counts)`.
+type PlanKey = (usize, Vec<usize>);
+type PlanCache = HashMap<PlanKey, Arc<CachedPlan>>;
+/// `(request index, runtime)` pairs of the sessions a worker admitted or
+/// simulated.
+type IndexedRuntimes = Vec<(usize, SessionRuntime)>;
+/// One shard's admission outcome: its runtimes, DP context and plan cache.
+type ShardOutcome = Result<(IndexedRuntimes, PlanContext, PlanCache), SimError>;
+
+/// Routing metadata of one admitted session.
+struct Routing {
+    home: usize,
+    cross: bool,
+    /// Touched shards, home first, then ascending.
+    shards: Vec<usize>,
+}
+
+/// Plans and simulates session streams over a sharded pool. See the
+/// [module docs](self) for the architecture.
+#[derive(Debug)]
+pub struct ShardedCluster<'a> {
+    pool: &'a NodePool,
+    map: ShardMap,
+    net: NetParams,
+    config: ShardedClusterConfig,
+}
+
+impl<'a> ShardedCluster<'a> {
+    /// Partitions `pool` into the configured number of shards.
+    pub fn new(
+        pool: &'a NodePool,
+        net: NetParams,
+        config: ShardedClusterConfig,
+    ) -> Result<Self, SimError> {
+        let map = ShardMap::partition(pool, config.shards).map_err(SimError::Sharding)?;
+        Ok(ShardedCluster {
+            pool,
+            map,
+            net,
+            config,
+        })
+    }
+
+    /// The shard partition in use.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Plans and simulates the given sessions (global node ids), returning
+    /// the merged report.
+    pub fn run(&self, requests: &[SessionRequest]) -> Result<ShardedTrafficReport, SimError> {
+        let planner =
+            find(&self.config.traffic.planner).ok_or_else(|| SimError::UnknownPlanner {
+                name: self.config.traffic.planner.clone(),
+            })?;
+        let caching = self.config.plan_cache && !planner.capabilities().uses_seed;
+        let shards = self.map.num_shards();
+        let new_ctx = || match self.config.traffic.dp_cache_capacity {
+            Some(cap) => PlanContext::with_dp_capacity(cap),
+            None => PlanContext::new(),
+        };
+
+        // Dispatch: validate ids and split into per-shard intra lists and
+        // the cross list. Local requests carry shard-local node ids.
+        let mut intra: Vec<Vec<(usize, SessionRequest)>> = vec![Vec::new(); shards];
+        let mut cross: Vec<usize> = Vec::new();
+        let mut routing: Vec<Routing> = Vec::with_capacity(requests.len());
+        // Stamp buffer for duplicate detection: O(group) per session
+        // instead of an O(pool) refill.
+        let mut stamp = vec![0u32; self.pool.len()];
+        let mut generation = 0u32;
+        for (idx, request) in requests.iter().enumerate() {
+            generation += 1;
+            self.check_ids(request, &mut stamp, generation)?;
+            let home = self.map.shard_of(request.source);
+            let mut touched: Vec<usize> = request
+                .members
+                .iter()
+                .map(|&m| self.map.shard_of(m))
+                .filter(|&s| s != home)
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            let is_cross = !touched.is_empty();
+            let mut shards_touched = Vec::with_capacity(touched.len() + 1);
+            shards_touched.push(home);
+            shards_touched.extend(touched);
+            routing.push(Routing {
+                home,
+                cross: is_cross,
+                shards: shards_touched,
+            });
+            if is_cross {
+                cross.push(idx);
+            } else {
+                intra[home].push((
+                    idx,
+                    SessionRequest {
+                        id: request.id,
+                        arrival: request.arrival,
+                        source: self.map.locate(request.source).1,
+                        members: request
+                            .members
+                            .iter()
+                            .map(|&m| self.map.locate(m).1)
+                            .collect(),
+                        patience: request.patience,
+                    },
+                ));
+            }
+        }
+
+        // Per-shard intra-shard planning, fanned over rayon. Each shard owns
+        // its PlanContext and plan cache; results are merged positionally,
+        // so thread scheduling never leaks into the output.
+        let shard_work: Vec<(usize, &Vec<(usize, SessionRequest)>)> =
+            intra.iter().enumerate().collect();
+        let shard_outcomes: Vec<ShardOutcome> = shard_work
+            .par_iter()
+            .map(|&(s, batch)| {
+                let ctx = new_ctx();
+                let mut cache: PlanCache = PlanCache::new();
+                let pool = self.map.shard(s);
+                let mut runtimes = Vec::with_capacity(batch.len());
+                for (idx, local) in batch.iter() {
+                    let cached = planned_for(
+                        planner,
+                        pool,
+                        local,
+                        &ctx,
+                        caching.then_some(&mut cache),
+                        self.net,
+                    )?;
+                    let mut runtime = runtime_from(pool, local, &cached);
+                    // Rebase the node map onto global ids for simulation.
+                    for node in &mut runtime.node_map {
+                        *node = self.map.global_of(s, *node);
+                    }
+                    runtimes.push((*idx, runtime));
+                }
+                Ok((runtimes, ctx, cache))
+            })
+            .collect();
+        let mut shard_ctxs: Vec<PlanContext> = Vec::with_capacity(shards);
+        let mut shard_caches: Vec<PlanCache> = Vec::with_capacity(shards);
+        let mut runtimes: Vec<Option<SessionRuntime>> = Vec::with_capacity(requests.len());
+        runtimes.resize_with(requests.len(), || None);
+        for outcome in shard_outcomes {
+            let (shard_runtimes, ctx, cache) = outcome?;
+            for (idx, runtime) in shard_runtimes {
+                runtimes[idx] = Some(runtime);
+            }
+            shard_ctxs.push(ctx);
+            shard_caches.push(cache);
+        }
+
+        // Cross-shard sessions: gateway tree + per-shard subtrees, stitched.
+        let gateway_ctx = new_ctx();
+        let mut gateway_cache: PlanCache = PlanCache::new();
+        for &idx in &cross {
+            let runtime = self.admit_cross(
+                planner,
+                &requests[idx],
+                &routing[idx],
+                &gateway_ctx,
+                caching.then_some(&mut gateway_cache),
+                &shard_ctxs,
+                &mut shard_caches,
+                caching,
+            )?;
+            runtimes[idx] = Some(runtime);
+        }
+
+        // Union shards joined by cross sessions into simulation components.
+        let mut dsu = Dsu::new(shards);
+        for &idx in &cross {
+            let touched = &routing[idx].shards;
+            for &s in &touched[1..] {
+                dsu.union(touched[0], s);
+            }
+        }
+        let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut component_sessions: Vec<IndexedRuntimes> = Vec::new();
+        for (idx, runtime) in runtimes.into_iter().enumerate() {
+            let runtime = runtime.expect("every session was admitted");
+            let root = dsu.find(routing[idx].home);
+            let slot = *component_of_root.entry(root).or_insert_with(|| {
+                component_sessions.push(Vec::new());
+                component_sessions.len() - 1
+            });
+            component_sessions[slot].push((idx, runtime));
+        }
+        let components = component_sessions.len();
+
+        // Simulate each component against its disjoint node set.
+        let specs: Vec<NodeSpec> = (0..self.pool.len())
+            .map(|g| self.pool.spec_of_node(g))
+            .collect();
+        let simulated: Vec<(IndexedRuntimes, Vec<u64>)> = component_sessions
+            .into_par_iter()
+            .map(|mut sessions| {
+                let busy = simulate_component(&specs, self.net, &mut sessions);
+                (sessions, busy)
+            })
+            .collect();
+        let mut busy_time = vec![0u64; self.pool.len()];
+        let mut records: Vec<Option<ShardedSessionRecord>> = Vec::with_capacity(requests.len());
+        records.resize_with(requests.len(), || None);
+        for (sessions, busy) in simulated {
+            for (node, b) in busy.into_iter().enumerate() {
+                busy_time[node] += b;
+            }
+            for (idx, runtime) in sessions {
+                let route = &routing[idx];
+                records[idx] = Some(ShardedSessionRecord {
+                    home_shard: route.home,
+                    cross: route.cross,
+                    shards: route.shards.clone(),
+                    record: record_for(&requests[idx], &runtime),
+                });
+            }
+        }
+        let per_session: Vec<ShardedSessionRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every session was simulated"))
+            .collect();
+
+        Ok(self.report(
+            per_session,
+            &busy_time,
+            &shard_ctxs,
+            &shard_caches,
+            &gateway_ctx,
+            components,
+        ))
+    }
+
+    /// Validates that a request's node ids are in range and distinct, using
+    /// a caller-provided stamp buffer (a node is "seen" when its stamp
+    /// equals the current generation).
+    fn check_ids(
+        &self,
+        request: &SessionRequest,
+        stamp: &mut [u32],
+        generation: u32,
+    ) -> Result<(), SimError> {
+        let n = self.pool.len();
+        if request.source >= n {
+            return Err(SimError::MalformedSession { id: request.id });
+        }
+        stamp[request.source] = generation;
+        for &member in &request.members {
+            if member >= n || stamp[member] == generation {
+                return Err(SimError::MalformedSession { id: request.id });
+            }
+            stamp[member] = generation;
+        }
+        Ok(())
+    }
+
+    /// Plans one cross-shard session: gateway tree over the designated
+    /// gateways, one subtree per touched shard, composed and bound to
+    /// global ids.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_cross(
+        &self,
+        planner: &'static dyn Planner,
+        request: &SessionRequest,
+        route: &Routing,
+        gateway_ctx: &PlanContext,
+        gateway_cache: Option<&mut PlanCache>,
+        shard_ctxs: &[PlanContext],
+        shard_caches: &mut [PlanCache],
+        caching: bool,
+    ) -> Result<SessionRuntime, SimError> {
+        // Members per touched shard.
+        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &m in &request.members {
+            by_shard.entry(self.map.shard_of(m)).or_default().push(m);
+        }
+        // Gateway selection: the source at home; elsewhere the fastest
+        // member (ties by lowest global id). Members are collected in
+        // ascending-id order per shard, so `min_by` with speed_cmp-then-id
+        // is deterministic.
+        let mut gateways: Vec<usize> = Vec::with_capacity(route.shards.len() - 1);
+        for &s in &route.shards[1..] {
+            let members = &by_shard[&s];
+            let gw = *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    self.pool
+                        .spec_of_node(a)
+                        .speed_cmp(&self.pool.spec_of_node(b))
+                        .then(a.cmp(&b))
+                })
+                .expect("a touched shard has at least one member");
+            gateways.push(gw);
+        }
+
+        // Level 1: the gateway tree over the gateway class vector.
+        let gateway_request = SessionRequest {
+            id: request.id,
+            arrival: request.arrival,
+            source: request.source,
+            members: gateways.clone(),
+            patience: None,
+        };
+        let gateway_plan = planned_for(
+            planner,
+            self.pool,
+            &gateway_request,
+            gateway_ctx,
+            gateway_cache,
+            self.net,
+        )?;
+        // Gateway-tree node id -> global gateway id.
+        let gateway_binding = bind_node_map(
+            self.pool,
+            request.source,
+            &gateways,
+            &gateway_plan.locals_by_class,
+        );
+
+        // Level 2: one subtree per gateway-tree node, rooted at its gateway.
+        let mut subtree_plans: Vec<Arc<CachedPlan>> = Vec::with_capacity(gateway_binding.len());
+        let mut subtree_bindings: Vec<Vec<usize>> = Vec::with_capacity(gateway_binding.len());
+        for &gw in &gateway_binding {
+            let (s, local_gw) = self.map.locate(gw);
+            let shard_pool = self.map.shard(s);
+            // At home the source is the gateway (it is never a member), so
+            // the filter keeps every home member; on remote shards it
+            // removes the member promoted to gateway.
+            let local_members: Vec<usize> = by_shard
+                .get(&s)
+                .map(|members| {
+                    members
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != gw)
+                        .map(|m| self.map.locate(m).1)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let plan = if local_members.is_empty() {
+                Arc::new(trivial_plan())
+            } else {
+                let local_request = SessionRequest {
+                    id: request.id,
+                    arrival: request.arrival,
+                    source: local_gw,
+                    members: local_members.clone(),
+                    patience: None,
+                };
+                planned_for(
+                    planner,
+                    shard_pool,
+                    &local_request,
+                    &shard_ctxs[s],
+                    caching.then_some(&mut shard_caches[s]),
+                    self.net,
+                )?
+            };
+            // Subtree-local tree id -> global id.
+            let local_binding =
+                bind_node_map(shard_pool, local_gw, &local_members, &plan.locals_by_class);
+            subtree_bindings.push(
+                local_binding
+                    .into_iter()
+                    .map(|l| self.map.global_of(s, l))
+                    .collect(),
+            );
+            subtree_plans.push(plan);
+        }
+
+        // Stitch, re-evaluating the timing from scratch.
+        let spec_vectors: Vec<Vec<NodeSpec>> = subtree_bindings
+            .iter()
+            .map(|binding| binding.iter().map(|&g| self.pool.spec_of_node(g)).collect())
+            .collect();
+        let subtrees: Vec<(&ScheduleTree, &[NodeSpec])> = subtree_plans
+            .iter()
+            .zip(&spec_vectors)
+            .map(|(plan, specs)| (&plan.tree, specs.as_slice()))
+            .collect();
+        let composed = compose(&gateway_plan.tree, &subtrees, self.net)?;
+
+        // Bind composed ids to global nodes.
+        let mut node_map = vec![usize::MAX; composed.tree.num_nodes()];
+        for (i, map) in composed.maps.iter().enumerate() {
+            for (l, &composed_id) in map.iter().enumerate() {
+                node_map[composed_id.index()] = subtree_bindings[i][l];
+            }
+        }
+        debug_assert_eq!(node_map[0], request.source);
+        Ok(SessionRuntime {
+            arrival: request.arrival,
+            deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
+            node_map,
+            children: Arc::new(children_lists(&composed.tree)),
+            planned_reception: composed.timing.reception_completion(),
+            planned_delivery: composed.timing.delivery_completion(),
+            started: None,
+            abandoned: false,
+            pending: request.members.len(),
+            completed_at: request.arrival,
+            delivered_at: request.arrival,
+        })
+    }
+
+    /// Assembles the merged report.
+    fn report(
+        &self,
+        per_session: Vec<ShardedSessionRecord>,
+        busy_time: &[u64],
+        shard_ctxs: &[PlanContext],
+        shard_caches: &[PlanCache],
+        gateway_ctx: &PlanContext,
+        components: usize,
+    ) -> ShardedTrafficReport {
+        let total = TrafficMetrics::from_records(per_session.iter().map(|s| &s.record), busy_time);
+        let cross_records: Vec<&SessionRecord> = per_session
+            .iter()
+            .filter(|s| s.cross)
+            .map(|s| &s.record)
+            .collect();
+        let cross_sessions = cross_records.len();
+        let cross = TrafficMetrics::from_records(cross_records, &[]);
+        let per_shard: Vec<ShardReport> = (0..self.map.num_shards())
+            .map(|s| {
+                let records = per_session
+                    .iter()
+                    .filter(|r| !r.cross && r.home_shard == s)
+                    .map(|r| &r.record);
+                let shard_busy: Vec<u64> = self
+                    .map
+                    .globals_of(s)
+                    .iter()
+                    .map(|&g| busy_time[g])
+                    .collect();
+                let dp_cache = CacheStats::from_context(&shard_ctxs[s]);
+                let mut metrics = TrafficMetrics::from_records(records, &shard_busy);
+                // The shard's nodes also serve cross-shard sessions, whose
+                // completions are not in this record subset — utilization
+                // must therefore be taken over the run-wide makespan, or a
+                // cross-heavy shard whose intra traffic finished early
+                // would report a ratio above 1.
+                let (mean_util, peak_util) =
+                    TrafficMetrics::utilization_over(&shard_busy, total.makespan);
+                metrics.mean_node_utilization = mean_util;
+                metrics.peak_node_utilization = peak_util;
+                ShardReport {
+                    shard: s,
+                    nodes: self.map.shard(s).len(),
+                    metrics,
+                    dp_cache,
+                    dp_hit_rate: dp_cache.hit_rate(),
+                    plan_signatures: shard_caches[s].len(),
+                }
+            })
+            .collect();
+        let gateway_dp_cache = CacheStats::from_context(gateway_ctx);
+        ShardedTrafficReport {
+            schema: 1,
+            planner: self.config.traffic.planner.clone(),
+            shards: self.map.num_shards(),
+            plan_cache: self.config.plan_cache,
+            net_latency: self.net.latency().raw(),
+            sessions: per_session.len(),
+            cross_sessions,
+            observed_cross_fraction: if per_session.is_empty() {
+                0.0
+            } else {
+                cross_sessions as f64 / per_session.len() as f64
+            },
+            components,
+            total,
+            cross,
+            gateway_dp_cache,
+            gateway_dp_hit_rate: gateway_dp_cache.hit_rate(),
+            per_shard,
+            per_session,
+        }
+    }
+}
+
+/// Returns the (possibly cached) plan shape for a request's class
+/// signature over `pool`. Node ids must already be validated (the
+/// dispatcher checks them once, globally); the signature is computed in
+/// `O(group + k)` so a cache hit costs no planner work at all.
+fn planned_for(
+    planner: &'static dyn Planner,
+    pool: &NodePool,
+    request: &SessionRequest,
+    ctx: &PlanContext,
+    cache: Option<&mut PlanCache>,
+    net: NetParams,
+) -> Result<Arc<CachedPlan>, SimError> {
+    let mut counts = vec![0usize; pool.k()];
+    for &member in &request.members {
+        counts[pool.class_of(member)] += 1;
+    }
+    let key: PlanKey = (pool.class_of(request.source), counts);
+    if let Some(cache) = &cache {
+        if let Some(cached) = cache.get(&key) {
+            return Ok(Arc::clone(cached));
+        }
+    }
+    let typed =
+        TypedMulticast::new(pool.specs().to_vec(), key.0, key.1.clone()).map_err(|error| {
+            SimError::Instance {
+                session: request.id,
+                error,
+            }
+        })?;
+    let set = typed
+        .to_multicast_set()
+        .map_err(|error| SimError::Instance {
+            session: request.id,
+            error,
+        })?;
+    let plan_request = PlanRequest::new(set, net).with_seed(request.id);
+    let mut rows = plan_many_with(&[planner], &[plan_request], ctx);
+    let plan = rows
+        .pop()
+        .and_then(|mut row| row.pop())
+        .expect("plan_many returns one result per request")?;
+    let cached = Arc::new(CachedPlan {
+        children: Arc::new(children_lists(&plan.tree)),
+        locals_by_class: typed.node_ids_by_class(),
+        planned_reception: plan.timing.reception_completion(),
+        planned_delivery: plan.timing.delivery_completion(),
+        tree: plan.tree,
+    });
+    if let Some(cache) = cache {
+        cache.insert(key, Arc::clone(&cached));
+    }
+    Ok(cached)
+}
+
+/// The one-node plan of a gateway with nothing local to serve.
+fn trivial_plan() -> CachedPlan {
+    CachedPlan {
+        tree: ScheduleTree::new(1),
+        children: Arc::new(vec![Vec::new()]),
+        locals_by_class: Vec::new(),
+        planned_reception: Time::ZERO,
+        planned_delivery: Time::ZERO,
+    }
+}
+
+/// Builds an intra-shard session's runtime from a cached plan shape.
+fn runtime_from(pool: &NodePool, request: &SessionRequest, cached: &CachedPlan) -> SessionRuntime {
+    SessionRuntime {
+        arrival: request.arrival,
+        deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
+        node_map: bind_node_map(
+            pool,
+            request.source,
+            &request.members,
+            &cached.locals_by_class,
+        ),
+        children: Arc::clone(&cached.children),
+        planned_reception: cached.planned_reception,
+        planned_delivery: cached.planned_delivery,
+        started: None,
+        abandoned: false,
+        pending: request.members.len(),
+        completed_at: request.arrival,
+        delivered_at: request.arrival,
+    }
+}
+
+/// Deterministic union-find over shard ids.
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n).collect())
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.0[root] != root {
+            root = self.0[root];
+        }
+        let mut cur = x;
+        while self.0[cur] != root {
+            let next = self.0[cur];
+            self.0[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        // Smaller root wins, so component identity is order-independent.
+        let (lo, hi) = (ra.min(rb), ra.max(rb));
+        self.0[hi] = lo;
+    }
+}
+
+/// A discrete event of the component simulation. Mirrors the flat engine's
+/// receive-send semantics (per-send node claims, FIFO parking on busy
+/// nodes) with two structural differences: receive overheads are claimed
+/// directly from the arrival event instead of a separate queued event, and
+/// a node's wake-up is armed at most once at a time instead of once per
+/// activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ClusterEvent {
+    /// The session's tree node `local` wants to start its `child`-th send.
+    Send { local: usize, child: usize },
+    /// The message reaches tree node `local`; the receive overhead is
+    /// claimed (or parked) immediately.
+    Arrive { local: usize },
+    /// A parked receive retrying for node time (delivery was already
+    /// recorded by the original [`ClusterEvent::Arrive`]).
+    Recv { local: usize },
+    /// The pool node may be free; wake its next parked waiter.
+    Free { node: usize },
+}
+
+type ClusterQueueItem = Reverse<(Time, u64, usize, ClusterEvent)>;
+
+/// Runs one component's sessions to completion against shared per-node
+/// busy state. `sessions` holds `(request index, runtime)` pairs; arrivals
+/// are injected lazily in `(arrival, request index)` order, so the event
+/// heap holds only the active window. Returns per-node busy time (indexed
+/// by global node id; nodes outside the component stay 0).
+fn simulate_component(
+    specs: &[NodeSpec],
+    net: NetParams,
+    sessions: &mut [(usize, SessionRuntime)],
+) -> Vec<u64> {
+    let n = specs.len();
+    let mut busy_until = vec![Time::ZERO; n];
+    let mut busy_time = vec![0u64; n];
+    let mut waiting: Vec<VecDeque<(usize, ClusterEvent)>> = vec![VecDeque::new(); n];
+    // Whether a `Free` event is currently armed for the node (at most one
+    // is in flight per node at any time).
+    let mut wake_armed = vec![false; n];
+    let mut heap: BinaryHeap<ClusterQueueItem> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    // Injection order: by arrival, ties by request index.
+    let mut order: Vec<usize> = (0..sessions.len()).collect();
+    order.sort_by_key(|&slot| (sessions[slot].1.arrival, sessions[slot].0));
+    let mut next_inject = 0usize;
+
+    macro_rules! push {
+        ($time:expr, $slot:expr, $event:expr) => {{
+            heap.push(Reverse(($time, seq, $slot, $event)));
+            seq += 1;
+        }};
+    }
+
+    loop {
+        // Lazily admit sessions whose arrival is due.
+        while next_inject < order.len() {
+            let slot = order[next_inject];
+            let arrival = sessions[slot].1.arrival;
+            let due = match heap.peek() {
+                Some(Reverse((t, _, _, _))) => arrival <= *t,
+                None => true,
+            };
+            if !due {
+                break;
+            }
+            if !sessions[slot].1.children[0].is_empty() {
+                push!(arrival, slot, ClusterEvent::Send { local: 0, child: 0 });
+            }
+            next_inject += 1;
+        }
+        let Some(Reverse((t, _, slot, event))) = heap.pop() else {
+            break;
+        };
+
+        if let ClusterEvent::Free { node } = event {
+            wake_armed[node] = false;
+            if busy_until[node] > t {
+                // Obsolete: a same-instant claim extended the busy window.
+                // Re-arm for the new end so parked waiters are not lost.
+                if !waiting[node].is_empty() {
+                    wake_armed[node] = true;
+                    push!(busy_until[node], slot, ClusterEvent::Free { node });
+                }
+            } else if let Some((waiter, parked)) = waiting[node].pop_front() {
+                push!(t, waiter, parked);
+            }
+            continue;
+        }
+
+        let session = &mut sessions[slot].1;
+        if session.abandoned {
+            continue;
+        }
+        // Claim helper: park the event if the node is busy (arming a wake),
+        // otherwise occupy the node for `dur` and arm a wake at the end if
+        // anyone is parked behind us.
+        match event {
+            ClusterEvent::Send { local, child } => {
+                let node = session.node_map[local];
+                if busy_until[node] > t {
+                    waiting[node].push_back((slot, event));
+                    if !wake_armed[node] {
+                        wake_armed[node] = true;
+                        push!(busy_until[node], slot, ClusterEvent::Free { node });
+                    }
+                    continue;
+                }
+                if session.started.is_none() {
+                    // First activity of the session: the churn gate.
+                    if session.deadline.is_some_and(|d| t > d) {
+                        session.abandoned = true;
+                        // The session declined a free node; pass it on.
+                        if let Some((waiter, parked)) = waiting[node].pop_front() {
+                            push!(t, waiter, parked);
+                        }
+                        continue;
+                    }
+                    session.started = Some(t);
+                }
+                let dur = specs[node].send();
+                let end = t + dur;
+                busy_until[node] = end;
+                busy_time[node] += dur.raw();
+                let target = session.children[local][child];
+                push!(
+                    end + net.latency(),
+                    slot,
+                    ClusterEvent::Arrive { local: target }
+                );
+                if child + 1 < session.children[local].len() {
+                    push!(
+                        end,
+                        slot,
+                        ClusterEvent::Send {
+                            local,
+                            child: child + 1,
+                        }
+                    );
+                }
+                if !waiting[node].is_empty() && !wake_armed[node] {
+                    wake_armed[node] = true;
+                    push!(end, slot, ClusterEvent::Free { node });
+                }
+            }
+            ClusterEvent::Arrive { local } | ClusterEvent::Recv { local } => {
+                if matches!(event, ClusterEvent::Arrive { .. }) {
+                    // Delivery is the message hitting the node, busy or not;
+                    // a parked retry must not move the delivery instant.
+                    session.delivered_at = session.delivered_at.max(t);
+                }
+                let node = session.node_map[local];
+                if busy_until[node] > t {
+                    waiting[node].push_back((slot, ClusterEvent::Recv { local }));
+                    if !wake_armed[node] {
+                        wake_armed[node] = true;
+                        push!(busy_until[node], slot, ClusterEvent::Free { node });
+                    }
+                    continue;
+                }
+                let dur = specs[node].recv();
+                let end = t + dur;
+                busy_until[node] = end;
+                busy_time[node] += dur.raw();
+                session.pending -= 1;
+                session.completed_at = session.completed_at.max(end);
+                if !session.children[local].is_empty() {
+                    push!(end, slot, ClusterEvent::Send { local, child: 0 });
+                }
+                if !waiting[node].is_empty() && !wake_armed[node] {
+                    wake_armed[node] = true;
+                    push!(end, slot, ClusterEvent::Free { node });
+                }
+            }
+            ClusterEvent::Free { .. } => unreachable!("handled before the session borrow"),
+        }
+    }
+    debug_assert!(sessions.iter().all(|(_, s)| s.abandoned || s.pending == 0));
+    busy_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sessions::TrafficEngine;
+    use hnow_workload::{default_message_size, two_class_table, ShardedPattern};
+
+    fn pool() -> NodePool {
+        NodePool::new(two_class_table(), default_message_size(), &[12, 8]).unwrap()
+    }
+
+    /// Sharded requests with arrivals spaced far beyond any completion
+    /// time: zero contention.
+    fn spaced_requests(pool: &NodePool, shards: usize, frac: f64, n: usize) -> Vec<SessionRequest> {
+        let map = ShardMap::partition(pool, shards).unwrap();
+        let pattern = ShardedPattern::poisson(5.0, 4, frac);
+        let mut requests = pattern.generate(&map, n, 21).unwrap();
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.arrival = Time::new(i as u64 * 1_000_000);
+            r.patience = None;
+        }
+        requests
+    }
+
+    #[test]
+    fn uncontended_sessions_match_their_stitched_analytic_times() {
+        let pool = pool();
+        let requests = spaced_requests(&pool, 4, 0.5, 24);
+        for planner in ["greedy", "greedy+leaf", "dp-optimal", "chain"] {
+            let cluster = ShardedCluster::new(
+                &pool,
+                NetParams::new(2),
+                ShardedClusterConfig::for_planner(4, planner),
+            )
+            .unwrap();
+            let report = cluster.run(&requests).unwrap();
+            assert_eq!(report.total.completed, 24);
+            assert!(report.cross_sessions > 0, "the mix must include cross");
+            for s in &report.per_session {
+                assert_eq!(
+                    s.record.reception_latency,
+                    s.record.planned_reception,
+                    "{planner}: session {} diverged from its {} analytic R_T",
+                    s.record.id,
+                    if s.cross { "stitched" } else { "flat" }
+                );
+                assert_eq!(
+                    s.record.delivery_latency, s.record.planned_delivery,
+                    "{planner}: session {} diverged from analytic D_T",
+                    s.record.id
+                );
+                assert_eq!(s.record.queue_delay, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn uncontended_intra_sessions_match_the_flat_engine() {
+        // With zero contention and zero cross traffic, the sharded service
+        // must reproduce the flat engine's per-session results exactly —
+        // shard-local planning sees the same class signatures.
+        let pool = pool();
+        let requests = spaced_requests(&pool, 4, 0.0, 20);
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(4),
+        )
+        .unwrap();
+        let sharded = cluster.run(&requests).unwrap();
+        let flat = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default())
+            .run(&requests)
+            .unwrap();
+        assert_eq!(sharded.components, 4, "no cross traffic: shards stay apart");
+        for (s, f) in sharded.per_session.iter().zip(&flat.per_session) {
+            assert!(!s.cross);
+            assert_eq!(s.record, *f);
+        }
+    }
+
+    #[test]
+    fn reports_are_byte_identical_per_seed() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let pattern = ShardedPattern::poisson(6.0, 5, 0.3);
+        let requests = pattern.generate(&map, 120, 42).unwrap();
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(4),
+        )
+        .unwrap();
+        let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
+        let b = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
+        assert_eq!(a, b, "same requests must serialize byte-identically");
+        let other = pattern.generate(&map, 120, 43).unwrap();
+        let c = serde_json::to_string(&cluster.run(&other).unwrap()).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plan_cache_never_changes_results() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let requests = ShardedPattern::poisson(3.0, 5, 0.25)
+            .generate(&map, 150, 9)
+            .unwrap();
+        let run = |plan_cache: bool, planner: &str| {
+            let config = ShardedClusterConfig {
+                shards: 4,
+                traffic: TrafficConfig::for_planner(planner),
+                plan_cache,
+            };
+            ShardedCluster::new(&pool, NetParams::new(2), config)
+                .unwrap()
+                .run(&requests)
+                .unwrap()
+        };
+        for planner in ["greedy+leaf", "dp-optimal"] {
+            let cached = run(true, planner);
+            let uncached = run(false, planner);
+            assert_eq!(cached.per_session, uncached.per_session, "{planner}");
+            assert!(
+                cached.per_shard.iter().any(|s| s.plan_signatures > 0),
+                "{planner}: the cache must have been populated"
+            );
+            assert!(uncached.per_shard.iter().all(|s| s.plan_signatures == 0));
+        }
+        // A seeded planner silently bypasses the cache but stays
+        // deterministic.
+        let a = run(true, "random");
+        let b = run(true, "random");
+        assert_eq!(a.per_session, b.per_session);
+        assert!(a.per_shard.iter().all(|s| s.plan_signatures == 0));
+    }
+
+    #[test]
+    fn cross_traffic_merges_simulation_components() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let intra_only = ShardedPattern::poisson(5.0, 4, 0.0)
+            .generate(&map, 60, 5)
+            .unwrap();
+        let mixed = ShardedPattern::poisson(5.0, 4, 0.5)
+            .generate(&map, 60, 5)
+            .unwrap();
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(4),
+        )
+        .unwrap();
+        let separate = cluster.run(&intra_only).unwrap();
+        assert_eq!(separate.components, 4);
+        assert_eq!(separate.cross_sessions, 0);
+        assert_eq!(separate.observed_cross_fraction, 0.0);
+        let merged = cluster.run(&mixed).unwrap();
+        assert!(merged.cross_sessions > 0);
+        assert!(merged.components < 4, "cross sessions join shards");
+        // Routing metadata is consistent with the shard map.
+        for (request, record) in mixed.iter().zip(&merged.per_session) {
+            assert_eq!(
+                record.home_shard,
+                cluster.shard_map().shard_of(request.source)
+            );
+            assert_eq!(record.cross, cluster.shard_map().is_cross_shard(request));
+            assert_eq!(record.shards[0], record.home_shard);
+            assert!(record.shards.len() >= if record.cross { 2 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn empty_shards_report_nan_free_zeros() {
+        let pool = pool();
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(4),
+        )
+        .unwrap();
+        // Every session lives entirely in shard 0 (nodes 0, 4, 8, …).
+        let shard0: Vec<usize> = cluster.shard_map().globals_of(0).to_vec();
+        let requests: Vec<SessionRequest> = (0..6)
+            .map(|i| SessionRequest {
+                id: i,
+                arrival: Time::new(i * 100_000),
+                source: shard0[i as usize % shard0.len()],
+                members: shard0
+                    .iter()
+                    .copied()
+                    .filter(|&g| g != shard0[i as usize % shard0.len()])
+                    .take(3)
+                    .collect(),
+                patience: None,
+            })
+            .collect();
+        let report = cluster.run(&requests).unwrap();
+        assert_eq!(report.per_shard[0].metrics.sessions, 6);
+        for shard in &report.per_shard[1..] {
+            assert_eq!(shard.metrics.sessions, 0);
+            assert_eq!(shard.metrics.throughput_per_kilotick, 0.0);
+            assert_eq!(shard.metrics.mean_reception_latency, 0.0);
+            assert_eq!(shard.metrics.mean_node_utilization, 0.0);
+            assert_eq!(shard.dp_hit_rate, 0.0);
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("NaN"), "empty shards must serialize clean");
+    }
+
+    #[test]
+    fn shard_utilization_stays_in_unit_range_under_cross_heavy_load() {
+        // Shard 1 serves *only* cross-shard work: its intra record subset is
+        // empty, but its nodes are busy. Utilization must be taken over the
+        // run-wide makespan — positive, and never above 1.
+        let pool = pool();
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(2),
+        )
+        .unwrap();
+        let shard0 = cluster.shard_map().globals_of(0).to_vec();
+        let shard1 = cluster.shard_map().globals_of(1).to_vec();
+        let requests: Vec<SessionRequest> = (0..8)
+            .map(|i| SessionRequest {
+                id: i,
+                arrival: Time::new(i * 5),
+                source: shard0[i as usize % shard0.len()],
+                members: vec![
+                    shard1[i as usize % shard1.len()],
+                    shard1[(i as usize + 1) % shard1.len()],
+                ],
+                patience: None,
+            })
+            .collect();
+        let report = cluster.run(&requests).unwrap();
+        assert_eq!(report.cross_sessions, 8);
+        let remote = &report.per_shard[1];
+        assert_eq!(remote.metrics.sessions, 0, "no intra sessions homed here");
+        assert!(
+            remote.metrics.mean_node_utilization > 0.0,
+            "cross work on the shard's nodes must show up"
+        );
+        for shard in &report.per_shard {
+            assert!(shard.metrics.mean_node_utilization <= 1.0 + 1e-9);
+            assert!(shard.metrics.peak_node_utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn churn_applies_to_sharded_sessions() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 2).unwrap();
+        let mut requests = ShardedPattern::poisson(1.0, 6, 0.4)
+            .generate(&map, 40, 9)
+            .unwrap();
+        for r in &mut requests {
+            r.arrival = Time::ZERO;
+            r.patience = Some(Time::new(1));
+        }
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(2),
+        )
+        .unwrap();
+        let report = cluster.run(&requests).unwrap();
+        assert!(report.total.abandoned > 0, "a stampede with tiny patience");
+        assert_eq!(report.total.completed + report.total.abandoned, 40);
+        for s in report.per_session.iter().filter(|s| s.record.abandoned) {
+            assert_eq!(s.record.started, None);
+            assert_eq!(s.record.reception_latency, 0);
+        }
+    }
+
+    #[test]
+    fn config_errors_are_reported() {
+        let pool = pool();
+        assert!(matches!(
+            ShardedCluster::new(
+                &pool,
+                NetParams::new(1),
+                ShardedClusterConfig::with_shards(0)
+            ),
+            Err(SimError::Sharding(_))
+        ));
+        assert!(matches!(
+            ShardedCluster::new(
+                &pool,
+                NetParams::new(1),
+                ShardedClusterConfig::with_shards(pool.len() + 1)
+            ),
+            Err(SimError::Sharding(_))
+        ));
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(1),
+            ShardedClusterConfig::for_planner(2, "no-such-planner"),
+        )
+        .unwrap();
+        let requests = spaced_requests(&pool, 2, 0.0, 2);
+        assert!(matches!(
+            cluster.run(&requests),
+            Err(SimError::UnknownPlanner { .. })
+        ));
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(1),
+            ShardedClusterConfig::with_shards(2),
+        )
+        .unwrap();
+        let mut bad = spaced_requests(&pool, 2, 0.0, 2);
+        bad[1].members = vec![bad[1].source];
+        assert!(matches!(
+            cluster.run(&bad),
+            Err(SimError::MalformedSession { id }) if id == bad[1].id
+        ));
+        let mut oob = spaced_requests(&pool, 2, 0.0, 1);
+        oob[0].members = vec![pool.len()];
+        assert!(matches!(
+            cluster.run(&oob),
+            Err(SimError::MalformedSession { .. })
+        ));
+    }
+
+    #[test]
+    fn contention_delays_but_never_loses_sharded_sessions() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 2).unwrap();
+        let mut requests = ShardedPattern::poisson(5.0, 5, 0.3)
+            .generate(&map, 40, 3)
+            .unwrap();
+        for r in &mut requests {
+            r.arrival = Time::ZERO;
+            r.patience = None;
+        }
+        let cluster = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(2),
+        )
+        .unwrap();
+        let report = cluster.run(&requests).unwrap();
+        assert_eq!(report.total.completed, 40);
+        assert_eq!(report.total.abandoned, 0);
+        assert!(
+            report
+                .per_session
+                .iter()
+                .any(|s| s.record.reception_latency > s.record.planned_reception),
+            "40 simultaneous sessions on 20 nodes cannot all run contention-free"
+        );
+        assert!(report.total.peak_node_utilization > 0.0);
+        assert!(report.total.peak_node_utilization <= 1.0 + 1e-9);
+    }
+}

@@ -49,6 +49,9 @@ pub enum SimError {
         /// The model's rejection.
         error: hnow_model::ModelError,
     },
+    /// A sharded cluster could not partition its pool (zero shards, or more
+    /// shards than nodes).
+    Sharding(hnow_workload::WorkloadError),
 }
 
 impl fmt::Display for SimError {
@@ -77,6 +80,7 @@ impl fmt::Display for SimError {
             SimError::Instance { session, error } => {
                 write!(f, "session {session} is not a valid instance: {error}")
             }
+            SimError::Sharding(e) => write!(f, "invalid shard partition: {e}"),
         }
     }
 }
@@ -86,6 +90,7 @@ impl Error for SimError {
         match self {
             SimError::Schedule(e) => Some(e),
             SimError::Instance { error, .. } => Some(error),
+            SimError::Sharding(e) => Some(e),
             _ => None,
         }
     }

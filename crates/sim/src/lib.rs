@@ -16,6 +16,10 @@
 //! * [`sessions`] — the sessions-at-scale traffic engine: thousands of
 //!   overlapping multicast sessions planned in batches and executed against
 //!   shared per-node busy state ([`TrafficEngine`], [`TrafficReport`]).
+//! * [`cluster`] — the sharded cluster service: a front-end dispatcher over
+//!   per-shard engines with plan caches, gateway-stitched cross-shard
+//!   sessions, and component-wise simulation ([`ShardedCluster`],
+//!   [`ShardedTrafficReport`]).
 //! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
 //!   rendering.
 //! * [`perturb`] — reproducible multiplicative overhead jitter.
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -50,10 +55,15 @@ pub mod sessions;
 pub mod trace;
 pub mod validate;
 
+pub use cluster::{
+    ShardReport, ShardedCluster, ShardedClusterConfig, ShardedSessionRecord, ShardedTrafficReport,
+};
 pub use engine::{execute, execute_with_specs};
 pub use error::SimError;
 pub use event::{Event, EventQueue};
 pub use perturb::PerturbConfig;
-pub use sessions::{CacheStats, SessionRecord, TrafficConfig, TrafficEngine, TrafficReport};
+pub use sessions::{
+    CacheStats, SessionRecord, TrafficConfig, TrafficEngine, TrafficMetrics, TrafficReport,
+};
 pub use trace::{Activity, BusyInterval, SimTrace};
 pub use validate::check_against_analytic;

@@ -30,11 +30,13 @@
 
 use crate::error::SimError;
 use hnow_core::planner::{find, plan_many_with, Plan, PlanContext, PlanRequest, Planner};
+use hnow_core::ScheduleTree;
 use hnow_model::{NetParams, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest};
 use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Configuration of a [`TrafficEngine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +85,29 @@ pub struct CacheStats {
     pub evictions: usize,
 }
 
+impl CacheStats {
+    /// Snapshot of a context's DP-cache counters.
+    pub fn from_context(ctx: &PlanContext) -> Self {
+        CacheStats {
+            lookups: ctx.dp_cache().lookups(),
+            hits: ctx.dp_cache().hits(),
+            misses: ctx.dp_cache().misses(),
+            evictions: ctx.dp_cache().evictions(),
+        }
+    }
+
+    /// Fraction of lookups served from cache — 0 (never `NaN`) when the run
+    /// performed no lookups at all, which is the steady state of every
+    /// non-DP planner and of an empty shard.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
 /// Outcome of one session.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SessionRecord {
@@ -109,6 +134,119 @@ pub struct SessionRecord {
     pub reception_latency: u64,
     /// Delivery completion relative to arrival (0 if abandoned).
     pub delivery_latency: u64,
+}
+
+/// NaN-free aggregate statistics over a set of session records.
+///
+/// Every mean, rate and percentile is defined to be **0 when its
+/// denominator is empty** (no sessions, no completions, zero makespan), so
+/// aggregates of an idle or empty shard serialize as plain zeros instead of
+/// poisoning the JSON report with `NaN`. Both the flat [`TrafficReport`]
+/// and the sharded cluster's per-shard aggregates are computed through this
+/// one implementation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrafficMetrics {
+    /// Number of offered sessions.
+    pub sessions: usize,
+    /// Sessions fully delivered.
+    pub completed: usize,
+    /// Sessions that left unserved (churn).
+    pub abandoned: usize,
+    /// Absolute time at which the last covered session completed (0 when
+    /// nothing completed).
+    pub makespan: u64,
+    /// Completed sessions per 1000 time units of makespan.
+    pub throughput_per_kilotick: f64,
+    /// Mean reception latency over completed sessions.
+    pub mean_reception_latency: f64,
+    /// Median reception latency over completed sessions.
+    pub p50_reception_latency: u64,
+    /// 99th-percentile reception latency over completed sessions.
+    pub p99_reception_latency: u64,
+    /// Mean queue delay (start − arrival) over completed sessions.
+    pub mean_queue_delay: f64,
+    /// Mean of per-node busy-time / makespan over the covered nodes.
+    pub mean_node_utilization: f64,
+    /// Maximum per-node busy-time / makespan over the covered nodes.
+    pub peak_node_utilization: f64,
+}
+
+impl TrafficMetrics {
+    /// Aggregates a set of session records against the busy times of the
+    /// nodes they ran on (`busy_time` is indexed by whatever node subset the
+    /// caller accounts — the whole pool for a flat report, one shard's nodes
+    /// for a per-shard aggregate).
+    pub fn from_records<'a>(
+        records: impl IntoIterator<Item = &'a SessionRecord>,
+        busy_time: &[u64],
+    ) -> Self {
+        let mut sessions = 0usize;
+        let mut completed = 0usize;
+        let mut abandoned = 0usize;
+        let mut makespan = 0u64;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut queue_delay_sum = 0u64;
+        for record in records {
+            sessions += 1;
+            if record.abandoned {
+                abandoned += 1;
+            } else {
+                completed += 1;
+                makespan = makespan.max(record.arrival + record.reception_latency);
+                latencies.push(record.reception_latency);
+                queue_delay_sum += record.queue_delay;
+            }
+        }
+        latencies.sort_unstable();
+        let percentile = |q: usize| -> u64 {
+            if latencies.is_empty() {
+                0
+            } else {
+                latencies[(latencies.len() - 1) * q / 100]
+            }
+        };
+        TrafficMetrics {
+            sessions,
+            completed,
+            abandoned,
+            makespan,
+            throughput_per_kilotick: if makespan == 0 {
+                0.0
+            } else {
+                completed as f64 * 1000.0 / makespan as f64
+            },
+            mean_reception_latency: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+            },
+            p50_reception_latency: percentile(50),
+            p99_reception_latency: percentile(99),
+            mean_queue_delay: if completed == 0 {
+                0.0
+            } else {
+                queue_delay_sum as f64 / completed as f64
+            },
+            mean_node_utilization: Self::utilization_over(busy_time, makespan).0,
+            peak_node_utilization: Self::utilization_over(busy_time, makespan).1,
+        }
+    }
+
+    /// Mean and peak busy-time / horizon over a node subset — 0 (never
+    /// `NaN`) for a zero horizon or an empty subset. Callers accounting a
+    /// node subset whose busy time includes work for sessions *outside* the
+    /// aggregated record set (a shard's nodes serving cross-shard traffic)
+    /// must pass the run-wide horizon here rather than rely on
+    /// [`TrafficMetrics::from_records`]'s record-derived makespan, or the
+    /// ratio can exceed 1.
+    pub fn utilization_over(busy_time: &[u64], horizon: u64) -> (f64, f64) {
+        if horizon == 0 || busy_time.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = busy_time.iter().sum::<u64>() as f64 / (busy_time.len() as f64 * horizon as f64);
+        let peak = busy_time.iter().copied().max().unwrap_or(0) as f64 / horizon as f64;
+        (mean, peak)
+    }
 }
 
 /// The serializable result of one traffic run.
@@ -164,22 +302,27 @@ pub struct TrafficEngine<'a> {
     config: TrafficConfig,
 }
 
-/// Per-session state during planning and simulation.
-struct SessionRuntime {
-    arrival: Time,
-    deadline: Option<Time>,
+/// Per-session state during planning and simulation. Shared with the
+/// sharded cluster ([`crate::cluster`]), whose dispatcher builds these with
+/// pool-global node maps (and, for cross-shard sessions, stitched composed
+/// trees) before handing them to a discrete-event pass.
+pub(crate) struct SessionRuntime {
+    pub(crate) arrival: Time,
+    pub(crate) deadline: Option<Time>,
     /// Local schedule-tree node index → pool node id.
-    node_map: Vec<usize>,
-    /// Local children lists of the schedule tree (delivery order).
-    children: Vec<Vec<usize>>,
-    planned_reception: Time,
-    planned_delivery: Time,
-    started: Option<Time>,
-    abandoned: bool,
+    pub(crate) node_map: Vec<usize>,
+    /// Local children lists of the schedule tree (delivery order). Shared so
+    /// the sharded cluster's plan cache can reuse one tree shape across
+    /// thousands of same-signature sessions.
+    pub(crate) children: Arc<Vec<Vec<usize>>>,
+    pub(crate) planned_reception: Time,
+    pub(crate) planned_delivery: Time,
+    pub(crate) started: Option<Time>,
+    pub(crate) abandoned: bool,
     /// Destinations still to complete reception.
-    pending: usize,
-    completed_at: Time,
-    delivered_at: Time,
+    pub(crate) pending: usize,
+    pub(crate) completed_at: Time,
+    pub(crate) delivered_at: Time,
 }
 
 /// A discrete event of the shared-resource simulation. "Want" events ask
@@ -223,18 +366,13 @@ impl<'a> TrafficEngine<'a> {
         for batch in requests.chunks(self.config.batch_size.max(1)) {
             sessions.extend(self.admit_batch(planner, batch, &ctx)?);
         }
-        let cache = CacheStats {
-            lookups: ctx.dp_cache().lookups(),
-            hits: ctx.dp_cache().hits(),
-            misses: ctx.dp_cache().misses(),
-            evictions: ctx.dp_cache().evictions(),
-        };
+        let cache = CacheStats::from_context(&ctx);
         let busy_time = self.simulate(&mut sessions);
         Ok(self.report(requests, &sessions, &busy_time, cache))
     }
 
     /// Plans one admission batch and prepares the per-session runtimes.
-    fn admit_batch(
+    pub(crate) fn admit_batch(
         &self,
         planner: &'static dyn Planner,
         batch: &[SessionRequest],
@@ -243,7 +381,7 @@ impl<'a> TrafficEngine<'a> {
         let mut typeds = Vec::with_capacity(batch.len());
         let mut plan_requests = Vec::with_capacity(batch.len());
         for request in batch {
-            let typed = self.typed_for(request)?;
+            let typed = typed_for(self.pool, request)?;
             let set = typed
                 .to_multicast_set()
                 .map_err(|error| SimError::Instance {
@@ -259,90 +397,9 @@ impl<'a> TrafficEngine<'a> {
             let plan = row
                 .pop()
                 .expect("plan_many returns one result per planner")?;
-            runtimes.push(self.runtime_for(request, &typed, plan));
+            runtimes.push(runtime_for(self.pool, request, &typed, &plan));
         }
         Ok(runtimes)
-    }
-
-    /// The session's class signature over the pool.
-    fn typed_for(&self, request: &SessionRequest) -> Result<TypedMulticast, SimError> {
-        let n = self.pool.len();
-        let mut seen = vec![false; n];
-        let mut counts = vec![0usize; self.pool.k()];
-        if request.source >= n {
-            return Err(SimError::MalformedSession { id: request.id });
-        }
-        seen[request.source] = true;
-        for &member in &request.members {
-            if member >= n || seen[member] {
-                return Err(SimError::MalformedSession { id: request.id });
-            }
-            seen[member] = true;
-            counts[self.pool.class_of(member)] += 1;
-        }
-        TypedMulticast::new(
-            self.pool.specs().to_vec(),
-            self.pool.class_of(request.source),
-            counts,
-        )
-        .map_err(|error| SimError::Instance {
-            session: request.id,
-            error,
-        })
-    }
-
-    /// Binds a plan's abstract schedule tree to the session's concrete pool
-    /// nodes and sets up the runtime bookkeeping. `typed` is the signature
-    /// [`TrafficEngine::typed_for`] produced for this request at admission.
-    fn runtime_for(
-        &self,
-        request: &SessionRequest,
-        typed: &TypedMulticast,
-        plan: Plan,
-    ) -> SessionRuntime {
-        let n = request.members.len() + 1;
-        // Schedule-tree node ids are over the canonical multicast set; map
-        // them back to pool nodes class by class. Within a class both sides
-        // are ascending (node_ids_by_class and the sorted member list), so
-        // the binding is deterministic.
-        let mut node_map = vec![usize::MAX; n];
-        node_map[0] = request.source;
-        let locals_by_class = typed.node_ids_by_class();
-        for (class, locals) in locals_by_class.into_iter().enumerate() {
-            let mut members_of_class: Vec<usize> = request
-                .members
-                .iter()
-                .copied()
-                .filter(|&v| self.pool.class_of(v) == class)
-                .collect();
-            members_of_class.sort_unstable();
-            debug_assert_eq!(locals.len(), members_of_class.len());
-            for (local, pool_node) in locals.into_iter().zip(members_of_class) {
-                node_map[local.index()] = pool_node;
-            }
-        }
-        let children: Vec<Vec<usize>> = (0..n)
-            .map(|v| {
-                plan.tree
-                    .children(hnow_model::NodeId(v))
-                    .iter()
-                    .map(|c| c.index())
-                    .collect()
-            })
-            .collect();
-        SessionRuntime {
-            arrival: request.arrival,
-            deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
-            node_map,
-            children,
-            planned_reception: plan.timing.reception_completion(),
-            planned_delivery: plan.timing.delivery_completion(),
-            started: None,
-            abandoned: false,
-            pending: request.members.len(),
-            completed_at: request.arrival,
-            delivered_at: request.arrival,
-        }
     }
 
     /// The shared-resource discrete-event pass over every session. Returns
@@ -491,95 +548,164 @@ impl<'a> TrafficEngine<'a> {
         busy_time: &[u64],
         cache: CacheStats,
     ) -> TrafficReport {
-        let mut per_session = Vec::with_capacity(sessions.len());
-        let mut completed = 0usize;
-        let mut abandoned = 0usize;
-        let mut makespan = Time::ZERO;
-        let mut latencies: Vec<u64> = Vec::new();
-        let mut queue_delay_sum = 0u64;
-        for (request, session) in requests.iter().zip(sessions) {
-            let reception_latency = session.completed_at.saturating_sub(session.arrival).raw();
-            let delivery_latency = session.delivered_at.saturating_sub(session.arrival).raw();
-            let queue_delay = session
-                .started
-                .map(|s| s.saturating_sub(session.arrival).raw())
-                .unwrap_or(0);
-            if session.abandoned {
-                abandoned += 1;
-            } else {
-                completed += 1;
-                makespan = makespan.max(session.completed_at);
-                latencies.push(reception_latency);
-                queue_delay_sum += queue_delay;
-            }
-            per_session.push(SessionRecord {
-                id: request.id,
-                arrival: session.arrival.raw(),
-                group_size: request.members.len(),
-                planned_reception: session.planned_reception.raw(),
-                planned_delivery: session.planned_delivery.raw(),
-                abandoned: session.abandoned,
-                started: session.started.map(|s| s.raw()),
-                queue_delay,
-                reception_latency: if session.abandoned {
-                    0
-                } else {
-                    reception_latency
-                },
-                delivery_latency: if session.abandoned {
-                    0
-                } else {
-                    delivery_latency
-                },
-            });
-        }
-        latencies.sort_unstable();
-        let percentile = |q: usize| -> u64 {
-            if latencies.is_empty() {
-                0
-            } else {
-                latencies[(latencies.len() - 1) * q / 100]
-            }
-        };
+        let per_session: Vec<SessionRecord> = requests
+            .iter()
+            .zip(sessions)
+            .map(|(request, session)| record_for(request, session))
+            .collect();
+        let metrics = TrafficMetrics::from_records(&per_session, busy_time);
         TrafficReport {
             schema: 1,
             planner: self.config.planner.clone(),
             batch_size: self.config.batch_size,
             net_latency: self.net.latency().raw(),
-            sessions: requests.len(),
-            completed,
-            abandoned,
-            makespan: makespan.raw(),
-            throughput_per_kilotick: if makespan.is_zero() {
-                0.0
-            } else {
-                completed as f64 * 1000.0 / makespan.as_f64()
-            },
-            mean_reception_latency: if latencies.is_empty() {
-                0.0
-            } else {
-                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-            },
-            p50_reception_latency: percentile(50),
-            p99_reception_latency: percentile(99),
-            mean_queue_delay: if completed == 0 {
-                0.0
-            } else {
-                queue_delay_sum as f64 / completed as f64
-            },
-            mean_node_utilization: if makespan.is_zero() || busy_time.is_empty() {
-                0.0
-            } else {
-                busy_time.iter().sum::<u64>() as f64 / (busy_time.len() as f64 * makespan.as_f64())
-            },
-            peak_node_utilization: if makespan.is_zero() {
-                0.0
-            } else {
-                busy_time.iter().copied().max().unwrap_or(0) as f64 / makespan.as_f64()
-            },
+            sessions: metrics.sessions,
+            completed: metrics.completed,
+            abandoned: metrics.abandoned,
+            makespan: metrics.makespan,
+            throughput_per_kilotick: metrics.throughput_per_kilotick,
+            mean_reception_latency: metrics.mean_reception_latency,
+            p50_reception_latency: metrics.p50_reception_latency,
+            p99_reception_latency: metrics.p99_reception_latency,
+            mean_queue_delay: metrics.mean_queue_delay,
+            mean_node_utilization: metrics.mean_node_utilization,
+            peak_node_utilization: metrics.peak_node_utilization,
             cache,
             per_session,
         }
+    }
+}
+
+/// The session's class signature over its pool: validates the node ids
+/// (distinct, in range) and counts members per class.
+pub(crate) fn typed_for(
+    pool: &NodePool,
+    request: &SessionRequest,
+) -> Result<TypedMulticast, SimError> {
+    let n = pool.len();
+    let mut seen = vec![false; n];
+    let mut counts = vec![0usize; pool.k()];
+    if request.source >= n {
+        return Err(SimError::MalformedSession { id: request.id });
+    }
+    seen[request.source] = true;
+    for &member in &request.members {
+        if member >= n || seen[member] {
+            return Err(SimError::MalformedSession { id: request.id });
+        }
+        seen[member] = true;
+        counts[pool.class_of(member)] += 1;
+    }
+    TypedMulticast::new(pool.specs().to_vec(), pool.class_of(request.source), counts).map_err(
+        |error| SimError::Instance {
+            session: request.id,
+            error,
+        },
+    )
+}
+
+/// Binds abstract schedule-tree node ids to concrete pool nodes: tree id 0
+/// is the source, and each class's tree ids (`locals_by_class`, from
+/// [`TypedMulticast::node_ids_by_class`]) are matched to the session's
+/// members of that class in ascending pool-id order, so the binding is
+/// deterministic.
+pub(crate) fn bind_node_map(
+    pool: &NodePool,
+    source: usize,
+    members: &[usize],
+    locals_by_class: &[Vec<hnow_model::NodeId>],
+) -> Vec<usize> {
+    let n = members.len() + 1;
+    let mut node_map = vec![usize::MAX; n];
+    node_map[0] = source;
+    for (class, locals) in locals_by_class.iter().enumerate() {
+        let mut members_of_class: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&v| pool.class_of(v) == class)
+            .collect();
+        members_of_class.sort_unstable();
+        debug_assert_eq!(locals.len(), members_of_class.len());
+        for (&local, pool_node) in locals.iter().zip(members_of_class) {
+            node_map[local.index()] = pool_node;
+        }
+    }
+    node_map
+}
+
+/// The delivery-ordered child lists of a schedule tree, by node index.
+pub(crate) fn children_lists(tree: &ScheduleTree) -> Vec<Vec<usize>> {
+    (0..tree.num_nodes())
+        .map(|v| {
+            tree.children(hnow_model::NodeId(v))
+                .iter()
+                .map(|c| c.index())
+                .collect()
+        })
+        .collect()
+}
+
+/// Binds a plan's abstract schedule tree to the session's concrete pool
+/// nodes and sets up the runtime bookkeeping. `typed` is the signature
+/// [`typed_for`] produced for this request at admission.
+pub(crate) fn runtime_for(
+    pool: &NodePool,
+    request: &SessionRequest,
+    typed: &TypedMulticast,
+    plan: &Plan,
+) -> SessionRuntime {
+    // Schedule-tree node ids are over the canonical multicast set; map
+    // them back to pool nodes class by class. Within a class both sides
+    // are ascending (node_ids_by_class and the sorted member list), so
+    // the binding is deterministic.
+    let node_map = bind_node_map(
+        pool,
+        request.source,
+        &request.members,
+        &typed.node_ids_by_class(),
+    );
+    SessionRuntime {
+        arrival: request.arrival,
+        deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
+        node_map,
+        children: Arc::new(children_lists(&plan.tree)),
+        planned_reception: plan.timing.reception_completion(),
+        planned_delivery: plan.timing.delivery_completion(),
+        started: None,
+        abandoned: false,
+        pending: request.members.len(),
+        completed_at: request.arrival,
+        delivered_at: request.arrival,
+    }
+}
+
+/// Builds the serializable record of one finished session.
+pub(crate) fn record_for(request: &SessionRequest, session: &SessionRuntime) -> SessionRecord {
+    let reception_latency = session.completed_at.saturating_sub(session.arrival).raw();
+    let delivery_latency = session.delivered_at.saturating_sub(session.arrival).raw();
+    let queue_delay = session
+        .started
+        .map(|s| s.saturating_sub(session.arrival).raw())
+        .unwrap_or(0);
+    SessionRecord {
+        id: request.id,
+        arrival: session.arrival.raw(),
+        group_size: request.members.len(),
+        planned_reception: session.planned_reception.raw(),
+        planned_delivery: session.planned_delivery.raw(),
+        abandoned: session.abandoned,
+        started: session.started.map(|s| s.raw()),
+        queue_delay,
+        reception_latency: if session.abandoned {
+            0
+        } else {
+            reception_latency
+        },
+        delivery_latency: if session.abandoned {
+            0
+        } else {
+            delivery_latency
+        },
     }
 }
 
@@ -760,6 +886,74 @@ mod tests {
             engine.run(&oob),
             Err(SimError::MalformedSession { .. })
         ));
+    }
+
+    #[test]
+    fn empty_runs_and_aggregates_are_nan_free() {
+        // An engine offered zero sessions must produce all-zero aggregates
+        // (never NaN), and the serialized report must not contain NaN — the
+        // empty-shard case of the sharded cluster.
+        let pool = pool();
+        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let report = engine.run(&[]).unwrap();
+        assert_eq!(report.sessions, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan, 0);
+        assert_eq!(report.throughput_per_kilotick, 0.0);
+        assert_eq!(report.mean_reception_latency, 0.0);
+        assert_eq!(report.mean_queue_delay, 0.0);
+        assert_eq!(report.mean_node_utilization, 0.0);
+        assert_eq!(report.peak_node_utilization, 0.0);
+        assert_eq!(report.cache.hit_rate(), 0.0, "0 lookups must not be NaN");
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("NaN") && !json.contains("null,"));
+
+        // The shared aggregate helper: empty record set, zero busy time.
+        let metrics = TrafficMetrics::from_records(std::iter::empty(), &[]);
+        assert_eq!(metrics.sessions, 0);
+        assert_eq!(metrics.throughput_per_kilotick, 0.0);
+        assert_eq!(metrics.mean_reception_latency, 0.0);
+        assert_eq!(metrics.mean_queue_delay, 0.0);
+        assert_eq!(metrics.mean_node_utilization, 0.0);
+        assert_eq!(metrics.peak_node_utilization, 0.0);
+        assert!(!serde_json::to_string(&metrics).unwrap().contains("NaN"));
+
+        // All-abandoned runs have completions = 0 but sessions > 0.
+        let record = SessionRecord {
+            id: 0,
+            arrival: 5,
+            group_size: 3,
+            planned_reception: 10,
+            planned_delivery: 8,
+            abandoned: true,
+            started: None,
+            queue_delay: 0,
+            reception_latency: 0,
+            delivery_latency: 0,
+        };
+        let metrics = TrafficMetrics::from_records([&record], &[0, 0]);
+        assert_eq!(metrics.sessions, 1);
+        assert_eq!(metrics.abandoned, 1);
+        assert_eq!(metrics.throughput_per_kilotick, 0.0);
+        assert_eq!(metrics.mean_queue_delay, 0.0);
+    }
+
+    #[test]
+    fn cache_hit_rate_is_zero_without_lookups_and_a_ratio_with() {
+        let zero = CacheStats {
+            lookups: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        };
+        assert_eq!(zero.hit_rate(), 0.0);
+        let half = CacheStats {
+            lookups: 10,
+            hits: 5,
+            misses: 5,
+            evictions: 0,
+        };
+        assert!((half.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property test of hierarchical plan composition: for random limited-
+//! heterogeneity instances (k ≤ 3 classes) under random shard partitions
+//! (≤ 3 shards), a gateway tree with grafted per-shard subtrees — both
+//! levels planned by registry planners — is a complete, valid schedule
+//! whose *simulated* reception completion (the discrete-event engine that
+//! enforces the occupancy constraint) equals the stitched analytic timing
+//! [`compose`] reports.
+
+use hnow_core::planner::{find, PlanRequest};
+use hnow_core::schedule::compose::compose;
+use hnow_core::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec};
+use hnow_sim::execute_with_specs;
+use proptest::prelude::*;
+
+/// Three correlation-safe node classes (recv monotone in send).
+fn arb_classes() -> impl Strategy<Value = Vec<NodeSpec>> {
+    prop::collection::vec((1u64..=6, 0u64..=6), 3).prop_map(|raw| {
+        let mut raw: Vec<(u64, u64)> = raw.into_iter().map(|(s, e)| (s, s + e)).collect();
+        raw.sort_unstable();
+        let mut last_recv = 0;
+        raw.into_iter()
+            .map(|(send, recv)| {
+                let recv = recv.max(last_recv);
+                last_recv = recv;
+                NodeSpec::new(send, recv)
+            })
+            .collect()
+    })
+}
+
+/// A random instance: class table, source class, members as
+/// `(class, shard)` pairs, and a network latency. The source lives in
+/// shard 0.
+fn arb_instance() -> impl Strategy<Value = (Vec<NodeSpec>, usize, Vec<(usize, usize)>, u64)> {
+    (
+        arb_classes(),
+        0usize..3,
+        prop::collection::vec((0usize..3, 0usize..3), 1..=8),
+        0u64..4,
+    )
+}
+
+/// Plans a multicast with the given registry planner, returning the tree
+/// and the canonical per-node specs (`specs[0]` is the root).
+fn plan_subtree(
+    planner: &str,
+    root: NodeSpec,
+    members: &[NodeSpec],
+) -> (ScheduleTree, Vec<NodeSpec>) {
+    let set = MulticastSet::new(root, members.to_vec()).expect("correlation-safe by construction");
+    let specs: Vec<NodeSpec> = (0..set.num_nodes()).map(|i| set.spec(NodeId(i))).collect();
+    let plan = find(planner)
+        .expect("registry planner")
+        .plan(&PlanRequest::new(set, NetParams::new(1)))
+        .expect("planning a valid instance succeeds");
+    (plan.tree, specs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grafted_gateway_schedules_are_valid_and_simulate_to_their_stitched_times(
+        instance in arb_instance(),
+        planner_choice in 0usize..2,
+    ) {
+        // The macro keeps a borrow of `instance` for failure reporting.
+        let (classes, source_class, members, latency) = instance.clone();
+        let planner = ["greedy+leaf", "fnf"][planner_choice];
+        let net = NetParams::new(latency);
+        let source = classes[source_class];
+
+        // Partition the members into shards; the source anchors shard 0.
+        let mut shard_members: Vec<Vec<NodeSpec>> = vec![Vec::new(); 3];
+        for &(class, shard) in &members {
+            shard_members[shard].push(classes[class]);
+        }
+        // Touched shards: 0 (home) plus every non-empty remote shard.
+        let mut touched: Vec<usize> = vec![0];
+        touched.extend((1..3).filter(|&s| !shard_members[s].is_empty()));
+
+        // Remote gateways: the fastest member of the shard (first among
+        // equals, mirroring the cluster's lowest-id tie-break).
+        let mut gateways: Vec<(usize, NodeSpec)> = Vec::new();
+        for &s in &touched[1..] {
+            let gw = *shard_members[s]
+                .iter()
+                .min_by(|a, b| a.speed_cmp(b))
+                .unwrap();
+            gateways.push((s, gw));
+        }
+        // MulticastSet sorts destinations stably by speed, so replicate the
+        // sort to know which gateway-tree node is which shard.
+        let mut sorted_gateways = gateways.clone();
+        sorted_gateways.sort_by(|a, b| a.1.speed_cmp(&b.1));
+
+        // Level 1: the gateway tree.
+        let gateway_specs: Vec<NodeSpec> = sorted_gateways.iter().map(|&(_, s)| s).collect();
+        let (gateway_tree, _) = plan_subtree(planner, source, &gateway_specs);
+
+        // Level 2: one subtree per gateway-tree node.
+        let mut planned: Vec<(ScheduleTree, Vec<NodeSpec>)> = Vec::new();
+        for i in 0..gateway_tree.num_nodes() {
+            let (root, shard) = if i == 0 {
+                (source, 0)
+            } else {
+                let (shard, gw) = sorted_gateways[i - 1];
+                (gw, shard)
+            };
+            let mut local = shard_members[shard].clone();
+            if shard != 0 {
+                // Remove the one member promoted to gateway.
+                let pos = local.iter().position(|s| *s == root).unwrap();
+                local.remove(pos);
+            }
+            planned.push(if local.is_empty() {
+                (ScheduleTree::new(1), vec![root])
+            } else {
+                plan_subtree(planner, root, &local)
+            });
+        }
+        let subtrees: Vec<(&ScheduleTree, &[NodeSpec])> = planned
+            .iter()
+            .map(|(tree, specs)| (tree, specs.as_slice()))
+            .collect();
+
+        let composed = compose(&gateway_tree, &subtrees, net).expect("composition succeeds");
+
+        // Structure: complete, covers every participant exactly once.
+        prop_assert!(composed.tree.is_complete());
+        prop_assert_eq!(composed.tree.num_nodes(), members.len() + 1);
+        prop_assert_eq!(composed.specs.len(), composed.tree.num_nodes());
+
+        // The simulated execution (which *enforces* the occupancy
+        // constraint, so it doubles as a validity check) reproduces the
+        // stitched analytic timing exactly.
+        let trace = execute_with_specs(&composed.tree, &composed.specs, net)
+            .expect("the stitched schedule must not double-book any node");
+        prop_assert_eq!(trace.completion, composed.timing.reception_completion());
+        for v in 1..composed.tree.num_nodes() {
+            let v = NodeId(v);
+            prop_assert_eq!(trace.delivery(v), composed.timing.delivery(v));
+            prop_assert_eq!(trace.reception(v), composed.timing.reception(v));
+        }
+    }
+}

@@ -41,6 +41,16 @@ pub enum WorkloadError {
     /// An arrival profile cannot generate a meaningful stream (non-positive
     /// or non-finite Poisson mean gap, zero-session bursts).
     DegenerateArrivals,
+    /// A shard partition was requested with zero shards or more shards than
+    /// the pool has nodes.
+    InvalidShardCount {
+        /// Requested number of shards.
+        shards: usize,
+        /// Nodes available in the pool.
+        nodes: usize,
+    },
+    /// A cross-shard fraction outside `[0, 1]` (or non-finite) was supplied.
+    InvalidFraction,
 }
 
 impl fmt::Display for WorkloadError {
@@ -66,6 +76,12 @@ impl fmt::Display for WorkloadError {
                 f,
                 "arrival profile needs a positive finite mean gap / burst size"
             ),
+            WorkloadError::InvalidShardCount { shards, nodes } => {
+                write!(f, "cannot split a {nodes}-node pool into {shards} shard(s)")
+            }
+            WorkloadError::InvalidFraction => {
+                write!(f, "cross-shard fraction must be a finite value in [0, 1]")
+            }
         }
     }
 }

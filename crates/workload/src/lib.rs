@@ -11,9 +11,11 @@
 //! limited-heterogeneity clusters, [`generator`] draws fully random and
 //! bimodal clusters with seeds, [`scenario`] bundles reproducible experiment
 //! inputs, [`sweep`] builds the parameter series the experiment harness
-//! iterates over, and [`traffic`] turns a cluster into a streaming
+//! iterates over, [`traffic`] turns a cluster into a streaming
 //! *service* workload: seeded arrival processes emitting thousands of
-//! overlapping multicast session requests with churn.
+//! overlapping multicast session requests with churn, and [`sharding`]
+//! partitions one large pool into class-aware shards and generates traffic
+//! with a controlled cross-shard fraction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub mod error;
 pub mod generator;
 pub mod profiles;
 pub mod scenario;
+pub mod sharding;
 pub mod sweep;
 pub mod traffic;
 
@@ -35,6 +38,7 @@ pub use profiles::{
     midrange_workstation, slow_workstation, standard_class_table, two_class_table,
 };
 pub use scenario::{ClusterKind, Scenario};
+pub use sharding::{ShardMap, ShardedPattern};
 pub use sweep::{Sweep, SweepPoint};
 pub use traffic::{
     ArrivalProfile, ChurnProfile, GroupSizeDist, NodePool, SessionRequest, TrafficPattern,

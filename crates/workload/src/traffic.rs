@@ -226,14 +226,45 @@ impl TrafficPattern {
         sessions: usize,
         seed: u64,
     ) -> Result<Vec<SessionRequest>, WorkloadError> {
-        if pool.len() < 2 {
+        self.validate(pool.k(), pool.len())?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut requests = Vec::with_capacity(sessions);
+        let mut clock = 0u64;
+        let mut used = vec![false; pool.len()];
+        for id in 0..sessions as u64 {
+            let arrival = self.sample_arrival(&mut rng, &mut clock, id);
+            let group = self.sample_group(&mut rng).min(pool.len() - 1);
+
+            used.fill(false);
+            let source = self.pick_node(&mut rng, pool, &mut used);
+            let members: Vec<usize> = (0..group)
+                .map(|_| self.pick_node(&mut rng, pool, &mut used))
+                .collect();
+
+            let patience = self.sample_patience(&mut rng);
+            requests.push(SessionRequest {
+                id,
+                arrival: Time::new(arrival),
+                source,
+                members,
+                patience,
+            });
+        }
+        Ok(requests)
+    }
+
+    /// Validates the pattern against a pool shape (`k` classes, `nodes`
+    /// nodes). Shared with the sharded generator so the two enforce
+    /// identical rules.
+    pub(crate) fn validate(&self, k: usize, nodes: usize) -> Result<(), WorkloadError> {
+        if nodes < 2 {
             return Err(WorkloadError::EmptyCluster);
         }
         if let Some(weights) = &self.class_weights {
-            if weights.len() != pool.k() {
+            if weights.len() != k {
                 return Err(WorkloadError::WeightMismatch {
                     got: weights.len(),
-                    expected: pool.k(),
+                    expected: k,
                 });
             }
             if weights.iter().any(|w| *w < 0.0 || !w.is_finite())
@@ -260,111 +291,111 @@ impl TrafficPattern {
             }
             _ => {}
         }
+        Ok(())
+    }
 
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut requests = Vec::with_capacity(sessions);
-        let mut clock = 0u64;
-        let mut used = vec![false; pool.len()];
-        for id in 0..sessions as u64 {
-            let arrival = match self.arrivals {
-                ArrivalProfile::Poisson { mean_gap } => {
-                    clock += exponential(&mut rng, mean_gap);
-                    clock
-                }
-                ArrivalProfile::Bursty { burst, period } => {
-                    period.saturating_mul(id / burst as u64)
-                }
-            };
-            let group = match self.group_size {
-                GroupSizeDist::Fixed(n) => n,
-                GroupSizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+    /// Samples session `id`'s arrival time (`clock` accumulates Poisson
+    /// gaps across calls).
+    pub(crate) fn sample_arrival(&self, rng: &mut StdRng, clock: &mut u64, id: u64) -> u64 {
+        match self.arrivals {
+            ArrivalProfile::Poisson { mean_gap } => {
+                *clock += exponential(rng, mean_gap);
+                *clock
             }
-            .min(pool.len() - 1);
-
-            used.fill(false);
-            let source = self.pick_node(&mut rng, pool, &mut used);
-            let members: Vec<usize> = (0..group)
-                .map(|_| self.pick_node(&mut rng, pool, &mut used))
-                .collect();
-
-            let patience = match self.churn {
-                Some(churn) if rng.gen_bool(churn.impatient_fraction) => {
-                    Some(Time::new(exponential(&mut rng, churn.mean_patience)))
-                }
-                _ => None,
-            };
-            requests.push(SessionRequest {
-                id,
-                arrival: Time::new(arrival),
-                source,
-                members,
-                patience,
-            });
+            ArrivalProfile::Bursty { burst, period } => period.saturating_mul(id / burst as u64),
         }
-        Ok(requests)
+    }
+
+    /// Samples a nominal (unclamped) destination-group size.
+    pub(crate) fn sample_group(&self, rng: &mut StdRng) -> usize {
+        match self.group_size {
+            GroupSizeDist::Fixed(n) => n,
+            GroupSizeDist::Uniform { min, max } => rng.gen_range(min..=max),
+        }
+    }
+
+    /// Samples a session's patience from the churn profile.
+    pub(crate) fn sample_patience(&self, rng: &mut StdRng) -> Option<Time> {
+        match self.churn {
+            Some(churn) if rng.gen_bool(churn.impatient_fraction) => {
+                Some(Time::new(exponential(rng, churn.mean_patience)))
+            }
+            _ => None,
+        }
     }
 
     /// Picks one not-yet-used node (marking it used): by class weight when
     /// weights are configured, uniformly over unused nodes otherwise.
     fn pick_node(&self, rng: &mut StdRng, pool: &NodePool, used: &mut [bool]) -> usize {
-        let node = match &self.class_weights {
-            Some(weights) => {
-                // Weight each class by `weight × unused nodes`, so the
-                // class mix follows the configured bias while exhausted
-                // classes drop out naturally.
-                let mass: Vec<f64> = (0..pool.k())
-                    .map(|c| {
-                        let free = pool.nodes_of_class(c).iter().filter(|&&v| !used[v]).count();
-                        weights[c] * free as f64
-                    })
-                    .collect();
-                let total: f64 = mass.iter().sum();
-                let class = if total > 0.0 {
-                    let mut x = rng.next_f64() * total;
-                    // Skip zero-mass classes entirely, so even a float
-                    // fall-through (x outrunning the cumulative masses)
-                    // lands on a class that still has free nodes.
-                    let mut chosen = None;
-                    for (c, m) in mass.iter().enumerate() {
-                        if *m <= 0.0 {
-                            continue;
-                        }
-                        chosen = Some(c);
-                        if x < *m {
-                            break;
-                        }
-                        x -= m;
-                    }
-                    chosen.expect("total > 0 implies a positive-mass class")
-                } else {
-                    // Every positively-weighted class is exhausted: fall
-                    // back to uniform over whatever is left.
-                    return uniform_unused(rng, used);
-                };
-                let free: Vec<usize> = pool
-                    .nodes_of_class(class)
-                    .iter()
-                    .copied()
-                    .filter(|&v| !used[v])
-                    .collect();
-                free[rng.gen_range(0..free.len())]
-            }
-            None => uniform_unused(rng, used),
-        };
+        let free: Vec<usize> = (0..pool.len()).filter(|&v| !used[v]).collect();
+        let node = pick_from(rng, self.class_weights.as_deref(), pool.k(), &free, |v| {
+            pool.class_of(v)
+        });
         used[node] = true;
         node
     }
 }
 
-/// Uniform draw over the unused node ids (at least one must remain).
-fn uniform_unused(rng: &mut StdRng, used: &[bool]) -> usize {
-    let free: Vec<usize> = (0..used.len()).filter(|&v| !used[v]).collect();
-    free[rng.gen_range(0..free.len())]
+/// Weighted (or uniform) draw over the `free` candidate nodes — the one
+/// selection rule shared by [`TrafficPattern`] and the sharded generator.
+/// With weights, each class's mass is `weight × free candidates of the
+/// class` (so the class mix follows the configured bias while exhausted
+/// classes drop out naturally), falling back to a uniform draw when every
+/// positively-weighted class is exhausted. `free` must be non-empty. The
+/// caller marks the returned node used.
+pub(crate) fn pick_from(
+    rng: &mut StdRng,
+    weights: Option<&[f64]>,
+    k: usize,
+    free: &[usize],
+    class_of: impl Fn(usize) -> usize,
+) -> usize {
+    debug_assert!(!free.is_empty(), "pick_from needs a free candidate");
+    match weights {
+        Some(weights) => {
+            let mass: Vec<f64> = (0..k)
+                .map(|c| {
+                    let count = free.iter().filter(|&&v| class_of(v) == c).count();
+                    weights[c] * count as f64
+                })
+                .collect();
+            let total: f64 = mass.iter().sum();
+            if total > 0.0 {
+                let mut x = rng.next_f64() * total;
+                // Skip zero-mass classes entirely, so even a float
+                // fall-through (x outrunning the cumulative masses) lands
+                // on a class that still has free candidates.
+                let mut chosen = None;
+                for (c, m) in mass.iter().enumerate() {
+                    if *m <= 0.0 {
+                        continue;
+                    }
+                    chosen = Some(c);
+                    if x < *m {
+                        break;
+                    }
+                    x -= m;
+                }
+                let class = chosen.expect("total > 0 implies a positive-mass class");
+                let of_class: Vec<usize> = free
+                    .iter()
+                    .copied()
+                    .filter(|&v| class_of(v) == class)
+                    .collect();
+                of_class[rng.gen_range(0..of_class.len())]
+            } else {
+                // Every positively-weighted class is exhausted: fall back
+                // to uniform over whatever is left.
+                free[rng.gen_range(0..free.len())]
+            }
+        }
+        None => free[rng.gen_range(0..free.len())],
+    }
 }
 
 /// Exponentially distributed integer with the given mean (inverse-CDF over
 /// the generator's uniform), clamped to ≥ 0.
-fn exponential(rng: &mut StdRng, mean: f64) -> u64 {
+pub(crate) fn exponential(rng: &mut StdRng, mean: f64) -> u64 {
     let u = rng.next_f64();
     let x = -mean.max(0.0) * (1.0 - u).ln();
     if x.is_finite() && x > 0.0 {

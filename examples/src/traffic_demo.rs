@@ -1,22 +1,29 @@
-//! Drives the sessions-at-scale traffic engine and prints its report.
+//! Drives the sessions-at-scale traffic engine (or the sharded cluster
+//! service) and prints its report.
 //!
 //! Usage:
 //!
 //! ```text
 //! traffic_demo [--sessions N] [--seed S] [--planner NAME] [--mean-gap G]
-//!              [--group N] [--churn] [--out PATH]
+//!              [--group N] [--churn] [--shards N] [--cross-shard-frac F]
+//!              [--out PATH]
 //! ```
 //!
 //! A seeded Poisson session stream (default: 1000 sessions, mean gap 12,
 //! groups of 6) is offered to a 48-node two-class cluster and served by the
-//! chosen planner (default `greedy+leaf`). The run is deterministic: the
-//! same arguments always produce a byte-identical `TrafficReport`, which
-//! `--out` writes as JSON. `--churn` makes 30% of the sessions impatient.
+//! chosen planner (default `greedy+leaf`). With `--shards N` (N ≥ 2) the
+//! pool is partitioned into N class-aware shards served by the sharded
+//! dispatcher, and `--cross-shard-frac F` makes the given fraction of
+//! sessions span at least two shards (gateway-stitched planning; requires
+//! `--shards`). Either way the run is deterministic: the same arguments
+//! always produce a byte-identical report, which `--out` writes as JSON.
+//! `--churn` makes 30% of the sessions impatient.
 
 use hnow_model::NetParams;
+use hnow_sim::cluster::{ShardedCluster, ShardedClusterConfig};
 use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
-use hnow_workload::{default_message_size, two_class_table};
+use hnow_workload::{default_message_size, two_class_table, ShardMap, ShardedPattern};
 use std::process::ExitCode;
 
 /// Parses a flag's value, exiting with a diagnostic on malformed input —
@@ -35,6 +42,8 @@ fn main() -> ExitCode {
     let mut mean_gap = 12.0f64;
     let mut group = 6usize;
     let mut churn = false;
+    let mut shards = 1usize;
+    let mut cross_frac: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -51,16 +60,33 @@ fn main() -> ExitCode {
             "--mean-gap" => mean_gap = parse("--mean-gap", take("--mean-gap")),
             "--group" => group = parse("--group", take("--group")),
             "--churn" => churn = true,
+            "--shards" => shards = parse("--shards", take("--shards")),
+            "--cross-shard-frac" => {
+                cross_frac = Some(parse("--cross-shard-frac", take("--cross-shard-frac")));
+            }
             "--out" => out = Some(take("--out")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: traffic_demo [--sessions N] [--seed S] [--planner NAME] \
-                     [--mean-gap G] [--group N] [--churn] [--out PATH]"
+                     [--mean-gap G] [--group N] [--churn] [--shards N] \
+                     [--cross-shard-frac F] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if shards == 0 {
+        eprintln!("--shards requires at least 1 shard");
+        return ExitCode::FAILURE;
+    }
+    if cross_frac.is_some() && shards < 2 {
+        eprintln!("--cross-shard-frac requires --shards with at least 2 shards");
+        return ExitCode::FAILURE;
+    }
+    if cross_frac.is_some_and(|f| !(0.0..=1.0).contains(&f) || !f.is_finite()) {
+        eprintln!("--cross-shard-frac must be a finite value in [0, 1]");
+        return ExitCode::FAILURE;
     }
 
     let pool = match NodePool::new(two_class_table(), default_message_size(), &[32, 16]) {
@@ -77,6 +103,20 @@ fn main() -> ExitCode {
             mean_patience: 4.0 * mean_gap,
         });
     }
+
+    if shards >= 2 {
+        return run_sharded(
+            &pool,
+            pattern,
+            sessions,
+            seed,
+            &planner,
+            shards,
+            cross_frac.unwrap_or(0.0),
+            out,
+        );
+    }
+
     let requests = match pattern.generate(&pool, sessions, seed) {
         Ok(requests) => requests,
         Err(err) => {
@@ -124,8 +164,107 @@ fn main() -> ExitCode {
         report.cache.lookups, report.cache.hits, report.cache.misses, report.cache.evictions
     );
 
+    write_json(out, &report)
+}
+
+/// The sharded service path: partition the pool, generate cross-shard-aware
+/// traffic, run the dispatcher, print the merged report.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    pool: &NodePool,
+    base: TrafficPattern,
+    sessions: usize,
+    seed: u64,
+    planner: &str,
+    shards: usize,
+    cross_frac: f64,
+    out: Option<String>,
+) -> ExitCode {
+    let map = match ShardMap::partition(pool, shards) {
+        Ok(map) => map,
+        Err(err) => {
+            eprintln!("failed to partition the pool: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pattern = ShardedPattern {
+        base,
+        cross_shard_fraction: cross_frac,
+    };
+    let requests = match pattern.generate(&map, sessions, seed) {
+        Ok(requests) => requests,
+        Err(err) => {
+            eprintln!("failed to generate traffic: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cluster = match ShardedCluster::new(
+        pool,
+        NetParams::new(2),
+        ShardedClusterConfig::for_planner(shards, planner),
+    ) {
+        Ok(cluster) => cluster,
+        Err(err) => {
+            eprintln!("failed to build the sharded cluster: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match cluster.run(&requests) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("sharded run failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "planner {} served {} sessions over {} nodes in {} shards (seed {seed})",
+        report.planner,
+        report.sessions,
+        pool.len(),
+        report.shards
+    );
+    println!(
+        "  completed {}  abandoned {}  makespan {}  cross-shard {} ({:.3})",
+        report.total.completed,
+        report.total.abandoned,
+        report.total.makespan,
+        report.cross_sessions,
+        report.observed_cross_fraction
+    );
+    println!(
+        "  throughput {:.3} sessions/kilotick   utilization mean {:.3} peak {:.3}   components {}",
+        report.total.throughput_per_kilotick,
+        report.total.mean_node_utilization,
+        report.total.peak_node_utilization,
+        report.components
+    );
+    println!(
+        "  reception latency mean {:.1}  p50 {}  p99 {}   queue delay mean {:.1}",
+        report.total.mean_reception_latency,
+        report.total.p50_reception_latency,
+        report.total.p99_reception_latency,
+        report.total.mean_queue_delay
+    );
+    for shard in &report.per_shard {
+        println!(
+            "  shard {}: {} nodes, {} sessions, p99 {}, dp hit rate {:.3}, {} plan signatures",
+            shard.shard,
+            shard.nodes,
+            shard.metrics.sessions,
+            shard.metrics.p99_reception_latency,
+            shard.dp_hit_rate,
+            shard.plan_signatures
+        );
+    }
+
+    write_json(out, &report)
+}
+
+/// Serializes a report to `--out` as pretty JSON (no-op without `--out`).
+fn write_json<T: serde::Serialize>(out: Option<String>, report: &T) -> ExitCode {
     if let Some(path) = out {
-        let json = match serde_json::to_string_pretty(&report) {
+        let json = match serde_json::to_string_pretty(report) {
             Ok(json) => json,
             Err(err) => {
                 eprintln!("failed to serialize report: {err}");
