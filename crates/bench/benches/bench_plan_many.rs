@@ -7,10 +7,11 @@
 //! raw algorithms: the rayon fan-out (thread count sweep) and the Theorem 2
 //! DP-table cache (cold cache per batch vs one shared, pre-warmed cache).
 //!
-//! With the vendored sequential rayon stand-in every thread count measures
-//! the same sequential execution (the pool records, but cannot use, its
-//! size); with the real rayon dependency the same bench reports the actual
-//! scaling curve.
+//! The vendored rayon stand-in now runs real worker threads, so the thread
+//! count sweep measures actual parallel execution: on a multi-core host the
+//! 4- and 8-thread points report the fan-out's genuine scaling curve, while
+//! on a single core all points collapse to sequential throughput (the
+//! workers time-slice one CPU).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hnow_bench::BENCH_SEEDS;

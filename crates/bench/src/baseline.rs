@@ -4,8 +4,10 @@
 //! comparisons but produce no artifact a later PR can diff against. This
 //! module times a **fixed scenario grid** over the workspace's hot paths —
 //! DP table builds (sequential and shell-parallel), greedy planning, the
-//! batched `plan_many` facade, a traffic-engine soak, and a sharded-cluster
-//! soak (`sharded_soak`, the dispatcher + gateway-stitching path) — and renders the
+//! batched `plan_many` facade, a traffic-engine soak, a sharded-cluster
+//! soak (`sharded_soak`, the dispatcher + gateway-stitching path), and a
+//! thread-scaling soak (`parallel_soak`, the same sharded run under 1- and
+//! 8-thread rayon pools) — and renders the
 //! results as a serializable [`BaselineReport`], written to
 //! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
 //! file is the repo's perf trajectory: one point per PR that touches a hot
@@ -117,6 +119,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     plan_many_cases(mode, &mut cases);
     traffic_soak_cases(mode, &mut cases);
     sharded_soak_cases(mode, &mut cases);
+    parallel_soak_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -347,6 +350,59 @@ fn sharded_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     }
 }
 
+/// Thread-scaling soak over the sharded cluster: one seeded intra-only
+/// stream (8 shards, cross fraction 0, so the contact graph yields 8
+/// node-disjoint components) run under a 1-thread and an 8-thread rayon
+/// pool. The unified kernel guarantees byte-identical reports for both
+/// cases; the *pair of timings* is the trajectory of the component
+/// fan-out's real parallel speedup (≈1x on a single-core host, where the
+/// workers time-slice one core).
+fn parallel_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[256, 128],
+        },
+    )
+    .expect("soak pool is valid");
+    let shards = 8;
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (256usize, 2u64),
+        BaselineMode::Full => (100_000, 3),
+    };
+    let map = ShardMap::partition(&pool, shards).expect("soak partition is valid");
+    let pattern = ShardedPattern::poisson(2.0, 5, 0.0);
+    let requests = pattern
+        .generate(&map, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    let cluster = ShardedCluster::new(&pool, net, ShardedClusterConfig::with_shards(shards))
+        .expect("soak cluster is valid");
+    for threads in [1usize, 8] {
+        let tp = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool build is infallible");
+        cases.push(time_case(
+            "parallel_soak",
+            format!("parallel_soak/threads{threads}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                tp.install(|| {
+                    black_box(
+                        cluster
+                            .run(black_box(&requests))
+                            .expect("soak run succeeds"),
+                    );
+                });
+            },
+        ));
+    }
+}
+
 /// How one baseline entry moved between two reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct CaseDelta {
@@ -497,6 +553,8 @@ mod tests {
                 "traffic_soak/dp-optimal/64",
                 "sharded_soak/greedy+leaf/64",
                 "sharded_soak/dp-optimal/64",
+                "parallel_soak/threads1/256",
+                "parallel_soak/threads8/256",
             ]
         );
         for case in &report.cases {

@@ -65,8 +65,10 @@ const MAX_PACKED_K: usize = 8;
 /// tiny tables finish faster than a parallel fan-out can be set up.
 const PAR_MIN_STATES: usize = 1 << 11;
 
-/// Shells smaller than this are filled inline even in parallel mode.
-const PAR_MIN_SHELL: usize = 8;
+/// Shells smaller than this are filled inline even in parallel mode. Now
+/// that rayon dispatches to real worker threads, handing out a shell costs
+/// an actual enqueue/wake round-trip, so small shells stay inline.
+const PAR_MIN_SHELL: usize = 32;
 
 /// How [`DpTable::build_with_mode`] executes the table fill. All modes
 /// produce bit-identical tables (values *and* reconstruction choices); they

@@ -13,10 +13,11 @@
 //! plan caches, lazily-primed per-component event heaps, pool-size-
 //! independent session signatures) while quality metrics stay comparable;
 //! under zero contention every cross-shard session matches its stitched
-//! planned `R_T`/`D_T` exactly. One caveat when reading contended quality
-//! deltas: the two engines run separate DES kernels whose same-instant
-//! tie-breaks differ, so small p99/queue-delay gaps mix sharding effects
-//! with kernel effects (the ROADMAP's parallel-DES item unifies them).
+//! planned `R_T`/`D_T` exactly. Both engines now run the one shared
+//! occupancy kernel (`hnow_sim`'s `kernel` module), so contended quality
+//! deltas are pure sharding effects — routing, gateway stitching and
+//! per-shard planning — not same-instant tie-break divergence; with zero
+//! cross traffic and one shard the two services coincide per session.
 
 use crate::table::Table;
 use hnow_model::NetParams;

@@ -28,13 +28,17 @@
 //!    session's planned `R_T`/`D_T` obey the ordinary occupancy semantics
 //!    and planned-vs-achieved accounting holds exactly as for flat
 //!    sessions (in a zero-jitter, zero-contention run they are equal).
-//! 4. **Component simulation** — shards joined by at least one cross-shard
-//!    session are merged (union-find) into simulation components; each
-//!    component runs its own discrete-event pass over its disjoint node
-//!    set, with arrivals injected lazily so the event heap stays at the
-//!    size of the *active* window rather than the whole request vector.
-//!    Components are dispatched through rayon, which is also the seam the
-//!    ROADMAP's parallel-DES item widens.
+//! 4. **Component simulation** — admitted sessions are grouped by
+//!    union-find over the *session-node contact graph*: two sessions
+//!    sharing any pool node land in one component, so one hot shard can
+//!    still split into independently simulable components and cross
+//!    traffic only merges the sessions it actually connects. Each
+//!    component compacts its nodes to a dense range and runs the crate's
+//!    one shared occupancy kernel (`kernel`, the same loop behind the flat
+//!    engine), so both surfaces obey a single documented same-instant
+//!    tie-break rule. Components fan out over rayon's real worker threads
+//!    and merge positionally, so the serialized report is byte-identical
+//!    at every thread count.
 //!
 //! The result is a [`ShardedTrafficReport`]: per-session records (with
 //! home shard and touched shards), per-shard and cross-shard aggregates
@@ -43,19 +47,19 @@
 //! config, requests)` produce a byte-identical serialized report.
 
 use crate::error::SimError;
+use crate::kernel;
 use crate::sessions::{
     bind_node_map, children_lists, record_for, CacheStats, SessionRecord, SessionRuntime,
     TrafficConfig, TrafficMetrics,
 };
-use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
+use hnow_core::planner::{find, PlanContext, PlanRequest, Planner};
 use hnow_core::schedule::compose::compose;
 use hnow_core::ScheduleTree;
 use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest, ShardMap};
 use rayon::prelude::*;
 use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Configuration of a [`ShardedCluster`].
@@ -152,9 +156,12 @@ pub struct ShardedTrafficReport {
     pub cross_sessions: usize,
     /// `cross_sessions / sessions` (0 when no sessions were offered).
     pub observed_cross_fraction: f64,
-    /// Number of simulation components the shards merged into (equals
-    /// `shards` when no session crossed, 1 when cross traffic connected
-    /// everything).
+    /// Number of independent simulation components the admitted sessions
+    /// split into under session-node contact grouping (sessions sharing a
+    /// pool node merge): 1 when cross traffic connects everything, at
+    /// least the number of session-bearing shards when nothing crosses —
+    /// and possibly more, since even one shard's sessions split when their
+    /// node sets are disjoint.
     pub components: usize,
     /// Aggregates over every session, with utilization over every node.
     pub total: TrafficMetrics,
@@ -185,6 +192,8 @@ struct CachedPlan {
 
 /// Plan-cache key: `(source class, per-class member counts)`.
 type PlanKey = (usize, Vec<usize>);
+/// Never iterated — only keyed lookups and `len()` (the report's
+/// `plan_signatures`) — so HashMap ordering cannot leak into report bytes.
 type PlanCache = HashMap<PlanKey, Arc<CachedPlan>>;
 /// `(request index, runtime)` pairs of the sessions a worker admitted or
 /// simulated.
@@ -356,19 +365,26 @@ impl<'a> ShardedCluster<'a> {
             runtimes[idx] = Some(runtime);
         }
 
-        // Union shards joined by cross sessions into simulation components.
-        let mut dsu = Dsu::new(shards);
-        for &idx in &cross {
-            let touched = &routing[idx].shards;
-            for &s in &touched[1..] {
-                dsu.union(touched[0], s);
+        // Group sessions into simulation components over the session-node
+        // contact graph: sessions sharing any pool node must share one
+        // event heap, while node-disjoint components simulate independently
+        // with outcomes identical to one global pass.
+        let mut dsu = Dsu::new(self.pool.len());
+        for runtime in &runtimes {
+            let runtime = runtime.as_ref().expect("every session was admitted");
+            let first = runtime.node_map[0];
+            for &node in &runtime.node_map[1..] {
+                dsu.union(first, node);
             }
         }
+        // Component slots are assigned in first-appearance order over the
+        // request-ordered session vector, so the HashMap's iteration order
+        // never influences the output.
         let mut component_of_root: HashMap<usize, usize> = HashMap::new();
         let mut component_sessions: Vec<IndexedRuntimes> = Vec::new();
         for (idx, runtime) in runtimes.into_iter().enumerate() {
             let runtime = runtime.expect("every session was admitted");
-            let root = dsu.find(routing[idx].home);
+            let root = dsu.find(runtime.node_map[0]);
             let slot = *component_of_root.entry(root).or_insert_with(|| {
                 component_sessions.push(Vec::new());
                 component_sessions.len() - 1
@@ -377,22 +393,45 @@ impl<'a> ShardedCluster<'a> {
         }
         let components = component_sessions.len();
 
-        // Simulate each component against its disjoint node set.
+        // Simulate each component through the shared occupancy kernel,
+        // fanned over rayon's workers. Sessions stay in request order
+        // within their component and each component's nodes compact to a
+        // dense range, so the kernel sees the same `(specs, sessions)`
+        // input — and results merge positionally — regardless of how many
+        // threads dispatched the components.
         let specs: Vec<NodeSpec> = (0..self.pool.len())
             .map(|g| self.pool.spec_of_node(g))
             .collect();
-        let simulated: Vec<(IndexedRuntimes, Vec<u64>)> = component_sessions
+        let simulated: Vec<(IndexedRuntimes, Vec<(usize, u64)>)> = component_sessions
             .into_par_iter()
-            .map(|mut sessions| {
-                let busy = simulate_component(&specs, self.net, &mut sessions);
-                (sessions, busy)
+            .map(|sessions| {
+                let mut nodes: Vec<usize> = sessions
+                    .iter()
+                    .flat_map(|(_, runtime)| runtime.node_map.iter().copied())
+                    .collect();
+                nodes.sort_unstable();
+                nodes.dedup();
+                let dense_specs: Vec<NodeSpec> = nodes.iter().map(|&g| specs[g]).collect();
+                let (idxs, mut locals): (Vec<usize>, Vec<SessionRuntime>) =
+                    sessions.into_iter().unzip();
+                for runtime in &mut locals {
+                    for node in &mut runtime.node_map {
+                        *node = nodes
+                            .binary_search(node)
+                            .expect("a session's nodes are in its component");
+                    }
+                }
+                let busy = kernel::simulate(&dense_specs, self.net, &mut locals);
+                let sparse: Vec<(usize, u64)> = nodes.into_iter().zip(busy).collect();
+                let sessions: IndexedRuntimes = idxs.into_iter().zip(locals).collect();
+                (sessions, sparse)
             })
             .collect();
         let mut busy_time = vec![0u64; self.pool.len()];
         let mut records: Vec<Option<ShardedSessionRecord>> = Vec::with_capacity(requests.len());
         records.resize_with(requests.len(), || None);
         for (sessions, busy) in simulated {
-            for (node, b) in busy.into_iter().enumerate() {
+            for (node, b) in busy {
                 busy_time[node] += b;
             }
             for (idx, runtime) in sessions {
@@ -458,8 +497,9 @@ impl<'a> ShardedCluster<'a> {
         shard_caches: &mut [PlanCache],
         caching: bool,
     ) -> Result<SessionRuntime, SimError> {
-        // Members per touched shard.
-        let mut by_shard: HashMap<usize, Vec<usize>> = HashMap::new();
+        // Members per touched shard. Keyed access only, but a BTreeMap
+        // keeps even accidental iteration deterministic.
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &m in &request.members {
             by_shard.entry(self.map.shard_of(m)).or_default().push(m);
         }
@@ -704,11 +744,7 @@ fn planned_for(
             error,
         })?;
     let plan_request = PlanRequest::new(set, net).with_seed(request.id);
-    let mut rows = plan_many_with(&[planner], &[plan_request], ctx);
-    let plan = rows
-        .pop()
-        .and_then(|mut row| row.pop())
-        .expect("plan_many returns one result per request")?;
+    let plan = planner.plan_with(&plan_request, ctx)?;
     let cached = Arc::new(CachedPlan {
         children: Arc::new(children_lists(&plan.tree)),
         locals_by_class: typed.node_ids_by_class(),
@@ -755,7 +791,8 @@ fn runtime_from(pool: &NodePool, request: &SessionRequest, cached: &CachedPlan) 
     }
 }
 
-/// Deterministic union-find over shard ids.
+/// Deterministic union-find over pool node ids (the session-node contact
+/// graph).
 struct Dsu(Vec<usize>);
 
 impl Dsu {
@@ -783,187 +820,6 @@ impl Dsu {
         let (lo, hi) = (ra.min(rb), ra.max(rb));
         self.0[hi] = lo;
     }
-}
-
-/// A discrete event of the component simulation. Mirrors the flat engine's
-/// receive-send semantics (per-send node claims, FIFO parking on busy
-/// nodes) with two structural differences: receive overheads are claimed
-/// directly from the arrival event instead of a separate queued event, and
-/// a node's wake-up is armed at most once at a time instead of once per
-/// activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum ClusterEvent {
-    /// The session's tree node `local` wants to start its `child`-th send.
-    Send { local: usize, child: usize },
-    /// The message reaches tree node `local`; the receive overhead is
-    /// claimed (or parked) immediately.
-    Arrive { local: usize },
-    /// A parked receive retrying for node time (delivery was already
-    /// recorded by the original [`ClusterEvent::Arrive`]).
-    Recv { local: usize },
-    /// The pool node may be free; wake its next parked waiter.
-    Free { node: usize },
-}
-
-type ClusterQueueItem = Reverse<(Time, u64, usize, ClusterEvent)>;
-
-/// Runs one component's sessions to completion against shared per-node
-/// busy state. `sessions` holds `(request index, runtime)` pairs; arrivals
-/// are injected lazily in `(arrival, request index)` order, so the event
-/// heap holds only the active window. Returns per-node busy time (indexed
-/// by global node id; nodes outside the component stay 0).
-fn simulate_component(
-    specs: &[NodeSpec],
-    net: NetParams,
-    sessions: &mut [(usize, SessionRuntime)],
-) -> Vec<u64> {
-    let n = specs.len();
-    let mut busy_until = vec![Time::ZERO; n];
-    let mut busy_time = vec![0u64; n];
-    let mut waiting: Vec<VecDeque<(usize, ClusterEvent)>> = vec![VecDeque::new(); n];
-    // Whether a `Free` event is currently armed for the node (at most one
-    // is in flight per node at any time).
-    let mut wake_armed = vec![false; n];
-    let mut heap: BinaryHeap<ClusterQueueItem> = BinaryHeap::new();
-    let mut seq = 0u64;
-
-    // Injection order: by arrival, ties by request index.
-    let mut order: Vec<usize> = (0..sessions.len()).collect();
-    order.sort_by_key(|&slot| (sessions[slot].1.arrival, sessions[slot].0));
-    let mut next_inject = 0usize;
-
-    macro_rules! push {
-        ($time:expr, $slot:expr, $event:expr) => {{
-            heap.push(Reverse(($time, seq, $slot, $event)));
-            seq += 1;
-        }};
-    }
-
-    loop {
-        // Lazily admit sessions whose arrival is due.
-        while next_inject < order.len() {
-            let slot = order[next_inject];
-            let arrival = sessions[slot].1.arrival;
-            let due = match heap.peek() {
-                Some(Reverse((t, _, _, _))) => arrival <= *t,
-                None => true,
-            };
-            if !due {
-                break;
-            }
-            if !sessions[slot].1.children[0].is_empty() {
-                push!(arrival, slot, ClusterEvent::Send { local: 0, child: 0 });
-            }
-            next_inject += 1;
-        }
-        let Some(Reverse((t, _, slot, event))) = heap.pop() else {
-            break;
-        };
-
-        if let ClusterEvent::Free { node } = event {
-            wake_armed[node] = false;
-            if busy_until[node] > t {
-                // Obsolete: a same-instant claim extended the busy window.
-                // Re-arm for the new end so parked waiters are not lost.
-                if !waiting[node].is_empty() {
-                    wake_armed[node] = true;
-                    push!(busy_until[node], slot, ClusterEvent::Free { node });
-                }
-            } else if let Some((waiter, parked)) = waiting[node].pop_front() {
-                push!(t, waiter, parked);
-            }
-            continue;
-        }
-
-        let session = &mut sessions[slot].1;
-        if session.abandoned {
-            continue;
-        }
-        // Claim helper: park the event if the node is busy (arming a wake),
-        // otherwise occupy the node for `dur` and arm a wake at the end if
-        // anyone is parked behind us.
-        match event {
-            ClusterEvent::Send { local, child } => {
-                let node = session.node_map[local];
-                if busy_until[node] > t {
-                    waiting[node].push_back((slot, event));
-                    if !wake_armed[node] {
-                        wake_armed[node] = true;
-                        push!(busy_until[node], slot, ClusterEvent::Free { node });
-                    }
-                    continue;
-                }
-                if session.started.is_none() {
-                    // First activity of the session: the churn gate.
-                    if session.deadline.is_some_and(|d| t > d) {
-                        session.abandoned = true;
-                        // The session declined a free node; pass it on.
-                        if let Some((waiter, parked)) = waiting[node].pop_front() {
-                            push!(t, waiter, parked);
-                        }
-                        continue;
-                    }
-                    session.started = Some(t);
-                }
-                let dur = specs[node].send();
-                let end = t + dur;
-                busy_until[node] = end;
-                busy_time[node] += dur.raw();
-                let target = session.children[local][child];
-                push!(
-                    end + net.latency(),
-                    slot,
-                    ClusterEvent::Arrive { local: target }
-                );
-                if child + 1 < session.children[local].len() {
-                    push!(
-                        end,
-                        slot,
-                        ClusterEvent::Send {
-                            local,
-                            child: child + 1,
-                        }
-                    );
-                }
-                if !waiting[node].is_empty() && !wake_armed[node] {
-                    wake_armed[node] = true;
-                    push!(end, slot, ClusterEvent::Free { node });
-                }
-            }
-            ClusterEvent::Arrive { local } | ClusterEvent::Recv { local } => {
-                if matches!(event, ClusterEvent::Arrive { .. }) {
-                    // Delivery is the message hitting the node, busy or not;
-                    // a parked retry must not move the delivery instant.
-                    session.delivered_at = session.delivered_at.max(t);
-                }
-                let node = session.node_map[local];
-                if busy_until[node] > t {
-                    waiting[node].push_back((slot, ClusterEvent::Recv { local }));
-                    if !wake_armed[node] {
-                        wake_armed[node] = true;
-                        push!(busy_until[node], slot, ClusterEvent::Free { node });
-                    }
-                    continue;
-                }
-                let dur = specs[node].recv();
-                let end = t + dur;
-                busy_until[node] = end;
-                busy_time[node] += dur.raw();
-                session.pending -= 1;
-                session.completed_at = session.completed_at.max(end);
-                if !session.children[local].is_empty() {
-                    push!(end, slot, ClusterEvent::Send { local, child: 0 });
-                }
-                if !waiting[node].is_empty() && !wake_armed[node] {
-                    wake_armed[node] = true;
-                    push!(end, slot, ClusterEvent::Free { node });
-                }
-            }
-            ClusterEvent::Free { .. } => unreachable!("handled before the session borrow"),
-        }
-    }
-    debug_assert!(sessions.iter().all(|(_, s)| s.abandoned || s.pending == 0));
-    busy_time
 }
 
 #[cfg(test)]
@@ -1038,7 +894,11 @@ mod tests {
         let flat = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default())
             .run(&requests)
             .unwrap();
-        assert_eq!(sharded.components, 4, "no cross traffic: shards stay apart");
+        assert!(
+            sharded.components >= 4,
+            "no cross traffic: the four shards' node sets cannot merge (got {})",
+            sharded.components
+        );
         for (s, f) in sharded.per_session.iter().zip(&flat.per_session) {
             assert!(!s.cross);
             assert_eq!(s.record, *f);
@@ -1101,6 +961,81 @@ mod tests {
         assert!(a.per_shard.iter().all(|s| s.plan_signatures == 0));
     }
 
+    /// Reference component count: union-find over the session-node contact
+    /// graph, computed straight from the requests (source + members are
+    /// exactly the nodes each session's runtime touches).
+    fn contact_components(pool: &NodePool, requests: &[SessionRequest]) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            root
+        }
+        let mut parent: Vec<usize> = (0..pool.len()).collect();
+        for request in requests {
+            for &member in &request.members {
+                let (a, b) = (find(&mut parent, request.source), find(&mut parent, member));
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        let mut roots: Vec<usize> = requests
+            .iter()
+            .map(|request| find(&mut parent, request.source))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+
+    #[test]
+    fn one_shard_cluster_matches_the_flat_engine_exactly() {
+        // The flat-vs-sharded parity regression: a 1-shard cluster with no
+        // cross traffic is the flat engine behind a dispatcher, so every
+        // per-session achieved R_T, D_T and queue delay must be identical
+        // — including under contention and churn, where the pre-unification
+        // engines' same-instant tie-breaks diverged.
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 1).unwrap();
+        let mut requests = ShardedPattern::poisson(2.0, 5, 0.0)
+            .generate(&map, 80, 11)
+            .unwrap();
+        // Compress arrivals into a stampede and make a third impatient.
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.arrival = Time::new(i as u64 / 4);
+            r.patience = (i % 3 == 0).then_some(Time::new(40));
+        }
+        for planner in ["greedy+leaf", "dp-optimal"] {
+            let cluster = ShardedCluster::new(
+                &pool,
+                NetParams::new(2),
+                ShardedClusterConfig::for_planner(1, planner),
+            )
+            .unwrap();
+            let sharded = cluster.run(&requests).unwrap();
+            let flat = TrafficEngine::new(
+                &pool,
+                NetParams::new(2),
+                TrafficConfig::for_planner(planner),
+            )
+            .run(&requests)
+            .unwrap();
+            assert!(
+                sharded.per_session.iter().any(|s| s.record.abandoned),
+                "{planner}: the stampede must exercise the churn gate"
+            );
+            assert!(
+                sharded.per_session.iter().any(|s| s.record.queue_delay > 0),
+                "{planner}: the stampede must exercise contention"
+            );
+            assert_eq!(sharded.per_session.len(), flat.per_session.len());
+            for (s, f) in sharded.per_session.iter().zip(&flat.per_session) {
+                assert!(!s.cross);
+                assert_eq!(s.record, *f, "{planner}: flat/sharded parity");
+            }
+        }
+    }
+
     #[test]
     fn cross_traffic_merges_simulation_components() {
         let pool = pool();
@@ -1118,12 +1053,20 @@ mod tests {
         )
         .unwrap();
         let separate = cluster.run(&intra_only).unwrap();
-        assert_eq!(separate.components, 4);
+        assert_eq!(separate.components, contact_components(&pool, &intra_only));
+        assert!(
+            separate.components >= 4,
+            "intra-only sessions cannot merge across shard node sets"
+        );
         assert_eq!(separate.cross_sessions, 0);
         assert_eq!(separate.observed_cross_fraction, 0.0);
         let merged = cluster.run(&mixed).unwrap();
         assert!(merged.cross_sessions > 0);
-        assert!(merged.components < 4, "cross sessions join shards");
+        assert_eq!(merged.components, contact_components(&pool, &mixed));
+        assert!(
+            merged.components < separate.components,
+            "cross sessions connect shard node sets"
+        );
         // Routing metadata is consistent with the shard map.
         for (request, record) in mixed.iter().zip(&merged.per_session) {
             assert_eq!(

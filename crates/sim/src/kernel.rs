@@ -1,0 +1,238 @@
+//! The one occupancy kernel: the single discrete-event loop behind both
+//! the flat traffic engine ([`crate::sessions::TrafficEngine`]) and the
+//! sharded cluster's component simulation ([`crate::cluster`]).
+//!
+//! Before unification the two engines ran hand-rolled copies of this loop
+//! whose same-instant tie-breaks had drifted apart (eager vs lazy arrival
+//! injection, fused vs re-queued receive claims, per-claim vs armed
+//! wake-ups), so the same request vector could produce different reports
+//! depending on which engine served it. This module is now the only event
+//! loop in the crate; both engines feed it [`SessionRuntime`]s and get the
+//! identical occupancy semantics.
+//!
+//! # The tie-break rule
+//!
+//! Events are executed in ascending `(time, band, seq)` order:
+//!
+//! 1. **Band 0 — session openings.** A session's first claim (its source's
+//!    first send) carries band 0 and its injection rank, so at any instant
+//!    all newly arriving sessions open *before* every already-scheduled
+//!    event of that instant, in request order. Arrivals are still injected
+//!    lazily — a session enters the heap only once the clock reaches it —
+//!    but the band makes lazy injection observationally identical to
+//!    pre-loading every arrival up front.
+//! 2. **Band 1 — scheduled events.** Everything else (follow-up sends,
+//!    message arrivals, receive claims, node wake-ups) executes in
+//!    scheduling order: whichever event was pushed first wins a
+//!    same-instant tie.
+//! 3. **Deferred claims yield.** A message's delivery is recorded the
+//!    instant it arrives, but its receive overhead re-enters the queue as a
+//!    fresh band-1 event, so it loses same-instant ties against claims
+//!    scheduled before the message landed. Likewise a parked claim woken by
+//!    a node release re-enters with a fresh sequence number.
+//! 4. **FIFO per node.** Claims finding a node busy park in that node's
+//!    FIFO queue; every completed activity schedules a wake at its end
+//!    which re-injects exactly one parked waiter (stale wakes — the node
+//!    was re-claimed at the same instant — are dropped, because the
+//!    claimant scheduled its own). Event count thus stays linear in the
+//!    activity count even on a saturated node.
+//!
+//! The rule is pinned by an executable specification: the pre-unification
+//! flat loop survives as a `#[cfg(test)]` reference in `sessions.rs`, and a
+//! property test replays random contended traffic through both.
+
+use crate::sessions::SessionRuntime;
+use hnow_model::{NetParams, NodeSpec, Time};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A discrete event of the occupancy simulation. "Claim" events ([`Send`],
+/// [`Recv`]) ask for node time and park in the node's FIFO wait queue while
+/// it is busy.
+///
+/// [`Send`]: KernelEvent::Send
+/// [`Recv`]: KernelEvent::Recv
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum KernelEvent {
+    /// The session's tree node `local` wants to start its `child`-th send.
+    Send { local: usize, child: usize },
+    /// The message reaches tree node `local` (records delivery, then
+    /// re-queues the receive claim per tie-break rule 3).
+    Arrive { local: usize },
+    /// Tree node `local` wants to start its receiving overhead.
+    Recv { local: usize },
+    /// The node finished an activity; wake its next parked waiter.
+    Free { node: usize },
+}
+
+/// Heap entry: `(time, band, seq, session slot, event)`. Only the first
+/// three fields ever decide an ordering — `seq` is unique within a band —
+/// but the trailing fields must still be `Ord` for the tuple.
+type HeapItem = Reverse<(Time, u8, u64, usize, KernelEvent)>;
+
+/// Runs every session to completion against shared per-node busy state and
+/// returns the accumulated busy time per node (the utilization numerator).
+///
+/// `specs` defines the node id space: `node_map` entries in `sessions`
+/// index into it. The flat engine passes the whole pool; the sharded
+/// cluster passes one contact component's nodes compacted to a dense range.
+/// `sessions` must be in request order — the slice position is the
+/// tie-break identity of rule 1, so two callers handing the kernel the same
+/// sessions in the same order get byte-identical outcomes regardless of how
+/// the surrounding work was partitioned or threaded.
+pub(crate) fn simulate(
+    specs: &[NodeSpec],
+    net: NetParams,
+    sessions: &mut [SessionRuntime],
+) -> Vec<u64> {
+    let n = specs.len();
+    let mut busy_until = vec![Time::ZERO; n];
+    let mut busy_time = vec![0u64; n];
+    let mut waiting: Vec<VecDeque<(usize, KernelEvent)>> = vec![VecDeque::new(); n];
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    // Lazy injection order: by arrival, ties by slot (= request order).
+    let mut order: Vec<usize> = (0..sessions.len()).collect();
+    order.sort_by_key(|&slot| (sessions[slot].arrival, slot));
+    let mut next_inject = 0usize;
+
+    macro_rules! push {
+        ($time:expr, $slot:expr, $event:expr) => {{
+            heap.push(Reverse(($time, 1u8, seq, $slot, $event)));
+            seq += 1;
+        }};
+    }
+
+    loop {
+        // Admit sessions whose arrival is due. Popped times are
+        // nondecreasing and `order` ascends by arrival, so every arrival
+        // ≤ the current front is injected before anything at that instant
+        // executes; band 0 then lets it open first (rule 1).
+        while next_inject < order.len() {
+            let slot = order[next_inject];
+            let arrival = sessions[slot].arrival;
+            let due = match heap.peek() {
+                Some(Reverse((t, ..))) => arrival <= *t,
+                None => true,
+            };
+            if !due {
+                break;
+            }
+            if !sessions[slot].children[0].is_empty() {
+                heap.push(Reverse((
+                    arrival,
+                    0u8,
+                    next_inject as u64,
+                    slot,
+                    KernelEvent::Send { local: 0, child: 0 },
+                )));
+            }
+            next_inject += 1;
+        }
+        let Some(Reverse((t, _, _, slot, event))) = heap.pop() else {
+            break;
+        };
+
+        if let KernelEvent::Free { node } = event {
+            // Obsolete when a same-instant event already re-claimed the
+            // node; the claimant scheduled its own wake (rule 4).
+            if busy_until[node] <= t {
+                if let Some((waiter, parked)) = waiting[node].pop_front() {
+                    push!(t, waiter, parked);
+                }
+            }
+            continue;
+        }
+
+        let session = &mut sessions[slot];
+        // A popped claim always belongs to a live session: a session can
+        // only abandon at its first-ever claim (`started` is still `None`),
+        // and until that claim executes it is the session's *only* event —
+        // nothing else of the session is in the heap or parked, and the
+        // abandon path schedules nothing. So no event of an abandoned
+        // session can surface here. Checked rather than silently skipped:
+        // were this reachable, a popped claim on a free node would have to
+        // pass the node to the next parked waiter or risk starvation.
+        debug_assert!(
+            !session.abandoned,
+            "event popped for abandoned session in slot {slot}"
+        );
+        if session.abandoned {
+            continue;
+        }
+        match event {
+            KernelEvent::Send { local, child } => {
+                let node = session.node_map[local];
+                if busy_until[node] > t {
+                    waiting[node].push_back((slot, event));
+                    continue;
+                }
+                if session.started.is_none() {
+                    // First activity of the session: the churn gate.
+                    if session.deadline.is_some_and(|d| t > d) {
+                        session.abandoned = true;
+                        // The session declined a free node; pass it on so
+                        // parked waiters never starve (no wake is pending
+                        // for this idle node).
+                        if let Some((waiter, parked)) = waiting[node].pop_front() {
+                            push!(t, waiter, parked);
+                        }
+                        continue;
+                    }
+                    session.started = Some(t);
+                }
+                let dur = specs[node].send();
+                let end = t + dur;
+                busy_until[node] = end;
+                busy_time[node] += dur.raw();
+                let target = session.children[local][child];
+                push!(
+                    end + net.latency(),
+                    slot,
+                    KernelEvent::Arrive { local: target }
+                );
+                if child + 1 < session.children[local].len() {
+                    push!(
+                        end,
+                        slot,
+                        KernelEvent::Send {
+                            local,
+                            child: child + 1,
+                        }
+                    );
+                }
+                push!(end, slot, KernelEvent::Free { node });
+            }
+            KernelEvent::Arrive { local } => {
+                // Delivery is the message hitting the node, busy or not;
+                // the receive overhead queues for node time separately
+                // (rule 3).
+                session.delivered_at = session.delivered_at.max(t);
+                push!(t, slot, KernelEvent::Recv { local });
+            }
+            KernelEvent::Recv { local } => {
+                let node = session.node_map[local];
+                if busy_until[node] > t {
+                    waiting[node].push_back((slot, event));
+                    continue;
+                }
+                let dur = specs[node].recv();
+                let end = t + dur;
+                busy_until[node] = end;
+                busy_time[node] += dur.raw();
+                session.pending -= 1;
+                session.completed_at = session.completed_at.max(end);
+                if !session.children[local].is_empty() {
+                    push!(end, slot, KernelEvent::Send { local, child: 0 });
+                }
+                push!(end, slot, KernelEvent::Free { node });
+            }
+            KernelEvent::Free { .. } => unreachable!("handled before the session borrow"),
+        }
+    }
+    debug_assert!(sessions
+        .iter()
+        .all(|session| session.abandoned || session.pending == 0));
+    busy_time
+}

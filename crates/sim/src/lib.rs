@@ -19,7 +19,9 @@
 //! * [`cluster`] — the sharded cluster service: a front-end dispatcher over
 //!   per-shard engines with plan caches, gateway-stitched cross-shard
 //!   sessions, and component-wise simulation ([`ShardedCluster`],
-//!   [`ShardedTrafficReport`]).
+//!   [`ShardedTrafficReport`]). Both the traffic engine and the cluster run
+//!   the crate's single private occupancy kernel (`kernel`), so the two
+//!   surfaces share one documented same-instant tie-break rule.
 //! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
 //!   rendering.
 //! * [`perturb`] — reproducible multiplicative overhead jitter.
@@ -50,6 +52,7 @@ pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod event;
+mod kernel;
 pub mod perturb;
 pub mod sessions;
 pub mod trace;

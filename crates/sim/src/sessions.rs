@@ -9,15 +9,19 @@
 //!
 //! 1. **Admission** — [`SessionRequest`]s (from
 //!    [`hnow_workload::traffic`]) are planned in arrival order, in batches,
-//!    through [`plan_many_with`] with one shared [`PlanContext`]. Each
-//!    session is reduced to its class signature, so the batch facade's
-//!    canonically-keyed [`DpCache`](hnow_core::planner::DpCache) shares one
-//!    Theorem 2 table across every session of the cluster (bounded by
+//!    sequentially against one shared [`PlanContext`] (sequential planning
+//!    keeps the report's [`CacheStats`] deterministic). Each session is
+//!    reduced to its class signature, so the context's canonically-keyed
+//!    [`DpCache`](hnow_core::planner::DpCache) shares one Theorem 2 table
+//!    across every session of the cluster (bounded by
 //!    [`TrafficConfig::dp_cache_capacity`]).
-//! 2. **Delivery** — a single discrete-event pass executes *all* planned
-//!    trees against per-node busy state: an activity wanting a busy node is
-//!    deferred to the node's release time (ties broken by event insertion
-//!    order, so runs are reproducible). With no contention each session
+//! 2. **Delivery** — one pass of the shared occupancy kernel
+//!    (the crate-private `kernel` module, the same loop behind the
+//!    sharded cluster)
+//!    executes *all* planned trees against per-node busy state: an activity
+//!    wanting a busy node is deferred to the node's release time, with
+//!    same-instant ties broken by the kernel's documented `(time, band,
+//!    seq)` rule, so runs are reproducible. With no contention each session
 //!    reproduces its schedule's analytic times exactly.
 //! 3. **Churn** — a session whose source cannot start serving it within its
 //!    patience ([`SessionRequest::patience`]) abandons and leaves the
@@ -29,13 +33,12 @@
 //! the same pool yield a byte-identical JSON report.
 
 use crate::error::SimError;
-use hnow_core::planner::{find, plan_many_with, Plan, PlanContext, PlanRequest, Planner};
+use crate::kernel;
+use hnow_core::planner::{find, Plan, PlanContext, PlanRequest, Planner};
 use hnow_core::ScheduleTree;
-use hnow_model::{NetParams, Time, TypedMulticast};
+use hnow_model::{NetParams, NodeSpec, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest};
 use serde::Serialize;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Configuration of a [`TrafficEngine`].
@@ -325,24 +328,6 @@ pub(crate) struct SessionRuntime {
     pub(crate) delivered_at: Time,
 }
 
-/// A discrete event of the shared-resource simulation. "Want" events ask
-/// for node time; while the node is busy they park in its FIFO wait queue
-/// (constant work per deferral, so saturated runs stay linear in the number
-/// of activities) and are re-injected by the node's [`SessionEvent::NodeFree`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum SessionEvent {
-    /// The session's local node wants to start its `child_idx`-th send.
-    WantSend { local: usize, child_idx: usize },
-    /// The message arrives at the session's local node.
-    Arrival { local: usize },
-    /// The local node wants to start its receiving overhead.
-    WantRecv { local: usize },
-    /// The pool node finishes an activity; wake its next parked waiter.
-    NodeFree { node: usize },
-}
-
-type QueueItem = Reverse<(Time, u64, usize, SessionEvent)>;
-
 impl<'a> TrafficEngine<'a> {
     /// Creates an engine over a pool at the given network latency.
     pub fn new(pool: &'a NodePool, net: NetParams, config: TrafficConfig) -> Self {
@@ -367,7 +352,10 @@ impl<'a> TrafficEngine<'a> {
             sessions.extend(self.admit_batch(planner, batch, &ctx)?);
         }
         let cache = CacheStats::from_context(&ctx);
-        let busy_time = self.simulate(&mut sessions);
+        let specs: Vec<NodeSpec> = (0..self.pool.len())
+            .map(|g| self.pool.spec_of_node(g))
+            .collect();
+        let busy_time = kernel::simulate(&specs, self.net, &mut sessions);
         Ok(self.report(requests, &sessions, &busy_time, cache))
     }
 
@@ -391,153 +379,16 @@ impl<'a> TrafficEngine<'a> {
             typeds.push(typed);
             plan_requests.push(PlanRequest::new(set, self.net).with_seed(request.id));
         }
-        let rows = plan_many_with(&[planner], &plan_requests, ctx);
+        // Planned sequentially, not through the parallel batch facade: the
+        // report's CacheStats are part of the byte-identical determinism
+        // contract, and racing parallel misses on the shared DP cache would
+        // make the hit/miss split depend on thread timing.
         let mut runtimes = Vec::with_capacity(batch.len());
-        for ((request, typed), mut row) in batch.iter().zip(typeds).zip(rows) {
-            let plan = row
-                .pop()
-                .expect("plan_many returns one result per planner")?;
+        for ((request, typed), plan_request) in batch.iter().zip(typeds).zip(&plan_requests) {
+            let plan = planner.plan_with(plan_request, ctx)?;
             runtimes.push(runtime_for(self.pool, request, &typed, &plan));
         }
         Ok(runtimes)
-    }
-
-    /// The shared-resource discrete-event pass over every session. Returns
-    /// the accumulated busy time per pool node (utilization numerator).
-    fn simulate(&self, sessions: &mut [SessionRuntime]) -> Vec<u64> {
-        let n = self.pool.len();
-        let mut busy_until = vec![Time::ZERO; n];
-        let mut busy_time = vec![0u64; n];
-        // Per-node FIFO of parked "want" events. Every activity schedules a
-        // NodeFree wake at its end, and every wake re-injects exactly one
-        // waiter, so the event count stays linear in the activity count even
-        // when hundreds of sessions pile onto one hot node.
-        let mut waiting: Vec<std::collections::VecDeque<(usize, SessionEvent)>> =
-            vec![std::collections::VecDeque::new(); n];
-        let mut heap: BinaryHeap<QueueItem> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<QueueItem>,
-                    seq: &mut u64,
-                    time: Time,
-                    session: usize,
-                    event: SessionEvent| {
-            heap.push(Reverse((time, *seq, session, event)));
-            *seq += 1;
-        };
-        for (s, session) in sessions.iter().enumerate() {
-            if !session.children[0].is_empty() {
-                push(
-                    &mut heap,
-                    &mut seq,
-                    session.arrival,
-                    s,
-                    SessionEvent::WantSend {
-                        local: 0,
-                        child_idx: 0,
-                    },
-                );
-            }
-        }
-        while let Some(Reverse((t, _, s, event))) = heap.pop() {
-            if let SessionEvent::NodeFree { node } = event {
-                // Obsolete when a same-instant event already re-claimed the
-                // node; the claimant scheduled its own wake.
-                if busy_until[node] <= t {
-                    if let Some((waiter, parked)) = waiting[node].pop_front() {
-                        push(&mut heap, &mut seq, t, waiter, parked);
-                    }
-                }
-                continue;
-            }
-            let session = &mut sessions[s];
-            if session.abandoned {
-                continue;
-            }
-            match event {
-                SessionEvent::WantSend { local, child_idx } => {
-                    let node = session.node_map[local];
-                    if busy_until[node] > t {
-                        waiting[node].push_back((s, event));
-                        continue;
-                    }
-                    if session.started.is_none() {
-                        // First activity of the session: the churn gate.
-                        if session.deadline.is_some_and(|d| t > d) {
-                            session.abandoned = true;
-                            // The session declined a free node; pass it on
-                            // so parked waiters never starve.
-                            if let Some((waiter, parked)) = waiting[node].pop_front() {
-                                push(&mut heap, &mut seq, t, waiter, parked);
-                            }
-                            continue;
-                        }
-                        session.started = Some(t);
-                    }
-                    let dur = self.pool.spec_of_node(node).send();
-                    let end = t + dur;
-                    busy_until[node] = end;
-                    busy_time[node] += dur.raw();
-                    let child = session.children[local][child_idx];
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        end + self.net.latency(),
-                        s,
-                        SessionEvent::Arrival { local: child },
-                    );
-                    if child_idx + 1 < session.children[local].len() {
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            end,
-                            s,
-                            SessionEvent::WantSend {
-                                local,
-                                child_idx: child_idx + 1,
-                            },
-                        );
-                    }
-                    push(&mut heap, &mut seq, end, s, SessionEvent::NodeFree { node });
-                }
-                SessionEvent::Arrival { local } => {
-                    // Delivery is the message hitting the node, busy or not;
-                    // the receive overhead queues for node time separately.
-                    session.delivered_at = session.delivered_at.max(t);
-                    push(&mut heap, &mut seq, t, s, SessionEvent::WantRecv { local });
-                }
-                SessionEvent::WantRecv { local } => {
-                    let node = session.node_map[local];
-                    if busy_until[node] > t {
-                        waiting[node].push_back((s, event));
-                        continue;
-                    }
-                    let dur = self.pool.spec_of_node(node).recv();
-                    let end = t + dur;
-                    busy_until[node] = end;
-                    busy_time[node] += dur.raw();
-                    session.pending -= 1;
-                    session.completed_at = session.completed_at.max(end);
-                    if !session.children[local].is_empty() {
-                        push(
-                            &mut heap,
-                            &mut seq,
-                            end,
-                            s,
-                            SessionEvent::WantSend {
-                                local,
-                                child_idx: 0,
-                            },
-                        );
-                    }
-                    push(&mut heap, &mut seq, end, s, SessionEvent::NodeFree { node });
-                }
-                SessionEvent::NodeFree { .. } => unreachable!("handled before the session borrow"),
-            }
-        }
-        debug_assert!(sessions
-            .iter()
-            .all(|session| session.abandoned || session.pending == 0));
-        busy_time
     }
 
     /// Assembles the final report.
@@ -706,6 +557,171 @@ pub(crate) fn record_for(request: &SessionRequest, session: &SessionRuntime) -> 
         } else {
             delivery_latency
         },
+    }
+}
+
+/// The pre-unification flat event loop, kept verbatim as the executable
+/// specification of the kernel's tie-break rule (the same role
+/// `build_reference` plays for the DP kernel). The property test in
+/// [`tests`] replays random contended traffic through both this loop and
+/// [`crate::kernel::simulate`] and demands identical outcomes.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::SessionRuntime;
+    use hnow_model::{NetParams, NodeSpec, Time};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum SessionEvent {
+        WantSend { local: usize, child_idx: usize },
+        Arrival { local: usize },
+        WantRecv { local: usize },
+        NodeFree { node: usize },
+    }
+
+    type QueueItem = Reverse<(Time, u64, usize, SessionEvent)>;
+
+    /// The shared-resource discrete-event pass over every session. Returns
+    /// the accumulated busy time per pool node (utilization numerator).
+    pub(crate) fn simulate(
+        specs: &[NodeSpec],
+        net: NetParams,
+        sessions: &mut [SessionRuntime],
+    ) -> Vec<u64> {
+        let n = specs.len();
+        let mut busy_until = vec![Time::ZERO; n];
+        let mut busy_time = vec![0u64; n];
+        // Per-node FIFO of parked "want" events. Every activity schedules a
+        // NodeFree wake at its end, and every wake re-injects exactly one
+        // waiter, so the event count stays linear in the activity count even
+        // when hundreds of sessions pile onto one hot node.
+        let mut waiting: Vec<std::collections::VecDeque<(usize, SessionEvent)>> =
+            vec![std::collections::VecDeque::new(); n];
+        let mut heap: BinaryHeap<QueueItem> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<QueueItem>,
+                    seq: &mut u64,
+                    time: Time,
+                    session: usize,
+                    event: SessionEvent| {
+            heap.push(Reverse((time, *seq, session, event)));
+            *seq += 1;
+        };
+        for (s, session) in sessions.iter().enumerate() {
+            if !session.children[0].is_empty() {
+                push(
+                    &mut heap,
+                    &mut seq,
+                    session.arrival,
+                    s,
+                    SessionEvent::WantSend {
+                        local: 0,
+                        child_idx: 0,
+                    },
+                );
+            }
+        }
+        while let Some(Reverse((t, _, s, event))) = heap.pop() {
+            if let SessionEvent::NodeFree { node } = event {
+                // Obsolete when a same-instant event already re-claimed the
+                // node; the claimant scheduled its own wake.
+                if busy_until[node] <= t {
+                    if let Some((waiter, parked)) = waiting[node].pop_front() {
+                        push(&mut heap, &mut seq, t, waiter, parked);
+                    }
+                }
+                continue;
+            }
+            let session = &mut sessions[s];
+            if session.abandoned {
+                continue;
+            }
+            match event {
+                SessionEvent::WantSend { local, child_idx } => {
+                    let node = session.node_map[local];
+                    if busy_until[node] > t {
+                        waiting[node].push_back((s, event));
+                        continue;
+                    }
+                    if session.started.is_none() {
+                        // First activity of the session: the churn gate.
+                        if session.deadline.is_some_and(|d| t > d) {
+                            session.abandoned = true;
+                            // The session declined a free node; pass it on
+                            // so parked waiters never starve.
+                            if let Some((waiter, parked)) = waiting[node].pop_front() {
+                                push(&mut heap, &mut seq, t, waiter, parked);
+                            }
+                            continue;
+                        }
+                        session.started = Some(t);
+                    }
+                    let dur = specs[node].send();
+                    let end = t + dur;
+                    busy_until[node] = end;
+                    busy_time[node] += dur.raw();
+                    let child = session.children[local][child_idx];
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        end + net.latency(),
+                        s,
+                        SessionEvent::Arrival { local: child },
+                    );
+                    if child_idx + 1 < session.children[local].len() {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            end,
+                            s,
+                            SessionEvent::WantSend {
+                                local,
+                                child_idx: child_idx + 1,
+                            },
+                        );
+                    }
+                    push(&mut heap, &mut seq, end, s, SessionEvent::NodeFree { node });
+                }
+                SessionEvent::Arrival { local } => {
+                    // Delivery is the message hitting the node, busy or not;
+                    // the receive overhead queues for node time separately.
+                    session.delivered_at = session.delivered_at.max(t);
+                    push(&mut heap, &mut seq, t, s, SessionEvent::WantRecv { local });
+                }
+                SessionEvent::WantRecv { local } => {
+                    let node = session.node_map[local];
+                    if busy_until[node] > t {
+                        waiting[node].push_back((s, event));
+                        continue;
+                    }
+                    let dur = specs[node].recv();
+                    let end = t + dur;
+                    busy_until[node] = end;
+                    busy_time[node] += dur.raw();
+                    session.pending -= 1;
+                    session.completed_at = session.completed_at.max(end);
+                    if !session.children[local].is_empty() {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            end,
+                            s,
+                            SessionEvent::WantSend {
+                                local,
+                                child_idx: 0,
+                            },
+                        );
+                    }
+                    push(&mut heap, &mut seq, end, s, SessionEvent::NodeFree { node });
+                }
+                SessionEvent::NodeFree { .. } => unreachable!("handled before the session borrow"),
+            }
+        }
+        debug_assert!(sessions
+            .iter()
+            .all(|session| session.abandoned || session.pending == 0));
+        busy_time
     }
 }
 
@@ -974,5 +990,105 @@ mod tests {
         let one = run(1);
         assert_eq!(one, run(7));
         assert_eq!(one, run(1000));
+    }
+
+    /// Plans `requests` into runtimes exactly the way [`TrafficEngine::run`]
+    /// does, without simulating. Planning is deterministic, so calling this
+    /// twice yields interchangeable session vectors for the two loops.
+    fn admit_all(
+        pool: &NodePool,
+        net: NetParams,
+        config: &TrafficConfig,
+        requests: &[SessionRequest],
+    ) -> Vec<SessionRuntime> {
+        let engine = TrafficEngine::new(pool, net, config.clone());
+        let planner = find(&config.planner).unwrap();
+        let ctx = PlanContext::with_dp_capacity(128);
+        let mut sessions = Vec::new();
+        for batch in requests.chunks(config.batch_size.max(1)) {
+            sessions.extend(engine.admit_batch(planner, batch, &ctx).unwrap());
+        }
+        sessions
+    }
+
+    #[test]
+    fn kernel_reproduces_the_reference_loop_on_random_traffic() {
+        // The unified kernel against the pre-unification flat loop (kept
+        // verbatim in `reference`): random seeded traffic across light and
+        // saturating loads, with and without churn, must produce identical
+        // per-session outcomes and per-node busy time.
+        let pool = pool();
+        let specs: Vec<NodeSpec> = (0..pool.len()).map(|g| pool.spec_of_node(g)).collect();
+        let net = NetParams::new(2);
+        let config = TrafficConfig::default();
+        let scenarios: &[(f64, bool)] = &[(1.0, false), (4.0, true), (0.5, true), (12.0, false)];
+        for seed in 0..12u64 {
+            for &(mean_gap, churn) in scenarios {
+                let pattern = TrafficPattern {
+                    arrivals: hnow_workload::ArrivalProfile::Poisson { mean_gap },
+                    group_size: GroupSizeDist::Uniform { min: 2, max: 6 },
+                    class_weights: None,
+                    churn: churn.then_some(ChurnProfile {
+                        impatient_fraction: 0.4,
+                        mean_patience: 30.0,
+                    }),
+                };
+                let requests = pattern.generate(&pool, 60, seed).unwrap();
+                let mut unified = admit_all(&pool, net, &config, &requests);
+                let mut old = admit_all(&pool, net, &config, &requests);
+                let unified_busy = kernel::simulate(&specs, net, &mut unified);
+                let old_busy = reference::simulate(&specs, net, &mut old);
+                let tag = format!("seed {seed}, mean_gap {mean_gap}, churn {churn}");
+                assert_eq!(unified_busy, old_busy, "busy time diverged ({tag})");
+                for (slot, (a, b)) in unified.iter().zip(&old).enumerate() {
+                    assert_eq!(
+                        a.started, b.started,
+                        "started diverged, slot {slot} ({tag})"
+                    );
+                    assert_eq!(
+                        a.abandoned, b.abandoned,
+                        "abandoned diverged, slot {slot} ({tag})"
+                    );
+                    assert_eq!(
+                        a.completed_at, b.completed_at,
+                        "completion diverged, slot {slot} ({tag})"
+                    );
+                    assert_eq!(
+                        a.delivered_at, b.delivered_at,
+                        "delivery diverged, slot {slot} ({tag})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn an_abandoning_session_passes_the_freed_node_on() {
+        // Three sessions race for source node 0 at t = 0. The FIFO admits
+        // session 0; sessions 1 and 2 park. The node's release wakes session
+        // 1, whose zero patience has expired — it abandons while holding the
+        // only wake for an idle node, so unless the abandon path re-arms the
+        // wake, session 2 starves forever.
+        let pool = pool();
+        let mut requests = spaced_requests(&pool, 3, 0);
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.arrival = Time::ZERO;
+            r.source = 0;
+            r.members = vec![i + 1];
+            r.patience = None;
+        }
+        requests[1].patience = Some(Time::ZERO);
+        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let report = engine.run(&requests).unwrap();
+        assert!(
+            report.per_session[1].abandoned,
+            "session 1's deadline passes while node 0 serves session 0"
+        );
+        assert_eq!(
+            report.completed, 2,
+            "the node declined by the abandoning session must reach session 2"
+        );
+        assert!(!report.per_session[0].abandoned);
+        assert!(!report.per_session[2].abandoned);
     }
 }

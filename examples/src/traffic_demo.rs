@@ -6,7 +6,7 @@
 //! ```text
 //! traffic_demo [--sessions N] [--seed S] [--planner NAME] [--mean-gap G]
 //!              [--group N] [--churn] [--shards N] [--cross-shard-frac F]
-//!              [--out PATH]
+//!              [--threads N] [--out PATH]
 //! ```
 //!
 //! A seeded Poisson session stream (default: 1000 sessions, mean gap 12,
@@ -15,7 +15,9 @@
 //! pool is partitioned into N class-aware shards served by the sharded
 //! dispatcher, and `--cross-shard-frac F` makes the given fraction of
 //! sessions span at least two shards (gateway-stitched planning; requires
-//! `--shards`). Either way the run is deterministic: the same arguments
+//! `--shards`). `--threads N` runs the whole pipeline inside a rayon pool
+//! of N worker threads (0 = automatic). Either way the run is
+//! deterministic: the same arguments — at *any* `--threads` value —
 //! always produce a byte-identical report, which `--out` writes as JSON.
 //! `--churn` makes 30% of the sessions impatient.
 
@@ -44,6 +46,7 @@ fn main() -> ExitCode {
     let mut churn = false;
     let mut shards = 1usize;
     let mut cross_frac: Option<f64> = None;
+    let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,13 +67,14 @@ fn main() -> ExitCode {
             "--cross-shard-frac" => {
                 cross_frac = Some(parse("--cross-shard-frac", take("--cross-shard-frac")));
             }
+            "--threads" => threads = Some(parse("--threads", take("--threads"))),
             "--out" => out = Some(take("--out")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: traffic_demo [--sessions N] [--seed S] [--planner NAME] \
                      [--mean-gap G] [--group N] [--churn] [--shards N] \
-                     [--cross-shard-frac F] [--out PATH]"
+                     [--cross-shard-frac F] [--threads N] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -104,20 +108,45 @@ fn main() -> ExitCode {
         });
     }
 
-    if shards >= 2 {
-        return run_sharded(
-            &pool,
-            pattern,
-            sessions,
-            seed,
-            &planner,
-            shards,
-            cross_frac.unwrap_or(0.0),
-            out,
-        );
+    // With --threads the whole pipeline runs inside a rayon pool of that
+    // size; the report is byte-identical either way.
+    let run = || -> ExitCode {
+        if shards >= 2 {
+            return run_sharded(
+                &pool,
+                pattern,
+                sessions,
+                seed,
+                &planner,
+                shards,
+                cross_frac.unwrap_or(0.0),
+                out,
+            );
+        }
+        run_flat(&pool, pattern, sessions, seed, &planner, out)
+    };
+    match threads {
+        Some(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+            Ok(tp) => tp.install(run),
+            Err(err) => {
+                eprintln!("failed to build the thread pool: {err}");
+                ExitCode::FAILURE
+            }
+        },
+        None => run(),
     }
+}
 
-    let requests = match pattern.generate(&pool, sessions, seed) {
+/// The flat (single-engine) path: generate traffic, run, print the report.
+fn run_flat(
+    pool: &NodePool,
+    pattern: TrafficPattern,
+    sessions: usize,
+    seed: u64,
+    planner: &str,
+    out: Option<String>,
+) -> ExitCode {
+    let requests = match pattern.generate(pool, sessions, seed) {
         Ok(requests) => requests,
         Err(err) => {
             eprintln!("failed to generate traffic: {err}");
@@ -125,11 +154,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let engine = TrafficEngine::new(
-        &pool,
-        NetParams::new(2),
-        TrafficConfig::for_planner(&planner),
-    );
+    let engine = TrafficEngine::new(pool, NetParams::new(2), TrafficConfig::for_planner(planner));
     let report = match engine.run(&requests) {
         Ok(report) => report,
         Err(err) => {

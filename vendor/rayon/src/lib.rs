@@ -1,64 +1,383 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by real worker threads.
 //!
-//! The workspace only uses `par_iter()` followed by ordinary iterator
-//! combinators; with no crates.io access this vendored crate degrades those
-//! call-sites to sequential `std` iterators, which keeps results identical
-//! (rayon's `collect` preserves order) at the cost of parallel speed-up. The
-//! real dependency can be swapped back in without touching call-sites.
+//! The workspace only uses `par_iter()`/`into_par_iter()` followed by
+//! `map(..).collect()`, plus `ThreadPoolBuilder`/`ThreadPool::install`.
+//! With no crates.io access this vendored crate implements exactly that
+//! surface over a small shared worker pool:
+//!
+//! * **Order-preserving `collect`** — results are written into per-index
+//!   slots and merged positionally, so the output is identical to the
+//!   sequential evaluation no matter how work interleaves across threads
+//!   (the same guarantee real rayon's `collect` gives).
+//! * **One global worker set** — worker threads are spawned lazily, live
+//!   for the process, and serve every pool; a [`ThreadPool`] is a view
+//!   that caps how many of them one computation may use.
+//! * **`install` scoping** — [`ThreadPool::install`] sets the effective
+//!   thread count for the closure *and* for every worker executing work
+//!   on its behalf, so nested parallel calls inherit the cap and
+//!   [`current_num_threads`] reports it from any participating thread.
+//! * **Degradation, not deadlock** — the calling thread always
+//!   participates and can finish the whole job alone, so a computation
+//!   completes even if no worker ever picks up a share; panics inside a
+//!   parallel closure are caught on the worker, forwarded, and re-thrown
+//!   on the calling thread after the job drains.
+//!
+//! The real dependency can be swapped back in without touching call-sites.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 pub mod prelude {
-    //! Sequential re-implementation of the rayon prelude traits.
+    //! The rayon prelude traits used by this workspace.
 
-    /// `par_iter()` on shared slices and vectors.
-    pub trait IntoParallelRefIterator<'a> {
-        /// The (sequential) iterator type.
-        type Iter: Iterator;
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
 
-        /// Returns a "parallel" iterator over references — sequentially
-        /// evaluated in this vendored stand-in.
-        fn par_iter(&'a self) -> Self::Iter;
+thread_local! {
+    /// The thread-count cap installed on this thread (via
+    /// [`ThreadPool::install`] on a caller, or job inheritance on a worker).
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads the automatic (uncapped) configuration uses.
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel work started from this thread may use:
+/// the innermost [`ThreadPool::install`] cap, or the automatic count
+/// (`std::thread::available_parallelism`) outside any pool.
+pub fn current_num_threads() -> usize {
+    INSTALLED
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+/// Restores the previous installed cap on drop, so `install` nesting and
+/// panics cannot leave a stale cap behind.
+struct InstallGuard(Option<usize>);
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|cell| cell.set(self.0));
     }
+}
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Iter = std::slice::Iter<'a, T>;
+fn install_cap(threads: usize) -> InstallGuard {
+    InstallGuard(INSTALLED.with(|cell| cell.replace(Some(threads))))
+}
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+/// One parallel-for computation shared between the caller and the workers
+/// that picked up its queue tickets.
+struct Job {
+    /// Type-erased pointer to the caller's `Fn(usize)`. Only dereferenced
+    /// while the caller is blocked in [`parallel_for`] — see the safety
+    /// argument there.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Effective thread count, inherited by workers for nested calls.
+    threads: usize,
+    /// Next index to claim; claims beyond `total` mean the job is drained.
+    next: AtomicUsize,
+    total: usize,
+    /// Indices fully executed. The release/acquire chain through this
+    /// counter (every executor RMWs it after its slot writes) is what makes
+    /// all side effects visible to the caller once `finished` is observed.
+    done: AtomicUsize,
+    status: Mutex<JobStatus>,
+    finished_cv: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced by executors while the submitting
+// thread is blocked inside `parallel_for`, which outlives every execution
+// (it waits for `done == total`, and each dereference happens before the
+// corresponding `done` increment). Stale queue tickets popped later never
+// dereference: by then `next >= total`, so the claim loop exits first.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+#[derive(Default)]
+struct JobStatus {
+    finished: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// The process-wide worker set: a ticket queue plus lazily spawned threads.
+#[derive(Default)]
+struct Registry {
+    queue: Mutex<VecDeque<std::sync::Arc<Job>>>,
+    ready: Condvar,
+    spawned: Mutex<usize>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Grows the worker set to at least `wanted` threads. Spawn failure
+/// degrades to fewer workers (the caller can always finish alone).
+fn ensure_workers(wanted: usize) {
+    let reg = registry();
+    let mut spawned = reg.spawned.lock().expect("worker count lock poisoned");
+    while *spawned < wanted {
+        let name = format!("hnow-rayon-{}", *spawned);
+        let ok = std::thread::Builder::new()
+            .name(name)
+            .spawn(|| worker_loop(registry()))
+            .is_ok();
+        if !ok {
+            break;
         }
+        *spawned += 1;
     }
+}
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Iter = std::slice::Iter<'a, T>;
+fn worker_loop(reg: &'static Registry) {
+    loop {
+        let job = {
+            let mut queue = reg.queue.lock().expect("ticket queue lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = reg.ready.wait(queue).expect("ticket queue lock poisoned");
+            }
+        };
+        // Nested parallel calls from inside the task see the job's cap.
+        let _guard = install_cap(job.threads);
+        run_job(&job);
+    }
+}
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+/// Claims and executes indices until the job is drained. Panics from the
+/// task are recorded (first wins) and re-thrown by the submitting caller;
+/// the index still counts as done so the job always drains.
+fn run_job(job: &Job) {
+    loop {
+        let index = job.next.fetch_add(1, Ordering::Relaxed);
+        if index >= job.total {
+            break;
         }
-    }
-
-    /// `into_par_iter()` on owned collections and ranges.
-    pub trait IntoParallelIterator {
-        /// The (sequential) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type.
-        type Item;
-
-        /// Converts into a "parallel" iterator — sequentially evaluated in
-        /// this vendored stand-in.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        let task = job.task;
+        // SAFETY: the submitting thread is still inside `parallel_for`
+        // (it waits for this index's `done` increment below), so the
+        // closure behind `task` is alive.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*task)(index) }));
+        if let Err(payload) = outcome {
+            let mut status = job.status.lock().expect("job status lock poisoned");
+            if status.panic.is_none() {
+                status.panic = Some(payload);
+            }
+        }
+        if job.done.fetch_add(1, Ordering::AcqRel) + 1 == job.total {
+            let mut status = job.status.lock().expect("job status lock poisoned");
+            status.finished = true;
+            job.finished_cv.notify_all();
         }
     }
 }
 
+/// Runs `task(0..total)` across up to `threads` threads (the caller plus
+/// workers), returning when every index has executed. Exposed to the
+/// iterator layer only; call-sites use the rayon-shaped API.
+fn parallel_for(total: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    if threads <= 1 || total <= 1 {
+        for index in 0..total {
+            task(index);
+        }
+        return;
+    }
+    let helpers = (threads - 1).min(total - 1);
+    ensure_workers(helpers);
+    // SAFETY: erases the borrow lifetime so the job can sit in the static
+    // queue. Sound because this function blocks until every index has
+    // executed, and stale tickets never dereference (see the Send/Sync
+    // safety comment on `Job`).
+    let task: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(task as *const (dyn Fn(usize) + Sync + '_)) };
+    let job = std::sync::Arc::new(Job {
+        task,
+        threads,
+        next: AtomicUsize::new(0),
+        total,
+        done: AtomicUsize::new(0),
+        status: Mutex::new(JobStatus::default()),
+        finished_cv: Condvar::new(),
+    });
+    {
+        let reg = registry();
+        let mut queue = reg.queue.lock().expect("ticket queue lock poisoned");
+        for _ in 0..helpers {
+            queue.push_back(std::sync::Arc::clone(&job));
+        }
+        drop(queue);
+        reg.ready.notify_all();
+    }
+    run_job(&job);
+    let mut status = job.status.lock().expect("job status lock poisoned");
+    while !status.finished {
+        status = job
+            .finished_cv
+            .wait(status)
+            .expect("job status lock poisoned");
+    }
+    if let Some(payload) = status.panic.take() {
+        drop(status);
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Executes `run(i)` for `0..len` in parallel and collects the results in
+/// index order — the order-preserving heart of every `collect`.
+fn collect_indexed<R: Send>(len: usize, run: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(run).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    parallel_for(len, threads, &|index| {
+        let result = run(index);
+        *slots[index].lock().expect("result slot lock poisoned") = Some(result);
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every index was executed")
+        })
+        .collect()
+}
+
+/// `par_iter()` on shared slices and vectors.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type iterated by reference.
+    type Item: 'a;
+
+    /// Returns a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+
+    /// Converts into a parallel iterator over owned items.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> IntoParIter<I::Item> {
+        IntoParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A borrowing parallel iterator (the result of `par_iter`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each reference through `op`.
+    pub fn map<R, F: Fn(&'a T) -> R>(self, op: F) -> ParRefMap<'a, T, F> {
+        ParRefMap {
+            items: self.items,
+            op,
+        }
+    }
+}
+
+/// A mapped borrowing parallel iterator.
+pub struct ParRefMap<'a, T, F> {
+    items: &'a [T],
+    op: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParRefMap<'a, T, F> {
+    /// Evaluates the map in parallel, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let ParRefMap { items, op } = self;
+        collect_indexed(items.len(), |index| op(&items[index]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// An owning parallel iterator (the result of `into_par_iter`).
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Maps each owned item through `op`.
+    pub fn map<R, F: Fn(T) -> R>(self, op: F) -> ParOwnedMap<T, F> {
+        ParOwnedMap {
+            items: self.items,
+            op,
+        }
+    }
+}
+
+/// A mapped owning parallel iterator.
+pub struct ParOwnedMap<T, F> {
+    items: Vec<T>,
+    op: F,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParOwnedMap<T, F> {
+    /// Evaluates the map in parallel, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let ParOwnedMap { items, op } = self;
+        let threads = current_num_threads();
+        if threads <= 1 || items.len() <= 1 {
+            return items.into_iter().map(op).collect();
+        }
+        let cells: Vec<Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect();
+        collect_indexed(cells.len(), |index| {
+            let item = cells[index]
+                .lock()
+                .expect("item cell lock poisoned")
+                .take()
+                .expect("each item is taken exactly once");
+            op(item)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
 /// Error returned by [`ThreadPoolBuilder::build`] — never produced by this
-/// sequential stand-in, present only for API compatibility.
+/// stand-in, present only for API compatibility.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -70,28 +389,30 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Sequential stand-in for `rayon::ThreadPool`: [`ThreadPool::install`]
-/// simply runs the closure on the calling thread. The configured thread
-/// count is recorded so callers (e.g. throughput benches parameterised over
-/// pool sizes) can report it, but it buys no parallelism here.
+/// A view over the shared worker set capping how many threads one
+/// computation may use. [`ThreadPool::install`] scopes the cap to the
+/// closure (nested parallel calls inherit it, even on worker threads).
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` "inside" the pool — sequentially, in this stand-in.
+    /// Runs `op` with this pool's thread count installed.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        ensure_workers(self.num_threads.saturating_sub(1));
+        let _guard = install_cap(self.num_threads);
         op()
     }
 
-    /// The configured (not actual) number of threads.
+    /// The number of threads a computation in this pool actually uses (the
+    /// caller plus the workers serving it).
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
 }
 
-/// Sequential stand-in for `rayon::ThreadPoolBuilder`.
+/// Builder for [`ThreadPool`].
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -109,14 +430,152 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool. Infallible in this stand-in.
+    /// Builds the pool, spawning any missing workers up front. Infallible
+    /// in this stand-in (worker spawn failure degrades to fewer helpers).
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                1
-            } else {
-                self.num_threads
-            },
-        })
+        let num_threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        ensure_workers(num_threads.saturating_sub(1));
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::time::{Duration, Instant};
+
+    fn pool(threads: usize) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let par: Vec<u64> = pool(8).install(|| items.par_iter().map(|&x| x * x).collect());
+        assert_eq!(par, expected);
+        let owned: Vec<u64> = pool(8).install(|| items.into_par_iter().map(|x| x * x).collect());
+        assert_eq!(owned, expected);
+    }
+
+    #[test]
+    fn current_num_threads_reports_the_installed_cap() {
+        assert!(current_num_threads() >= 1, "default is at least one thread");
+        let pool = pool(3);
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Nested installs override and restore.
+        let inner = self::pool(2);
+        let (outer_before, inner_seen, outer_after) = pool.install(|| {
+            let before = current_num_threads();
+            let seen = inner.install(current_num_threads);
+            (before, seen, current_num_threads())
+        });
+        assert_eq!((outer_before, inner_seen, outer_after), (3, 2, 3));
+        // Zero means automatic.
+        let auto = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(auto.current_num_threads(), default_num_threads());
+        assert!(auto.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_inherit_the_cap_for_nested_calls() {
+        // Each outer task reads the cap from whatever thread runs it; every
+        // participant — caller or worker — must see the installed value.
+        let caps: Vec<usize> = pool(4).install(|| {
+            (0..16usize)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    current_num_threads()
+                })
+                .collect()
+        });
+        assert!(caps.iter().all(|&c| c == 4), "caps seen: {caps:?}");
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        // Sleeping tasks do not need CPUs, so even a single-core host must
+        // overlap them across the real worker threads: eight 40 ms sleeps on
+        // four threads finish in two rounds, far under the 320 ms a
+        // sequential fallback would take.
+        let items: Vec<usize> = (0..8).collect();
+        let start = Instant::now();
+        let ids: Vec<std::thread::ThreadId> = pool(4).install(|| {
+            items
+                .par_iter()
+                .map(|_| {
+                    std::thread::sleep(Duration::from_millis(40));
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        let distinct: HashSet<_> = ids.iter().collect();
+        assert!(distinct.len() >= 2, "expected worker participation");
+        assert!(
+            elapsed < Duration::from_millis(280),
+            "eight 40ms sleeps on 4 threads took {elapsed:?} — not parallel"
+        );
+    }
+
+    #[test]
+    fn nested_parallelism_terminates_and_preserves_order() {
+        let grids: Vec<Vec<u64>> = pool(4).install(|| {
+            (0..6u64)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&row| {
+                    (0..5u64)
+                        .collect::<Vec<_>>()
+                        .par_iter()
+                        .map(|&col| row * 10 + col)
+                        .collect()
+                })
+                .collect()
+        });
+        for (row, grid) in grids.iter().enumerate() {
+            let expected: Vec<u64> = (0..5).map(|col| row as u64 * 10 + col).collect();
+            assert_eq!(grid, &expected);
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                (0..64usize)
+                    .collect::<Vec<_>>()
+                    .par_iter()
+                    .map(|&i| {
+                        if i == 13 {
+                            panic!("boom");
+                        }
+                        i
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(result.is_err(), "the parallel panic must reach the caller");
+        // The pool stays usable afterwards.
+        let sum: Vec<usize> = pool(4).install(|| {
+            (0..8usize)
+                .collect::<Vec<_>>()
+                .par_iter()
+                .map(|&i| i)
+                .collect()
+        });
+        assert_eq!(sum, (0..8).collect::<Vec<_>>());
     }
 }
