@@ -5,9 +5,11 @@
 //! module times a **fixed scenario grid** over the workspace's hot paths —
 //! DP table builds (sequential and shell-parallel), greedy planning, the
 //! batched `plan_many` facade, a traffic-engine soak, a sharded-cluster
-//! soak (`sharded_soak`, the dispatcher + gateway-stitching path), and a
+//! soak (`sharded_soak`, the dispatcher + gateway-stitching path), a
 //! thread-scaling soak (`parallel_soak`, the same sharded run under 1- and
-//! 8-thread rayon pools) — and renders the
+//! 8-thread rayon pools), and a control-plane soak (`control_plane`, the
+//! epoch-batched service loop with admission toggled on and off) — and
+//! renders the
 //! results as a serializable [`BaselineReport`], written to
 //! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
 //! file is the repo's perf trajectory: one point per PR that touches a hot
@@ -24,9 +26,9 @@ use hnow_core::algorithms::dp::{DpFillMode, DpTable};
 use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
 use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
 use hnow_model::{MessageSize, NetParams, TypedMulticast};
-use hnow_sim::cluster::{ShardedCluster, ShardedClusterConfig};
+use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
 use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
-use hnow_workload::traffic::{NodePool, TrafficPattern};
+use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{standard_class_table, two_class_table, ShardMap, ShardedPattern};
 use serde::{Deserialize, Serialize};
 use std::hint::black_box;
@@ -120,6 +122,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     traffic_soak_cases(mode, &mut cases);
     sharded_soak_cases(mode, &mut cases);
     parallel_soak_cases(mode, &mut cases);
+    control_plane_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -403,6 +406,62 @@ fn parallel_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     }
 }
 
+/// Control-plane soak: the same churned, partly-cross-shard stream served
+/// by the epoch-batched service loop at 8 shards, with the admission
+/// controller toggled on and off (rebalancing and the load-aware gateway
+/// policy stay on in both). The pair prices the control plane itself:
+/// `admission-on` adds intent building, the virtual-clock sort and
+/// shedding on top of the identical per-epoch planning and simulation.
+fn control_plane_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[32, 16],
+        },
+    )
+    .expect("soak pool is valid");
+    let shards = 8;
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (64usize, 2u64),
+        BaselineMode::Full => (512, 3),
+    };
+    let map = ShardMap::partition(&pool, shards).expect("soak partition is valid");
+    let mut pattern = ShardedPattern::poisson(8.0, 5, 0.15);
+    pattern.base.churn = Some(ChurnProfile {
+        impatient_fraction: 0.4,
+        mean_patience: 60.0,
+    });
+    let requests = pattern
+        .generate(&map, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    for (variant, admission) in [("admission-on", true), ("admission-off", false)] {
+        let config =
+            ShardedClusterConfig::for_planner(shards, "greedy+leaf").with_control(ControlConfig {
+                epoch: 32,
+                admission,
+                policy: "load-aware".to_string(),
+                rebalance: Some(RebalanceConfig::default()),
+            });
+        let cluster = ShardedCluster::new(&pool, net, config).expect("soak cluster is valid");
+        cases.push(time_case(
+            "control_plane",
+            format!("control_plane/{variant}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                black_box(
+                    cluster
+                        .run(black_box(&requests))
+                        .expect("soak run succeeds"),
+                );
+            },
+        ));
+    }
+}
+
 /// How one baseline entry moved between two reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct CaseDelta {
@@ -555,6 +614,8 @@ mod tests {
                 "sharded_soak/dp-optimal/64",
                 "parallel_soak/threads1/256",
                 "parallel_soak/threads8/256",
+                "control_plane/admission-on/64",
+                "control_plane/admission-off/64",
             ]
         );
         for case in &report.cases {

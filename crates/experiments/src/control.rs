@@ -1,0 +1,322 @@
+//! Experiment E12 — control-plane policy sweep: goodput and tail queue
+//! delay of the online service loop versus the uncontrolled batch replayer
+//! on identical request vectors.
+//!
+//! The workload is the control plane's adversarial regime
+//! ([`HotSpotPattern`]): bursty flash crowds, half the sessions impatient,
+//! and a hot shard that rotates faster than any static partition can
+//! suit. Every point serves the *same* request vector; only the control
+//! configuration varies — no control (the batch path), admission with
+//! each gateway policy, and admission plus the shard rebalancer. Expected
+//! shape: shortest-planned-`R_T`-first admission drains flash crowds in
+//! an order that lets more impatient sessions start before their patience
+//! expires (higher goodput), and shedding plus reordering pulls the tail
+//! of the queue-delay distribution in (lower p99 over completed
+//! sessions); the non-default gateway policies shift cross-shard work off
+//! busy gateways.
+
+use crate::table::Table;
+use hnow_model::NetParams;
+use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
+use hnow_workload::traffic::NodePool;
+use hnow_workload::{
+    default_message_size, two_class_table, ChurnProfile, HotSpotPattern, SessionRequest, ShardMap,
+};
+use serde::Serialize;
+
+/// Gateway policies swept by the study (registry names).
+pub const POLICIES: [&str; 3] = ["fastest-member", "load-aware", "stitched-rt-min"];
+
+/// Configuration of the control-plane study.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlStudyConfig {
+    /// Fast-class and slow-class node counts of the pool.
+    pub pool_counts: [usize; 2],
+    /// Shard count of the partition.
+    pub shards: usize,
+    /// Sessions offered per point (every point serves the same vector).
+    pub sessions: usize,
+    /// Sessions per flash crowd.
+    pub burst: usize,
+    /// Ticks between flash crowds.
+    pub period: u64,
+    /// Destination-group size range (uniform, inclusive).
+    pub group: (usize, usize),
+    /// Sessions per hot-spot phase (the hot shard rotates every phase).
+    pub phase_sessions: usize,
+    /// Fraction of sessions pinned inside the current hot shard.
+    pub hot_fraction: f64,
+    /// Fraction of sessions with finite patience.
+    pub impatient_fraction: f64,
+    /// Mean patience of impatient sessions.
+    pub mean_patience: f64,
+    /// Network latency `L`.
+    pub latency: u64,
+    /// Seed of the request stream.
+    pub seed: u64,
+    /// Registry planner serving every configuration.
+    pub planner: String,
+    /// Sessions per control epoch.
+    pub epoch: usize,
+    /// Rebalancer tuning of the admission+rebalance point.
+    pub rebalance: RebalanceConfig,
+}
+
+impl Default for ControlStudyConfig {
+    /// The pinned CI-sized preset: 40 nodes, 4 shards, 400 sessions in
+    /// flash crowds of 12 every 1500 ticks with 50% churn, admitted in
+    /// epochs of one crowd. The load is calibrated so hot-shard queues
+    /// mostly drain between crowds — the regime where per-crowd
+    /// shortest-first admission converts near-miss impatient sessions
+    /// into completions instead of merely re-labelling a hopeless
+    /// backlog. The seed is part of the preset: the sweep's headline
+    /// comparison is a claim about this exact request vector.
+    fn default() -> Self {
+        ControlStudyConfig {
+            pool_counts: [24, 16],
+            shards: 4,
+            sessions: 400,
+            burst: 12,
+            period: 1500,
+            group: (2, 6),
+            phase_sessions: 64,
+            hot_fraction: 0.7,
+            impatient_fraction: 0.5,
+            mean_patience: 150.0,
+            latency: 2,
+            seed: 13,
+            planner: "greedy+leaf".to_string(),
+            epoch: 12,
+            rebalance: RebalanceConfig {
+                enter_gap: 90.0,
+                exit_gap: 30.0,
+                max_moves: 1,
+                min_shard_nodes: 2,
+            },
+        }
+    }
+}
+
+/// One control configuration's outcome on the shared request vector.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlPoint {
+    /// Configuration label (`no-control`, `admission/<policy>`,
+    /// `admission+rebalance/<policy>`).
+    pub label: String,
+    /// Sessions fully delivered (the goodput).
+    pub completed: usize,
+    /// Sessions lost to churn (shed ones included).
+    pub abandoned: usize,
+    /// Sessions shed by the admission controller (0 without control).
+    pub shed: usize,
+    /// Admitted sessions executed out of submission order.
+    pub reordered: usize,
+    /// Node migrations committed by the rebalancer.
+    pub migrations: usize,
+    /// Completed sessions per kilotick.
+    pub throughput: f64,
+    /// 95th-percentile reception latency over completed sessions.
+    pub p95_reception: u64,
+    /// 99th-percentile reception latency over completed sessions.
+    pub p99_reception: u64,
+    /// Mean queue delay over completed sessions.
+    pub mean_queue_delay: f64,
+    /// 99th-percentile queue delay over completed sessions.
+    pub p99_queue_delay: u64,
+}
+
+/// Serves the hot-spot request vector under one cluster configuration.
+fn measure(
+    label: &str,
+    pool: &NodePool,
+    net: NetParams,
+    config: ShardedClusterConfig,
+    requests: &[SessionRequest],
+) -> ControlPoint {
+    let cluster = ShardedCluster::new(pool, net, config).expect("valid study cluster");
+    let report = cluster.run(requests).expect("study run succeeds");
+    let mut delays: Vec<u64> = report
+        .per_session
+        .iter()
+        .filter(|s| !s.record.abandoned)
+        .map(|s| s.record.queue_delay)
+        .collect();
+    delays.sort_unstable();
+    let p99_queue_delay = if delays.is_empty() {
+        0
+    } else {
+        delays[(delays.len() - 1) * 99 / 100]
+    };
+    let (shed, reordered, migrations) = report
+        .control
+        .as_ref()
+        .map(|c| (c.shed, c.reordered, c.migrations.len()))
+        .unwrap_or((0, 0, 0));
+    ControlPoint {
+        label: label.to_string(),
+        completed: report.total.completed,
+        abandoned: report.total.abandoned,
+        shed,
+        reordered,
+        migrations,
+        throughput: report.total.throughput_per_kilotick,
+        p95_reception: report.total.p95_reception_latency,
+        p99_reception: report.total.p99_reception_latency,
+        mean_queue_delay: report.total.mean_queue_delay,
+        p99_queue_delay,
+    }
+}
+
+/// Runs the sweep: no control, admission under each gateway policy, then
+/// admission plus rebalancing — all on one request vector.
+pub fn run(config: &ControlStudyConfig) -> Vec<ControlPoint> {
+    let pool = NodePool::new(
+        two_class_table(),
+        default_message_size(),
+        &[config.pool_counts[0], config.pool_counts[1]],
+    )
+    .expect("study pool is non-empty");
+    let map = ShardMap::partition(&pool, config.shards).expect("valid shard count");
+    let mut pattern = HotSpotPattern::bursty(
+        config.burst,
+        config.period,
+        config.group.0,
+        config.group.1,
+        config.phase_sessions,
+        config.hot_fraction,
+    );
+    pattern.base.churn = Some(ChurnProfile {
+        impatient_fraction: config.impatient_fraction,
+        mean_patience: config.mean_patience,
+    });
+    let requests = pattern
+        .generate(&map, config.sessions, config.seed)
+        .expect("study pattern is valid");
+    let net = NetParams::new(config.latency);
+    let base = ShardedClusterConfig::for_planner(config.shards, &config.planner);
+
+    let mut points = vec![measure("no-control", &pool, net, base.clone(), &requests)];
+    for policy in POLICIES {
+        let controlled = base.clone().with_control(ControlConfig {
+            epoch: config.epoch,
+            admission: true,
+            policy: policy.to_string(),
+            rebalance: None,
+        });
+        points.push(measure(
+            &format!("admission/{policy}"),
+            &pool,
+            net,
+            controlled,
+            &requests,
+        ));
+    }
+    let full = base.clone().with_control(ControlConfig {
+        epoch: config.epoch,
+        admission: true,
+        policy: "load-aware".to_string(),
+        rebalance: Some(config.rebalance.clone()),
+    });
+    points.push(measure(
+        "admission+rebalance/load-aware",
+        &pool,
+        net,
+        full,
+        &requests,
+    ));
+    points
+}
+
+/// Renders the sweep as a table: one row per configuration.
+pub fn table(points: &[ControlPoint]) -> Table {
+    let mut t = Table::new(
+        "E12 / control plane: goodput and tail queue delay per policy",
+        &[
+            "config",
+            "completed",
+            "abandoned",
+            "shed",
+            "reordered",
+            "migrations",
+            "tput/kt",
+            "p95 R_T",
+            "p99 R_T",
+            "mean qdelay",
+            "p99 qdelay",
+        ],
+    );
+    for p in points {
+        t.push_row(vec![
+            p.label.clone().into(),
+            (p.completed as u64).into(),
+            (p.abandoned as u64).into(),
+            (p.shed as u64).into(),
+            (p.reordered as u64).into(),
+            (p.migrations as u64).into(),
+            p.throughput.into(),
+            p.p95_reception.into(),
+            p.p99_reception.into(),
+            p.mean_queue_delay.into(),
+            p.p99_queue_delay.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_point_per_configuration() {
+        let points = run(&ControlStudyConfig::default());
+        let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "no-control",
+                "admission/fastest-member",
+                "admission/load-aware",
+                "admission/stitched-rt-min",
+                "admission+rebalance/load-aware",
+            ]
+        );
+        for p in &points {
+            assert_eq!(
+                p.completed + p.abandoned,
+                ControlStudyConfig::default().sessions,
+                "{}: every session accounted",
+                p.label
+            );
+        }
+        assert_eq!(points[0].shed, 0, "no control, nothing shed");
+        assert_eq!(points[0].reordered, 0);
+        let t = table(&points);
+        assert!(t.to_markdown().contains("p99 qdelay"));
+    }
+
+    #[test]
+    fn admission_and_rebalancing_strictly_beat_no_control() {
+        // The PR's acceptance claim: on the shifting hot-spot preset the
+        // full control plane wins *both* axes against the batch replayer
+        // on an identical request vector.
+        let points = run(&ControlStudyConfig::default());
+        let baseline = &points[0];
+        let controlled = points
+            .iter()
+            .find(|p| p.label == "admission+rebalance/load-aware")
+            .unwrap();
+        assert!(
+            controlled.completed > baseline.completed,
+            "goodput: controlled {} vs baseline {}",
+            controlled.completed,
+            baseline.completed
+        );
+        assert!(
+            controlled.p99_queue_delay < baseline.p99_queue_delay,
+            "p99 queue delay: controlled {} vs baseline {}",
+            controlled.p99_queue_delay,
+            baseline.p99_queue_delay
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! | E9 | [`robustness`] | simulator fidelity and overhead jitter |
 //! | E10 | [`traffic`] | sessions-at-scale service throughput (beyond the paper) |
 //! | E11 | [`sharded`] | sharded cluster service vs the flat engine (beyond the paper) |
+//! | E12 | [`control`] | control-plane policy sweep under shifting hot spots (beyond the paper) |
 //!
 //! [`run_all`] executes a reduced version of every experiment and returns
 //! the tables; the example binaries and `EXPERIMENTS.md` are produced from
@@ -27,6 +28,7 @@
 
 pub mod bound_check;
 pub mod comparison;
+pub mod control;
 pub mod dp_opt;
 pub mod figure1;
 pub mod layered;
@@ -224,6 +226,26 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         tables: vec![sharded::table(&sharded_points)],
     });
 
+    // E12 keeps its own pinned seed: the preset (load, churn, seed) is
+    // calibrated together so the control-plane comparison is a claim
+    // about one reproducible request vector.
+    let control_cfg = control::ControlStudyConfig::default();
+    let control_points = control::run(&control_cfg);
+    let baseline = &control_points[0];
+    let full = control_points.last().expect("control sweep is non-empty");
+    reports.push(ExperimentReport {
+        id: "E12",
+        headline: format!(
+            "Admission + rebalancing completed {} of {} sessions vs {} uncontrolled (p99 queue delay {} vs {})",
+            full.completed,
+            control_cfg.sessions,
+            baseline.completed,
+            full.p99_queue_delay,
+            baseline.p99_queue_delay
+        ),
+        tables: vec![control::table(&control_points)],
+    });
+
     reports
 }
 
@@ -251,7 +273,7 @@ mod tests {
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
         );
         for report in &reports {
             assert!(!report.tables.is_empty());
@@ -262,5 +284,6 @@ mod tests {
         assert!(md.contains("## E9"));
         assert!(md.contains("## E10"));
         assert!(md.contains("## E11"));
+        assert!(md.contains("## E12"));
     }
 }

@@ -45,6 +45,40 @@
 //! (all NaN-free via [`TrafficMetrics`]), and per-shard DP-cache
 //! statistics. The whole pipeline is deterministic: the same `(pool,
 //! config, requests)` produce a byte-identical serialized report.
+//!
+//! # The control plane
+//!
+//! With a [`ControlConfig`] the cluster stops being a batch replayer and
+//! becomes an online service loop: requests are consumed in fixed-size
+//! **epochs**, and between epochs the control plane observes and acts.
+//!
+//! * **Admission** ([`hnow_control::admission`]) — within each epoch,
+//!   admitted sessions execute shortest-planned-`R_T`-first among
+//!   same-instant arrivals, and sessions whose *predicted* queue delay
+//!   (from per-node busy horizons carried across epochs) already exceeds
+//!   their churn patience are shed before any planning effort is wasted
+//!   on simulation. Every session gets an explicit
+//!   `admitted`/`reordered`/`shed` decision in the report.
+//! * **Rebalancing** ([`hnow_control::rebalance`]) — a hysteresis
+//!   controller watches per-shard mean queue delay; when the hot/cold
+//!   divergence crosses the enter threshold, it migrates nodes (class-
+//!   aware, deterministic tie-breaks) from the hottest to the coldest
+//!   shard via [`ShardMap::migrate`], invalidating only the plan-cache
+//!   entries the shrunken shard can no longer satisfy.
+//! * **Gateway policy** ([`hnow_control::policy`]) — cross-shard gateway
+//!   election is pluggable: the fastest-member baseline, a load-aware
+//!   variant reading carried busy horizons, or a stitched-`R_T` estimate
+//!   minimizer, selected by name.
+//!
+//! Epochs couple through per-node busy horizons: each epoch's kernel run
+//! starts from the carried horizons and returns the next carry, so load
+//! admitted in epoch `e` delays epoch `e + 1` exactly as a service queue
+//! would. These *epoch-synchronous* semantics are intentionally not the
+//! batch path's one-global-pass semantics — a session arriving in a later
+//! epoch cannot overtake work already committed, even if its arrival time
+//! precedes an earlier epoch's completion. Within one configuration the
+//! loop keeps the full determinism contract: byte-identical serialized
+//! reports per `(pool, config, requests)` at every thread count.
 
 use crate::error::SimError;
 use crate::kernel;
@@ -52,18 +86,24 @@ use crate::sessions::{
     bind_node_map, children_lists, record_for, CacheStats, SessionRecord, SessionRuntime,
     TrafficConfig, TrafficMetrics,
 };
+use hnow_control::{
+    admit, find_policy, AdmissionDecision, AdmissionIntent, GatewayCandidate, GatewayPolicy,
+    Rebalancer,
+};
 use hnow_core::planner::{find, PlanContext, PlanRequest, Planner};
 use hnow_core::schedule::compose::compose;
 use hnow_core::ScheduleTree;
 use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest, ShardMap};
+
+pub use hnow_control::RebalanceConfig;
 use rayon::prelude::*;
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Configuration of a [`ShardedCluster`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardedClusterConfig {
     /// Number of shards the pool is partitioned into.
     pub shards: usize,
@@ -75,6 +115,11 @@ pub struct ShardedClusterConfig {
     /// for planners that consume the request seed, whose plans are not a
     /// pure function of the signature.
     pub plan_cache: bool,
+    /// LRU capacity of each plan cache (`None` = unbounded). Evictions and
+    /// hit rates surface per shard in the report.
+    pub plan_cache_capacity: Option<usize>,
+    /// Online control plane; `None` runs the original batch pipeline.
+    pub control: Option<ControlConfig>,
 }
 
 impl ShardedClusterConfig {
@@ -84,6 +129,8 @@ impl ShardedClusterConfig {
             shards,
             traffic: TrafficConfig::default(),
             plan_cache: true,
+            plan_cache_capacity: Some(256),
+            control: None,
         }
     }
 
@@ -93,6 +140,42 @@ impl ShardedClusterConfig {
             shards,
             traffic: TrafficConfig::for_planner(planner),
             plan_cache: true,
+            plan_cache_capacity: Some(256),
+            control: None,
+        }
+    }
+
+    /// Turns on the online control plane.
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = Some(control);
+        self
+    }
+}
+
+/// Configuration of the online control loop (see the
+/// [module docs](self#the-control-plane)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlConfig {
+    /// Sessions consumed per epoch (clamped to at least 1). Smaller epochs
+    /// react faster but amortize less planning.
+    pub epoch: usize,
+    /// Whether the admission controller reorders and sheds within epochs.
+    /// Off, every session is admitted in submission order.
+    pub admission: bool,
+    /// Gateway-election policy by name (see
+    /// [`hnow_control::policies()`](hnow_control::policies)).
+    pub policy: String,
+    /// Shard rebalancer; `None` keeps the partition static.
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            epoch: 64,
+            admission: true,
+            policy: "fastest-member".to_string(),
+            rebalance: None,
         }
     }
 }
@@ -116,6 +199,9 @@ pub struct ShardReport {
     /// The shard's DP-cache hit rate (0, never NaN, when nothing was looked
     /// up — e.g. an empty shard or a non-DP planner).
     pub dp_hit_rate: f64,
+    /// The shard's plan-cache statistics (all zeros when caching is off).
+    /// Evictions count both LRU pressure and rebalancing invalidations.
+    pub plan_cache: CacheStats,
     /// Distinct class signatures resident in the shard's plan cache after
     /// the run (0 when plan caching is off).
     pub plan_signatures: usize,
@@ -172,10 +258,55 @@ pub struct ShardedTrafficReport {
     pub gateway_dp_cache: CacheStats,
     /// Gateway DP-cache hit rate (0 when nothing was looked up).
     pub gateway_dp_hit_rate: f64,
+    /// The dispatcher's plan-cache statistics (gateway trees).
+    pub gateway_plan_cache: CacheStats,
+    /// Control-plane accounting; `None` for batch runs.
+    pub control: Option<ControlPlaneReport>,
     /// Per-shard aggregates, in shard order.
     pub per_shard: Vec<ShardReport>,
     /// One record per offered session, in request order.
     pub per_session: Vec<ShardedSessionRecord>,
+}
+
+/// One node migration committed by the rebalancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MigrationRecord {
+    /// Epoch after which the move was committed (0-based).
+    pub epoch: usize,
+    /// Global id of the migrated node.
+    pub node: usize,
+    /// Source (hot) shard.
+    pub from: usize,
+    /// Destination (cold) shard.
+    pub to: usize,
+    /// Workstation class of the node.
+    pub class: usize,
+}
+
+/// What the control plane decided and did over one run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControlPlaneReport {
+    /// Gateway policy that served cross-shard elections.
+    pub policy: String,
+    /// Whether the admission controller was active.
+    pub admission: bool,
+    /// Whether the rebalancer was active.
+    pub rebalance: bool,
+    /// Sessions consumed per epoch.
+    pub epoch: usize,
+    /// Sessions admitted at their submission rank.
+    pub admitted: usize,
+    /// Sessions admitted but executed at a different rank.
+    pub reordered: usize,
+    /// Sessions shed by predicted queue delay exceeding patience.
+    pub shed: usize,
+    /// Plan-cache entries invalidated by shard migrations.
+    pub plan_cache_invalidations: usize,
+    /// Committed node migrations, in commit order.
+    pub migrations: Vec<MigrationRecord>,
+    /// Per-session decision labels (`admitted`/`reordered`/`shed`), in
+    /// request order.
+    pub decisions: Vec<String>,
 }
 
 /// A planned tree shape shared by every session with one class signature.
@@ -192,9 +323,98 @@ struct CachedPlan {
 
 /// Plan-cache key: `(source class, per-class member counts)`.
 type PlanKey = (usize, Vec<usize>);
-/// Never iterated — only keyed lookups and `len()` (the report's
-/// `plan_signatures`) — so HashMap ordering cannot leak into report bytes.
-type PlanCache = HashMap<PlanKey, Arc<CachedPlan>>;
+
+/// LRU cache of planned tree shapes keyed by class signature.
+///
+/// The map is never iterated for output — only keyed lookups, `len()` (the
+/// report's `plan_signatures`) and evictions — and eviction picks the
+/// entry with the *unique* minimum use stamp, so HashMap iteration order
+/// cannot leak into report bytes.
+struct PlanCache {
+    map: HashMap<PlanKey, (u64, Arc<CachedPlan>)>,
+    /// Monotone use counter; every stamp in `map` is distinct.
+    clock: u64,
+    capacity: Option<usize>,
+    lookups: usize,
+    hits: usize,
+    misses: usize,
+    evictions: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: Option<usize>) -> Self {
+        PlanCache {
+            map: HashMap::new(),
+            clock: 0,
+            capacity,
+            lookups: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a signature, counting the hit or miss and refreshing the
+    /// entry's use stamp.
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<CachedPlan>> {
+        self.lookups += 1;
+        match self.map.get_mut(key) {
+            Some((stamp, plan)) => {
+                self.hits += 1;
+                self.clock += 1;
+                *stamp = self.clock;
+                Some(Arc::clone(plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly planned shape, evicting least-recently-used
+    /// entries while over capacity.
+    fn insert(&mut self, key: PlanKey, plan: Arc<CachedPlan>) {
+        self.clock += 1;
+        self.map.insert(key, (self.clock, plan));
+        if let Some(cap) = self.capacity {
+            let cap = cap.max(1);
+            while self.map.len() > cap {
+                let oldest = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(key, _)| key.clone())
+                    .expect("cache over capacity is non-empty");
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Drops every entry matching `pred`, counting the drops as evictions,
+    /// and returns how many were dropped (rebalancing invalidation).
+    fn evict_where(&mut self, mut pred: impl FnMut(&PlanKey) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|key, _| !pred(key));
+        let dropped = before - self.map.len();
+        self.evictions += dropped;
+        dropped
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
+}
 /// `(request index, runtime)` pairs of the sessions a worker admitted or
 /// simulated.
 type IndexedRuntimes = Vec<(usize, SessionRuntime)>;
@@ -241,8 +461,18 @@ impl<'a> ShardedCluster<'a> {
     }
 
     /// Plans and simulates the given sessions (global node ids), returning
-    /// the merged report.
+    /// the merged report. With [`ShardedClusterConfig::control`] set, runs
+    /// the epoch-synchronous control loop instead of the batch pipeline.
     pub fn run(&self, requests: &[SessionRequest]) -> Result<ShardedTrafficReport, SimError> {
+        match self.config.control.clone() {
+            Some(control) => self.run_controlled(requests, &control),
+            None => self.run_batch(requests),
+        }
+    }
+
+    /// The original batch pipeline: plan everything, simulate one global
+    /// pass, report.
+    fn run_batch(&self, requests: &[SessionRequest]) -> Result<ShardedTrafficReport, SimError> {
         let planner =
             find(&self.config.traffic.planner).ok_or_else(|| SimError::UnknownPlanner {
                 name: self.config.traffic.planner.clone(),
@@ -266,41 +496,14 @@ impl<'a> ShardedCluster<'a> {
         for (idx, request) in requests.iter().enumerate() {
             generation += 1;
             self.check_ids(request, &mut stamp, generation)?;
-            let home = self.map.shard_of(request.source);
-            let mut touched: Vec<usize> = request
-                .members
-                .iter()
-                .map(|&m| self.map.shard_of(m))
-                .filter(|&s| s != home)
-                .collect();
-            touched.sort_unstable();
-            touched.dedup();
-            let is_cross = !touched.is_empty();
-            let mut shards_touched = Vec::with_capacity(touched.len() + 1);
-            shards_touched.push(home);
-            shards_touched.extend(touched);
-            routing.push(Routing {
-                home,
-                cross: is_cross,
-                shards: shards_touched,
-            });
+            let route = route_for(&self.map, request);
+            let home = route.home;
+            let is_cross = route.cross;
+            routing.push(route);
             if is_cross {
                 cross.push(idx);
             } else {
-                intra[home].push((
-                    idx,
-                    SessionRequest {
-                        id: request.id,
-                        arrival: request.arrival,
-                        source: self.map.locate(request.source).1,
-                        members: request
-                            .members
-                            .iter()
-                            .map(|&m| self.map.locate(m).1)
-                            .collect(),
-                        patience: request.patience,
-                    },
-                ));
+                intra[home].push((idx, localize(&self.map, request)));
             }
         }
 
@@ -313,7 +516,7 @@ impl<'a> ShardedCluster<'a> {
             .par_iter()
             .map(|&(s, batch)| {
                 let ctx = new_ctx();
-                let mut cache: PlanCache = PlanCache::new();
+                let mut cache = PlanCache::new(self.config.plan_cache_capacity);
                 let pool = self.map.shard(s);
                 let mut runtimes = Vec::with_capacity(batch.len());
                 for (idx, local) in batch.iter() {
@@ -350,10 +553,11 @@ impl<'a> ShardedCluster<'a> {
 
         // Cross-shard sessions: gateway tree + per-shard subtrees, stitched.
         let gateway_ctx = new_ctx();
-        let mut gateway_cache: PlanCache = PlanCache::new();
+        let mut gateway_cache = PlanCache::new(self.config.plan_cache_capacity);
         for &idx in &cross {
             let runtime = self.admit_cross(
                 planner,
+                &self.map,
                 &requests[idx],
                 &routing[idx],
                 &gateway_ctx,
@@ -361,6 +565,7 @@ impl<'a> ShardedCluster<'a> {
                 &shard_ctxs,
                 &mut shard_caches,
                 caching,
+                None,
             )?;
             runtimes[idx] = Some(runtime);
         }
@@ -450,12 +655,317 @@ impl<'a> ShardedCluster<'a> {
             .collect();
 
         Ok(self.report(
+            &self.map,
             per_session,
             &busy_time,
             &shard_ctxs,
             &shard_caches,
             &gateway_ctx,
+            &gateway_cache,
             components,
+            None,
+        ))
+    }
+
+    /// The epoch-synchronous control loop (see the
+    /// [module docs](self#the-control-plane)): per epoch, plan → admit →
+    /// simulate from carried busy horizons, then maybe rebalance.
+    fn run_controlled(
+        &self,
+        requests: &[SessionRequest],
+        control: &ControlConfig,
+    ) -> Result<ShardedTrafficReport, SimError> {
+        let planner =
+            find(&self.config.traffic.planner).ok_or_else(|| SimError::UnknownPlanner {
+                name: self.config.traffic.planner.clone(),
+            })?;
+        let policy = find_policy(&control.policy).ok_or_else(|| SimError::UnknownPolicy {
+            name: control.policy.clone(),
+        })?;
+        let caching = self.config.plan_cache && !planner.capabilities().uses_seed;
+        let shards = self.map.num_shards();
+        let new_ctx = || match self.config.traffic.dp_cache_capacity {
+            Some(cap) => PlanContext::with_dp_capacity(cap),
+            None => PlanContext::new(),
+        };
+
+        // Long-lived state: the (mutable) partition, per-shard DP contexts
+        // and plan caches, and the per-node busy horizons coupling epochs.
+        let mut map = self.map.clone();
+        let shard_ctxs: Vec<PlanContext> = (0..shards).map(|_| new_ctx()).collect();
+        let mut shard_caches: Vec<PlanCache> = (0..shards)
+            .map(|_| PlanCache::new(self.config.plan_cache_capacity))
+            .collect();
+        let gateway_ctx = new_ctx();
+        let mut gateway_cache = PlanCache::new(self.config.plan_cache_capacity);
+        let specs: Vec<NodeSpec> = (0..self.pool.len())
+            .map(|g| self.pool.spec_of_node(g))
+            .collect();
+        let mut busy_until = vec![Time::ZERO; self.pool.len()];
+        let mut busy_time = vec![0u64; self.pool.len()];
+
+        let mut records: Vec<Option<ShardedSessionRecord>> = Vec::with_capacity(requests.len());
+        records.resize_with(requests.len(), || None);
+        let mut decisions: Vec<&'static str> = vec![""; requests.len()];
+        let mut rebalancer = control.rebalance.clone().map(Rebalancer::new);
+        let mut migrations: Vec<MigrationRecord> = Vec::new();
+        let mut invalidations = 0usize;
+        let mut components_total = 0usize;
+        let (mut n_admitted, mut n_reordered, mut n_shed) = (0usize, 0usize, 0usize);
+        let mut stamp = vec![0u32; self.pool.len()];
+        let mut generation = 0u32;
+
+        let epoch_len = control.epoch.max(1);
+        let epochs = requests.len().div_ceil(epoch_len);
+        for (epoch_no, batch) in requests.chunks(epoch_len).enumerate() {
+            let base = epoch_no * epoch_len;
+
+            // Plan every session of the epoch against the *current* map,
+            // in submission order (plan caches make repeats cheap).
+            let mut routes: Vec<Routing> = Vec::with_capacity(batch.len());
+            let mut runtimes: Vec<SessionRuntime> = Vec::with_capacity(batch.len());
+            for request in batch {
+                generation += 1;
+                self.check_ids(request, &mut stamp, generation)?;
+                let route = route_for(&map, request);
+                let runtime = if route.cross {
+                    self.admit_cross(
+                        planner,
+                        &map,
+                        request,
+                        &route,
+                        &gateway_ctx,
+                        caching.then_some(&mut gateway_cache),
+                        &shard_ctxs,
+                        &mut shard_caches,
+                        caching,
+                        Some((policy, busy_until.as_slice())),
+                    )?
+                } else {
+                    let s = route.home;
+                    let local = localize(&map, request);
+                    let cached = planned_for(
+                        planner,
+                        map.shard(s),
+                        &local,
+                        &shard_ctxs[s],
+                        caching.then_some(&mut shard_caches[s]),
+                        self.net,
+                    )?;
+                    let mut runtime = runtime_from(map.shard(s), &local, &cached);
+                    for node in &mut runtime.node_map {
+                        *node = map.global_of(s, *node);
+                    }
+                    runtime
+                };
+                routes.push(route);
+                runtimes.push(runtime);
+            }
+
+            // Admission: reorder same-instant arrivals shortest-planned-R_T
+            // first and shed sessions already doomed by their patience.
+            let (order, epoch_decisions) = if control.admission {
+                let intents: Vec<AdmissionIntent> = runtimes
+                    .iter()
+                    .map(|runtime| AdmissionIntent {
+                        arrival: runtime.arrival.raw(),
+                        deadline: runtime.deadline.map(|d| d.raw()),
+                        planned_reception: runtime.planned_reception.raw(),
+                        source: runtime.node_map[0],
+                        charges: charges_for(runtime, &specs),
+                    })
+                    .collect();
+                let mut clock: Vec<u64> = busy_until.iter().map(|t| t.raw()).collect();
+                let outcome = admit(&intents, &mut clock);
+                (outcome.order, outcome.decisions)
+            } else {
+                (
+                    (0..runtimes.len()).collect(),
+                    vec![AdmissionDecision::Admitted; runtimes.len()],
+                )
+            };
+            for (j, decision) in epoch_decisions.iter().enumerate() {
+                decisions[base + j] = decision.label();
+                match decision {
+                    AdmissionDecision::Admitted => n_admitted += 1,
+                    AdmissionDecision::Reordered => n_reordered += 1,
+                    AdmissionDecision::Shed => {
+                        n_shed += 1;
+                        runtimes[j].abandoned = true;
+                    }
+                }
+            }
+
+            // Contact-group the admitted sessions and simulate each
+            // component from the carried busy horizons. Execution order —
+            // the kernel's slice-position tie-break — is the admission
+            // order, which is how reordering takes effect.
+            let mut dsu = Dsu::new(self.pool.len());
+            for &j in &order {
+                let runtime = &runtimes[j];
+                let first = runtime.node_map[0];
+                for &node in &runtime.node_map[1..] {
+                    dsu.union(first, node);
+                }
+            }
+            let mut component_of_root: HashMap<usize, usize> = HashMap::new();
+            let mut component_sessions: Vec<IndexedRuntimes> = Vec::new();
+            let mut slots: Vec<Option<SessionRuntime>> = runtimes.into_iter().map(Some).collect();
+            for &j in &order {
+                let runtime = slots[j].take().expect("admission order has no duplicates");
+                let root = dsu.find(runtime.node_map[0]);
+                let slot = *component_of_root.entry(root).or_insert_with(|| {
+                    component_sessions.push(Vec::new());
+                    component_sessions.len() - 1
+                });
+                component_sessions[slot].push((j, runtime));
+            }
+            components_total += component_sessions.len();
+
+            type Simulated = (IndexedRuntimes, Vec<(usize, u64, Time)>);
+            let simulated: Vec<Simulated> = component_sessions
+                .into_par_iter()
+                .map(|sessions| {
+                    let mut nodes: Vec<usize> = sessions
+                        .iter()
+                        .flat_map(|(_, runtime)| runtime.node_map.iter().copied())
+                        .collect();
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    let dense_specs: Vec<NodeSpec> = nodes.iter().map(|&g| specs[g]).collect();
+                    let dense_busy0: Vec<Time> = nodes.iter().map(|&g| busy_until[g]).collect();
+                    let (idxs, mut locals): (Vec<usize>, Vec<SessionRuntime>) =
+                        sessions.into_iter().unzip();
+                    for runtime in &mut locals {
+                        for node in &mut runtime.node_map {
+                            *node = nodes
+                                .binary_search(node)
+                                .expect("a session's nodes are in its component");
+                        }
+                    }
+                    let carry =
+                        kernel::simulate_from(&dense_specs, self.net, &mut locals, &dense_busy0);
+                    let sparse: Vec<(usize, u64, Time)> = nodes
+                        .into_iter()
+                        .zip(carry.busy_time.into_iter().zip(carry.busy_until))
+                        .map(|(g, (busy, until))| (g, busy, until))
+                        .collect();
+                    (idxs.into_iter().zip(locals).collect(), sparse)
+                })
+                .collect();
+
+            // Positional merge; untouched nodes keep their horizons.
+            for (sessions, sparse) in simulated {
+                for (g, busy, until) in sparse {
+                    busy_time[g] += busy;
+                    busy_until[g] = until;
+                }
+                for (j, runtime) in sessions {
+                    slots[j] = Some(runtime);
+                }
+            }
+
+            // Records, plus the per-shard epoch signal for the rebalancer.
+            let mut delay_sum = vec![0u64; shards];
+            let mut delay_n = vec![0usize; shards];
+            for (j, slot) in slots.into_iter().enumerate() {
+                let runtime = slot.expect("every session was simulated or shed");
+                let route = &routes[j];
+                let record = record_for(&batch[j], &runtime);
+                if !record.abandoned {
+                    delay_sum[route.home] += record.queue_delay;
+                    delay_n[route.home] += 1;
+                }
+                records[base + j] = Some(ShardedSessionRecord {
+                    home_shard: route.home,
+                    cross: route.cross,
+                    shards: route.shards.clone(),
+                    record,
+                });
+            }
+
+            // Rebalance between epochs (never after the last — the loop
+            // only migrates where a future epoch can benefit).
+            if let Some(rebalancer) = rebalancer.as_mut() {
+                if epoch_no + 1 < epochs {
+                    let delays: Vec<f64> = (0..shards)
+                        .map(|s| {
+                            if delay_n[s] == 0 {
+                                0.0
+                            } else {
+                                delay_sum[s] as f64 / delay_n[s] as f64
+                            }
+                        })
+                        .collect();
+                    let class_counts: Vec<Vec<usize>> = (0..shards)
+                        .map(|s| {
+                            (0..self.pool.k())
+                                .map(|c| map.shard(s).nodes_of_class(c).len())
+                                .collect()
+                        })
+                        .collect();
+                    for mv in rebalancer.decide(&delays, &class_counts) {
+                        // Concrete node: the least-loaded of the class in
+                        // the hot shard, ties by lowest global id.
+                        let node = map
+                            .globals_of(mv.from)
+                            .iter()
+                            .copied()
+                            .filter(|&g| map.class_of(g) == mv.class)
+                            .min_by_key(|&g| (busy_time[g], g))
+                            .expect("the rebalancer only moves populated classes");
+                        map = map.migrate(node, mv.to).map_err(SimError::Sharding)?;
+                        // Cached plans are keyed by class signature over the
+                        // shared class table, so the only entries migration
+                        // invalidates are those the shrunken shard can no
+                        // longer bind to distinct nodes.
+                        let capacity: Vec<usize> = (0..self.pool.k())
+                            .map(|c| map.shard(mv.from).nodes_of_class(c).len())
+                            .collect();
+                        invalidations += shard_caches[mv.from].evict_where(|key| {
+                            let (source_class, counts) = key;
+                            counts.iter().enumerate().any(|(c, &need)| {
+                                need + usize::from(*source_class == c) > capacity[c]
+                            })
+                        });
+                        migrations.push(MigrationRecord {
+                            epoch: epoch_no,
+                            node,
+                            from: mv.from,
+                            to: mv.to,
+                            class: mv.class,
+                        });
+                    }
+                }
+            }
+        }
+
+        let per_session: Vec<ShardedSessionRecord> = records
+            .into_iter()
+            .map(|r| r.expect("every session was recorded"))
+            .collect();
+        let control_report = ControlPlaneReport {
+            policy: control.policy.clone(),
+            admission: control.admission,
+            rebalance: control.rebalance.is_some(),
+            epoch: epoch_len,
+            admitted: n_admitted,
+            reordered: n_reordered,
+            shed: n_shed,
+            plan_cache_invalidations: invalidations,
+            migrations,
+            decisions: decisions.into_iter().map(str::to_string).collect(),
+        };
+        Ok(self.report(
+            &map,
+            per_session,
+            &busy_time,
+            &shard_ctxs,
+            &shard_caches,
+            &gateway_ctx,
+            &gateway_cache,
+            components_total,
+            Some(control_report),
         ))
     }
 
@@ -485,10 +995,15 @@ impl<'a> ShardedCluster<'a> {
     /// Plans one cross-shard session: gateway tree over the designated
     /// gateways, one subtree per touched shard, composed and bound to
     /// global ids.
+    ///
+    /// `policy` swaps the baseline gateway election (fastest member, ties
+    /// by lowest global id) for a pluggable [`GatewayPolicy`] fed the
+    /// members' carried busy horizons; `None` keeps the baseline.
     #[allow(clippy::too_many_arguments)]
     fn admit_cross(
         &self,
         planner: &'static dyn Planner,
+        map: &ShardMap,
         request: &SessionRequest,
         route: &Routing,
         gateway_ctx: &PlanContext,
@@ -496,29 +1011,45 @@ impl<'a> ShardedCluster<'a> {
         shard_ctxs: &[PlanContext],
         shard_caches: &mut [PlanCache],
         caching: bool,
+        policy: Option<(&dyn GatewayPolicy, &[Time])>,
     ) -> Result<SessionRuntime, SimError> {
         // Members per touched shard. Keyed access only, but a BTreeMap
         // keeps even accidental iteration deterministic.
         let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &m in &request.members {
-            by_shard.entry(self.map.shard_of(m)).or_default().push(m);
+            by_shard.entry(map.shard_of(m)).or_default().push(m);
         }
-        // Gateway selection: the source at home; elsewhere the fastest
-        // member (ties by lowest global id). Members are collected in
-        // ascending-id order per shard, so `min_by` with speed_cmp-then-id
-        // is deterministic.
+        // Gateway selection: the source at home; elsewhere per policy —
+        // baseline is the fastest member (ties by lowest global id).
+        // Members are collected in ascending-id order per shard, so both
+        // the baseline `min_by` and a policy's first-minimum-wins argmin
+        // are deterministic.
         let mut gateways: Vec<usize> = Vec::with_capacity(route.shards.len() - 1);
         for &s in &route.shards[1..] {
             let members = &by_shard[&s];
-            let gw = *members
-                .iter()
-                .min_by(|&&a, &&b| {
-                    self.pool
-                        .spec_of_node(a)
-                        .speed_cmp(&self.pool.spec_of_node(b))
-                        .then(a.cmp(&b))
-                })
-                .expect("a touched shard has at least one member");
+            let gw = match policy {
+                Some((policy, busy)) => {
+                    let candidates: Vec<GatewayCandidate> = members
+                        .iter()
+                        .map(|&m| GatewayCandidate {
+                            node: m,
+                            spec: self.pool.spec_of_node(m),
+                            load: busy[m].raw(),
+                            shard_members: members.len(),
+                        })
+                        .collect();
+                    members[policy.select(&candidates)]
+                }
+                None => *members
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        self.pool
+                            .spec_of_node(a)
+                            .speed_cmp(&self.pool.spec_of_node(b))
+                            .then(a.cmp(&b))
+                    })
+                    .expect("a touched shard has at least one member"),
+            };
             gateways.push(gw);
         }
 
@@ -550,8 +1081,8 @@ impl<'a> ShardedCluster<'a> {
         let mut subtree_plans: Vec<Arc<CachedPlan>> = Vec::with_capacity(gateway_binding.len());
         let mut subtree_bindings: Vec<Vec<usize>> = Vec::with_capacity(gateway_binding.len());
         for &gw in &gateway_binding {
-            let (s, local_gw) = self.map.locate(gw);
-            let shard_pool = self.map.shard(s);
+            let (s, local_gw) = map.locate(gw);
+            let shard_pool = map.shard(s);
             // At home the source is the gateway (it is never a member), so
             // the filter keeps every home member; on remote shards it
             // removes the member promoted to gateway.
@@ -562,7 +1093,7 @@ impl<'a> ShardedCluster<'a> {
                         .iter()
                         .copied()
                         .filter(|&m| m != gw)
-                        .map(|m| self.map.locate(m).1)
+                        .map(|m| map.locate(m).1)
                         .collect()
                 })
                 .unwrap_or_default();
@@ -591,7 +1122,7 @@ impl<'a> ShardedCluster<'a> {
             subtree_bindings.push(
                 local_binding
                     .into_iter()
-                    .map(|l| self.map.global_of(s, l))
+                    .map(|l| map.global_of(s, l))
                     .collect(),
             );
             subtree_plans.push(plan);
@@ -632,15 +1163,21 @@ impl<'a> ShardedCluster<'a> {
         })
     }
 
-    /// Assembles the merged report.
+    /// Assembles the merged report. `map` is the partition at the end of
+    /// the run — for batch runs `self.map`, for controlled runs the map
+    /// after every committed migration.
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
+        map: &ShardMap,
         per_session: Vec<ShardedSessionRecord>,
         busy_time: &[u64],
         shard_ctxs: &[PlanContext],
         shard_caches: &[PlanCache],
         gateway_ctx: &PlanContext,
+        gateway_cache: &PlanCache,
         components: usize,
+        control: Option<ControlPlaneReport>,
     ) -> ShardedTrafficReport {
         let total = TrafficMetrics::from_records(per_session.iter().map(|s| &s.record), busy_time);
         let cross_records: Vec<&SessionRecord> = per_session
@@ -650,18 +1187,14 @@ impl<'a> ShardedCluster<'a> {
             .collect();
         let cross_sessions = cross_records.len();
         let cross = TrafficMetrics::from_records(cross_records, &[]);
-        let per_shard: Vec<ShardReport> = (0..self.map.num_shards())
+        let per_shard: Vec<ShardReport> = (0..map.num_shards())
             .map(|s| {
                 let records = per_session
                     .iter()
                     .filter(|r| !r.cross && r.home_shard == s)
                     .map(|r| &r.record);
-                let shard_busy: Vec<u64> = self
-                    .map
-                    .globals_of(s)
-                    .iter()
-                    .map(|&g| busy_time[g])
-                    .collect();
+                let shard_busy: Vec<u64> =
+                    map.globals_of(s).iter().map(|&g| busy_time[g]).collect();
                 let dp_cache = CacheStats::from_context(&shard_ctxs[s]);
                 let mut metrics = TrafficMetrics::from_records(records, &shard_busy);
                 // The shard's nodes also serve cross-shard sessions, whose
@@ -675,19 +1208,20 @@ impl<'a> ShardedCluster<'a> {
                 metrics.peak_node_utilization = peak_util;
                 ShardReport {
                     shard: s,
-                    nodes: self.map.shard(s).len(),
+                    nodes: map.shard(s).len(),
                     metrics,
                     dp_cache,
                     dp_hit_rate: dp_cache.hit_rate(),
+                    plan_cache: shard_caches[s].stats(),
                     plan_signatures: shard_caches[s].len(),
                 }
             })
             .collect();
         let gateway_dp_cache = CacheStats::from_context(gateway_ctx);
         ShardedTrafficReport {
-            schema: 1,
+            schema: 2,
             planner: self.config.traffic.planner.clone(),
-            shards: self.map.num_shards(),
+            shards: map.num_shards(),
             plan_cache: self.config.plan_cache,
             net_latency: self.net.latency().raw(),
             sessions: per_session.len(),
@@ -702,10 +1236,66 @@ impl<'a> ShardedCluster<'a> {
             cross,
             gateway_dp_cache,
             gateway_dp_hit_rate: gateway_dp_cache.hit_rate(),
+            gateway_plan_cache: gateway_cache.stats(),
+            control,
             per_shard,
             per_session,
         }
     }
+}
+
+/// Routes a (validated) request over the partition: home shard, cross
+/// flag, touched shards home-first-then-ascending.
+fn route_for(map: &ShardMap, request: &SessionRequest) -> Routing {
+    let home = map.shard_of(request.source);
+    let mut touched: Vec<usize> = request
+        .members
+        .iter()
+        .map(|&m| map.shard_of(m))
+        .filter(|&s| s != home)
+        .collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let cross = !touched.is_empty();
+    let mut shards = Vec::with_capacity(touched.len() + 1);
+    shards.push(home);
+    shards.extend(touched);
+    Routing {
+        home,
+        cross,
+        shards,
+    }
+}
+
+/// Rewrites an intra-shard request onto its home shard's local node ids.
+fn localize(map: &ShardMap, request: &SessionRequest) -> SessionRequest {
+    SessionRequest {
+        id: request.id,
+        arrival: request.arrival,
+        source: map.locate(request.source).1,
+        members: request.members.iter().map(|&m| map.locate(m).1).collect(),
+        patience: request.patience,
+    }
+}
+
+/// The admission charge of a session: its root's own send occupancy,
+/// charged to the root node only.
+///
+/// The charge is deliberately conservative. The admission clock starts
+/// from the carried per-node busy horizons, so `max(arrival,
+/// clock[source])` is a *lower bound* on when the session's first send
+/// can claim its source — earlier admitted sessions sharing the source
+/// claim it first (they sort ahead) and hold it for at least their own
+/// back-to-back sends. Shedding only when patience provably cannot
+/// outlast that bound means a shed session is one the kernel's churn
+/// gate would have abandoned anyway: shedding never costs goodput, it
+/// only converts a would-be abandonment into an explicit decision before
+/// any queue slot is taken. Charging whole trees instead would serialize
+/// work the FIFO kernel actually interleaves and over-shed badly.
+fn charges_for(runtime: &SessionRuntime, specs: &[NodeSpec]) -> Vec<(usize, u64)> {
+    let root = runtime.node_map[0];
+    let sends = runtime.children[0].len() as u64 * specs[root].send().raw();
+    vec![(root, sends)]
 }
 
 /// Returns the (possibly cached) plan shape for a request's class
@@ -717,7 +1307,7 @@ fn planned_for(
     pool: &NodePool,
     request: &SessionRequest,
     ctx: &PlanContext,
-    cache: Option<&mut PlanCache>,
+    mut cache: Option<&mut PlanCache>,
     net: NetParams,
 ) -> Result<Arc<CachedPlan>, SimError> {
     let mut counts = vec![0usize; pool.k()];
@@ -725,9 +1315,9 @@ fn planned_for(
         counts[pool.class_of(member)] += 1;
     }
     let key: PlanKey = (pool.class_of(request.source), counts);
-    if let Some(cache) = &cache {
+    if let Some(cache) = cache.as_deref_mut() {
         if let Some(cached) = cache.get(&key) {
-            return Ok(Arc::clone(cached));
+            return Ok(cached);
         }
     }
     let typed =
@@ -826,10 +1416,24 @@ impl Dsu {
 mod tests {
     use super::*;
     use crate::sessions::TrafficEngine;
-    use hnow_workload::{default_message_size, two_class_table, ShardedPattern};
+    use hnow_workload::{
+        default_message_size, two_class_table, ChurnProfile, HotSpotPattern, ShardedPattern,
+    };
 
     fn pool() -> NodePool {
         NodePool::new(two_class_table(), default_message_size(), &[12, 8]).unwrap()
+    }
+
+    /// Bursty shifting-hot-spot traffic with churn: the control plane's
+    /// target regime.
+    fn hot_requests(pool: &NodePool, shards: usize, n: usize, seed: u64) -> Vec<SessionRequest> {
+        let map = ShardMap::partition(pool, shards).unwrap();
+        let mut pattern = HotSpotPattern::bursty(4, 30, 2, 4, 24, 0.8);
+        pattern.base.churn = Some(ChurnProfile {
+            impatient_fraction: 0.5,
+            mean_patience: 120.0,
+        });
+        pattern.generate(&map, n, seed).unwrap()
     }
 
     /// Sharded requests with arrivals spaced far beyond any completion
@@ -937,6 +1541,8 @@ mod tests {
                 shards: 4,
                 traffic: TrafficConfig::for_planner(planner),
                 plan_cache,
+                plan_cache_capacity: Some(256),
+                control: None,
             };
             ShardedCluster::new(&pool, NetParams::new(2), config)
                 .unwrap()
@@ -1262,5 +1868,186 @@ mod tests {
         );
         assert!(report.total.peak_node_utilization > 0.0);
         assert!(report.total.peak_node_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn controlled_runs_are_byte_identical_and_decide_every_session() {
+        let pool = pool();
+        let requests = hot_requests(&pool, 4, 120, 7);
+        let config = ShardedClusterConfig::with_shards(4).with_control(ControlConfig {
+            epoch: 32,
+            admission: true,
+            policy: "load-aware".to_string(),
+            rebalance: Some(RebalanceConfig::default()),
+        });
+        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
+        let b = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
+        assert_eq!(a, b, "controlled runs must serialize byte-identically");
+        assert!(!a.contains("NaN"));
+        let report = cluster.run(&requests).unwrap();
+        let control = report.control.expect("controlled runs report control data");
+        assert_eq!(control.decisions.len(), 120);
+        assert!(control
+            .decisions
+            .iter()
+            .all(|d| matches!(d.as_str(), "admitted" | "reordered" | "shed")));
+        assert_eq!(control.admitted + control.reordered + control.shed, 120);
+        assert!(
+            control.reordered > 0,
+            "same-instant bursts of mixed group sizes must reorder"
+        );
+        assert_eq!(report.total.completed + report.total.abandoned, 120);
+    }
+
+    #[test]
+    fn shed_sessions_are_abandoned_without_starting() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 2).unwrap();
+        let mut requests = ShardedPattern::poisson(1.0, 5, 0.2)
+            .generate(&map, 60, 5)
+            .unwrap();
+        // A zero-instant stampede with tiny patience: the admission
+        // controller must predict the pile-up and shed.
+        for r in &mut requests {
+            r.arrival = Time::ZERO;
+            r.patience = Some(Time::new(30));
+        }
+        let config = ShardedClusterConfig::with_shards(2).with_control(ControlConfig {
+            epoch: 16,
+            ..ControlConfig::default()
+        });
+        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let report = cluster.run(&requests).unwrap();
+        let control = report.control.unwrap();
+        assert!(control.shed > 0, "the stampede must shed");
+        assert_eq!(
+            report.total.abandoned,
+            control.shed
+                + report
+                    .per_session
+                    .iter()
+                    .zip(&control.decisions)
+                    .filter(|(s, d)| s.record.abandoned && d.as_str() != "shed")
+                    .count()
+        );
+        for (s, decision) in report.per_session.iter().zip(&control.decisions) {
+            if decision == "shed" {
+                assert!(s.record.abandoned, "shed implies abandoned");
+                assert_eq!(s.record.started, None);
+                assert_eq!(s.record.reception_latency, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rebalancer_migrates_under_sustained_skew() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        // One shard stays hot for 60 sessions straight while the others
+        // idle: the divergence signal the rebalancer exists for.
+        let pattern = HotSpotPattern::bursty(6, 20, 2, 4, 60, 1.0);
+        let requests = pattern.generate(&map, 180, 13).unwrap();
+        let config = ShardedClusterConfig::with_shards(4).with_control(ControlConfig {
+            epoch: 30,
+            admission: false,
+            policy: "fastest-member".to_string(),
+            rebalance: Some(RebalanceConfig {
+                enter_gap: 1.0,
+                exit_gap: 0.5,
+                max_moves: 1,
+                min_shard_nodes: 2,
+            }),
+        });
+        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let report = cluster.run(&requests).unwrap();
+        let control = report.control.unwrap();
+        assert!(
+            !control.migrations.is_empty(),
+            "sustained skew must trigger at least one migration"
+        );
+        for m in &control.migrations {
+            assert_ne!(m.from, m.to);
+            assert!(m.node < pool.len());
+        }
+        // The report reflects the final partition, which still covers the
+        // whole pool.
+        assert_eq!(
+            report.per_shard.iter().map(|s| s.nodes).sum::<usize>(),
+            pool.len()
+        );
+        assert_eq!(report.total.completed + report.total.abandoned, 180);
+    }
+
+    #[test]
+    fn migrated_and_reverted_map_reports_byte_identically() {
+        let pool = pool();
+        let config = ShardedClusterConfig::with_shards(4).with_control(ControlConfig::default());
+        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config.clone()).unwrap();
+        // A twin whose map took a migration round-trip: same partition,
+        // so every decision and record must serialize identically.
+        let node = cluster.shard_map().globals_of(0)[0];
+        let roundtrip = cluster
+            .shard_map()
+            .migrate(node, 1)
+            .unwrap()
+            .migrate(node, 0)
+            .unwrap();
+        let twin = ShardedCluster {
+            pool: &pool,
+            map: roundtrip,
+            net: NetParams::new(2),
+            config,
+        };
+        let requests = hot_requests(&pool, 4, 96, 17);
+        let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
+        let b = serde_json::to_string(&twin.run(&requests).unwrap()).unwrap();
+        assert_eq!(a, b, "a migration round-trip must be observationally void");
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts_and_counts() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 1).unwrap();
+        let requests = ShardedPattern::poisson(4.0, 6, 0.0)
+            .generate(&map, 80, 3)
+            .unwrap();
+        let run = |capacity: Option<usize>| {
+            let mut config = ShardedClusterConfig::with_shards(1);
+            config.plan_cache_capacity = capacity;
+            ShardedCluster::new(&pool, NetParams::new(2), config)
+                .unwrap()
+                .run(&requests)
+                .unwrap()
+        };
+        let tight = run(Some(2));
+        let stats = tight.per_shard[0].plan_cache;
+        assert_eq!(stats.lookups, stats.hits + stats.misses);
+        assert!(stats.lookups > 0);
+        assert!(
+            stats.evictions > 0,
+            "80 sessions of varied signatures must overflow capacity 2"
+        );
+        assert!(tight.per_shard[0].plan_signatures <= 2);
+        let unbounded = run(None);
+        assert_eq!(unbounded.per_shard[0].plan_cache.evictions, 0);
+        assert_eq!(
+            tight.per_session, unbounded.per_session,
+            "eviction must never change results"
+        );
+    }
+
+    #[test]
+    fn unknown_policy_is_reported() {
+        let pool = pool();
+        let config = ShardedClusterConfig::with_shards(2).with_control(ControlConfig {
+            policy: "no-such-policy".to_string(),
+            ..ControlConfig::default()
+        });
+        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let requests = spaced_requests(&pool, 2, 0.0, 2);
+        let err = cluster.run(&requests).unwrap_err();
+        assert!(matches!(err, SimError::UnknownPolicy { ref name } if name == "no-such-policy"));
+        assert!(err.to_string().contains("no-such-policy"));
     }
 }

@@ -52,6 +52,12 @@ pub enum SimError {
     /// A sharded cluster could not partition its pool (zero shards, or more
     /// shards than nodes).
     Sharding(hnow_workload::WorkloadError),
+    /// A control configuration named a gateway policy missing from the
+    /// registry.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -81,6 +87,9 @@ impl fmt::Display for SimError {
                 write!(f, "session {session} is not a valid instance: {error}")
             }
             SimError::Sharding(e) => write!(f, "invalid shard partition: {e}"),
+            SimError::UnknownPolicy { name } => {
+                write!(f, "no gateway policy named {name:?} in the registry")
+            }
         }
     }
 }

@@ -70,6 +70,14 @@ enum KernelEvent {
 /// but the trailing fields must still be `Ord` for the tuple.
 type HeapItem = Reverse<(Time, u8, u64, usize, KernelEvent)>;
 
+/// Per-node state carried across epoch-synchronous kernel runs: the busy
+/// time accumulated by this run (the utilization numerator) and each
+/// node's busy horizon at the end of it (the next epoch's carry-in).
+pub(crate) struct CarryOut {
+    pub(crate) busy_time: Vec<u64>,
+    pub(crate) busy_until: Vec<Time>,
+}
+
 /// Runs every session to completion against shared per-node busy state and
 /// returns the accumulated busy time per node (the utilization numerator).
 ///
@@ -85,8 +93,26 @@ pub(crate) fn simulate(
     net: NetParams,
     sessions: &mut [SessionRuntime],
 ) -> Vec<u64> {
+    let idle = vec![Time::ZERO; specs.len()];
+    simulate_from(specs, net, sessions, &idle).busy_time
+}
+
+/// [`simulate`] with carried-in busy state: `busy0[node]` is the node's
+/// busy horizon at the start of this run (the control loop's
+/// epoch-synchronous carry). Each carried-busy node gets one initial
+/// band-1 `Free` wake at its horizon — before any injection, in ascending
+/// node order — so claims parking behind carried work are woken exactly
+/// like claims parking behind this run's own activities. An all-`ZERO`
+/// carry reproduces [`simulate`] event for event.
+pub(crate) fn simulate_from(
+    specs: &[NodeSpec],
+    net: NetParams,
+    sessions: &mut [SessionRuntime],
+    busy0: &[Time],
+) -> CarryOut {
     let n = specs.len();
-    let mut busy_until = vec![Time::ZERO; n];
+    debug_assert_eq!(busy0.len(), n);
+    let mut busy_until = busy0.to_vec();
     let mut busy_time = vec![0u64; n];
     let mut waiting: Vec<VecDeque<(usize, KernelEvent)>> = vec![VecDeque::new(); n];
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
@@ -102,6 +128,14 @@ pub(crate) fn simulate(
             heap.push(Reverse(($time, 1u8, seq, $slot, $event)));
             seq += 1;
         }};
+    }
+
+    // Arm one wake per carried-busy node (the slot field is meaningless
+    // for Free events).
+    for (node, &until) in busy_until.iter().enumerate() {
+        if until > Time::ZERO {
+            push!(until, 0, KernelEvent::Free { node });
+        }
     }
 
     loop {
@@ -234,5 +268,8 @@ pub(crate) fn simulate(
     debug_assert!(sessions
         .iter()
         .all(|session| session.abandoned || session.pending == 0));
-    busy_time
+    CarryOut {
+        busy_time,
+        busy_until,
+    }
 }

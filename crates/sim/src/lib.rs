@@ -59,7 +59,8 @@ pub mod trace;
 pub mod validate;
 
 pub use cluster::{
-    ShardReport, ShardedCluster, ShardedClusterConfig, ShardedSessionRecord, ShardedTrafficReport,
+    ControlConfig, ControlPlaneReport, MigrationRecord, RebalanceConfig, ShardReport,
+    ShardedCluster, ShardedClusterConfig, ShardedSessionRecord, ShardedTrafficReport,
 };
 pub use engine::{execute, execute_with_specs};
 pub use error::SimError;

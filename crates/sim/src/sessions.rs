@@ -164,6 +164,8 @@ pub struct TrafficMetrics {
     pub mean_reception_latency: f64,
     /// Median reception latency over completed sessions.
     pub p50_reception_latency: u64,
+    /// 95th-percentile reception latency over completed sessions.
+    pub p95_reception_latency: u64,
     /// 99th-percentile reception latency over completed sessions.
     pub p99_reception_latency: u64,
     /// Mean queue delay (start − arrival) over completed sessions.
@@ -224,6 +226,7 @@ impl TrafficMetrics {
                 latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
             },
             p50_reception_latency: percentile(50),
+            p95_reception_latency: percentile(95),
             p99_reception_latency: percentile(99),
             mean_queue_delay: if completed == 0 {
                 0.0
@@ -282,6 +285,8 @@ pub struct TrafficReport {
     pub mean_reception_latency: f64,
     /// Median reception latency over completed sessions.
     pub p50_reception_latency: u64,
+    /// 95th-percentile reception latency over completed sessions.
+    pub p95_reception_latency: u64,
     /// 99th-percentile reception latency over completed sessions.
     pub p99_reception_latency: u64,
     /// Mean queue delay (start − arrival) over completed sessions.
@@ -417,6 +422,7 @@ impl<'a> TrafficEngine<'a> {
             throughput_per_kilotick: metrics.throughput_per_kilotick,
             mean_reception_latency: metrics.mean_reception_latency,
             p50_reception_latency: metrics.p50_reception_latency,
+            p95_reception_latency: metrics.p95_reception_latency,
             p99_reception_latency: metrics.p99_reception_latency,
             mean_queue_delay: metrics.mean_queue_delay,
             mean_node_utilization: metrics.mean_node_utilization,

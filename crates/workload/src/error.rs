@@ -51,6 +51,17 @@ pub enum WorkloadError {
     },
     /// A cross-shard fraction outside `[0, 1]` (or non-finite) was supplied.
     InvalidFraction,
+    /// A node migration was rejected: unknown node or target shard, a no-op
+    /// move to the node's current shard, or a move that would empty the
+    /// source shard.
+    InvalidMigration {
+        /// Global id of the node asked to move.
+        global: usize,
+        /// Requested destination shard.
+        to_shard: usize,
+    },
+    /// A hot-spot pattern was configured with zero sessions per phase.
+    DegeneratePhase,
 }
 
 impl fmt::Display for WorkloadError {
@@ -81,6 +92,12 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::InvalidFraction => {
                 write!(f, "cross-shard fraction must be a finite value in [0, 1]")
+            }
+            WorkloadError::InvalidMigration { global, to_shard } => {
+                write!(f, "cannot migrate node {global} to shard {to_shard}")
+            }
+            WorkloadError::DegeneratePhase => {
+                write!(f, "hot-spot pattern needs at least one session per phase")
             }
         }
     }

@@ -13,9 +13,11 @@
 //! inputs, [`sweep`] builds the parameter series the experiment harness
 //! iterates over, [`traffic`] turns a cluster into a streaming
 //! *service* workload: seeded arrival processes emitting thousands of
-//! overlapping multicast session requests with churn, and [`sharding`]
+//! overlapping multicast session requests with churn, [`sharding`]
 //! partitions one large pool into class-aware shards and generates traffic
-//! with a controlled cross-shard fraction.
+//! with a controlled cross-shard fraction, and [`hotspot`] layers a
+//! deterministically shifting hot-spot phase schedule on top of a shard
+//! partition (the control plane's adversarial workload).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 pub mod cluster;
 pub mod error;
 pub mod generator;
+pub mod hotspot;
 pub mod profiles;
 pub mod scenario;
 pub mod sharding;
@@ -33,6 +36,7 @@ pub mod traffic;
 pub use cluster::{fast_slow_mix, ClusterSpec};
 pub use error::WorkloadError;
 pub use generator::{bimodal_cluster, RandomClusterConfig};
+pub use hotspot::HotSpotPattern;
 pub use profiles::{
     default_message_size, fast_workstation, figure1_class_table, legacy_workstation,
     midrange_workstation, slow_workstation, standard_class_table, two_class_table,

@@ -138,6 +138,60 @@ impl ShardMap {
         let home = self.shard_of(request.source);
         request.members.iter().any(|&m| self.shard_of(m) != home)
     }
+
+    /// Returns a new map with node `global` reassigned to `to_shard` and
+    /// every other assignment unchanged.
+    ///
+    /// The map is rebuilt from the modified assignment with exactly the
+    /// [`partition`](ShardMap::partition) construction — per-shard class
+    /// blocks in ascending global order — so local numberings stay
+    /// canonical and migrating a node back restores a structurally
+    /// identical map (the rebalancer's flap-free guarantee). Rejected with
+    /// [`WorkloadError::InvalidMigration`] when the node or shard does not
+    /// exist, the move is a no-op, or it would empty the source shard.
+    pub fn migrate(&self, global: usize, to_shard: usize) -> Result<ShardMap, WorkloadError> {
+        let nodes = self.num_nodes();
+        let invalid = || WorkloadError::InvalidMigration { global, to_shard };
+        if global >= nodes || to_shard >= self.num_shards() {
+            return Err(invalid());
+        }
+        let from = self.shard_of(global);
+        if from == to_shard || self.globals[from].len() <= 1 {
+            return Err(invalid());
+        }
+        let template = &self.shards[0];
+        let k = template.k();
+        let mut members: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); k]; self.num_shards()];
+        for g in 0..nodes {
+            let s = if g == global {
+                to_shard
+            } else {
+                self.shard_of(g)
+            };
+            members[s][self.class_of(g)].push(g);
+        }
+        let mut pools = Vec::with_capacity(self.num_shards());
+        let mut globals = Vec::with_capacity(self.num_shards());
+        let mut locate = vec![(0usize, 0usize); nodes];
+        for (s, by_class) in members.into_iter().enumerate() {
+            let counts: Vec<usize> = by_class.iter().map(Vec::len).collect();
+            let flat: Vec<usize> = by_class.into_iter().flatten().collect();
+            for (local, &g) in flat.iter().enumerate() {
+                locate[g] = (s, local);
+            }
+            pools.push(NodePool::new(
+                template.table().clone(),
+                template.message_size(),
+                &counts,
+            )?);
+            globals.push(flat);
+        }
+        Ok(ShardMap {
+            shards: pools,
+            locate,
+            globals,
+        })
+    }
 }
 
 /// A seeded traffic load over a [`ShardMap`] with an explicit cross-shard
@@ -330,6 +384,99 @@ mod tests {
                 assert!(block.windows(2).all(|w| w[0] < w[1]));
             }
         }
+    }
+
+    /// Checks every structural invariant the partitioner guarantees:
+    /// locate/global_of are inverse bijections, classes are preserved, every
+    /// shard is non-empty, and each shard's class blocks ascend by global id.
+    fn assert_map_invariants(map: &ShardMap, pool: &NodePool) {
+        assert_eq!(map.num_nodes(), pool.len());
+        let total: usize = map.shards().iter().map(NodePool::len).sum();
+        assert_eq!(total, pool.len());
+        for g in 0..pool.len() {
+            let (s, l) = map.locate(g);
+            assert_eq!(map.global_of(s, l), g, "locate/global_of must invert");
+            assert_eq!(map.shard_of(g), s);
+            assert_eq!(map.shard(s).class_of(l), pool.class_of(g));
+        }
+        for s in 0..map.num_shards() {
+            assert_ne!(map.shard(s).len(), 0, "shard {s} emptied");
+            let globals = map.globals_of(s);
+            assert_eq!(globals.len(), map.shard(s).len());
+            for c in 0..pool.k() {
+                let block: Vec<usize> = map
+                    .shard(s)
+                    .nodes_of_class(c)
+                    .iter()
+                    .map(|&l| globals[l])
+                    .collect();
+                assert!(
+                    block.windows(2).all(|w| w[0] < w[1]),
+                    "shard {s} class {c} block not ascending"
+                );
+            }
+        }
+    }
+
+    /// Structural equality of two maps through the public accessors (the
+    /// map holds no PartialEq-able state of its own).
+    fn assert_maps_identical(a: &ShardMap, b: &ShardMap) {
+        assert_eq!(a.num_shards(), b.num_shards());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for g in 0..a.num_nodes() {
+            assert_eq!(a.locate(g), b.locate(g));
+        }
+        for s in 0..a.num_shards() {
+            assert_eq!(a.globals_of(s), b.globals_of(s));
+        }
+    }
+
+    #[test]
+    fn migration_preserves_every_partition_invariant() {
+        // Exhaustive property sweep: every node to every foreign shard.
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        for g in 0..pool.len() {
+            for to in 0..4 {
+                if to == map.shard_of(g) {
+                    assert!(matches!(
+                        map.migrate(g, to),
+                        Err(WorkloadError::InvalidMigration { .. })
+                    ));
+                    continue;
+                }
+                let moved = map.migrate(g, to).unwrap();
+                assert_map_invariants(&moved, &pool);
+                assert_eq!(moved.shard_of(g), to);
+                assert_eq!(moved.class_of(g), map.class_of(g));
+                // Chained migrations stay sound too.
+                let back = moved.migrate(g, map.shard_of(g)).unwrap();
+                assert_map_invariants(&back, &pool);
+                assert_maps_identical(&back, &map);
+            }
+        }
+    }
+
+    #[test]
+    fn migration_rejects_invalid_moves() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        assert!(matches!(
+            map.migrate(pool.len(), 0),
+            Err(WorkloadError::InvalidMigration { .. })
+        ));
+        assert!(matches!(
+            map.migrate(0, 4),
+            Err(WorkloadError::InvalidMigration { .. })
+        ));
+        // Draining a singleton shard is refused.
+        let singletons = ShardMap::partition(&pool, pool.len()).unwrap();
+        assert!(matches!(
+            singletons.migrate(0, 1),
+            Err(WorkloadError::InvalidMigration { .. })
+        ));
+        let err = map.migrate(0, 99).unwrap_err();
+        assert!(err.to_string().contains("cannot migrate"));
     }
 
     #[test]

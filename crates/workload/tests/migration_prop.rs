@@ -1,0 +1,83 @@
+//! Property test of shard-map migration safety: for random pools, random
+//! shard counts and random migration sequences, every intermediate map
+//! keeps the global↔local id maps bijective, preserves every node's
+//! class, and never drains a shard — and undoing the sequence (reverse
+//! order, inverse moves) restores a partition identical to the original,
+//! so a migrated-then-reverted cluster is observationally the untouched
+//! one.
+
+use hnow_workload::{default_message_size, two_class_table, NodePool, ShardMap};
+use proptest::prelude::*;
+
+/// The full partition contract checked after every successful move.
+fn assert_invariants(map: &ShardMap, pool: &NodePool) {
+    assert_eq!(map.num_nodes(), pool.len());
+    let mut covered = 0;
+    for s in 0..map.num_shards() {
+        let globals = map.globals_of(s);
+        assert!(!globals.is_empty(), "shard {s} drained");
+        assert_eq!(globals.len(), map.shard(s).len());
+        covered += globals.len();
+        for (local, &g) in globals.iter().enumerate() {
+            assert_eq!(map.locate(g), (s, local), "locate inverts globals_of");
+            assert_eq!(map.global_of(s, local), g, "global_of inverts locate");
+            assert_eq!(map.shard_of(g), s);
+            assert_eq!(map.class_of(g), pool.class_of(g), "class preserved");
+            assert_eq!(map.shard(s).class_of(local), pool.class_of(g));
+        }
+    }
+    assert_eq!(covered, pool.len(), "partition covers every node once");
+}
+
+/// Structural equality through the public accessors.
+fn assert_same(a: &ShardMap, b: &ShardMap) {
+    assert_eq!(a.num_shards(), b.num_shards());
+    for s in 0..a.num_shards() {
+        assert_eq!(a.globals_of(s), b.globals_of(s), "shard {s} differs");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_migration_sequences_preserve_partition_invariants(
+        counts in (2usize..=6, 2usize..=6),
+        shards in 2usize..=4,
+        ops in prop::collection::vec((0usize..64, 0usize..8), 1..=8),
+    ) {
+        let (c0, c1) = counts;
+        let pool =
+            NodePool::new(two_class_table(), default_message_size(), &[c0, c1]).unwrap();
+        let shards = shards.min(pool.len());
+        let original = ShardMap::partition(&pool, shards).unwrap();
+        assert_invariants(&original, &pool);
+
+        let mut map = original.clone();
+        let mut applied: Vec<(usize, usize)> = Vec::new();
+        for &(node_sel, shard_sel) in &ops {
+            let node = node_sel % pool.len();
+            let to = shard_sel % shards;
+            let from = map.shard_of(node);
+            match map.migrate(node, to) {
+                Ok(next) => {
+                    map = next;
+                    assert_invariants(&map, &pool);
+                    applied.push((node, from));
+                }
+                Err(_) => {
+                    // Only no-ops and drains are rejectable here.
+                    prop_assert!(to == from || map.globals_of(from).len() == 1);
+                }
+            }
+        }
+
+        // Undo in reverse order: each inverse move must succeed and land
+        // back on the exact original partition.
+        for (node, back_to) in applied.into_iter().rev() {
+            map = map.migrate(node, back_to).unwrap();
+            assert_invariants(&map, &pool);
+        }
+        assert_same(&map, &original);
+    }
+}

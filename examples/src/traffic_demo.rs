@@ -6,7 +6,7 @@
 //! ```text
 //! traffic_demo [--sessions N] [--seed S] [--planner NAME] [--mean-gap G]
 //!              [--group N] [--churn] [--shards N] [--cross-shard-frac F]
-//!              [--threads N] [--out PATH]
+//!              [--policy NAME] [--rebalance] [--threads N] [--out PATH]
 //! ```
 //!
 //! A seeded Poisson session stream (default: 1000 sessions, mean gap 12,
@@ -15,14 +15,19 @@
 //! pool is partitioned into N class-aware shards served by the sharded
 //! dispatcher, and `--cross-shard-frac F` makes the given fraction of
 //! sessions span at least two shards (gateway-stitched planning; requires
-//! `--shards`). `--threads N` runs the whole pipeline inside a rayon pool
-//! of N worker threads (0 = automatic). Either way the run is
-//! deterministic: the same arguments — at *any* `--threads` value —
+//! `--shards`). `--policy NAME` turns the sharded dispatcher into the
+//! online control-plane loop (epoch-batched admission with the named
+//! gateway policy — `fastest-member`, `load-aware` or `stitched-rt-min`)
+//! and `--rebalance` additionally enables the hysteresis-gated shard
+//! rebalancer (implies the default policy when `--policy` is omitted;
+//! both require `--shards`). `--threads N` runs the whole pipeline inside
+//! a rayon pool of N worker threads (0 = automatic). Either way the run
+//! is deterministic: the same arguments — at *any* `--threads` value —
 //! always produce a byte-identical report, which `--out` writes as JSON.
 //! `--churn` makes 30% of the sessions impatient.
 
 use hnow_model::NetParams;
-use hnow_sim::cluster::{ShardedCluster, ShardedClusterConfig};
+use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
 use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{default_message_size, two_class_table, ShardMap, ShardedPattern};
@@ -46,6 +51,8 @@ fn main() -> ExitCode {
     let mut churn = false;
     let mut shards = 1usize;
     let mut cross_frac: Option<f64> = None;
+    let mut policy: Option<String> = None;
+    let mut rebalance = false;
     let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -67,6 +74,8 @@ fn main() -> ExitCode {
             "--cross-shard-frac" => {
                 cross_frac = Some(parse("--cross-shard-frac", take("--cross-shard-frac")));
             }
+            "--policy" => policy = Some(take("--policy")),
+            "--rebalance" => rebalance = true,
             "--threads" => threads = Some(parse("--threads", take("--threads"))),
             "--out" => out = Some(take("--out")),
             other => {
@@ -74,7 +83,8 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: traffic_demo [--sessions N] [--seed S] [--planner NAME] \
                      [--mean-gap G] [--group N] [--churn] [--shards N] \
-                     [--cross-shard-frac F] [--threads N] [--out PATH]"
+                     [--cross-shard-frac F] [--policy NAME] [--rebalance] \
+                     [--threads N] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -92,6 +102,15 @@ fn main() -> ExitCode {
         eprintln!("--cross-shard-frac must be a finite value in [0, 1]");
         return ExitCode::FAILURE;
     }
+    if (policy.is_some() || rebalance) && shards < 2 {
+        eprintln!("--policy and --rebalance require --shards with at least 2 shards");
+        return ExitCode::FAILURE;
+    }
+    let control = (policy.is_some() || rebalance).then(|| ControlConfig {
+        policy: policy.unwrap_or_else(|| String::from("fastest-member")),
+        rebalance: rebalance.then(RebalanceConfig::default),
+        ..ControlConfig::default()
+    });
 
     let pool = match NodePool::new(two_class_table(), default_message_size(), &[32, 16]) {
         Ok(pool) => pool,
@@ -120,6 +139,7 @@ fn main() -> ExitCode {
                 &planner,
                 shards,
                 cross_frac.unwrap_or(0.0),
+                control,
                 out,
             );
         }
@@ -203,6 +223,7 @@ fn run_sharded(
     planner: &str,
     shards: usize,
     cross_frac: f64,
+    control: Option<ControlConfig>,
     out: Option<String>,
 ) -> ExitCode {
     let map = match ShardMap::partition(pool, shards) {
@@ -223,11 +244,9 @@ fn run_sharded(
             return ExitCode::FAILURE;
         }
     };
-    let cluster = match ShardedCluster::new(
-        pool,
-        NetParams::new(2),
-        ShardedClusterConfig::for_planner(shards, planner),
-    ) {
+    let mut config = ShardedClusterConfig::for_planner(shards, planner);
+    config.control = control;
+    let cluster = match ShardedCluster::new(pool, NetParams::new(2), config) {
         Ok(cluster) => cluster,
         Err(err) => {
             eprintln!("failed to build the sharded cluster: {err}");
@@ -271,6 +290,17 @@ fn run_sharded(
         report.total.p99_reception_latency,
         report.total.mean_queue_delay
     );
+    if let Some(control) = &report.control {
+        println!(
+            "  control: policy {}  admitted {}  reordered {}  shed {}  migrations {}  cache invalidations {}",
+            control.policy,
+            control.admitted,
+            control.reordered,
+            control.shed,
+            control.migrations.len(),
+            control.plan_cache_invalidations
+        );
+    }
     for shard in &report.per_shard {
         println!(
             "  shard {}: {} nodes, {} sessions, p99 {}, dp hit rate {:.3}, {} plan signatures",
