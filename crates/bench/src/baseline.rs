@@ -7,8 +7,10 @@
 //! batched `plan_many` facade, a traffic-engine soak, a sharded-cluster
 //! soak (`sharded_soak`, the dispatcher + gateway-stitching path), a
 //! thread-scaling soak (`parallel_soak`, the same sharded run under 1- and
-//! 8-thread rayon pools), and a control-plane soak (`control_plane`, the
-//! epoch-batched service loop with admission toggled on and off) — and
+//! 8-thread rayon pools), a control-plane soak (`control_plane`, the
+//! epoch-batched service loop with admission toggled on and off), and a
+//! lossy-repair soak (`lossy_soak`, the flat engine under 5% injected loss
+//! with NACK-driven repair, per repairer placement) — and
 //! renders the
 //! results as a serializable [`BaselineReport`], written to
 //! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
@@ -25,9 +27,11 @@
 use hnow_core::algorithms::dp::{DpFillMode, DpTable};
 use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
 use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
+use hnow_core::RepairPlacement;
 use hnow_model::{MessageSize, NetParams, TypedMulticast};
 use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
 use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
+use hnow_sim::LossProfile;
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{standard_class_table, two_class_table, ShardMap, ShardedPattern};
 use serde::{Deserialize, Serialize};
@@ -123,6 +127,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     sharded_soak_cases(mode, &mut cases);
     parallel_soak_cases(mode, &mut cases);
     control_plane_cases(mode, &mut cases);
+    lossy_soak_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -462,6 +467,63 @@ fn control_plane_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     }
 }
 
+/// Lossy-traffic soak: the `traffic_soak` stream re-run under 5% injected
+/// iid loss with NACK-driven repair, once per repairer placement (plus the
+/// lossless anchor with the fault layer disabled). The anchor-vs-lossy gap
+/// prices the repair machinery itself — keyed loss draws, the band-2 repair
+/// events and the extra port occupancy — and the placement pair tracks how
+/// much of that cost is queueing behind the source's one port.
+fn lossy_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[32, 16],
+        },
+    )
+    .expect("soak pool is valid");
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (64usize, 2u64),
+        BaselineMode::Full => (512, 3),
+    };
+    let pattern = TrafficPattern::poisson(12.0, 6);
+    let requests = pattern
+        .generate(&pool, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    let variants: [(&str, Option<LossProfile>, RepairPlacement); 3] = [
+        ("lossless", None, RepairPlacement::SourceOnly),
+        (
+            "source-only",
+            Some(LossProfile::iid(0.05, 0xFA)),
+            RepairPlacement::SourceOnly,
+        ),
+        (
+            "subtree-root",
+            Some(LossProfile::iid(0.05, 0xFA)),
+            RepairPlacement::SubtreeRoot,
+        ),
+    ];
+    for (variant, loss, repair) in variants {
+        let config = TrafficConfig {
+            loss,
+            repair,
+            ..TrafficConfig::for_planner("greedy+leaf")
+        };
+        let engine = TrafficEngine::new(&pool, net, config);
+        cases.push(time_case(
+            "lossy_soak",
+            format!("lossy_soak/{variant}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                black_box(engine.run(black_box(&requests)).expect("soak run succeeds"));
+            },
+        ));
+    }
+}
+
 /// How one baseline entry moved between two reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct CaseDelta {
@@ -616,6 +678,9 @@ mod tests {
                 "parallel_soak/threads8/256",
                 "control_plane/admission-on/64",
                 "control_plane/admission-off/64",
+                "lossy_soak/lossless/64",
+                "lossy_soak/source-only/64",
+                "lossy_soak/subtree-root/64",
             ]
         );
         for case in &report.cases {

@@ -86,5 +86,5 @@ pub use error::CoreError;
 pub use planner::{Capabilities, DpCache, Plan, PlanContext, PlanRequest, Planner, PlannerKind};
 pub use schedule::{
     compose, delivery_completion, evaluate, evaluate_with_specs, is_layered, reception_completion,
-    refine_leaves, ComposedSchedule, ScheduleTiming, ScheduleTree,
+    refine_leaves, ComposedSchedule, RepairPlacement, ScheduleTiming, ScheduleTree,
 };

@@ -2,12 +2,14 @@
 
 pub mod compose;
 pub mod ops;
+pub mod repair;
 pub mod times;
 pub mod tree;
 pub mod validate;
 
 pub use compose::{compose, ComposedSchedule};
 pub use ops::{refine_leaves, reverse_children_of};
+pub use repair::{RepairPlacement, REPAIR_PLACEMENTS};
 pub use times::{
     delivery_completion, evaluate, evaluate_with_specs, reception_completion, ScheduleTiming,
 };

@@ -17,6 +17,7 @@
 //! | E10 | [`traffic`] | sessions-at-scale service throughput (beyond the paper) |
 //! | E11 | [`sharded`] | sharded cluster service vs the flat engine (beyond the paper) |
 //! | E12 | [`control`] | control-plane policy sweep under shifting hot spots (beyond the paper) |
+//! | E13 | [`reliability`] | repairer placement under injected loss (beyond the paper) |
 //!
 //! [`run_all`] executes a reduced version of every experiment and returns
 //! the tables; the example binaries and `EXPERIMENTS.md` are produced from
@@ -33,6 +34,7 @@ pub mod dp_opt;
 pub mod figure1;
 pub mod layered;
 pub mod leaf_reversal;
+pub mod reliability;
 pub mod robustness;
 pub mod scaling;
 pub mod sharded;
@@ -246,6 +248,28 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         tables: vec![control::table(&control_points)],
     });
 
+    // E13 keeps its own pinned seeds for the same reason as E12: the
+    // request vector, the loss draws and the burst geometry are calibrated
+    // together, so the placement comparison is a claim about one
+    // reproducible lossy scenario.
+    let reliability_cfg = reliability::ReliabilityStudyConfig::default();
+    let reliability_points = reliability::run(&reliability_cfg);
+    let worst = reliability_points
+        .iter()
+        .map(|p| p.residual_loss)
+        .fold(0.0, f64::max);
+    let repairs: u64 = reliability_points.iter().map(|p| p.repair_sends).sum();
+    reports.push(ExperimentReport {
+        id: "E13",
+        headline: format!(
+            "Injected loss swept over {} placements × {} rates: {repairs} repairs sent, worst residual loss {:.4}",
+            reliability::PLACEMENTS.len(),
+            reliability_cfg.rates.len(),
+            worst
+        ),
+        tables: vec![reliability::table(&reliability_points)],
+    });
+
     reports
 }
 
@@ -273,7 +297,7 @@ mod tests {
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"]
+            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
         );
         for report in &reports {
             assert!(!report.tables.is_empty());
@@ -285,5 +309,6 @@ mod tests {
         assert!(md.contains("## E10"));
         assert!(md.contains("## E11"));
         assert!(md.contains("## E12"));
+        assert!(md.contains("## E13"));
     }
 }

@@ -5,13 +5,16 @@
 //! agree with the closed-form times (model-fidelity check — the stand-in for
 //! the paper's testbed validation of the model), and (ii) how gracefully do
 //! the strategies degrade when the *actual* overheads at run time deviate
-//! from the nominal values the schedule was planned with?
+//! from the nominal values the schedule was planned with? Perturbed replays
+//! go through the simulator crate's unified occupancy kernel
+//! ([`PerturbConfig::replay`]), the same loop that executes traffic-engine
+//! and sharded-cluster sessions.
 
 use crate::comparison::resolve_planners;
 use crate::table::Table;
 use hnow_core::planner::PlanRequest;
 use hnow_model::models::Instance;
-use hnow_sim::{check_against_analytic, execute_with_specs, PerturbConfig};
+use hnow_sim::{check_against_analytic, PerturbConfig};
 use hnow_workload::RandomClusterConfig;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -86,11 +89,9 @@ pub fn run(config: &RobustnessConfig) -> Vec<RobustnessSample> {
             let mut worst = 0u64;
             for trial in 0..config.trials {
                 let perturb = PerturbConfig::new(config.jitter, config.seed ^ (trial as u64 + 1));
-                let specs = perturb.perturb(&instance.set);
-                let trace = execute_with_specs(&plan.tree, &specs, instance.net)
-                    .expect("perturbed execution of a complete schedule succeeds");
-                total += trace.completion.raw();
-                worst = worst.max(trace.completion.raw());
+                let (_, reception) = perturb.replay(&plan.tree, &instance.set, instance.net);
+                total += reception.raw();
+                worst = worst.max(reception.raw());
             }
             RobustnessSample {
                 strategy: plan.planner.to_string(),

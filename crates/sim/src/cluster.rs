@@ -83,8 +83,8 @@
 use crate::error::SimError;
 use crate::kernel;
 use crate::sessions::{
-    bind_node_map, children_lists, record_for, CacheStats, SessionRecord, SessionRuntime,
-    TrafficConfig, TrafficMetrics,
+    bind_node_map, children_lists, record_for, CacheStats, ReliabilityReport, SessionRecord,
+    SessionRuntime, TrafficConfig, TrafficMetrics,
 };
 use hnow_control::{
     admit, find_policy, AdmissionDecision, AdmissionIntent, GatewayCandidate, GatewayPolicy,
@@ -92,7 +92,7 @@ use hnow_control::{
 };
 use hnow_core::planner::{find, PlanContext, PlanRequest, Planner};
 use hnow_core::schedule::compose::compose;
-use hnow_core::ScheduleTree;
+use hnow_core::{RepairPlacement, ScheduleTree};
 use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest, ShardMap};
 
@@ -254,6 +254,9 @@ pub struct ShardedTrafficReport {
     /// Aggregates over cross-shard sessions only (utilization fields are 0
     /// here — cross sessions borrow nodes accounted to their shards).
     pub cross: TrafficMetrics,
+    /// Loss, repair and degradation aggregates over every session
+    /// (all-zero/fixed-point on lossless runs).
+    pub reliability: ReliabilityReport,
     /// The dispatcher's DP-cache statistics (gateway-tree planning).
     pub gateway_dp_cache: CacheStats,
     /// Gateway DP-cache hit rate (0 when nothing was looked up).
@@ -317,6 +320,10 @@ struct CachedPlan {
     children: Arc<Vec<Vec<usize>>>,
     /// Tree node ids per class, for binding to concrete nodes.
     locals_by_class: Vec<Vec<NodeId>>,
+    /// Repairer assignment over the tree's local ids (`Some` only on lossy
+    /// runs; the policy is constant per run, so it cannot split cache
+    /// keys).
+    repairer: Option<Arc<Vec<usize>>>,
     planned_reception: Time,
     planned_delivery: Time,
 }
@@ -470,6 +477,16 @@ impl<'a> ShardedCluster<'a> {
         }
     }
 
+    /// The repairer-placement policy for plan annotation — `Some` only
+    /// when loss injection is configured.
+    fn repair_policy(&self) -> Option<RepairPlacement> {
+        self.config
+            .traffic
+            .loss
+            .as_ref()
+            .map(|_| self.config.traffic.repair)
+    }
+
     /// The original batch pipeline: plan everything, simulate one global
     /// pass, report.
     fn run_batch(&self, requests: &[SessionRequest]) -> Result<ShardedTrafficReport, SimError> {
@@ -527,6 +544,7 @@ impl<'a> ShardedCluster<'a> {
                         &ctx,
                         caching.then_some(&mut cache),
                         self.net,
+                        self.repair_policy(),
                     )?;
                     let mut runtime = runtime_from(pool, local, &cached);
                     // Rebase the node map onto global ids for simulation.
@@ -617,6 +635,8 @@ impl<'a> ShardedCluster<'a> {
                 nodes.sort_unstable();
                 nodes.dedup();
                 let dense_specs: Vec<NodeSpec> = nodes.iter().map(|&g| specs[g]).collect();
+                let dense_class: Vec<usize> =
+                    nodes.iter().map(|&g| self.pool.class_of(g)).collect();
                 let (idxs, mut locals): (Vec<usize>, Vec<SessionRuntime>) =
                     sessions.into_iter().unzip();
                 for runtime in &mut locals {
@@ -626,7 +646,16 @@ impl<'a> ShardedCluster<'a> {
                             .expect("a session's nodes are in its component");
                     }
                 }
-                let busy = kernel::simulate(&dense_specs, self.net, &mut locals);
+                let faults = self
+                    .config
+                    .traffic
+                    .loss
+                    .as_ref()
+                    .map(|profile| kernel::FaultCtx {
+                        profile,
+                        class_of: &dense_class,
+                    });
+                let busy = kernel::simulate(&dense_specs, self.net, &mut locals, faults.as_ref());
                 let sparse: Vec<(usize, u64)> = nodes.into_iter().zip(busy).collect();
                 let sessions: IndexedRuntimes = idxs.into_iter().zip(locals).collect();
                 (sessions, sparse)
@@ -751,6 +780,7 @@ impl<'a> ShardedCluster<'a> {
                         &shard_ctxs[s],
                         caching.then_some(&mut shard_caches[s]),
                         self.net,
+                        self.repair_policy(),
                     )?;
                     let mut runtime = runtime_from(map.shard(s), &local, &cached);
                     for node in &mut runtime.node_map {
@@ -833,6 +863,8 @@ impl<'a> ShardedCluster<'a> {
                     nodes.sort_unstable();
                     nodes.dedup();
                     let dense_specs: Vec<NodeSpec> = nodes.iter().map(|&g| specs[g]).collect();
+                    let dense_class: Vec<usize> =
+                        nodes.iter().map(|&g| self.pool.class_of(g)).collect();
                     let dense_busy0: Vec<Time> = nodes.iter().map(|&g| busy_until[g]).collect();
                     let (idxs, mut locals): (Vec<usize>, Vec<SessionRuntime>) =
                         sessions.into_iter().unzip();
@@ -843,8 +875,22 @@ impl<'a> ShardedCluster<'a> {
                                 .expect("a session's nodes are in its component");
                         }
                     }
-                    let carry =
-                        kernel::simulate_from(&dense_specs, self.net, &mut locals, &dense_busy0);
+                    let faults =
+                        self.config
+                            .traffic
+                            .loss
+                            .as_ref()
+                            .map(|profile| kernel::FaultCtx {
+                                profile,
+                                class_of: &dense_class,
+                            });
+                    let carry = kernel::simulate_from(
+                        &dense_specs,
+                        self.net,
+                        &mut locals,
+                        &dense_busy0,
+                        faults.as_ref(),
+                    );
                     let sparse: Vec<(usize, u64, Time)> = nodes
                         .into_iter()
                         .zip(carry.busy_time.into_iter().zip(carry.busy_until))
@@ -1068,6 +1114,7 @@ impl<'a> ShardedCluster<'a> {
             gateway_ctx,
             gateway_cache,
             self.net,
+            self.repair_policy(),
         )?;
         // Gateway-tree node id -> global gateway id.
         let gateway_binding = bind_node_map(
@@ -1114,6 +1161,7 @@ impl<'a> ShardedCluster<'a> {
                     &shard_ctxs[s],
                     caching.then_some(&mut shard_caches[s]),
                     self.net,
+                    self.repair_policy(),
                 )?
             };
             // Subtree-local tree id -> global id.
@@ -1148,11 +1196,19 @@ impl<'a> ShardedCluster<'a> {
             }
         }
         debug_assert_eq!(node_map[0], request.source);
+        // Cross-shard repairer placement works over the *composed* tree —
+        // the `gateway` policy reads the stitch maps to send every member
+        // to its own shard's gateway.
+        let repairer = self
+            .repair_policy()
+            .map(|policy| Arc::new(policy.assign_composed(&composed)));
         Ok(SessionRuntime {
+            id: request.id,
             arrival: request.arrival,
             deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
             node_map,
             children: Arc::new(children_lists(&composed.tree)),
+            repairer,
             planned_reception: composed.timing.reception_completion(),
             planned_delivery: composed.timing.delivery_completion(),
             started: None,
@@ -1160,6 +1216,10 @@ impl<'a> ShardedCluster<'a> {
             pending: request.members.len(),
             completed_at: request.arrival,
             delivered_at: request.arrival,
+            nacks: 0,
+            repair_sends: 0,
+            failed_members: 0,
+            repair_delays: Vec::new(),
         })
     }
 
@@ -1218,8 +1278,10 @@ impl<'a> ShardedCluster<'a> {
             })
             .collect();
         let gateway_dp_cache = CacheStats::from_context(gateway_ctx);
+        let reliability = ReliabilityReport::from_records(per_session.iter().map(|s| &s.record));
         ShardedTrafficReport {
-            schema: 2,
+            // Schema 3: reliability section + per-session repair fields.
+            schema: 3,
             planner: self.config.traffic.planner.clone(),
             shards: map.num_shards(),
             plan_cache: self.config.plan_cache,
@@ -1234,6 +1296,7 @@ impl<'a> ShardedCluster<'a> {
             components,
             total,
             cross,
+            reliability,
             gateway_dp_cache,
             gateway_dp_hit_rate: gateway_dp_cache.hit_rate(),
             gateway_plan_cache: gateway_cache.stats(),
@@ -1309,6 +1372,7 @@ fn planned_for(
     ctx: &PlanContext,
     mut cache: Option<&mut PlanCache>,
     net: NetParams,
+    repair: Option<RepairPlacement>,
 ) -> Result<Arc<CachedPlan>, SimError> {
     let mut counts = vec![0usize; pool.k()];
     for &member in &request.members {
@@ -1333,11 +1397,16 @@ fn planned_for(
             session: request.id,
             error,
         })?;
+    // Tree-node specs of the canonical instance, for repairer placement
+    // (the set is about to move into the plan request).
+    let tree_specs: Vec<NodeSpec> = (0..set.num_nodes()).map(|v| set.spec(NodeId(v))).collect();
     let plan_request = PlanRequest::new(set, net).with_seed(request.id);
     let plan = planner.plan_with(&plan_request, ctx)?;
+    let repairer = repair.map(|policy| Arc::new(policy.assign(&plan.tree, &tree_specs)));
     let cached = Arc::new(CachedPlan {
         children: Arc::new(children_lists(&plan.tree)),
         locals_by_class: typed.node_ids_by_class(),
+        repairer,
         planned_reception: plan.timing.reception_completion(),
         planned_delivery: plan.timing.delivery_completion(),
         tree: plan.tree,
@@ -1354,6 +1423,7 @@ fn trivial_plan() -> CachedPlan {
         tree: ScheduleTree::new(1),
         children: Arc::new(vec![Vec::new()]),
         locals_by_class: Vec::new(),
+        repairer: None,
         planned_reception: Time::ZERO,
         planned_delivery: Time::ZERO,
     }
@@ -1362,6 +1432,7 @@ fn trivial_plan() -> CachedPlan {
 /// Builds an intra-shard session's runtime from a cached plan shape.
 fn runtime_from(pool: &NodePool, request: &SessionRequest, cached: &CachedPlan) -> SessionRuntime {
     SessionRuntime {
+        id: request.id,
         arrival: request.arrival,
         deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
         node_map: bind_node_map(
@@ -1371,6 +1442,7 @@ fn runtime_from(pool: &NodePool, request: &SessionRequest, cached: &CachedPlan) 
             &cached.locals_by_class,
         ),
         children: Arc::clone(&cached.children),
+        repairer: cached.repairer.clone(),
         planned_reception: cached.planned_reception,
         planned_delivery: cached.planned_delivery,
         started: None,
@@ -1378,6 +1450,10 @@ fn runtime_from(pool: &NodePool, request: &SessionRequest, cached: &CachedPlan) 
         pending: request.members.len(),
         completed_at: request.arrival,
         delivered_at: request.arrival,
+        nacks: 0,
+        repair_sends: 0,
+        failed_members: 0,
+        repair_delays: Vec::new(),
     }
 }
 
@@ -1527,6 +1603,137 @@ mod tests {
         let other = pattern.generate(&map, 120, 43).unwrap();
         let c = serde_json::to_string(&cluster.run(&other).unwrap()).unwrap();
         assert_ne!(a, c);
+    }
+
+    fn lossy_traffic(rate: f64, seed: u64, repair: RepairPlacement) -> TrafficConfig {
+        TrafficConfig {
+            loss: Some(crate::faults::LossProfile::iid(rate, seed)),
+            repair,
+            ..TrafficConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_rate_zero_loss_reproduces_the_lossless_report() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let requests = ShardedPattern::poisson(6.0, 5, 0.3)
+            .generate(&map, 100, 42)
+            .unwrap();
+        let lossless = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig::with_shards(4),
+        )
+        .unwrap()
+        .run(&requests)
+        .unwrap();
+        let zero = ShardedCluster::new(
+            &pool,
+            NetParams::new(2),
+            ShardedClusterConfig {
+                traffic: lossy_traffic(0.0, 42, RepairPlacement::Gateway),
+                ..ShardedClusterConfig::with_shards(4)
+            },
+        )
+        .unwrap()
+        .run(&requests)
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&lossless).unwrap(),
+            serde_json::to_string(&zero).unwrap(),
+            "a rate-0 profile must not perturb a single event"
+        );
+        assert_eq!(lossless.schema, 3);
+        assert_eq!(lossless.reliability.delivered_fraction, 1.0);
+    }
+
+    #[test]
+    fn lossy_sharded_runs_repair_cross_shard_traffic_deterministically() {
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let requests = ShardedPattern::poisson(4.0, 6, 0.4)
+            .generate(&map, 120, 11)
+            .unwrap();
+        for repair in [RepairPlacement::SubtreeRoot, RepairPlacement::Gateway] {
+            let cluster = ShardedCluster::new(
+                &pool,
+                NetParams::new(2),
+                ShardedClusterConfig {
+                    traffic: lossy_traffic(0.08, 19, repair),
+                    ..ShardedClusterConfig::with_shards(4)
+                },
+            )
+            .unwrap();
+            let report = cluster.run(&requests).unwrap();
+            assert!(report.cross_sessions > 0, "{}", repair.name());
+            let rel = &report.reliability;
+            assert!(rel.nacks > 0, "{}: 8% loss must NACK", repair.name());
+            assert!(rel.repair_sends > 0, "{}", repair.name());
+            assert!(
+                rel.delivered_fraction > 0.9,
+                "{}: retries recover nearly everything, got {}",
+                repair.name(),
+                rel.delivered_fraction
+            );
+            let again = cluster.run(&requests).unwrap();
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&again).unwrap(),
+                "{}: lossy sharded runs must stay byte-identical",
+                repair.name()
+            );
+        }
+    }
+
+    #[test]
+    fn admission_lower_bound_survives_repair_traffic() {
+        // The admission controller sheds a session only when the virtual
+        // clock proves its patience cannot outlast its queue delay; that
+        // proof is a *lower bound* built from carried busy horizons. Repair
+        // traffic inflates those horizons, which must keep the bound
+        // conservative — admission may never shed a session the churn gate
+        // would have served. Pinned regression: under identical loss, a run
+        // with admission on completes at least as many sessions as the
+        // admission-off run, while actually shedding.
+        let pool = pool();
+        let requests = hot_requests(&pool, 4, 320, 23);
+        let run = |admission: bool| {
+            let cluster = ShardedCluster::new(
+                &pool,
+                NetParams::new(2),
+                ShardedClusterConfig {
+                    traffic: lossy_traffic(0.1, 31, RepairPlacement::SubtreeRoot),
+                    ..ShardedClusterConfig::with_shards(4)
+                }
+                .with_control(ControlConfig {
+                    admission,
+                    ..ControlConfig::default()
+                }),
+            )
+            .unwrap();
+            cluster.run(&requests).unwrap()
+        };
+        let on = run(true);
+        let off = run(false);
+        let control = on.control.as_ref().expect("controlled run");
+        assert!(
+            control.shed > 0,
+            "the lossy stampede must trigger some shedding"
+        );
+        assert!(
+            on.total.completed >= off.total.completed,
+            "shedding lost goodput under loss: {} with admission vs {} without — \
+             the virtual-clock bound is no longer a lower bound",
+            on.total.completed,
+            off.total.completed
+        );
+        // And the controlled lossy run keeps the byte-determinism contract.
+        let again = run(true);
+        assert_eq!(
+            serde_json::to_string(&on).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
     }
 
     #[test]

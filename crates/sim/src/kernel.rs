@@ -21,16 +21,24 @@
 //!    lazily — a session enters the heap only once the clock reaches it —
 //!    but the band makes lazy injection observationally identical to
 //!    pre-loading every arrival up front.
-//! 2. **Band 1 — scheduled events.** Everything else (follow-up sends,
-//!    message arrivals, receive claims, node wake-ups) executes in
-//!    scheduling order: whichever event was pushed first wins a
-//!    same-instant tie.
-//! 3. **Deferred claims yield.** A message's delivery is recorded the
+//! 2. **Band 1 — scheduled events.** Everything else of the planned
+//!    schedule (follow-up sends, message arrivals, receive claims, node
+//!    wake-ups) executes in scheduling order: whichever event was pushed
+//!    first wins a same-instant tie.
+//! 3. **Band 2 — repair traffic.** NACKs and repair retransmissions (the
+//!    fault model's recovery path, see below) carry band 2, so at any
+//!    instant repair traffic yields the node to every same-instant claim
+//!    of the original schedule. Loss can therefore only *add* events after
+//!    the point of the first loss — a lossless [`LossProfile`] is
+//!    event-for-event identical to running with no fault injection at all.
+//! 4. **Deferred claims yield.** A message's delivery is recorded the
 //!    instant it arrives, but its receive overhead re-enters the queue as a
 //!    fresh band-1 event, so it loses same-instant ties against claims
 //!    scheduled before the message landed. Likewise a parked claim woken by
-//!    a node release re-enters with a fresh sequence number.
-//! 4. **FIFO per node.** Claims finding a node busy park in that node's
+//!    a node release re-enters with a fresh sequence number (in its own
+//!    event's band, so a parked repair send keeps yielding to schedule
+//!    traffic).
+//! 5. **FIFO per node.** Claims finding a node busy park in that node's
 //!    FIFO queue; every completed activity schedules a wake at its end
 //!    which re-injects exactly one parked waiter (stale wakes — the node
 //!    was re-claimed at the same instant — are dropped, because the
@@ -40,35 +48,129 @@
 //! The rule is pinned by an executable specification: the pre-unification
 //! flat loop survives as a `#[cfg(test)]` reference in `sessions.rs`, and a
 //! property test replays random contended traffic through both.
+//!
+//! # Loss and repair
+//!
+//! With a [`FaultCtx`] the kernel injects message loss and runs NACK-driven
+//! local repair:
+//!
+//! * **Loss.** Every delivery — original send or repair — draws from the
+//!   [`LossProfile`], keyed by `(session, sender, receiver, attempt)` and
+//!   never by event-processing order (the determinism contract; see
+//!   [`crate::faults`]). A lost delivery still consumes the sender's full
+//!   one-port send occupancy; only the receiver side never happens.
+//! * **NACK.** The receiver detects the gap one network latency after the
+//!   lost transmission and issues a NACK to its designated repairer
+//!   ([`SessionRuntime`]'s repairer table, assigned by a
+//!   [`hnow_core::RepairPlacement`] policy at admission; absent tables
+//!   default to source-only). NACKs are control traffic and consume no
+//!   node occupancy; the *retransmission* claims the repairer's one-port
+//!   send occupancy exactly like a scheduled send, in band 2.
+//! * **Backoff and bounded retries.** Retransmission `a` waits the
+//!   profile's keyed exponential backoff; after `max_retries` lost
+//!   retransmissions — or once the profile's optional `repair_deadline`
+//!   elapses after the first miss, counting time spent queued on a busy
+//!   repairer — the receiver **fails** and the session completes
+//!   *partially* (graceful degradation): `pending` is discharged, the
+//!   failure is counted, and the receiver's would-be children are told to
+//!   request repair from their own repairers (escalating past failed ones,
+//!   terminating at the source, which holds the payload from time zero).
+//! * **Repairer readiness.** A repairer that has not yet completed its own
+//!   reception parks incoming repair requests and replays them the moment
+//!   it is reached (or hands them up the escalation chain if it fails),
+//!   so repair can never deadlock on an unserved repairer.
 
+use crate::faults::LossProfile;
 use crate::sessions::SessionRuntime;
 use hnow_model::{NetParams, NodeSpec, Time};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// A discrete event of the occupancy simulation. "Claim" events ([`Send`],
-/// [`Recv`]) ask for node time and park in the node's FIFO wait queue while
-/// it is busy.
+/// [`Recv`], [`RepairSend`]) ask for node time and park in the node's FIFO
+/// wait queue while it is busy.
 ///
 /// [`Send`]: KernelEvent::Send
 /// [`Recv`]: KernelEvent::Recv
+/// [`RepairSend`]: KernelEvent::RepairSend
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum KernelEvent {
     /// The session's tree node `local` wants to start its `child`-th send.
     Send { local: usize, child: usize },
     /// The message reaches tree node `local` (records delivery, then
-    /// re-queues the receive claim per tie-break rule 3).
+    /// re-queues the receive claim per tie-break rule 4).
     Arrive { local: usize },
     /// Tree node `local` wants to start its receiving overhead.
     Recv { local: usize },
     /// The node finished an activity; wake its next parked waiter.
     Free { node: usize },
+    /// Tree node `local` missed a delivery and requests retransmission
+    /// `attempt` from its repairer (band 2; control traffic, no occupancy).
+    Nack { local: usize, attempt: u32 },
+    /// `local`'s repairer wants to start retransmission `attempt` (band 2;
+    /// claims the repairer's send occupancy).
+    RepairSend { local: usize, attempt: u32 },
+}
+
+impl KernelEvent {
+    /// Tie-break band: repair traffic yields to the planned schedule.
+    fn band(&self) -> u8 {
+        match self {
+            KernelEvent::Nack { .. } | KernelEvent::RepairSend { .. } => 2,
+            _ => 1,
+        }
+    }
 }
 
 /// Heap entry: `(time, band, seq, session slot, event)`. Only the first
 /// three fields ever decide an ordering — `seq` is unique within a band —
 /// but the trailing fields must still be `Ord` for the tuple.
 type HeapItem = Reverse<(Time, u8, u64, usize, KernelEvent)>;
+
+/// Fault-injection context of one kernel run: the loss profile plus the
+/// receiver-class table for per-class rate overrides (indexed by the same
+/// dense node id space as `specs`).
+pub(crate) struct FaultCtx<'a> {
+    pub(crate) profile: &'a LossProfile,
+    pub(crate) class_of: &'a [usize],
+}
+
+/// Per-receiver repair progress.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RepairStatus {
+    /// Reception not yet completed (the initial state of every non-source
+    /// node).
+    Pending,
+    /// Reception completed; the node can serve as a repairer.
+    Reached,
+    /// Retries exhausted; the node is given up on.
+    Failed,
+}
+
+/// Per-session repair bookkeeping, allocated only for faulted runs.
+struct RepairState {
+    status: Vec<RepairStatus>,
+    /// When each node first learned it missed a delivery (`Time::ZERO` +
+    /// `missed == false` means never).
+    first_missed: Vec<Time>,
+    missed: Vec<bool>,
+    /// Repair requests parked on a not-yet-reached repairer, keyed by the
+    /// repairer's tree-local id.
+    parked: Vec<Vec<(usize, u32)>>,
+}
+
+impl RepairState {
+    fn new(nodes: usize) -> Self {
+        let mut status = vec![RepairStatus::Pending; nodes];
+        status[0] = RepairStatus::Reached;
+        RepairState {
+            status,
+            first_missed: vec![Time::ZERO; nodes],
+            missed: vec![false; nodes],
+            parked: vec![Vec::new(); nodes],
+        }
+    }
+}
 
 /// Per-node state carried across epoch-synchronous kernel runs: the busy
 /// time accumulated by this run (the utilization numerator) and each
@@ -87,14 +189,16 @@ pub(crate) struct CarryOut {
 /// `sessions` must be in request order — the slice position is the
 /// tie-break identity of rule 1, so two callers handing the kernel the same
 /// sessions in the same order get byte-identical outcomes regardless of how
-/// the surrounding work was partitioned or threaded.
+/// the surrounding work was partitioned or threaded. `faults` switches on
+/// loss injection and NACK-driven repair (see the module docs).
 pub(crate) fn simulate(
     specs: &[NodeSpec],
     net: NetParams,
     sessions: &mut [SessionRuntime],
+    faults: Option<&FaultCtx<'_>>,
 ) -> Vec<u64> {
     let idle = vec![Time::ZERO; specs.len()];
-    simulate_from(specs, net, sessions, &idle).busy_time
+    simulate_from(specs, net, sessions, &idle, faults).busy_time
 }
 
 /// [`simulate`] with carried-in busy state: `busy0[node]` is the node's
@@ -109,14 +213,55 @@ pub(crate) fn simulate_from(
     net: NetParams,
     sessions: &mut [SessionRuntime],
     busy0: &[Time],
+    faults: Option<&FaultCtx<'_>>,
+) -> CarryOut {
+    run(specs, net, sessions, busy0, faults, None)
+}
+
+/// [`simulate`] with a full activity log: every occupancy interval the run
+/// charged, as `(node, start, end)` in charge order. Test instrumentation
+/// for the one-port property (`validate::check_one_port`).
+#[cfg(test)]
+pub(crate) fn simulate_logged(
+    specs: &[NodeSpec],
+    net: NetParams,
+    sessions: &mut [SessionRuntime],
+    faults: Option<&FaultCtx<'_>>,
+) -> (Vec<u64>, Vec<(usize, Time, Time)>) {
+    let idle = vec![Time::ZERO; specs.len()];
+    let mut log = Vec::new();
+    let carry = run(specs, net, sessions, &idle, faults, Some(&mut log));
+    (carry.busy_time, log)
+}
+
+/// The event loop. `log`, when present, records every charged occupancy
+/// interval.
+fn run(
+    specs: &[NodeSpec],
+    net: NetParams,
+    sessions: &mut [SessionRuntime],
+    busy0: &[Time],
+    faults: Option<&FaultCtx<'_>>,
+    mut log: Option<&mut Vec<(usize, Time, Time)>>,
 ) -> CarryOut {
     let n = specs.len();
     debug_assert_eq!(busy0.len(), n);
+    // A lossless profile draws no losses, so skipping the fault path
+    // entirely makes "rate 0 equals no injection" structural rather than
+    // statistical.
+    let faults = faults.filter(|ctx| !ctx.profile.is_lossless());
     let mut busy_until = busy0.to_vec();
     let mut busy_time = vec![0u64; n];
     let mut waiting: Vec<VecDeque<(usize, KernelEvent)>> = vec![VecDeque::new(); n];
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
     let mut seq = 0u64;
+    let mut repair: Vec<RepairState> = match faults {
+        Some(_) => sessions
+            .iter()
+            .map(|session| RepairState::new(session.node_map.len()))
+            .collect(),
+        None => Vec::new(),
+    };
 
     // Lazy injection order: by arrival, ties by slot (= request order).
     let mut order: Vec<usize> = (0..sessions.len()).collect();
@@ -125,8 +270,42 @@ pub(crate) fn simulate_from(
 
     macro_rules! push {
         ($time:expr, $slot:expr, $event:expr) => {{
-            heap.push(Reverse(($time, 1u8, seq, $slot, $event)));
+            let event = $event;
+            heap.push(Reverse(($time, event.band(), seq, $slot, event)));
             seq += 1;
+        }};
+    }
+
+    // Gives receiver `$local` of the session in `$slot` up at time `$t`:
+    // graceful degradation shared by retry exhaustion and repair-deadline
+    // expiry. The would-be children are pointed at their own repairers and
+    // requests parked on the failed node escalate.
+    macro_rules! give_up {
+        ($state:expr, $session:expr, $slot:expr, $local:expr, $t:expr) => {{
+            $state.status[$local] = RepairStatus::Failed;
+            $session.pending -= 1;
+            $session.failed_members += 1;
+            for child in 0..$session.children[$local].len() {
+                let c = $session.children[$local][child];
+                push!(
+                    $t + net.latency(),
+                    $slot,
+                    KernelEvent::Nack {
+                        local: c,
+                        attempt: 1,
+                    }
+                );
+            }
+            for (target, attempt) in std::mem::take(&mut $state.parked[$local]) {
+                push!(
+                    $t,
+                    $slot,
+                    KernelEvent::RepairSend {
+                        local: target,
+                        attempt,
+                    }
+                );
+            }
         }};
     }
 
@@ -170,7 +349,7 @@ pub(crate) fn simulate_from(
 
         if let KernelEvent::Free { node } = event {
             // Obsolete when a same-instant event already re-claimed the
-            // node; the claimant scheduled its own wake (rule 4).
+            // node; the claimant scheduled its own wake (rule 5).
             if busy_until[node] <= t {
                 if let Some((waiter, parked)) = waiting[node].pop_front() {
                     push!(t, waiter, parked);
@@ -220,12 +399,39 @@ pub(crate) fn simulate_from(
                 let end = t + dur;
                 busy_until[node] = end;
                 busy_time[node] += dur.raw();
+                if let Some(log) = log.as_deref_mut() {
+                    log.push((node, t, end));
+                }
                 let target = session.children[local][child];
-                push!(
-                    end + net.latency(),
-                    slot,
-                    KernelEvent::Arrive { local: target }
-                );
+                // A lost delivery consumed the sender's occupancy all the
+                // same; the receiver detects the gap one latency later
+                // (when the delivery would have landed) and NACKs.
+                let lost = faults.is_some_and(|ctx| {
+                    ctx.profile.lost(
+                        session.id,
+                        local,
+                        target,
+                        0,
+                        t,
+                        ctx.class_of[session.node_map[target]],
+                    )
+                });
+                if lost {
+                    push!(
+                        end + net.latency(),
+                        slot,
+                        KernelEvent::Nack {
+                            local: target,
+                            attempt: 1,
+                        }
+                    );
+                } else {
+                    push!(
+                        end + net.latency(),
+                        slot,
+                        KernelEvent::Arrive { local: target }
+                    );
+                }
                 if child + 1 < session.children[local].len() {
                     push!(
                         end,
@@ -241,7 +447,7 @@ pub(crate) fn simulate_from(
             KernelEvent::Arrive { local } => {
                 // Delivery is the message hitting the node, busy or not;
                 // the receive overhead queues for node time separately
-                // (rule 3).
+                // (rule 4).
                 session.delivered_at = session.delivered_at.max(t);
                 push!(t, slot, KernelEvent::Recv { local });
             }
@@ -255,10 +461,134 @@ pub(crate) fn simulate_from(
                 let end = t + dur;
                 busy_until[node] = end;
                 busy_time[node] += dur.raw();
+                if let Some(log) = log.as_deref_mut() {
+                    log.push((node, t, end));
+                }
                 session.pending -= 1;
                 session.completed_at = session.completed_at.max(end);
+                if !repair.is_empty() {
+                    let state = &mut repair[slot];
+                    state.status[local] = RepairStatus::Reached;
+                    if state.missed[local] {
+                        session
+                            .repair_delays
+                            .push(end.saturating_sub(state.first_missed[local]).raw());
+                    }
+                    // The node holds the payload now: replay every repair
+                    // request that was waiting for it.
+                    for (target, attempt) in std::mem::take(&mut state.parked[local]) {
+                        push!(
+                            end,
+                            slot,
+                            KernelEvent::RepairSend {
+                                local: target,
+                                attempt,
+                            }
+                        );
+                    }
+                }
                 if !session.children[local].is_empty() {
                     push!(end, slot, KernelEvent::Send { local, child: 0 });
+                }
+                push!(end, slot, KernelEvent::Free { node });
+            }
+            KernelEvent::Nack { local, attempt } => {
+                let ctx = faults.expect("repair events only exist in faulted runs");
+                let state = &mut repair[slot];
+                if state.status[local] != RepairStatus::Pending {
+                    continue;
+                }
+                if !state.missed[local] {
+                    state.missed[local] = true;
+                    state.first_missed[local] = t;
+                }
+                let expired = ctx
+                    .profile
+                    .repair_deadline
+                    .is_some_and(|d| t.raw() > state.first_missed[local].raw().saturating_add(d));
+                if attempt > ctx.profile.max_retries || expired {
+                    // Retries exhausted or recovery-liveness bound blown:
+                    // the session completes partially.
+                    give_up!(state, session, slot, local, t);
+                    continue;
+                }
+                session.nacks += 1;
+                let delay = ctx.profile.retry_delay(session.id, local, attempt);
+                push!(
+                    t + Time::new(delay),
+                    slot,
+                    KernelEvent::RepairSend { local, attempt }
+                );
+            }
+            KernelEvent::RepairSend { local, attempt } => {
+                let ctx = faults.expect("repair events only exist in faulted runs");
+                let state = &mut repair[slot];
+                if state.status[local] != RepairStatus::Pending {
+                    continue;
+                }
+                // Resolve the repairer, escalating past failed ones; every
+                // placement walks strictly upstream and the source is
+                // always `Reached`, so this terminates.
+                let repairer_of = |v: usize| session.repairer.as_ref().map_or(0, |table| table[v]);
+                let mut rp = repairer_of(local);
+                while state.status[rp] == RepairStatus::Failed {
+                    rp = repairer_of(rp);
+                }
+                if state.status[rp] == RepairStatus::Pending {
+                    // The repairer has not been served yet itself; park the
+                    // request — its reception (or failure) replays it.
+                    state.parked[rp].push((local, attempt));
+                    continue;
+                }
+                let node = session.node_map[rp];
+                if busy_until[node] > t {
+                    waiting[node].push_back((slot, event));
+                    continue;
+                }
+                // The deadline is checked at the moment the claim holds a
+                // free port, so the queueing delay accrued in a congested
+                // repairer's FIFO counts against the recovery bound: a
+                // retransmission that waited it out is abandoned, not sent.
+                // The declined node is passed on like the churn gate does,
+                // so parked waiters never starve.
+                if ctx
+                    .profile
+                    .repair_deadline
+                    .is_some_and(|d| t.raw() > state.first_missed[local].raw().saturating_add(d))
+                {
+                    give_up!(state, session, slot, local, t);
+                    if let Some((waiter, parked)) = waiting[node].pop_front() {
+                        push!(t, waiter, parked);
+                    }
+                    continue;
+                }
+                let dur = specs[node].send();
+                let end = t + dur;
+                busy_until[node] = end;
+                busy_time[node] += dur.raw();
+                if let Some(log) = log.as_deref_mut() {
+                    log.push((node, t, end));
+                }
+                session.repair_sends += 1;
+                let lost = ctx.profile.lost(
+                    session.id,
+                    rp,
+                    local,
+                    attempt,
+                    t,
+                    ctx.class_of[session.node_map[local]],
+                );
+                if lost {
+                    push!(
+                        end + net.latency(),
+                        slot,
+                        KernelEvent::Nack {
+                            local,
+                            attempt: attempt + 1,
+                        }
+                    );
+                } else {
+                    push!(end + net.latency(), slot, KernelEvent::Arrive { local });
                 }
                 push!(end, slot, KernelEvent::Free { node });
             }

@@ -24,8 +24,14 @@
 //!   surfaces share one documented same-instant tie-break rule.
 //! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
 //!   rendering.
-//! * [`perturb`] — reproducible multiplicative overhead jitter.
-//! * [`validate`] — cross-check of simulated against closed-form times.
+//! * [`faults`] — seeded, deterministic message loss ([`LossProfile`]):
+//!   iid rates, per-class overrides and Gilbert-style bursts, injected into
+//!   the shared kernel's deliveries and repaired by NACK-driven
+//!   retransmission (see the kernel's band-2 documentation in `kernel`).
+//! * [`perturb`] — reproducible multiplicative overhead jitter, replayed
+//!   through the same occupancy kernel.
+//! * [`validate`] — cross-check of simulated against closed-form times and
+//!   the one-port occupancy checker ([`check_one_port`]).
 //!
 //! ```
 //! use hnow_core::greedy_schedule;
@@ -52,6 +58,7 @@ pub mod cluster;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod faults;
 mod kernel;
 pub mod perturb;
 pub mod sessions;
@@ -65,9 +72,11 @@ pub use cluster::{
 pub use engine::{execute, execute_with_specs};
 pub use error::SimError;
 pub use event::{Event, EventQueue};
-pub use perturb::PerturbConfig;
+pub use faults::{BurstProfile, LossProfile};
+pub use perturb::{kernel_replay, PerturbConfig};
 pub use sessions::{
-    CacheStats, SessionRecord, TrafficConfig, TrafficEngine, TrafficMetrics, TrafficReport,
+    CacheStats, ReliabilityReport, SessionRecord, TrafficConfig, TrafficEngine, TrafficMetrics,
+    TrafficReport,
 };
 pub use trace::{Activity, BusyInterval, SimTrace};
-pub use validate::check_against_analytic;
+pub use validate::{check_against_analytic, check_one_port};

@@ -7,11 +7,23 @@
 //! different scheduling strategies are to this modelling error. This is the
 //! synthetic stand-in for the testbed validation of Banikazemi et al.
 //! (documented in DESIGN.md §2).
+//!
+//! Perturbed replays run through the crate's unified occupancy kernel
+//! ([`kernel_replay`]) — the same event loop behind the traffic engine and
+//! the sharded cluster — so a schedule replayed here obeys exactly the
+//! tie-break and occupancy semantics every other surface of the crate
+//! reports, and a zero-jitter replay reproduces the analytic
+//! [`evaluate`](hnow_core::schedule::evaluate) times (pinned by a parity
+//! test below).
 
-use hnow_model::{MulticastSet, NodeId, NodeSpec};
+use crate::kernel;
+use crate::sessions::{children_lists, SessionRuntime};
+use hnow_core::ScheduleTree;
+use hnow_model::{MulticastSet, NetParams, NodeId, NodeSpec, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of a multiplicative overhead perturbation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,6 +67,47 @@ impl PerturbConfig {
         let factor = 1.0 + rng.gen_range(-self.relative_jitter..=self.relative_jitter);
         (value as f64 * factor).round().max(0.0) as u64
     }
+
+    /// Draws perturbed overheads for `set` and replays `tree` with them
+    /// through the unified occupancy kernel: `(delivery completion,
+    /// reception completion)` of the schedule under this perturbation.
+    pub fn replay(&self, tree: &ScheduleTree, set: &MulticastSet, net: NetParams) -> (Time, Time) {
+        kernel_replay(tree, &self.perturb(set), net)
+    }
+}
+
+/// Replays one schedule on an otherwise idle cluster through the unified
+/// occupancy kernel and returns its `(delivery completion, reception
+/// completion)`. `specs` is indexed by tree node id (source first), the
+/// way [`PerturbConfig::perturb`] emits it.
+///
+/// A single session never contends with itself beyond the one-port
+/// constraint the schedule was planned around, so this agrees with the
+/// analytic evaluation on nominal specs — but it shares every tie-break
+/// rule with the traffic engine, which the pre-unification replay
+/// (`execute_with_specs`) only mirrors by construction.
+pub fn kernel_replay(tree: &ScheduleTree, specs: &[NodeSpec], net: NetParams) -> (Time, Time) {
+    let mut session = SessionRuntime {
+        id: 0,
+        arrival: Time::ZERO,
+        deadline: None,
+        node_map: (0..tree.num_nodes()).collect(),
+        children: Arc::new(children_lists(tree)),
+        repairer: None,
+        planned_reception: Time::ZERO,
+        planned_delivery: Time::ZERO,
+        started: None,
+        abandoned: false,
+        pending: tree.num_nodes() - 1,
+        completed_at: Time::ZERO,
+        delivered_at: Time::ZERO,
+        nacks: 0,
+        repair_sends: 0,
+        failed_members: 0,
+        repair_delays: Vec::new(),
+    };
+    kernel::simulate(specs, net, std::slice::from_mut(&mut session), None);
+    (session.delivered_at, session.completed_at)
 }
 
 #[cfg(test)]
@@ -126,5 +179,37 @@ mod tests {
     fn negative_jitter_is_clamped() {
         let cfg = PerturbConfig::new(-0.5, 1);
         assert_eq!(cfg.relative_jitter, 0.0);
+    }
+
+    #[test]
+    fn zero_jitter_replay_matches_the_analytic_times() {
+        // The kernel-parity anchor: an unperturbed kernel replay must land
+        // exactly on the closed-form schedule evaluation, for several
+        // latencies and planners.
+        let set = sample_set();
+        for latency in [0u64, 1, 3] {
+            let net = hnow_model::NetParams::new(latency);
+            let tree = hnow_core::greedy_schedule(&set, net);
+            let timing = hnow_core::schedule::evaluate(&tree, &set, net).unwrap();
+            let (delivery, reception) = PerturbConfig::new(0.0, 7).replay(&tree, &set, net);
+            assert_eq!(reception, timing.reception_completion(), "L = {latency}");
+            assert_eq!(delivery, timing.delivery_completion(), "L = {latency}");
+        }
+    }
+
+    #[test]
+    fn jittered_replay_matches_the_single_schedule_executor() {
+        // Under perturbation there is no closed form, but the dedicated
+        // single-schedule executor plays the same one-port semantics — the
+        // kernel replay must agree with its trace on every seed.
+        let set = sample_set();
+        let net = hnow_model::NetParams::new(2);
+        let tree = hnow_core::greedy_schedule(&set, net);
+        for seed in 0..20u64 {
+            let specs = PerturbConfig::new(0.4, seed).perturb(&set);
+            let (_, reception) = kernel_replay(&tree, &specs, net);
+            let trace = crate::engine::execute_with_specs(&tree, &specs, net).unwrap();
+            assert_eq!(reception, trace.completion, "seed {seed}");
+        }
     }
 }

@@ -33,16 +33,17 @@
 //! the same pool yield a byte-identical JSON report.
 
 use crate::error::SimError;
+use crate::faults::LossProfile;
 use crate::kernel;
 use hnow_core::planner::{find, Plan, PlanContext, PlanRequest, Planner};
-use hnow_core::ScheduleTree;
+use hnow_core::{RepairPlacement, ScheduleTree};
 use hnow_model::{NetParams, NodeSpec, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest};
 use serde::Serialize;
 use std::sync::Arc;
 
 /// Configuration of a [`TrafficEngine`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficConfig {
     /// Registry name of the planner serving every session.
     pub planner: String,
@@ -52,15 +53,25 @@ pub struct TrafficConfig {
     /// unbounded (fine for single-cluster traffic, wasteful for long runs
     /// over many message sizes or latencies).
     pub dp_cache_capacity: Option<usize>,
+    /// Seeded message-loss injection; `None` (the default) runs the
+    /// lossless model. A `Some` profile with rate 0 everywhere is
+    /// guaranteed to reproduce the `None` report byte for byte.
+    pub loss: Option<LossProfile>,
+    /// Repairer placement policy annotated onto every admitted plan (only
+    /// consulted when [`TrafficConfig::loss`] is active).
+    pub repair: RepairPlacement,
 }
 
 impl Default for TrafficConfig {
-    /// Refined greedy, batches of 64, at most 128 cached DP tables.
+    /// Refined greedy, batches of 64, at most 128 cached DP tables, no
+    /// loss, source-only repair.
     fn default() -> Self {
         TrafficConfig {
             planner: "greedy+leaf".to_string(),
             batch_size: 64,
             dp_cache_capacity: Some(128),
+            loss: None,
+            repair: RepairPlacement::SourceOnly,
         }
     }
 }
@@ -137,6 +148,106 @@ pub struct SessionRecord {
     pub reception_latency: u64,
     /// Delivery completion relative to arrival (0 if abandoned).
     pub delivery_latency: u64,
+    /// Members given up on after exhausting repair retries (0 on lossless
+    /// runs; a session with `failed_members > 0` completed *partially*).
+    pub failed_members: usize,
+    /// Repair requests the session's receivers issued.
+    pub nacks: u64,
+    /// Repair retransmissions charged against repairer occupancy.
+    pub repair_sends: u64,
+    /// Per repaired receiver: reception completion minus the instant the
+    /// receiver first learned it missed a delivery, in completion order.
+    pub repair_delays: Vec<u64>,
+}
+
+/// Loss, repair and degradation aggregates of one run (the report's
+/// `reliability` section, schema 3).
+///
+/// Like [`TrafficMetrics`], every ratio is defined on an empty denominator:
+/// [`delivered_fraction`](ReliabilityReport::delivered_fraction) is **1**
+/// (an empty or lossless run delivered everything it was offered) and
+/// [`residual_loss`](ReliabilityReport::residual_loss) is **0**, so empty
+/// runs serialize as the lossless fixed point rather than `NaN`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReliabilityReport {
+    /// Destination deliveries offered by non-abandoned sessions (sum of
+    /// their group sizes).
+    pub offered_deliveries: usize,
+    /// Deliveries that completed reception (originally or via repair).
+    pub delivered: usize,
+    /// Deliveries given up on after exhausting repair retries.
+    pub failed: usize,
+    /// `delivered / offered` (1 when nothing was offered).
+    pub delivered_fraction: f64,
+    /// `failed / offered` (0 when nothing was offered).
+    pub residual_loss: f64,
+    /// Non-abandoned sessions that completed partially (≥ 1 failed
+    /// member).
+    pub degraded_sessions: usize,
+    /// Total repair requests issued by receivers.
+    pub nacks: u64,
+    /// Total repair retransmissions charged against repairer occupancy.
+    pub repair_sends: u64,
+    /// Median repair delay over repaired receivers (0 when none).
+    pub p50_repair_delay: u64,
+    /// 95th-percentile repair delay over repaired receivers.
+    pub p95_repair_delay: u64,
+    /// 99th-percentile repair delay over repaired receivers.
+    pub p99_repair_delay: u64,
+}
+
+impl ReliabilityReport {
+    /// Aggregates the reliability section from per-session records.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a SessionRecord>) -> Self {
+        let mut offered = 0usize;
+        let mut failed = 0usize;
+        let mut degraded = 0usize;
+        let mut nacks = 0u64;
+        let mut repair_sends = 0u64;
+        let mut delays: Vec<u64> = Vec::new();
+        for record in records {
+            nacks += record.nacks;
+            repair_sends += record.repair_sends;
+            if record.abandoned {
+                continue;
+            }
+            offered += record.group_size;
+            failed += record.failed_members;
+            if record.failed_members > 0 {
+                degraded += 1;
+            }
+            delays.extend_from_slice(&record.repair_delays);
+        }
+        delays.sort_unstable();
+        let percentile = |q: usize| -> u64 {
+            if delays.is_empty() {
+                0
+            } else {
+                delays[(delays.len() - 1) * q / 100]
+            }
+        };
+        ReliabilityReport {
+            offered_deliveries: offered,
+            delivered: offered - failed,
+            failed,
+            delivered_fraction: if offered == 0 {
+                1.0
+            } else {
+                (offered - failed) as f64 / offered as f64
+            },
+            residual_loss: if offered == 0 {
+                0.0
+            } else {
+                failed as f64 / offered as f64
+            },
+            degraded_sessions: degraded,
+            nacks,
+            repair_sends,
+            p50_repair_delay: percentile(50),
+            p95_repair_delay: percentile(95),
+            p99_repair_delay: percentile(99),
+        }
+    }
 }
 
 /// NaN-free aggregate statistics over a set of session records.
@@ -295,6 +406,9 @@ pub struct TrafficReport {
     pub mean_node_utilization: f64,
     /// Maximum per-node busy-time / makespan.
     pub peak_node_utilization: f64,
+    /// Loss, repair and degradation aggregates (all-zero/fixed-point on
+    /// lossless runs).
+    pub reliability: ReliabilityReport,
     /// Shared DP-cache statistics of the planning phase.
     pub cache: CacheStats,
     /// One record per offered session, in request order.
@@ -315,6 +429,9 @@ pub struct TrafficEngine<'a> {
 /// pool-global node maps (and, for cross-shard sessions, stitched composed
 /// trees) before handing them to a discrete-event pass.
 pub(crate) struct SessionRuntime {
+    /// Request id; the loss model keys its draws by it (never by slot or
+    /// event order), so epoch slicing and sharding cannot change draws.
+    pub(crate) id: u64,
     pub(crate) arrival: Time,
     pub(crate) deadline: Option<Time>,
     /// Local schedule-tree node index → pool node id.
@@ -323,6 +440,10 @@ pub(crate) struct SessionRuntime {
     /// the sharded cluster's plan cache can reuse one tree shape across
     /// thousands of same-signature sessions.
     pub(crate) children: Arc<Vec<Vec<usize>>>,
+    /// Local node → local id of its designated repairer (a
+    /// [`RepairPlacement`] assignment; `None` means source-only). Only
+    /// consulted by faulted kernel runs.
+    pub(crate) repairer: Option<Arc<Vec<usize>>>,
     pub(crate) planned_reception: Time,
     pub(crate) planned_delivery: Time,
     pub(crate) started: Option<Time>,
@@ -331,6 +452,14 @@ pub(crate) struct SessionRuntime {
     pub(crate) pending: usize,
     pub(crate) completed_at: Time,
     pub(crate) delivered_at: Time,
+    /// Repair requests issued by this session's receivers.
+    pub(crate) nacks: u64,
+    /// Repair retransmissions charged against repairer occupancy.
+    pub(crate) repair_sends: u64,
+    /// Members given up on after exhausting retries.
+    pub(crate) failed_members: usize,
+    /// Reception minus first-missed instant per repaired receiver.
+    pub(crate) repair_delays: Vec<u64>,
 }
 
 impl<'a> TrafficEngine<'a> {
@@ -360,7 +489,14 @@ impl<'a> TrafficEngine<'a> {
         let specs: Vec<NodeSpec> = (0..self.pool.len())
             .map(|g| self.pool.spec_of_node(g))
             .collect();
-        let busy_time = kernel::simulate(&specs, self.net, &mut sessions);
+        let class_of: Vec<usize> = (0..self.pool.len())
+            .map(|g| self.pool.class_of(g))
+            .collect();
+        let faults = self.config.loss.as_ref().map(|profile| kernel::FaultCtx {
+            profile,
+            class_of: &class_of,
+        });
+        let busy_time = kernel::simulate(&specs, self.net, &mut sessions, faults.as_ref());
         Ok(self.report(requests, &sessions, &busy_time, cache))
     }
 
@@ -388,10 +524,11 @@ impl<'a> TrafficEngine<'a> {
         // report's CacheStats are part of the byte-identical determinism
         // contract, and racing parallel misses on the shared DP cache would
         // make the hit/miss split depend on thread timing.
+        let repair = self.config.loss.as_ref().map(|_| self.config.repair);
         let mut runtimes = Vec::with_capacity(batch.len());
         for ((request, typed), plan_request) in batch.iter().zip(typeds).zip(&plan_requests) {
             let plan = planner.plan_with(plan_request, ctx)?;
-            runtimes.push(runtime_for(self.pool, request, &typed, &plan));
+            runtimes.push(runtime_for(self.pool, request, &typed, &plan, repair));
         }
         Ok(runtimes)
     }
@@ -410,8 +547,11 @@ impl<'a> TrafficEngine<'a> {
             .map(|(request, session)| record_for(request, session))
             .collect();
         let metrics = TrafficMetrics::from_records(&per_session, busy_time);
+        let reliability = ReliabilityReport::from_records(&per_session);
         TrafficReport {
-            schema: 1,
+            // Schema 3: reliability section + per-session repair fields
+            // (2 was the sharded report's gateway/control extension).
+            schema: 3,
             planner: self.config.planner.clone(),
             batch_size: self.config.batch_size,
             net_latency: self.net.latency().raw(),
@@ -427,6 +567,7 @@ impl<'a> TrafficEngine<'a> {
             mean_queue_delay: metrics.mean_queue_delay,
             mean_node_utilization: metrics.mean_node_utilization,
             peak_node_utilization: metrics.peak_node_utilization,
+            reliability,
             cache,
             per_session,
         }
@@ -504,12 +645,14 @@ pub(crate) fn children_lists(tree: &ScheduleTree) -> Vec<Vec<usize>> {
 
 /// Binds a plan's abstract schedule tree to the session's concrete pool
 /// nodes and sets up the runtime bookkeeping. `typed` is the signature
-/// [`typed_for`] produced for this request at admission.
+/// [`typed_for`] produced for this request at admission; `repair`, when
+/// set, annotates the tree with repairer assignments for faulted runs.
 pub(crate) fn runtime_for(
     pool: &NodePool,
     request: &SessionRequest,
     typed: &TypedMulticast,
     plan: &Plan,
+    repair: Option<RepairPlacement>,
 ) -> SessionRuntime {
     // Schedule-tree node ids are over the canonical multicast set; map
     // them back to pool nodes class by class. Within a class both sides
@@ -521,11 +664,17 @@ pub(crate) fn runtime_for(
         &request.members,
         &typed.node_ids_by_class(),
     );
+    let repairer = repair.map(|policy| {
+        let specs: Vec<NodeSpec> = node_map.iter().map(|&g| pool.spec_of_node(g)).collect();
+        Arc::new(policy.assign(&plan.tree, &specs))
+    });
     SessionRuntime {
+        id: request.id,
         arrival: request.arrival,
         deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
         node_map,
         children: Arc::new(children_lists(&plan.tree)),
+        repairer,
         planned_reception: plan.timing.reception_completion(),
         planned_delivery: plan.timing.delivery_completion(),
         started: None,
@@ -533,6 +682,10 @@ pub(crate) fn runtime_for(
         pending: request.members.len(),
         completed_at: request.arrival,
         delivered_at: request.arrival,
+        nacks: 0,
+        repair_sends: 0,
+        failed_members: 0,
+        repair_delays: Vec::new(),
     }
 }
 
@@ -563,6 +716,10 @@ pub(crate) fn record_for(request: &SessionRequest, session: &SessionRuntime) -> 
         } else {
             delivery_latency
         },
+        failed_members: session.failed_members,
+        nacks: session.nacks,
+        repair_sends: session.repair_sends,
+        repair_delays: session.repair_delays.clone(),
     }
 }
 
@@ -952,6 +1109,10 @@ mod tests {
             queue_delay: 0,
             reception_latency: 0,
             delivery_latency: 0,
+            failed_members: 0,
+            nacks: 0,
+            repair_sends: 0,
+            repair_delays: Vec::new(),
         };
         let metrics = TrafficMetrics::from_records([&record], &[0, 0]);
         assert_eq!(metrics.sessions, 1);
@@ -1042,7 +1203,7 @@ mod tests {
                 let requests = pattern.generate(&pool, 60, seed).unwrap();
                 let mut unified = admit_all(&pool, net, &config, &requests);
                 let mut old = admit_all(&pool, net, &config, &requests);
-                let unified_busy = kernel::simulate(&specs, net, &mut unified);
+                let unified_busy = kernel::simulate(&specs, net, &mut unified, None);
                 let old_busy = reference::simulate(&specs, net, &mut old);
                 let tag = format!("seed {seed}, mean_gap {mean_gap}, churn {churn}");
                 assert_eq!(unified_busy, old_busy, "busy time diverged ({tag})");
@@ -1065,6 +1226,161 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    fn lossy_config(rate: f64, seed: u64, repair: RepairPlacement) -> TrafficConfig {
+        TrafficConfig {
+            loss: Some(LossProfile::iid(rate, seed)),
+            repair,
+            ..TrafficConfig::default()
+        }
+    }
+
+    fn contended_requests(pool: &NodePool, n: usize, seed: u64) -> Vec<SessionRequest> {
+        let pattern = TrafficPattern {
+            arrivals: hnow_workload::ArrivalProfile::Poisson { mean_gap: 4.0 },
+            group_size: GroupSizeDist::Uniform { min: 3, max: 7 },
+            class_weights: None,
+            churn: None,
+        };
+        pattern.generate(pool, n, seed).unwrap()
+    }
+
+    #[test]
+    fn rate_zero_loss_reproduces_the_lossless_report_byte_for_byte() {
+        // The determinism contract's structural anchor: a configured loss
+        // profile that can never lose anything must not perturb a single
+        // event — the serialized reports are compared as bytes.
+        let pool = pool();
+        for seed in [3u64, 17, 99] {
+            let requests = contended_requests(&pool, 80, seed);
+            let lossless = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default())
+                .run(&requests)
+                .unwrap();
+            for repair in [RepairPlacement::SourceOnly, RepairPlacement::SubtreeRoot] {
+                let zero =
+                    TrafficEngine::new(&pool, NetParams::new(2), lossy_config(0.0, seed, repair))
+                        .run(&requests)
+                        .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&lossless).unwrap(),
+                    serde_json::to_string(&zero).unwrap(),
+                    "rate-0 run diverged (seed {seed}, {})",
+                    repair.name()
+                );
+            }
+            assert_eq!(lossless.reliability.delivered_fraction, 1.0);
+            assert_eq!(lossless.reliability.residual_loss, 0.0);
+            assert_eq!(lossless.reliability.nacks, 0);
+        }
+    }
+
+    #[test]
+    fn lossy_runs_repair_deterministically_and_report_reliability() {
+        let pool = pool();
+        let requests = contended_requests(&pool, 120, 21);
+        let engine = TrafficEngine::new(
+            &pool,
+            NetParams::new(2),
+            lossy_config(0.1, 77, RepairPlacement::SubtreeRoot),
+        );
+        let report = engine.run(&requests).unwrap();
+        assert_eq!(report.schema, 3);
+        let rel = &report.reliability;
+        assert!(rel.nacks > 0, "10% loss over 120 sessions must NACK");
+        assert!(rel.repair_sends > 0);
+        assert!(rel.delivered_fraction > 0.9, "8 retries recover nearly all");
+        assert!(rel.delivered_fraction <= 1.0);
+        assert_eq!(rel.delivered + rel.failed, rel.offered_deliveries);
+        // Repaired receivers pay for their repairs: the delay percentiles
+        // are populated and ordered.
+        assert!(rel.p50_repair_delay > 0);
+        assert!(rel.p50_repair_delay <= rel.p95_repair_delay);
+        assert!(rel.p95_repair_delay <= rel.p99_repair_delay);
+        // Byte-identical on a second run.
+        let again = engine.run(&requests).unwrap();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        // A different fault seed draws different losses.
+        let other = TrafficEngine::new(
+            &pool,
+            NetParams::new(2),
+            lossy_config(0.1, 78, RepairPlacement::SubtreeRoot),
+        )
+        .run(&requests)
+        .unwrap();
+        assert_ne!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&other).unwrap()
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_gracefully_to_partial_completion() {
+        // Heavy loss with zero retries: failures must surface as partial
+        // completions (degraded sessions), never hangs or panics.
+        let pool = pool();
+        let requests = contended_requests(&pool, 60, 5);
+        let config = TrafficConfig {
+            loss: Some(LossProfile {
+                max_retries: 0,
+                ..LossProfile::iid(0.4, 13)
+            }),
+            ..TrafficConfig::default()
+        };
+        let report = TrafficEngine::new(&pool, NetParams::new(2), config)
+            .run(&requests)
+            .unwrap();
+        let rel = &report.reliability;
+        assert!(rel.failed > 0, "40% loss with no retries must fail members");
+        assert!(rel.degraded_sessions > 0);
+        assert!(rel.residual_loss > 0.0);
+        assert_eq!(report.completed + report.abandoned, 60);
+        for record in &report.per_session {
+            assert!(record.failed_members <= record.group_size);
+        }
+        // With ample retries the same traffic recovers everything.
+        let recovered = TrafficEngine::new(
+            &pool,
+            NetParams::new(2),
+            lossy_config(0.4, 13, RepairPlacement::SubtreeRoot),
+        )
+        .run(&requests)
+        .unwrap();
+        assert!(recovered.reliability.residual_loss < rel.residual_loss);
+    }
+
+    #[test]
+    fn repair_traffic_respects_one_port_occupancy() {
+        // Property: the full activity log of a lossy run — planned sends,
+        // receives and band-2 repair retransmissions alike — never
+        // double-books a node.
+        let pool = pool();
+        let specs: Vec<NodeSpec> = (0..pool.len()).map(|g| pool.spec_of_node(g)).collect();
+        let class_of: Vec<usize> = (0..pool.len()).map(|g| pool.class_of(g)).collect();
+        let net = NetParams::new(2);
+        for seed in 0..6u64 {
+            let requests = contended_requests(&pool, 50, seed);
+            let config = lossy_config(0.15, seed, RepairPlacement::FastestInSubtree);
+            let mut sessions = admit_all(&pool, net, &config, &requests);
+            let profile = config.loss.as_ref().unwrap();
+            let faults = kernel::FaultCtx {
+                profile,
+                class_of: &class_of,
+            };
+            let (_, log) = kernel::simulate_logged(&specs, net, &mut sessions, Some(&faults));
+            let offenders = crate::validate::check_one_port(pool.len(), &log);
+            assert!(
+                offenders.is_empty(),
+                "seed {seed}: overlap on {offenders:?}"
+            );
+            assert!(
+                sessions.iter().any(|s| s.repair_sends > 0),
+                "seed {seed}: the check must actually cover repair traffic"
+            );
         }
     }
 

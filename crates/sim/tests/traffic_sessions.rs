@@ -51,6 +51,7 @@ proptest! {
                 planner: planner_name.to_string(),
                 batch_size: 1,
                 dp_cache_capacity: Some(8),
+                ..TrafficConfig::default()
             };
             let report = TrafficEngine::new(&pool, net, config)
                 .run(&requests)

@@ -15,9 +15,11 @@
 //! *service* workload: seeded arrival processes emitting thousands of
 //! overlapping multicast session requests with churn, [`sharding`]
 //! partitions one large pool into class-aware shards and generates traffic
-//! with a controlled cross-shard fraction, and [`hotspot`] layers a
+//! with a controlled cross-shard fraction, [`hotspot`] layers a
 //! deterministically shifting hot-spot phase schedule on top of a shard
-//! partition (the control plane's adversarial workload).
+//! partition (the control plane's adversarial workload), and [`lossy`]
+//! pairs a traffic pattern with the loss parameters the simulator's fault
+//! model injects.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod cluster;
 pub mod error;
 pub mod generator;
 pub mod hotspot;
+pub mod lossy;
 pub mod profiles;
 pub mod scenario;
 pub mod sharding;
@@ -37,6 +40,7 @@ pub use cluster::{fast_slow_mix, ClusterSpec};
 pub use error::WorkloadError;
 pub use generator::{bimodal_cluster, RandomClusterConfig};
 pub use hotspot::HotSpotPattern;
+pub use lossy::LossyPattern;
 pub use profiles::{
     default_message_size, fast_workstation, figure1_class_table, legacy_workstation,
     midrange_workstation, slow_workstation, standard_class_table, two_class_table,

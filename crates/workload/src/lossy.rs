@@ -1,0 +1,94 @@
+//! Lossy traffic: a [`TrafficPattern`] paired with the loss parameters the
+//! simulator's fault model injects.
+//!
+//! The request stream itself is unchanged — loss happens at delivery time
+//! in the simulator, not at generation time — so [`LossyPattern::generate`]
+//! delegates to the wrapped pattern verbatim. The wrapper exists so a
+//! *scenario* ("bursty arrivals over a lossy WAN at 5%") is one seeded,
+//! serializable value that workload sweeps and experiments can pass around;
+//! `hnow-sim` lifts the loss fields into its `LossProfile` (this crate
+//! sits below the simulator in the dependency order, so the conversion
+//! lives there).
+
+use crate::error::WorkloadError;
+use crate::traffic::{NodePool, SessionRequest, TrafficPattern};
+use serde::{Deserialize, Serialize};
+
+/// A traffic pattern over a lossy network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossyPattern {
+    /// The offered-load pattern (arrivals, group sizes, churn).
+    pub base: TrafficPattern,
+    /// Base iid probability that a delivery is lost.
+    pub rate: f64,
+    /// Optional per-receiver-class overrides of the base rate.
+    pub per_class: Option<Vec<f64>>,
+    /// Probability that a `(session, sender, time bucket)` window bursts;
+    /// 0 disables burst windows.
+    pub burst_frequency: f64,
+    /// Loss probability inside a burst window.
+    pub burst_rate: f64,
+    /// Width of a burst window in time units.
+    pub burst_bucket: u64,
+    /// Repair retransmissions allowed per receiver before giving up.
+    pub max_retries: u32,
+    /// Base retry backoff in time units.
+    pub backoff: u64,
+    /// Optional recovery-liveness bound: once a receiver first misses a
+    /// delivery, repair attempts issued more than this many time units
+    /// later give the receiver up instead of retransmitting.
+    pub repair_deadline: Option<u64>,
+    /// Seed of the simulator's keyed loss draws (independent of the
+    /// request-generation seed passed to [`LossyPattern::generate`]).
+    pub fault_seed: u64,
+}
+
+impl LossyPattern {
+    /// A plain iid-loss wrapper around `base`: the given loss rate, no
+    /// class overrides, no bursts, 8 retries, backoff 4.
+    pub fn iid(base: TrafficPattern, rate: f64, fault_seed: u64) -> Self {
+        LossyPattern {
+            base,
+            rate,
+            per_class: None,
+            burst_frequency: 0.0,
+            burst_rate: 0.0,
+            burst_bucket: 64,
+            max_retries: 8,
+            backoff: 4,
+            repair_deadline: None,
+            fault_seed,
+        }
+    }
+
+    /// Generates the request stream of the wrapped pattern (loss does not
+    /// alter what is offered, only what arrives).
+    pub fn generate(
+        &self,
+        pool: &NodePool,
+        sessions: usize,
+        seed: u64,
+    ) -> Result<Vec<SessionRequest>, WorkloadError> {
+        self.base.generate(pool, sessions, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{default_message_size, two_class_table};
+
+    #[test]
+    fn generation_matches_the_wrapped_pattern() {
+        let pool = NodePool::new(two_class_table(), default_message_size(), &[6, 4]).unwrap();
+        let base = TrafficPattern::poisson(8.0, 4);
+        let lossy = LossyPattern::iid(base.clone(), 0.05, 99);
+        assert_eq!(
+            lossy.generate(&pool, 40, 7).unwrap(),
+            base.generate(&pool, 40, 7).unwrap(),
+            "loss parameters must not perturb the offered stream"
+        );
+        assert_eq!(lossy.rate, 0.05);
+        assert_eq!(lossy.fault_seed, 99);
+    }
+}

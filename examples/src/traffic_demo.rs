@@ -6,7 +6,8 @@
 //! ```text
 //! traffic_demo [--sessions N] [--seed S] [--planner NAME] [--mean-gap G]
 //!              [--group N] [--churn] [--shards N] [--cross-shard-frac F]
-//!              [--policy NAME] [--rebalance] [--threads N] [--out PATH]
+//!              [--policy NAME] [--rebalance] [--loss RATE] [--repair NAME]
+//!              [--threads N] [--out PATH]
 //! ```
 //!
 //! A seeded Poisson session stream (default: 1000 sessions, mean gap 12,
@@ -20,15 +21,22 @@
 //! gateway policy — `fastest-member`, `load-aware` or `stitched-rt-min`)
 //! and `--rebalance` additionally enables the hysteresis-gated shard
 //! rebalancer (implies the default policy when `--policy` is omitted;
-//! both require `--shards`). `--threads N` runs the whole pipeline inside
+//! both require `--shards`). `--loss RATE` injects seeded iid message loss
+//! at the given rate (keyed off the run seed) with NACK-driven repair, and
+//! `--repair NAME` picks the repairer placement (`source-only`,
+//! `subtree-root`, `fastest-in-subtree` or `gateway`; default
+//! `source-only`; requires `--loss`). `--threads N` runs the whole
+//! pipeline inside
 //! a rayon pool of N worker threads (0 = automatic). Either way the run
 //! is deterministic: the same arguments — at *any* `--threads` value —
 //! always produce a byte-identical report, which `--out` writes as JSON.
 //! `--churn` makes 30% of the sessions impatient.
 
+use hnow_core::RepairPlacement;
 use hnow_model::NetParams;
 use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
 use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
+use hnow_sim::{LossProfile, ReliabilityReport};
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{default_message_size, two_class_table, ShardMap, ShardedPattern};
 use std::process::ExitCode;
@@ -53,6 +61,8 @@ fn main() -> ExitCode {
     let mut cross_frac: Option<f64> = None;
     let mut policy: Option<String> = None;
     let mut rebalance = false;
+    let mut loss: Option<f64> = None;
+    let mut repair: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -76,6 +86,8 @@ fn main() -> ExitCode {
             }
             "--policy" => policy = Some(take("--policy")),
             "--rebalance" => rebalance = true,
+            "--loss" => loss = Some(parse("--loss", take("--loss"))),
+            "--repair" => repair = Some(take("--repair")),
             "--threads" => threads = Some(parse("--threads", take("--threads"))),
             "--out" => out = Some(take("--out")),
             other => {
@@ -84,7 +96,7 @@ fn main() -> ExitCode {
                     "usage: traffic_demo [--sessions N] [--seed S] [--planner NAME] \
                      [--mean-gap G] [--group N] [--churn] [--shards N] \
                      [--cross-shard-frac F] [--policy NAME] [--rebalance] \
-                     [--threads N] [--out PATH]"
+                     [--loss RATE] [--repair NAME] [--threads N] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -106,6 +118,30 @@ fn main() -> ExitCode {
         eprintln!("--policy and --rebalance require --shards with at least 2 shards");
         return ExitCode::FAILURE;
     }
+    if loss.is_some_and(|rate| !(0.0..=1.0).contains(&rate) || !rate.is_finite()) {
+        eprintln!("--loss must be a finite rate in [0, 1]");
+        return ExitCode::FAILURE;
+    }
+    if repair.is_some() && loss.is_none() {
+        eprintln!("--repair requires --loss");
+        return ExitCode::FAILURE;
+    }
+    let placement = match repair.as_deref() {
+        None => RepairPlacement::SourceOnly,
+        Some(name) => match RepairPlacement::from_name(name) {
+            Some(placement) => placement,
+            None => {
+                eprintln!(
+                    "--repair: unknown placement {name:?} (expected one of {})",
+                    hnow_core::schedule::REPAIR_PLACEMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    // The loss draws are keyed off the run seed, so a lossy run is as
+    // reproducible as a lossless one.
+    let faults = loss.map(|rate| LossProfile::iid(rate, seed));
     let control = (policy.is_some() || rebalance).then(|| ControlConfig {
         policy: policy.unwrap_or_else(|| String::from("fastest-member")),
         rebalance: rebalance.then(RebalanceConfig::default),
@@ -140,10 +176,14 @@ fn main() -> ExitCode {
                 shards,
                 cross_frac.unwrap_or(0.0),
                 control,
+                faults,
+                placement,
                 out,
             );
         }
-        run_flat(&pool, pattern, sessions, seed, &planner, out)
+        run_flat(
+            &pool, pattern, sessions, seed, &planner, faults, placement, out,
+        )
     };
     match threads {
         Some(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
@@ -158,12 +198,15 @@ fn main() -> ExitCode {
 }
 
 /// The flat (single-engine) path: generate traffic, run, print the report.
+#[allow(clippy::too_many_arguments)]
 fn run_flat(
     pool: &NodePool,
     pattern: TrafficPattern,
     sessions: usize,
     seed: u64,
     planner: &str,
+    faults: Option<LossProfile>,
+    placement: RepairPlacement,
     out: Option<String>,
 ) -> ExitCode {
     let requests = match pattern.generate(pool, sessions, seed) {
@@ -174,7 +217,13 @@ fn run_flat(
         }
     };
 
-    let engine = TrafficEngine::new(pool, NetParams::new(2), TrafficConfig::for_planner(planner));
+    let lossy = faults.is_some();
+    let config = TrafficConfig {
+        loss: faults,
+        repair: placement,
+        ..TrafficConfig::for_planner(planner)
+    };
+    let engine = TrafficEngine::new(pool, NetParams::new(2), config);
     let report = match engine.run(&requests) {
         Ok(report) => report,
         Err(err) => {
@@ -208,8 +257,31 @@ fn run_flat(
         "  dp cache: {} lookups, {} hits, {} misses, {} evictions",
         report.cache.lookups, report.cache.hits, report.cache.misses, report.cache.evictions
     );
+    if lossy {
+        print_reliability(&report.reliability, placement);
+    }
 
     write_json(out, &report)
+}
+
+/// Prints the reliability section of a lossy run's report.
+fn print_reliability(rel: &ReliabilityReport, placement: RepairPlacement) {
+    println!(
+        "  reliability ({}): delivered {:.4}  residual {:.4}  degraded {}  failed {}",
+        placement.name(),
+        rel.delivered_fraction,
+        rel.residual_loss,
+        rel.degraded_sessions,
+        rel.failed
+    );
+    println!(
+        "  repair: {} nacks, {} retransmissions, recovery delay p50 {} p95 {} p99 {}",
+        rel.nacks,
+        rel.repair_sends,
+        rel.p50_repair_delay,
+        rel.p95_repair_delay,
+        rel.p99_repair_delay
+    );
 }
 
 /// The sharded service path: partition the pool, generate cross-shard-aware
@@ -224,6 +296,8 @@ fn run_sharded(
     shards: usize,
     cross_frac: f64,
     control: Option<ControlConfig>,
+    faults: Option<LossProfile>,
+    placement: RepairPlacement,
     out: Option<String>,
 ) -> ExitCode {
     let map = match ShardMap::partition(pool, shards) {
@@ -244,8 +318,11 @@ fn run_sharded(
             return ExitCode::FAILURE;
         }
     };
+    let lossy = faults.is_some();
     let mut config = ShardedClusterConfig::for_planner(shards, planner);
     config.control = control;
+    config.traffic.loss = faults;
+    config.traffic.repair = placement;
     let cluster = match ShardedCluster::new(pool, NetParams::new(2), config) {
         Ok(cluster) => cluster,
         Err(err) => {
@@ -301,15 +378,20 @@ fn run_sharded(
             control.plan_cache_invalidations
         );
     }
+    if lossy {
+        print_reliability(&report.reliability, placement);
+    }
     for shard in &report.per_shard {
         println!(
-            "  shard {}: {} nodes, {} sessions, p99 {}, dp hit rate {:.3}, {} plan signatures",
+            "  shard {}: {} nodes, {} sessions, p99 {}, dp hit rate {:.3} ({} evictions), {} plan signatures ({} evictions)",
             shard.shard,
             shard.nodes,
             shard.metrics.sessions,
             shard.metrics.p99_reception_latency,
             shard.dp_hit_rate,
-            shard.plan_signatures
+            shard.dp_cache.evictions,
+            shard.plan_signatures,
+            shard.plan_cache.evictions
         );
     }
 
