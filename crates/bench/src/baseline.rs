@@ -10,7 +10,9 @@
 //! 8-thread rayon pools), a control-plane soak (`control_plane`, the
 //! epoch-batched service loop with admission toggled on and off), and a
 //! lossy-repair soak (`lossy_soak`, the flat engine under 5% injected loss
-//! with NACK-driven repair, per repairer placement) — and
+//! with NACK-driven repair, per repairer placement), and a streaming soak
+//! (`stream_soak`, the flat engine moving 8-chunk trains, pipelined and
+//! sequential, against the atomic anchor) — and
 //! renders the
 //! results as a serializable [`BaselineReport`], written to
 //! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
@@ -28,10 +30,10 @@ use hnow_core::algorithms::dp::{DpFillMode, DpTable};
 use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
 use hnow_core::planner::{find, plan_many_with, PlanContext, PlanRequest, Planner};
 use hnow_core::RepairPlacement;
-use hnow_model::{MessageSize, NetParams, TypedMulticast};
-use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
-use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
-use hnow_sim::LossProfile;
+use hnow_model::{ChunkProfile, MessageSize, NetParams, TypedMulticast};
+use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster};
+use hnow_sim::sessions::TrafficEngine;
+use hnow_sim::{LossProfile, RunConfig};
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{standard_class_table, two_class_table, ShardMap, ShardedPattern};
 use serde::{Deserialize, Serialize};
@@ -128,6 +130,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     parallel_soak_cases(mode, &mut cases);
     control_plane_cases(mode, &mut cases);
     lossy_soak_cases(mode, &mut cases);
+    stream_soak_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -296,7 +299,7 @@ fn traffic_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
         .generate(&pool, sessions, 0xBEEF)
         .expect("soak pattern is valid");
     for planner in ["greedy+leaf", "dp-optimal"] {
-        let engine = TrafficEngine::new(&pool, net, TrafficConfig::for_planner(planner));
+        let engine = TrafficEngine::with_config(&pool, net, &RunConfig::for_planner(planner));
         cases.push(time_case(
             "traffic_soak",
             format!("traffic_soak/{planner}/{sessions}"),
@@ -336,10 +339,10 @@ fn sharded_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
         .generate(&map, sessions, 0xBEEF)
         .expect("soak pattern is valid");
     for planner in ["greedy+leaf", "dp-optimal"] {
-        let cluster = ShardedCluster::new(
+        let cluster = ShardedCluster::with_config(
             &pool,
             net,
-            ShardedClusterConfig::for_planner(shards, planner),
+            &RunConfig::for_planner(planner).sharded(shards),
         )
         .expect("soak cluster is valid");
         cases.push(time_case(
@@ -386,26 +389,21 @@ fn parallel_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     let requests = pattern
         .generate(&map, sessions, 0xBEEF)
         .expect("soak pattern is valid");
-    let cluster = ShardedCluster::new(&pool, net, ShardedClusterConfig::with_shards(shards))
-        .expect("soak cluster is valid");
     for threads in [1usize, 8] {
-        let tp = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("pool build is infallible");
+        let config = RunConfig::default().sharded(shards).with_threads(threads);
+        let cluster =
+            ShardedCluster::with_config(&pool, net, &config).expect("soak cluster is valid");
         cases.push(time_case(
             "parallel_soak",
             format!("parallel_soak/threads{threads}/{sessions}"),
             sessions as u64,
             iters,
             || {
-                tp.install(|| {
-                    black_box(
-                        cluster
-                            .run(black_box(&requests))
-                            .expect("soak run succeeds"),
-                    );
-                });
+                black_box(
+                    cluster
+                        .run(black_box(&requests))
+                        .expect("soak run succeeds"),
+                );
             },
         ));
     }
@@ -443,14 +441,16 @@ fn control_plane_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
         .generate(&map, sessions, 0xBEEF)
         .expect("soak pattern is valid");
     for (variant, admission) in [("admission-on", true), ("admission-off", false)] {
-        let config =
-            ShardedClusterConfig::for_planner(shards, "greedy+leaf").with_control(ControlConfig {
+        let config = RunConfig::default()
+            .sharded(shards)
+            .with_control(ControlConfig {
                 epoch: 32,
                 admission,
                 policy: "load-aware".to_string(),
                 rebalance: Some(RebalanceConfig::default()),
             });
-        let cluster = ShardedCluster::new(&pool, net, config).expect("soak cluster is valid");
+        let cluster =
+            ShardedCluster::with_config(&pool, net, &config).expect("soak cluster is valid");
         cases.push(time_case(
             "control_plane",
             format!("control_plane/{variant}/{sessions}"),
@@ -506,15 +506,62 @@ fn lossy_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
         ),
     ];
     for (variant, loss, repair) in variants {
-        let config = TrafficConfig {
+        let config = RunConfig {
             loss,
             repair,
-            ..TrafficConfig::for_planner("greedy+leaf")
+            ..RunConfig::default()
         };
-        let engine = TrafficEngine::new(&pool, net, config);
+        let engine = TrafficEngine::with_config(&pool, net, &config);
         cases.push(time_case(
             "lossy_soak",
             format!("lossy_soak/{variant}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                black_box(engine.run(black_box(&requests)).expect("soak run succeeds"));
+            },
+        ));
+    }
+}
+
+/// Streaming soak: the `lossy_soak` pool re-offered as 8-chunk trains,
+/// once pipelined and once sequential, against the atomic anchor. The
+/// anchor-vs-pipelined gap prices the chunk-train machinery itself (8× the
+/// kernel events per session); the pipelined-vs-sequential pair tracks the
+/// cost of the settle-gated release discipline on the same event volume.
+fn stream_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[32, 16],
+        },
+    )
+    .expect("soak pool is valid");
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (64usize, 2u64),
+        BaselineMode::Full => (256, 3),
+    };
+    let pattern = TrafficPattern::poisson(40.0, 6);
+    let requests = pattern
+        .generate(&pool, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    let variants: [(&str, Option<ChunkProfile>); 3] = [
+        ("atomic", None),
+        ("pipelined8", Some(ChunkProfile::new(8, 8))),
+        ("sequential8", Some(ChunkProfile::new(8, 8).sequential())),
+    ];
+    for (variant, chunks) in variants {
+        let config = RunConfig {
+            chunks,
+            ..RunConfig::default()
+        };
+        let engine = TrafficEngine::with_config(&pool, net, &config);
+        cases.push(time_case(
+            "stream_soak",
+            format!("stream_soak/{variant}/{sessions}"),
             sessions as u64,
             iters,
             || {
@@ -681,6 +728,9 @@ mod tests {
                 "lossy_soak/lossless/64",
                 "lossy_soak/source-only/64",
                 "lossy_soak/subtree-root/64",
+                "stream_soak/atomic/64",
+                "stream_soak/pipelined8/64",
+                "stream_soak/sequential8/64",
             ]
         );
         for case in &report.cases {

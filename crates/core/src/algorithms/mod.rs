@@ -9,7 +9,6 @@ pub mod greedy;
 pub mod optimal;
 pub mod transform;
 
-pub use baselines::{build_schedule, Strategy};
 pub use dp::{dp_optimum, DpFillMode, DpTable};
 pub use greedy::{greedy_schedule, greedy_with_options, GreedyOptions};
 pub use optimal::{optimal_schedule, search, Objective, OptimalResult, SearchOptions};

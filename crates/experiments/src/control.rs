@@ -17,7 +17,8 @@
 
 use crate::table::Table;
 use hnow_model::NetParams;
-use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
+use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster};
+use hnow_sim::RunConfig;
 use hnow_workload::traffic::NodePool;
 use hnow_workload::{
     default_message_size, two_class_table, ChurnProfile, HotSpotPattern, SessionRequest, ShardMap,
@@ -130,10 +131,10 @@ fn measure(
     label: &str,
     pool: &NodePool,
     net: NetParams,
-    config: ShardedClusterConfig,
+    config: RunConfig,
     requests: &[SessionRequest],
 ) -> ControlPoint {
-    let cluster = ShardedCluster::new(pool, net, config).expect("valid study cluster");
+    let cluster = ShardedCluster::with_config(pool, net, &config).expect("valid study cluster");
     let report = cluster.run(requests).expect("study run succeeds");
     let mut delays: Vec<u64> = report
         .per_session
@@ -193,7 +194,7 @@ pub fn run(config: &ControlStudyConfig) -> Vec<ControlPoint> {
         .generate(&map, config.sessions, config.seed)
         .expect("study pattern is valid");
     let net = NetParams::new(config.latency);
-    let base = ShardedClusterConfig::for_planner(config.shards, &config.planner);
+    let base = RunConfig::for_planner(&config.planner).sharded(config.shards);
 
     let mut points = vec![measure("no-control", &pool, net, base.clone(), &requests)];
     for policy in POLICIES {

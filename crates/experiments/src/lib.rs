@@ -18,6 +18,7 @@
 //! | E11 | [`sharded`] | sharded cluster service vs the flat engine (beyond the paper) |
 //! | E12 | [`control`] | control-plane policy sweep under shifting hot spots (beyond the paper) |
 //! | E13 | [`reliability`] | repairer placement under injected loss (beyond the paper) |
+//! | E14 | [`streaming`] | pipelined vs sequential chunk trains (beyond the paper) |
 //!
 //! [`run_all`] executes a reduced version of every experiment and returns
 //! the tables; the example binaries and `EXPERIMENTS.md` are produced from
@@ -38,6 +39,7 @@ pub mod reliability;
 pub mod robustness;
 pub mod scaling;
 pub mod sharded;
+pub mod streaming;
 pub mod table;
 pub mod traffic;
 
@@ -270,6 +272,27 @@ pub fn run_all(seed: u64) -> Vec<ExperimentReport> {
         tables: vec![reliability::table(&reliability_points)],
     });
 
+    // E14 keeps its own pinned seeds too: the pipelined-vs-sequential
+    // strict win is a claim about one reproducible arrival vector and one
+    // set of loss draws per chunk count.
+    let streaming_cfg = streaming::StreamingStudyConfig::default();
+    let streaming_points = streaming::run(&streaming_cfg);
+    let best = streaming_points
+        .iter()
+        .map(|p| p.throughput)
+        .fold(0.0, f64::max);
+    reports.push(ExperimentReport {
+        id: "E14",
+        headline: format!(
+            "Chunk trains swept over {} counts × {} disciplines × {} loss rates: best steady-state throughput {:.2} chunk-deliveries/1000 ticks",
+            streaming_cfg.chunk_counts.len(),
+            streaming::MODES.len(),
+            streaming_cfg.rates.len(),
+            best
+        ),
+        tables: vec![streaming::table(&streaming_points)],
+    });
+
     reports
 }
 
@@ -297,7 +320,10 @@ mod tests {
         let ids: Vec<&str> = reports.iter().map(|r| r.id).collect();
         assert_eq!(
             ids,
-            vec!["E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"]
+            vec![
+                "E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+                "E14"
+            ]
         );
         for report in &reports {
             assert!(!report.tables.is_empty());
@@ -310,5 +336,6 @@ mod tests {
         assert!(md.contains("## E11"));
         assert!(md.contains("## E12"));
         assert!(md.contains("## E13"));
+        assert!(md.contains("## E14"));
     }
 }

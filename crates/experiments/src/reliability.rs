@@ -22,7 +22,7 @@
 use crate::table::Table;
 use hnow_core::RepairPlacement;
 use hnow_model::NetParams;
-use hnow_sim::{LossProfile, TrafficConfig, TrafficEngine};
+use hnow_sim::{LossProfile, RunConfig, TrafficEngine};
 use hnow_workload::traffic::NodePool;
 use hnow_workload::{
     default_message_size, two_class_table, GroupSizeDist, LossyPattern, TrafficPattern,
@@ -172,13 +172,13 @@ pub fn run(config: &ReliabilityStudyConfig) -> Vec<ReliabilityPoint> {
             base: base.clone(),
         };
         for placement in PLACEMENTS {
-            let traffic = TrafficConfig {
+            let traffic = RunConfig {
                 planner: config.planner.clone(),
                 loss: Some(LossProfile::from(&scenario)),
                 repair: RepairPlacement::from_name(placement).expect("swept placement exists"),
-                ..TrafficConfig::default()
+                ..RunConfig::default()
             };
-            let engine = TrafficEngine::new(&pool, net, traffic);
+            let engine = TrafficEngine::with_config(&pool, net, &traffic);
             let report = engine.run(&requests).expect("study run succeeds");
             points.push(ReliabilityPoint {
                 rate,

@@ -21,8 +21,9 @@
 
 use crate::table::Table;
 use hnow_model::NetParams;
-use hnow_sim::cluster::{ShardedCluster, ShardedClusterConfig};
-use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
+use hnow_sim::cluster::ShardedCluster;
+use hnow_sim::sessions::TrafficEngine;
+use hnow_sim::RunConfig;
 use hnow_workload::traffic::NodePool;
 use hnow_workload::{default_message_size, two_class_table, ShardMap, ShardedPattern};
 use serde::Serialize;
@@ -144,15 +145,15 @@ pub fn run(config: &ShardedStudyConfig) -> Vec<ShardedPoint> {
                 .expect("study pattern is valid");
 
             let flat_engine =
-                TrafficEngine::new(&pool, net, TrafficConfig::for_planner(&config.planner));
+                TrafficEngine::with_config(&pool, net, &RunConfig::for_planner(&config.planner));
             let flat_start = Instant::now();
             let flat = flat_engine.run(&requests).expect("flat run succeeds");
             let flat_wall_ms = flat_start.elapsed().as_secs_f64() * 1000.0;
 
-            let cluster = ShardedCluster::new(
+            let cluster = ShardedCluster::with_config(
                 &pool,
                 net,
-                ShardedClusterConfig::for_planner(shards, &config.planner),
+                &RunConfig::for_planner(&config.planner).sharded(shards),
             )
             .expect("valid cluster config");
             let sharded_start = Instant::now();

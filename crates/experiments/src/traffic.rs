@@ -16,7 +16,8 @@
 
 use crate::table::Table;
 use hnow_model::NetParams;
-use hnow_sim::sessions::{TrafficConfig, TrafficEngine, TrafficReport};
+use hnow_sim::sessions::{TrafficEngine, TrafficReport};
+use hnow_sim::RunConfig;
 use hnow_workload::traffic::{NodePool, TrafficPattern};
 use hnow_workload::{default_message_size, two_class_table};
 use serde::Serialize;
@@ -97,7 +98,7 @@ pub fn run(config: &TrafficStudyConfig) -> Vec<TrafficPoint> {
             .generate(&pool, config.sessions, config.seed)
             .expect("study pattern is valid");
         for planner in DEFAULT_PLANNERS {
-            let engine = TrafficEngine::new(&pool, net, TrafficConfig::for_planner(planner));
+            let engine = TrafficEngine::with_config(&pool, net, &RunConfig::for_planner(planner));
             let report = engine.run(&requests).expect("study sessions plan cleanly");
             points.push(point_from(mean_gap, planner, &report));
         }

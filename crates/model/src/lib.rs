@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chunk;
 pub mod class;
 pub mod error;
 pub mod models;
@@ -55,6 +56,7 @@ pub mod overhead;
 pub mod params;
 pub mod time;
 
+pub use chunk::ChunkProfile;
 pub use class::{ClassTable, NodeClass, TypedMulticast};
 pub use error::ModelError;
 pub use multicast::MulticastSet;

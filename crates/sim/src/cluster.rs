@@ -84,7 +84,7 @@ use crate::error::SimError;
 use crate::kernel;
 use crate::sessions::{
     bind_node_map, children_lists, record_for, CacheStats, ReliabilityReport, SessionRecord,
-    SessionRuntime, TrafficConfig, TrafficMetrics,
+    SessionRuntime, StreamingReport, TrafficConfig, TrafficMetrics,
 };
 use hnow_control::{
     admit, find_policy, AdmissionDecision, AdmissionIntent, GatewayCandidate, GatewayPolicy,
@@ -124,6 +124,10 @@ pub struct ShardedClusterConfig {
 
 impl ShardedClusterConfig {
     /// `shards` shards with the default traffic config and plan caching on.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RunConfig::default().sharded(n)` and `ShardedCluster::with_config`"
+    )]
     pub fn with_shards(shards: usize) -> Self {
         ShardedClusterConfig {
             shards,
@@ -135,13 +139,15 @@ impl ShardedClusterConfig {
     }
 
     /// Same, with a named planner.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RunConfig::for_planner(name).sharded(n)` and `ShardedCluster::with_config`"
+    )]
     pub fn for_planner(shards: usize, planner: &str) -> Self {
+        #[allow(deprecated)]
         ShardedClusterConfig {
-            shards,
             traffic: TrafficConfig::for_planner(planner),
-            plan_cache: true,
-            plan_cache_capacity: Some(256),
-            control: None,
+            ..ShardedClusterConfig::with_shards(shards)
         }
     }
 
@@ -257,6 +263,9 @@ pub struct ShardedTrafficReport {
     /// Loss, repair and degradation aggregates over every session
     /// (all-zero/fixed-point on lossless runs).
     pub reliability: ReliabilityReport,
+    /// Streaming aggregates over every session (all-zero/fixed-point on
+    /// atomic runs).
+    pub streaming: StreamingReport,
     /// The dispatcher's DP-cache statistics (gateway-tree planning).
     pub gateway_dp_cache: CacheStats,
     /// Gateway DP-cache hit rate (0 when nothing was looked up).
@@ -444,10 +453,15 @@ pub struct ShardedCluster<'a> {
     map: ShardMap,
     net: NetParams,
     config: ShardedClusterConfig,
+    threads: Option<usize>,
 }
 
 impl<'a> ShardedCluster<'a> {
     /// Partitions `pool` into the configured number of shards.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `RunConfig` and use `ShardedCluster::with_config`"
+    )]
     pub fn new(
         pool: &'a NodePool,
         net: NetParams,
@@ -459,6 +473,28 @@ impl<'a> ShardedCluster<'a> {
             map,
             net,
             config,
+            threads: None,
+        })
+    }
+
+    /// Partitions `pool` per the unified
+    /// [`RunConfig`](crate::config::RunConfig) surface. A flat config
+    /// (`shards == 0`) is clamped to one shard, which reproduces the flat
+    /// engine behind a dispatcher.
+    pub fn with_config(
+        pool: &'a NodePool,
+        net: NetParams,
+        config: &crate::config::RunConfig,
+    ) -> Result<Self, SimError> {
+        let threads = config.threads;
+        let config = config.cluster();
+        let map = ShardMap::partition(pool, config.shards).map_err(SimError::Sharding)?;
+        Ok(ShardedCluster {
+            pool,
+            map,
+            net,
+            config,
+            threads,
         })
     }
 
@@ -470,11 +506,14 @@ impl<'a> ShardedCluster<'a> {
     /// Plans and simulates the given sessions (global node ids), returning
     /// the merged report. With [`ShardedClusterConfig::control`] set, runs
     /// the epoch-synchronous control loop instead of the batch pipeline.
+    /// With [`RunConfig::threads`](crate::config::RunConfig::threads)
+    /// pinned, the whole run executes on a dedicated rayon pool of that
+    /// size — the report is byte-identical at every thread count.
     pub fn run(&self, requests: &[SessionRequest]) -> Result<ShardedTrafficReport, SimError> {
-        match self.config.control.clone() {
+        crate::config::install_pool(self.threads, || match self.config.control.clone() {
             Some(control) => self.run_controlled(requests, &control),
             None => self.run_batch(requests),
-        }
+        })?
     }
 
     /// The repairer-placement policy for plan annotation — `Some` only
@@ -547,6 +586,7 @@ impl<'a> ShardedCluster<'a> {
                         self.repair_policy(),
                     )?;
                     let mut runtime = runtime_from(pool, local, &cached);
+                    runtime.apply_chunks(local.chunks.or(self.config.traffic.chunks));
                     // Rebase the node map onto global ids for simulation.
                     for node in &mut runtime.node_map {
                         *node = self.map.global_of(s, *node);
@@ -783,6 +823,7 @@ impl<'a> ShardedCluster<'a> {
                         self.repair_policy(),
                     )?;
                     let mut runtime = runtime_from(map.shard(s), &local, &cached);
+                    runtime.apply_chunks(local.chunks.or(self.config.traffic.chunks));
                     for node in &mut runtime.node_map {
                         *node = map.global_of(s, *node);
                     }
@@ -1099,13 +1140,16 @@ impl<'a> ShardedCluster<'a> {
             gateways.push(gw);
         }
 
-        // Level 1: the gateway tree over the gateway class vector.
+        // Level 1: the gateway tree over the gateway class vector. The
+        // chunk profile stays off planning-only requests — chunking never
+        // changes the tree, only how the payload moves through it.
         let gateway_request = SessionRequest {
             id: request.id,
             arrival: request.arrival,
             source: request.source,
             members: gateways.clone(),
             patience: None,
+            chunks: None,
         };
         let gateway_plan = planned_for(
             planner,
@@ -1153,6 +1197,7 @@ impl<'a> ShardedCluster<'a> {
                     source: local_gw,
                     members: local_members.clone(),
                     patience: None,
+                    chunks: None,
                 };
                 planned_for(
                     planner,
@@ -1202,7 +1247,7 @@ impl<'a> ShardedCluster<'a> {
         let repairer = self
             .repair_policy()
             .map(|policy| Arc::new(policy.assign_composed(&composed)));
-        Ok(SessionRuntime {
+        let mut runtime = SessionRuntime {
             id: request.id,
             arrival: request.arrival,
             deadline: request.patience.map(|p| request.arrival.saturating_add(p)),
@@ -1220,7 +1265,15 @@ impl<'a> ShardedCluster<'a> {
             repair_sends: 0,
             failed_members: 0,
             repair_delays: Vec::new(),
-        })
+            chunks: 1,
+            chunk_interval: Time::ZERO,
+            chunk_deadline: None,
+            pipelined: true,
+            chunk_pending: Vec::new(),
+            chunk_completed_at: Vec::new(),
+        };
+        runtime.apply_chunks(request.chunks.or(self.config.traffic.chunks));
+        Ok(runtime)
     }
 
     /// Assembles the merged report. `map` is the partition at the end of
@@ -1279,9 +1332,12 @@ impl<'a> ShardedCluster<'a> {
             .collect();
         let gateway_dp_cache = CacheStats::from_context(gateway_ctx);
         let reliability = ReliabilityReport::from_records(per_session.iter().map(|s| &s.record));
+        let streaming =
+            StreamingReport::from_records(per_session.iter().map(|s| &s.record), total.makespan);
         ShardedTrafficReport {
-            // Schema 3: reliability section + per-session repair fields.
-            schema: 3,
+            // Schema 4: streaming section + per-session chunk fields (3
+            // added the reliability section).
+            schema: 4,
             planner: self.config.traffic.planner.clone(),
             shards: map.num_shards(),
             plan_cache: self.config.plan_cache,
@@ -1297,6 +1353,7 @@ impl<'a> ShardedCluster<'a> {
             total,
             cross,
             reliability,
+            streaming,
             gateway_dp_cache,
             gateway_dp_hit_rate: gateway_dp_cache.hit_rate(),
             gateway_plan_cache: gateway_cache.stats(),
@@ -1331,6 +1388,7 @@ fn route_for(map: &ShardMap, request: &SessionRequest) -> Routing {
 }
 
 /// Rewrites an intra-shard request onto its home shard's local node ids.
+/// The chunk profile rides along — it is node-id-free.
 fn localize(map: &ShardMap, request: &SessionRequest) -> SessionRequest {
     SessionRequest {
         id: request.id,
@@ -1338,6 +1396,7 @@ fn localize(map: &ShardMap, request: &SessionRequest) -> SessionRequest {
         source: map.locate(request.source).1,
         members: request.members.iter().map(|&m| map.locate(m).1).collect(),
         patience: request.patience,
+        chunks: request.chunks,
     }
 }
 
@@ -1454,6 +1513,12 @@ fn runtime_from(pool: &NodePool, request: &SessionRequest, cached: &CachedPlan) 
         repair_sends: 0,
         failed_members: 0,
         repair_delays: Vec::new(),
+        chunks: 1,
+        chunk_interval: Time::ZERO,
+        chunk_deadline: None,
+        pipelined: true,
+        chunk_pending: Vec::new(),
+        chunk_completed_at: Vec::new(),
     }
 }
 
@@ -1491,6 +1556,7 @@ impl Dsu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RunConfig;
     use crate::sessions::TrafficEngine;
     use hnow_workload::{
         default_message_size, two_class_table, ChurnProfile, HotSpotPattern, ShardedPattern,
@@ -1530,10 +1596,10 @@ mod tests {
         let pool = pool();
         let requests = spaced_requests(&pool, 4, 0.5, 24);
         for planner in ["greedy", "greedy+leaf", "dp-optimal", "chain"] {
-            let cluster = ShardedCluster::new(
+            let cluster = ShardedCluster::with_config(
                 &pool,
                 NetParams::new(2),
-                ShardedClusterConfig::for_planner(4, planner),
+                &RunConfig::for_planner(planner).sharded(4),
             )
             .unwrap();
             let report = cluster.run(&requests).unwrap();
@@ -1564,14 +1630,11 @@ mod tests {
         // shard-local planning sees the same class signatures.
         let pool = pool();
         let requests = spaced_requests(&pool, 4, 0.0, 20);
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(4),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(4))
+                .unwrap();
         let sharded = cluster.run(&requests).unwrap();
-        let flat = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default())
+        let flat = TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default())
             .run(&requests)
             .unwrap();
         assert!(
@@ -1591,12 +1654,9 @@ mod tests {
         let map = ShardMap::partition(&pool, 4).unwrap();
         let pattern = ShardedPattern::poisson(6.0, 5, 0.3);
         let requests = pattern.generate(&map, 120, 42).unwrap();
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(4),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(4))
+                .unwrap();
         let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
         let b = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
         assert_eq!(a, b, "same requests must serialize byte-identically");
@@ -1605,12 +1665,47 @@ mod tests {
         assert_ne!(a, c);
     }
 
-    fn lossy_traffic(rate: f64, seed: u64, repair: RepairPlacement) -> TrafficConfig {
-        TrafficConfig {
-            loss: Some(crate::faults::LossProfile::iid(rate, seed)),
-            repair,
-            ..TrafficConfig::default()
+    #[test]
+    fn a_one_chunk_profile_matches_atomic_on_the_sharded_surface() {
+        // Sharded leg of the chunks=1 acceptance anchor: stamping a
+        // one-chunk profile run-wide must reproduce the atomic sharded
+        // report byte for byte, with and without 5% injected loss (gateway
+        // stitching, plan caches and repair traffic included).
+        use hnow_model::ChunkProfile;
+        let pool = pool();
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let requests = ShardedPattern::poisson(6.0, 5, 0.3)
+            .generate(&map, 100, 42)
+            .unwrap();
+        for lossy in [false, true] {
+            let base = if lossy {
+                lossy_run(0.05, 42, hnow_core::RepairPlacement::SubtreeRoot, 4)
+            } else {
+                RunConfig::default().sharded(4)
+            };
+            let atomic = ShardedCluster::with_config(&pool, NetParams::new(2), &base)
+                .unwrap()
+                .run(&requests)
+                .unwrap();
+            let one_chunk = base.clone().with_chunks(ChunkProfile::new(1, 25));
+            let chunked = ShardedCluster::with_config(&pool, NetParams::new(2), &one_chunk)
+                .unwrap()
+                .run(&requests)
+                .unwrap();
+            assert_eq!(
+                serde_json::to_string(&atomic).unwrap(),
+                serde_json::to_string(&chunked).unwrap(),
+                "lossy {lossy}: sharded one-chunk run drifted from atomic"
+            );
+            assert_eq!(chunked.streaming.streaming_sessions, 0);
         }
+    }
+
+    fn lossy_run(rate: f64, seed: u64, repair: RepairPlacement, shards: usize) -> RunConfig {
+        RunConfig::default()
+            .sharded(shards)
+            .with_loss(crate::faults::LossProfile::iid(rate, seed))
+            .with_repair(repair)
     }
 
     #[test]
@@ -1620,21 +1715,15 @@ mod tests {
         let requests = ShardedPattern::poisson(6.0, 5, 0.3)
             .generate(&map, 100, 42)
             .unwrap();
-        let lossless = ShardedCluster::new(
+        let lossless =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(4))
+                .unwrap()
+                .run(&requests)
+                .unwrap();
+        let zero = ShardedCluster::with_config(
             &pool,
             NetParams::new(2),
-            ShardedClusterConfig::with_shards(4),
-        )
-        .unwrap()
-        .run(&requests)
-        .unwrap();
-        let zero = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig {
-                traffic: lossy_traffic(0.0, 42, RepairPlacement::Gateway),
-                ..ShardedClusterConfig::with_shards(4)
-            },
+            &lossy_run(0.0, 42, RepairPlacement::Gateway, 4),
         )
         .unwrap()
         .run(&requests)
@@ -1644,7 +1733,7 @@ mod tests {
             serde_json::to_string(&zero).unwrap(),
             "a rate-0 profile must not perturb a single event"
         );
-        assert_eq!(lossless.schema, 3);
+        assert_eq!(lossless.schema, 4);
         assert_eq!(lossless.reliability.delivered_fraction, 1.0);
     }
 
@@ -1656,13 +1745,10 @@ mod tests {
             .generate(&map, 120, 11)
             .unwrap();
         for repair in [RepairPlacement::SubtreeRoot, RepairPlacement::Gateway] {
-            let cluster = ShardedCluster::new(
+            let cluster = ShardedCluster::with_config(
                 &pool,
                 NetParams::new(2),
-                ShardedClusterConfig {
-                    traffic: lossy_traffic(0.08, 19, repair),
-                    ..ShardedClusterConfig::with_shards(4)
-                },
+                &lossy_run(0.08, 19, repair, 4),
             )
             .unwrap();
             let report = cluster.run(&requests).unwrap();
@@ -1699,14 +1785,10 @@ mod tests {
         let pool = pool();
         let requests = hot_requests(&pool, 4, 320, 23);
         let run = |admission: bool| {
-            let cluster = ShardedCluster::new(
+            let cluster = ShardedCluster::with_config(
                 &pool,
                 NetParams::new(2),
-                ShardedClusterConfig {
-                    traffic: lossy_traffic(0.1, 31, RepairPlacement::SubtreeRoot),
-                    ..ShardedClusterConfig::with_shards(4)
-                }
-                .with_control(ControlConfig {
+                &lossy_run(0.1, 31, RepairPlacement::SubtreeRoot, 4).with_control(ControlConfig {
                     admission,
                     ..ControlConfig::default()
                 }),
@@ -1744,14 +1826,10 @@ mod tests {
             .generate(&map, 150, 9)
             .unwrap();
         let run = |plan_cache: bool, planner: &str| {
-            let config = ShardedClusterConfig {
-                shards: 4,
-                traffic: TrafficConfig::for_planner(planner),
-                plan_cache,
-                plan_cache_capacity: Some(256),
-                control: None,
-            };
-            ShardedCluster::new(&pool, NetParams::new(2), config)
+            let config = RunConfig::for_planner(planner)
+                .sharded(4)
+                .with_plan_cache(plan_cache, Some(256));
+            ShardedCluster::with_config(&pool, NetParams::new(2), &config)
                 .unwrap()
                 .run(&requests)
                 .unwrap()
@@ -1819,17 +1897,17 @@ mod tests {
             r.patience = (i % 3 == 0).then_some(Time::new(40));
         }
         for planner in ["greedy+leaf", "dp-optimal"] {
-            let cluster = ShardedCluster::new(
+            let cluster = ShardedCluster::with_config(
                 &pool,
                 NetParams::new(2),
-                ShardedClusterConfig::for_planner(1, planner),
+                &RunConfig::for_planner(planner).sharded(1),
             )
             .unwrap();
             let sharded = cluster.run(&requests).unwrap();
-            let flat = TrafficEngine::new(
+            let flat = TrafficEngine::with_config(
                 &pool,
                 NetParams::new(2),
-                TrafficConfig::for_planner(planner),
+                &RunConfig::for_planner(planner),
             )
             .run(&requests)
             .unwrap();
@@ -1859,12 +1937,9 @@ mod tests {
         let mixed = ShardedPattern::poisson(5.0, 4, 0.5)
             .generate(&map, 60, 5)
             .unwrap();
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(4),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(4))
+                .unwrap();
         let separate = cluster.run(&intra_only).unwrap();
         assert_eq!(separate.components, contact_components(&pool, &intra_only));
         assert!(
@@ -1895,12 +1970,9 @@ mod tests {
     #[test]
     fn empty_shards_report_nan_free_zeros() {
         let pool = pool();
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(4),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(4))
+                .unwrap();
         // Every session lives entirely in shard 0 (nodes 0, 4, 8, …).
         let shard0: Vec<usize> = cluster.shard_map().globals_of(0).to_vec();
         let requests: Vec<SessionRequest> = (0..6)
@@ -1915,6 +1987,7 @@ mod tests {
                     .take(3)
                     .collect(),
                 patience: None,
+                chunks: None,
             })
             .collect();
         let report = cluster.run(&requests).unwrap();
@@ -1936,12 +2009,9 @@ mod tests {
         // empty, but its nodes are busy. Utilization must be taken over the
         // run-wide makespan — positive, and never above 1.
         let pool = pool();
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(2),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(2))
+                .unwrap();
         let shard0 = cluster.shard_map().globals_of(0).to_vec();
         let shard1 = cluster.shard_map().globals_of(1).to_vec();
         let requests: Vec<SessionRequest> = (0..8)
@@ -1954,6 +2024,7 @@ mod tests {
                     shard1[(i as usize + 1) % shard1.len()],
                 ],
                 patience: None,
+                chunks: None,
             })
             .collect();
         let report = cluster.run(&requests).unwrap();
@@ -1981,12 +2052,9 @@ mod tests {
             r.arrival = Time::ZERO;
             r.patience = Some(Time::new(1));
         }
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(2),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(2))
+                .unwrap();
         let report = cluster.run(&requests).unwrap();
         assert!(report.total.abandoned > 0, "a stampede with tiny patience");
         assert_eq!(report.total.completed + report.total.abandoned, 40);
@@ -1999,26 +2067,37 @@ mod tests {
     #[test]
     fn config_errors_are_reported() {
         let pool = pool();
-        assert!(matches!(
-            ShardedCluster::new(
-                &pool,
-                NetParams::new(1),
-                ShardedClusterConfig::with_shards(0)
-            ),
-            Err(SimError::Sharding(_))
-        ));
-        assert!(matches!(
-            ShardedCluster::new(
-                &pool,
-                NetParams::new(1),
-                ShardedClusterConfig::with_shards(pool.len() + 1)
-            ),
-            Err(SimError::Sharding(_))
-        ));
-        let cluster = ShardedCluster::new(
+        // The unified surface treats `shards == 0` as "flat": one shard.
+        // The deprecated shim keeps the old zero-shard rejection.
+        assert_eq!(
+            ShardedCluster::with_config(&pool, NetParams::new(1), &RunConfig::default().sharded(0))
+                .unwrap()
+                .shard_map()
+                .num_shards(),
+            1
+        );
+        #[allow(deprecated)]
+        let zero_shards = ShardedCluster::new(
             &pool,
             NetParams::new(1),
-            ShardedClusterConfig::for_planner(2, "no-such-planner"),
+            ShardedClusterConfig {
+                shards: 0,
+                ..RunConfig::default().cluster()
+            },
+        );
+        assert!(matches!(zero_shards, Err(SimError::Sharding(_))));
+        assert!(matches!(
+            ShardedCluster::with_config(
+                &pool,
+                NetParams::new(1),
+                &RunConfig::default().sharded(pool.len() + 1),
+            ),
+            Err(SimError::Sharding(_))
+        ));
+        let cluster = ShardedCluster::with_config(
+            &pool,
+            NetParams::new(1),
+            &RunConfig::for_planner("no-such-planner").sharded(2),
         )
         .unwrap();
         let requests = spaced_requests(&pool, 2, 0.0, 2);
@@ -2026,12 +2105,9 @@ mod tests {
             cluster.run(&requests),
             Err(SimError::UnknownPlanner { .. })
         ));
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(1),
-            ShardedClusterConfig::with_shards(2),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(1), &RunConfig::default().sharded(2))
+                .unwrap();
         let mut bad = spaced_requests(&pool, 2, 0.0, 2);
         bad[1].members = vec![bad[1].source];
         assert!(matches!(
@@ -2057,12 +2133,9 @@ mod tests {
             r.arrival = Time::ZERO;
             r.patience = None;
         }
-        let cluster = ShardedCluster::new(
-            &pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(2),
-        )
-        .unwrap();
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(2), &RunConfig::default().sharded(2))
+                .unwrap();
         let report = cluster.run(&requests).unwrap();
         assert_eq!(report.total.completed, 40);
         assert_eq!(report.total.abandoned, 0);
@@ -2081,13 +2154,13 @@ mod tests {
     fn controlled_runs_are_byte_identical_and_decide_every_session() {
         let pool = pool();
         let requests = hot_requests(&pool, 4, 120, 7);
-        let config = ShardedClusterConfig::with_shards(4).with_control(ControlConfig {
+        let config = RunConfig::default().sharded(4).with_control(ControlConfig {
             epoch: 32,
             admission: true,
             policy: "load-aware".to_string(),
             rebalance: Some(RebalanceConfig::default()),
         });
-        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let cluster = ShardedCluster::with_config(&pool, NetParams::new(2), &config).unwrap();
         let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
         let b = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
         assert_eq!(a, b, "controlled runs must serialize byte-identically");
@@ -2120,11 +2193,11 @@ mod tests {
             r.arrival = Time::ZERO;
             r.patience = Some(Time::new(30));
         }
-        let config = ShardedClusterConfig::with_shards(2).with_control(ControlConfig {
+        let config = RunConfig::default().sharded(2).with_control(ControlConfig {
             epoch: 16,
             ..ControlConfig::default()
         });
-        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let cluster = ShardedCluster::with_config(&pool, NetParams::new(2), &config).unwrap();
         let report = cluster.run(&requests).unwrap();
         let control = report.control.unwrap();
         assert!(control.shed > 0, "the stampede must shed");
@@ -2155,7 +2228,7 @@ mod tests {
         // idle: the divergence signal the rebalancer exists for.
         let pattern = HotSpotPattern::bursty(6, 20, 2, 4, 60, 1.0);
         let requests = pattern.generate(&map, 180, 13).unwrap();
-        let config = ShardedClusterConfig::with_shards(4).with_control(ControlConfig {
+        let config = RunConfig::default().sharded(4).with_control(ControlConfig {
             epoch: 30,
             admission: false,
             policy: "fastest-member".to_string(),
@@ -2166,7 +2239,7 @@ mod tests {
                 min_shard_nodes: 2,
             }),
         });
-        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let cluster = ShardedCluster::with_config(&pool, NetParams::new(2), &config).unwrap();
         let report = cluster.run(&requests).unwrap();
         let control = report.control.unwrap();
         assert!(
@@ -2189,8 +2262,10 @@ mod tests {
     #[test]
     fn migrated_and_reverted_map_reports_byte_identically() {
         let pool = pool();
-        let config = ShardedClusterConfig::with_shards(4).with_control(ControlConfig::default());
-        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config.clone()).unwrap();
+        let config = RunConfig::default()
+            .sharded(4)
+            .with_control(ControlConfig::default());
+        let cluster = ShardedCluster::with_config(&pool, NetParams::new(2), &config).unwrap();
         // A twin whose map took a migration round-trip: same partition,
         // so every decision and record must serialize identically.
         let node = cluster.shard_map().globals_of(0)[0];
@@ -2204,7 +2279,8 @@ mod tests {
             pool: &pool,
             map: roundtrip,
             net: NetParams::new(2),
-            config,
+            config: config.cluster(),
+            threads: None,
         };
         let requests = hot_requests(&pool, 4, 96, 17);
         let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
@@ -2220,9 +2296,10 @@ mod tests {
             .generate(&map, 80, 3)
             .unwrap();
         let run = |capacity: Option<usize>| {
-            let mut config = ShardedClusterConfig::with_shards(1);
-            config.plan_cache_capacity = capacity;
-            ShardedCluster::new(&pool, NetParams::new(2), config)
+            let config = RunConfig::default()
+                .sharded(1)
+                .with_plan_cache(true, capacity);
+            ShardedCluster::with_config(&pool, NetParams::new(2), &config)
                 .unwrap()
                 .run(&requests)
                 .unwrap()
@@ -2247,11 +2324,11 @@ mod tests {
     #[test]
     fn unknown_policy_is_reported() {
         let pool = pool();
-        let config = ShardedClusterConfig::with_shards(2).with_control(ControlConfig {
+        let config = RunConfig::default().sharded(2).with_control(ControlConfig {
             policy: "no-such-policy".to_string(),
             ..ControlConfig::default()
         });
-        let cluster = ShardedCluster::new(&pool, NetParams::new(2), config).unwrap();
+        let cluster = ShardedCluster::with_config(&pool, NetParams::new(2), &config).unwrap();
         let requests = spaced_requests(&pool, 2, 0.0, 2);
         let err = cluster.run(&requests).unwrap_err();
         assert!(matches!(err, SimError::UnknownPolicy { ref name } if name == "no-such-policy"));

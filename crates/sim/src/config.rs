@@ -1,0 +1,252 @@
+//! The unified run configuration.
+//!
+//! Before this module, every execution surface grew its own config type:
+//! the flat engine took a [`TrafficConfig`], the sharded service wrapped
+//! that in a [`ShardedClusterConfig`], the control plane bolted a
+//! [`ControlConfig`] onto the side, and
+//! loss, repair and chunk profiles threaded through whichever of those
+//! happened to reach the engine. [`RunConfig`] is the one builder-style
+//! surface over all of them: pick a planner, dial loss/repair, stamp a
+//! default chunk profile, opt into sharding or the control plane, and pin
+//! a thread count — then hand the same value to
+//! [`TrafficEngine::with_config`](crate::sessions::TrafficEngine::with_config)
+//! or
+//! [`ShardedCluster::with_config`](crate::cluster::ShardedCluster::with_config).
+//!
+//! # Migration
+//!
+//! The pre-unification constructors
+//! [`TrafficEngine::new`](crate::sessions::TrafficEngine::new) and
+//! [`ShardedCluster::new`](crate::cluster::ShardedCluster::new) are
+//! deprecated shims for one release; they keep accepting the old
+//! per-surface config structs. Ports are mechanical:
+//!
+//! | before | after |
+//! |---|---|
+//! | `TrafficEngine::new(p, n, TrafficConfig::default())` | `TrafficEngine::with_config(p, n, &RunConfig::default())` |
+//! | `TrafficEngine::new(p, n, TrafficConfig::for_planner("fnf"))` | `TrafficEngine::with_config(p, n, &RunConfig::for_planner("fnf"))` |
+//! | `ShardedCluster::new(p, n, ShardedClusterConfig::with_shards(4))` | `ShardedCluster::with_config(p, n, &RunConfig::default().sharded(4))` |
+//! | `config.traffic.loss = Some(profile)` | `RunConfig::default().with_loss(profile)` |
+//! | `config.control = Some(control)` | `.with_control(control)` |
+//!
+//! The old structs themselves ([`TrafficConfig`], [`ShardedClusterConfig`])
+//! remain as the engines' internal representation; [`RunConfig::traffic`]
+//! and [`RunConfig::cluster`] are the documented projections.
+
+use crate::cluster::{ControlConfig, ShardedClusterConfig};
+use crate::error::SimError;
+use crate::faults::LossProfile;
+use crate::sessions::TrafficConfig;
+use hnow_core::RepairPlacement;
+use hnow_model::ChunkProfile;
+
+/// Runs `f` on a freshly built rayon pool of `threads` workers, or inline
+/// on the inherited pool when `threads` is `None`. Shared by both engines'
+/// `run` entry points so a pinned thread count means the same thing on
+/// every surface.
+pub(crate) fn install_pool<T: Send>(
+    threads: Option<usize>,
+    f: impl FnOnce() -> T + Send,
+) -> Result<T, SimError> {
+    match threads {
+        None => Ok(f()),
+        Some(n) => Ok(rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .map_err(|e| SimError::ThreadPool {
+                reason: e.to_string(),
+            })?
+            .install(f)),
+    }
+}
+
+/// One builder-style configuration for every execution surface of the
+/// crate: the flat [`TrafficEngine`](crate::sessions::TrafficEngine)
+/// ignores the sharding and control fields, the
+/// [`ShardedCluster`](crate::cluster::ShardedCluster) consumes all of
+/// them. See the [module docs](self) for the migration table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Registry name of the planner serving every session (and, sharded,
+    /// every gateway tree).
+    pub planner: String,
+    /// Sessions admitted (planned) per batch.
+    pub batch_size: usize,
+    /// LRU capacity of the shared DP-table cache; `None` = unbounded.
+    pub dp_cache_capacity: Option<usize>,
+    /// Seeded message-loss injection; `None` runs the lossless model. A
+    /// rate-0 profile reproduces the `None` report byte for byte.
+    pub loss: Option<LossProfile>,
+    /// Repairer placement annotated onto admitted plans (consulted only
+    /// when [`RunConfig::loss`] is active).
+    pub repair: RepairPlacement,
+    /// Run-wide default chunk profile for streaming sessions. A request
+    /// carrying its own [`SessionRequest::chunks`](hnow_workload::SessionRequest::chunks)
+    /// wins; `None` leaves profile-less requests atomic.
+    pub chunks: Option<ChunkProfile>,
+    /// Shard count for [`ShardedCluster::with_config`](crate::cluster::ShardedCluster::with_config);
+    /// `0` (the default) means "flat" and is clamped to one shard if a
+    /// sharded surface consumes the config anyway. The flat engine ignores
+    /// this field.
+    pub shards: usize,
+    /// Whether per-shard plan caches reuse tree shapes across
+    /// same-signature sessions (sharded surface only).
+    pub plan_cache: bool,
+    /// LRU capacity of each plan cache (`None` = unbounded).
+    pub plan_cache_capacity: Option<usize>,
+    /// Online control plane; `None` runs the batch pipeline (sharded
+    /// surface only).
+    pub control: Option<ControlConfig>,
+    /// Rayon worker threads the run installs; `None` inherits the global
+    /// pool. Any value must produce byte-identical reports — the
+    /// determinism contract is thread-count-independent and CI pins a
+    /// 1-vs-8 comparison.
+    pub threads: Option<usize>,
+}
+
+impl Default for RunConfig {
+    /// Refined greedy, batches of 64, at most 128 cached DP tables, no
+    /// loss, source-only repair, atomic sessions, flat, plan caching ready
+    /// at capacity 256, no control plane, inherited thread pool.
+    fn default() -> Self {
+        RunConfig {
+            planner: "greedy+leaf".to_string(),
+            batch_size: 64,
+            dp_cache_capacity: Some(128),
+            loss: None,
+            repair: RepairPlacement::SourceOnly,
+            chunks: None,
+            shards: 0,
+            plan_cache: true,
+            plan_cache_capacity: Some(256),
+            control: None,
+            threads: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The default configuration (same as [`Default`]).
+    pub fn new() -> Self {
+        RunConfig::default()
+    }
+
+    /// Default configuration with a named planner.
+    pub fn for_planner(planner: &str) -> Self {
+        RunConfig {
+            planner: planner.to_string(),
+            ..RunConfig::default()
+        }
+    }
+
+    /// Targets the sharded surface with `shards` shards.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Injects seeded message loss.
+    pub fn with_loss(mut self, loss: LossProfile) -> Self {
+        self.loss = Some(loss);
+        self
+    }
+
+    /// Sets the repairer-placement policy.
+    pub fn with_repair(mut self, repair: RepairPlacement) -> Self {
+        self.repair = repair;
+        self
+    }
+
+    /// Stamps a run-wide default chunk profile (requests carrying their
+    /// own profile still win).
+    pub fn with_chunks(mut self, chunks: ChunkProfile) -> Self {
+        self.chunks = Some(chunks);
+        self
+    }
+
+    /// Turns on the online control plane (sharded surface only).
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = Some(control);
+        self
+    }
+
+    /// Pins the rayon thread count for the run.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the admission batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Sets the plan-cache switch and capacity (sharded surface only).
+    pub fn with_plan_cache(mut self, on: bool, capacity: Option<usize>) -> Self {
+        self.plan_cache = on;
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Projection onto the flat engine's internal [`TrafficConfig`].
+    pub fn traffic(&self) -> TrafficConfig {
+        TrafficConfig {
+            planner: self.planner.clone(),
+            batch_size: self.batch_size,
+            dp_cache_capacity: self.dp_cache_capacity,
+            loss: self.loss.clone(),
+            repair: self.repair,
+            chunks: self.chunks,
+        }
+    }
+
+    /// Projection onto the sharded service's internal
+    /// [`ShardedClusterConfig`]. A flat (`shards == 0`) config projects to
+    /// one shard.
+    pub fn cluster(&self) -> ShardedClusterConfig {
+        ShardedClusterConfig {
+            shards: self.shards.max(1),
+            traffic: self.traffic(),
+            plan_cache: self.plan_cache,
+            plan_cache_capacity: self.plan_cache_capacity,
+            control: self.control.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projections_match_the_per_surface_defaults() {
+        let run = RunConfig::default();
+        assert_eq!(run.traffic(), TrafficConfig::default());
+        // `with_shards` is the old sharded default surface.
+        #[allow(deprecated)]
+        let old = ShardedClusterConfig::with_shards(1);
+        assert_eq!(run.cluster(), old);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let run = RunConfig::for_planner("fnf")
+            .sharded(4)
+            .with_chunks(ChunkProfile::new(8, 25))
+            .with_threads(2)
+            .with_batch_size(16);
+        assert_eq!(run.planner, "fnf");
+        assert_eq!(run.cluster().shards, 4);
+        assert_eq!(run.traffic().chunks, Some(ChunkProfile::new(8, 25)));
+        assert_eq!(run.threads, Some(2));
+        assert_eq!(run.traffic().batch_size, 16);
+    }
+
+    #[test]
+    fn flat_configs_project_to_one_shard() {
+        assert_eq!(RunConfig::default().cluster().shards, 1);
+        assert_eq!(RunConfig::default().sharded(0).cluster().shards, 1);
+        assert_eq!(RunConfig::default().sharded(3).cluster().shards, 3);
+    }
+}

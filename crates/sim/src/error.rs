@@ -58,6 +58,12 @@ pub enum SimError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A [`RunConfig::threads`](crate::config::RunConfig::threads) pin
+    /// could not build its rayon pool.
+    ThreadPool {
+        /// The pool builder's rejection.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -89,6 +95,9 @@ impl fmt::Display for SimError {
             SimError::Sharding(e) => write!(f, "invalid shard partition: {e}"),
             SimError::UnknownPolicy { name } => {
                 write!(f, "no gateway policy named {name:?} in the registry")
+            }
+            SimError::ThreadPool { reason } => {
+                write!(f, "could not build the pinned thread pool: {reason}")
             }
         }
     }

@@ -79,6 +79,28 @@
 //!   reception parks incoming repair requests and replays them the moment
 //!   it is reached (or hands them up the escalation chain if it fails),
 //!   so repair can never deadlock on an unserved repairer.
+//!
+//! # Chunk trains
+//!
+//! A streaming session ([`SessionRuntime::chunks`] > 1) moves its payload
+//! as a train of chunks over the *same* planned tree: every event carries
+//! a chunk index, occupancy claims of different chunks contend for the one
+//! port under the ordinary `(time, band, seq)` rule, and the fault model
+//! keys each chunk's losses independently (chunk 0 keys exactly like the
+//! atomic session). Two release disciplines exist:
+//!
+//! * **Pipelined** (the streaming default): the source opens chunk `c + 1`
+//!   the moment its last send of chunk `c` finishes and the chunk's
+//!   release time (`arrival + c·interval`) has passed. Consecutive chunks
+//!   overlap down the tree like a software pipeline.
+//! * **Sequential** (the one-shot re-send baseline): chunk `c + 1` opens
+//!   only once chunk `c` has fully settled — received or given up on — at
+//!   every member, and its release is due.
+//!
+//! Repair state is kept per `(chunk, node)`, so a failed or late chunk
+//! degrades only itself; later chunks of the same receiver are unaffected.
+//! A `chunks == 1` session takes none of these branches and is
+//! event-for-event identical to the atomic path.
 
 use crate::faults::LossProfile;
 use crate::sessions::SessionRuntime;
@@ -95,21 +117,35 @@ use std::collections::{BinaryHeap, VecDeque};
 /// [`RepairSend`]: KernelEvent::RepairSend
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum KernelEvent {
-    /// The session's tree node `local` wants to start its `child`-th send.
-    Send { local: usize, child: usize },
-    /// The message reaches tree node `local` (records delivery, then
+    /// The session's tree node `local` wants to start its `child`-th send
+    /// of chunk `chunk`.
+    Send {
+        local: usize,
+        child: usize,
+        chunk: u32,
+    },
+    /// Chunk `chunk` reaches tree node `local` (records delivery, then
     /// re-queues the receive claim per tie-break rule 4).
-    Arrive { local: usize },
-    /// Tree node `local` wants to start its receiving overhead.
-    Recv { local: usize },
+    Arrive { local: usize, chunk: u32 },
+    /// Tree node `local` wants to start its receiving overhead for chunk
+    /// `chunk`.
+    Recv { local: usize, chunk: u32 },
     /// The node finished an activity; wake its next parked waiter.
     Free { node: usize },
-    /// Tree node `local` missed a delivery and requests retransmission
+    /// Tree node `local` missed chunk `chunk` and requests retransmission
     /// `attempt` from its repairer (band 2; control traffic, no occupancy).
-    Nack { local: usize, attempt: u32 },
-    /// `local`'s repairer wants to start retransmission `attempt` (band 2;
-    /// claims the repairer's send occupancy).
-    RepairSend { local: usize, attempt: u32 },
+    Nack {
+        local: usize,
+        attempt: u32,
+        chunk: u32,
+    },
+    /// `local`'s repairer wants to start retransmission `attempt` of chunk
+    /// `chunk` (band 2; claims the repairer's send occupancy).
+    RepairSend {
+        local: usize,
+        attempt: u32,
+        chunk: u32,
+    },
 }
 
 impl KernelEvent {
@@ -135,6 +171,19 @@ pub(crate) struct FaultCtx<'a> {
     pub(crate) class_of: &'a [usize],
 }
 
+/// The fault-model session key of one chunk. Chunk 0 keys exactly like the
+/// atomic session — so a `chunks == 1` run draws bit-identical losses to
+/// the unchunked path — while every later chunk mixes its index in, giving
+/// each chunk of a train an independent (but still seeded and
+/// order-independent) loss pattern.
+fn fault_id(session_id: u64, chunk: u32) -> u64 {
+    if chunk == 0 {
+        session_id
+    } else {
+        session_id ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(chunk))
+    }
+}
+
 /// Per-receiver repair progress.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum RepairStatus {
@@ -147,28 +196,43 @@ enum RepairStatus {
     Failed,
 }
 
-/// Per-session repair bookkeeping, allocated only for faulted runs.
+/// Per-session repair bookkeeping, allocated only for faulted runs. Every
+/// vector is indexed per `(chunk, node)` via [`Self::idx`] — each chunk of
+/// a streaming session runs its own independent repair state over the same
+/// tree, so a late repair degrades only that chunk.
 struct RepairState {
+    /// Tree size: the stride of the `(chunk, node)` index.
+    nodes: usize,
     status: Vec<RepairStatus>,
-    /// When each node first learned it missed a delivery (`Time::ZERO` +
-    /// `missed == false` means never).
+    /// When each `(chunk, node)` first learned it missed a delivery
+    /// (`Time::ZERO` + `missed == false` means never).
     first_missed: Vec<Time>,
     missed: Vec<bool>,
     /// Repair requests parked on a not-yet-reached repairer, keyed by the
-    /// repairer's tree-local id.
+    /// repairer's `(chunk, tree-local)` index.
     parked: Vec<Vec<(usize, u32)>>,
 }
 
 impl RepairState {
-    fn new(nodes: usize) -> Self {
-        let mut status = vec![RepairStatus::Pending; nodes];
-        status[0] = RepairStatus::Reached;
-        RepairState {
-            status,
-            first_missed: vec![Time::ZERO; nodes],
-            missed: vec![false; nodes],
-            parked: vec![Vec::new(); nodes],
+    fn new(nodes: usize, chunks: u32) -> Self {
+        let slots = nodes * chunks as usize;
+        let mut status = vec![RepairStatus::Pending; slots];
+        for chunk in 0..chunks as usize {
+            // The source holds every chunk from its release.
+            status[chunk * nodes] = RepairStatus::Reached;
         }
+        RepairState {
+            nodes,
+            status,
+            first_missed: vec![Time::ZERO; slots],
+            missed: vec![false; slots],
+            parked: vec![Vec::new(); slots],
+        }
+    }
+
+    /// Dense `(chunk, node)` index.
+    fn idx(&self, chunk: u32, local: usize) -> usize {
+        chunk as usize * self.nodes + local
     }
 }
 
@@ -258,7 +322,7 @@ fn run(
     let mut repair: Vec<RepairState> = match faults {
         Some(_) => sessions
             .iter()
-            .map(|session| RepairState::new(session.node_map.len()))
+            .map(|session| RepairState::new(session.node_map.len(), session.chunks))
             .collect(),
         None => Vec::new(),
     };
@@ -276,13 +340,16 @@ fn run(
         }};
     }
 
-    // Gives receiver `$local` of the session in `$slot` up at time `$t`:
-    // graceful degradation shared by retry exhaustion and repair-deadline
-    // expiry. The would-be children are pointed at their own repairers and
-    // requests parked on the failed node escalate.
+    // Gives receiver `$local` of the session in `$slot` up on chunk
+    // `$chunk` at time `$t`: graceful degradation shared by retry
+    // exhaustion and repair-deadline expiry. The would-be children are
+    // pointed at their own repairers and requests parked on the failed
+    // node escalate. Streaming bookkeeping mirrors the receive path, so a
+    // lost cause still advances a sequential chunk train.
     macro_rules! give_up {
-        ($state:expr, $session:expr, $slot:expr, $local:expr, $t:expr) => {{
-            $state.status[$local] = RepairStatus::Failed;
+        ($state:expr, $session:expr, $slot:expr, $local:expr, $chunk:expr, $t:expr) => {{
+            let at = $state.idx($chunk, $local);
+            $state.status[at] = RepairStatus::Failed;
             $session.pending -= 1;
             $session.failed_members += 1;
             for child in 0..$session.children[$local].len() {
@@ -293,18 +360,40 @@ fn run(
                     KernelEvent::Nack {
                         local: c,
                         attempt: 1,
+                        chunk: $chunk,
                     }
                 );
             }
-            for (target, attempt) in std::mem::take(&mut $state.parked[$local]) {
+            for (target, attempt) in std::mem::take(&mut $state.parked[at]) {
                 push!(
                     $t,
                     $slot,
                     KernelEvent::RepairSend {
                         local: target,
                         attempt,
+                        chunk: $chunk,
                     }
                 );
+            }
+            if $session.chunks > 1 {
+                let c = $chunk as usize;
+                $session.chunk_pending[c] -= 1;
+                if $session.chunk_pending[c] == 0
+                    && !$session.pipelined
+                    && $chunk + 1 < $session.chunks
+                {
+                    let release =
+                        $session.arrival + $session.chunk_interval * (u64::from($chunk) + 1);
+                    push!(
+                        $t.max(release),
+                        $slot,
+                        KernelEvent::Send {
+                            local: 0,
+                            child: 0,
+                            chunk: $chunk + 1,
+                        }
+                    );
+                }
             }
         }};
     }
@@ -338,7 +427,11 @@ fn run(
                     0u8,
                     next_inject as u64,
                     slot,
-                    KernelEvent::Send { local: 0, child: 0 },
+                    KernelEvent::Send {
+                        local: 0,
+                        child: 0,
+                        chunk: 0,
+                    },
                 )));
             }
             next_inject += 1;
@@ -375,7 +468,11 @@ fn run(
             continue;
         }
         match event {
-            KernelEvent::Send { local, child } => {
+            KernelEvent::Send {
+                local,
+                child,
+                chunk,
+            } => {
                 let node = session.node_map[local];
                 if busy_until[node] > t {
                     waiting[node].push_back((slot, event));
@@ -408,7 +505,7 @@ fn run(
                 // (when the delivery would have landed) and NACKs.
                 let lost = faults.is_some_and(|ctx| {
                     ctx.profile.lost(
-                        session.id,
+                        fault_id(session.id, chunk),
                         local,
                         target,
                         0,
@@ -423,13 +520,17 @@ fn run(
                         KernelEvent::Nack {
                             local: target,
                             attempt: 1,
+                            chunk,
                         }
                     );
                 } else {
                     push!(
                         end + net.latency(),
                         slot,
-                        KernelEvent::Arrive { local: target }
+                        KernelEvent::Arrive {
+                            local: target,
+                            chunk,
+                        }
                     );
                 }
                 if child + 1 < session.children[local].len() {
@@ -439,19 +540,34 @@ fn run(
                         KernelEvent::Send {
                             local,
                             child: child + 1,
+                            chunk,
+                        }
+                    );
+                } else if local == 0 && session.pipelined && chunk + 1 < session.chunks {
+                    // Pipelined train: the source opens the next chunk the
+                    // moment its port is free and the chunk is released —
+                    // relays downstream are still draining this one.
+                    let release = session.arrival + session.chunk_interval * (u64::from(chunk) + 1);
+                    push!(
+                        end.max(release),
+                        slot,
+                        KernelEvent::Send {
+                            local: 0,
+                            child: 0,
+                            chunk: chunk + 1,
                         }
                     );
                 }
                 push!(end, slot, KernelEvent::Free { node });
             }
-            KernelEvent::Arrive { local } => {
+            KernelEvent::Arrive { local, chunk } => {
                 // Delivery is the message hitting the node, busy or not;
                 // the receive overhead queues for node time separately
                 // (rule 4).
                 session.delivered_at = session.delivered_at.max(t);
-                push!(t, slot, KernelEvent::Recv { local });
+                push!(t, slot, KernelEvent::Recv { local, chunk });
             }
-            KernelEvent::Recv { local } => {
+            KernelEvent::Recv { local, chunk } => {
                 let node = session.node_map[local];
                 if busy_until[node] > t {
                     waiting[node].push_back((slot, event));
@@ -468,76 +584,129 @@ fn run(
                 session.completed_at = session.completed_at.max(end);
                 if !repair.is_empty() {
                     let state = &mut repair[slot];
-                    state.status[local] = RepairStatus::Reached;
-                    if state.missed[local] {
+                    let at = state.idx(chunk, local);
+                    state.status[at] = RepairStatus::Reached;
+                    if state.missed[at] {
                         session
                             .repair_delays
-                            .push(end.saturating_sub(state.first_missed[local]).raw());
+                            .push(end.saturating_sub(state.first_missed[at]).raw());
                     }
-                    // The node holds the payload now: replay every repair
+                    // The node holds the chunk now: replay every repair
                     // request that was waiting for it.
-                    for (target, attempt) in std::mem::take(&mut state.parked[local]) {
+                    for (target, attempt) in std::mem::take(&mut state.parked[at]) {
                         push!(
                             end,
                             slot,
                             KernelEvent::RepairSend {
                                 local: target,
                                 attempt,
+                                chunk,
+                            }
+                        );
+                    }
+                }
+                if session.chunks > 1 {
+                    let c = chunk as usize;
+                    session.chunk_pending[c] -= 1;
+                    session.chunk_completed_at[c] = session.chunk_completed_at[c].max(end);
+                    if session.chunk_pending[c] == 0
+                        && !session.pipelined
+                        && chunk + 1 < session.chunks
+                    {
+                        // Sequential train (the one-shot re-send baseline):
+                        // the next chunk only opens once this one has fully
+                        // settled at every member and its release is due.
+                        let release =
+                            session.arrival + session.chunk_interval * (u64::from(chunk) + 1);
+                        push!(
+                            end.max(release),
+                            slot,
+                            KernelEvent::Send {
+                                local: 0,
+                                child: 0,
+                                chunk: chunk + 1,
                             }
                         );
                     }
                 }
                 if !session.children[local].is_empty() {
-                    push!(end, slot, KernelEvent::Send { local, child: 0 });
+                    push!(
+                        end,
+                        slot,
+                        KernelEvent::Send {
+                            local,
+                            child: 0,
+                            chunk,
+                        }
+                    );
                 }
                 push!(end, slot, KernelEvent::Free { node });
             }
-            KernelEvent::Nack { local, attempt } => {
+            KernelEvent::Nack {
+                local,
+                attempt,
+                chunk,
+            } => {
                 let ctx = faults.expect("repair events only exist in faulted runs");
                 let state = &mut repair[slot];
-                if state.status[local] != RepairStatus::Pending {
+                let at = state.idx(chunk, local);
+                if state.status[at] != RepairStatus::Pending {
                     continue;
                 }
-                if !state.missed[local] {
-                    state.missed[local] = true;
-                    state.first_missed[local] = t;
+                if !state.missed[at] {
+                    state.missed[at] = true;
+                    state.first_missed[at] = t;
                 }
                 let expired = ctx
                     .profile
                     .repair_deadline
-                    .is_some_and(|d| t.raw() > state.first_missed[local].raw().saturating_add(d));
+                    .is_some_and(|d| t.raw() > state.first_missed[at].raw().saturating_add(d));
                 if attempt > ctx.profile.max_retries || expired {
                     // Retries exhausted or recovery-liveness bound blown:
                     // the session completes partially.
-                    give_up!(state, session, slot, local, t);
+                    give_up!(state, session, slot, local, chunk, t);
                     continue;
                 }
                 session.nacks += 1;
-                let delay = ctx.profile.retry_delay(session.id, local, attempt);
+                let delay = ctx
+                    .profile
+                    .retry_delay(fault_id(session.id, chunk), local, attempt);
                 push!(
                     t + Time::new(delay),
                     slot,
-                    KernelEvent::RepairSend { local, attempt }
+                    KernelEvent::RepairSend {
+                        local,
+                        attempt,
+                        chunk,
+                    }
                 );
             }
-            KernelEvent::RepairSend { local, attempt } => {
+            KernelEvent::RepairSend {
+                local,
+                attempt,
+                chunk,
+            } => {
                 let ctx = faults.expect("repair events only exist in faulted runs");
                 let state = &mut repair[slot];
-                if state.status[local] != RepairStatus::Pending {
+                let at = state.idx(chunk, local);
+                if state.status[at] != RepairStatus::Pending {
                     continue;
                 }
                 // Resolve the repairer, escalating past failed ones; every
                 // placement walks strictly upstream and the source is
-                // always `Reached`, so this terminates.
+                // always `Reached` (it holds every chunk from release), so
+                // this terminates.
                 let repairer_of = |v: usize| session.repairer.as_ref().map_or(0, |table| table[v]);
                 let mut rp = repairer_of(local);
-                while state.status[rp] == RepairStatus::Failed {
+                while state.status[state.idx(chunk, rp)] == RepairStatus::Failed {
                     rp = repairer_of(rp);
                 }
-                if state.status[rp] == RepairStatus::Pending {
-                    // The repairer has not been served yet itself; park the
-                    // request — its reception (or failure) replays it.
-                    state.parked[rp].push((local, attempt));
+                if state.status[state.idx(chunk, rp)] == RepairStatus::Pending {
+                    // The repairer has not been served this chunk yet
+                    // itself; park the request — its reception (or
+                    // failure) replays it.
+                    let park = state.idx(chunk, rp);
+                    state.parked[park].push((local, attempt));
                     continue;
                 }
                 let node = session.node_map[rp];
@@ -554,9 +723,9 @@ fn run(
                 if ctx
                     .profile
                     .repair_deadline
-                    .is_some_and(|d| t.raw() > state.first_missed[local].raw().saturating_add(d))
+                    .is_some_and(|d| t.raw() > state.first_missed[at].raw().saturating_add(d))
                 {
-                    give_up!(state, session, slot, local, t);
+                    give_up!(state, session, slot, local, chunk, t);
                     if let Some((waiter, parked)) = waiting[node].pop_front() {
                         push!(t, waiter, parked);
                     }
@@ -571,7 +740,7 @@ fn run(
                 }
                 session.repair_sends += 1;
                 let lost = ctx.profile.lost(
-                    session.id,
+                    fault_id(session.id, chunk),
                     rp,
                     local,
                     attempt,
@@ -585,10 +754,15 @@ fn run(
                         KernelEvent::Nack {
                             local,
                             attempt: attempt + 1,
+                            chunk,
                         }
                     );
                 } else {
-                    push!(end + net.latency(), slot, KernelEvent::Arrive { local });
+                    push!(
+                        end + net.latency(),
+                        slot,
+                        KernelEvent::Arrive { local, chunk }
+                    );
                 }
                 push!(end, slot, KernelEvent::Free { node });
             }

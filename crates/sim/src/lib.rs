@@ -22,6 +22,9 @@
 //!   [`ShardedTrafficReport`]). Both the traffic engine and the cluster run
 //!   the crate's single private occupancy kernel (`kernel`), so the two
 //!   surfaces share one documented same-instant tie-break rule.
+//! * [`config`] — the unified builder-style [`RunConfig`] consumed by both
+//!   engines via `with_config` (planner, loss/repair, chunk profile,
+//!   sharding, control plane, thread pinning).
 //! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
 //!   rendering.
 //! * [`faults`] — seeded, deterministic message loss ([`LossProfile`]):
@@ -55,6 +58,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;
+pub mod config;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -69,14 +73,15 @@ pub use cluster::{
     ControlConfig, ControlPlaneReport, MigrationRecord, RebalanceConfig, ShardReport,
     ShardedCluster, ShardedClusterConfig, ShardedSessionRecord, ShardedTrafficReport,
 };
+pub use config::RunConfig;
 pub use engine::{execute, execute_with_specs};
 pub use error::SimError;
 pub use event::{Event, EventQueue};
 pub use faults::{BurstProfile, LossProfile};
 pub use perturb::{kernel_replay, PerturbConfig};
 pub use sessions::{
-    CacheStats, ReliabilityReport, SessionRecord, TrafficConfig, TrafficEngine, TrafficMetrics,
-    TrafficReport,
+    CacheStats, ReliabilityReport, SessionRecord, StreamingReport, TrafficConfig, TrafficEngine,
+    TrafficMetrics, TrafficReport,
 };
 pub use trace::{Activity, BusyInterval, SimTrace};
 pub use validate::{check_against_analytic, check_one_port};

@@ -105,6 +105,12 @@ pub fn kernel_replay(tree: &ScheduleTree, specs: &[NodeSpec], net: NetParams) ->
         repair_sends: 0,
         failed_members: 0,
         repair_delays: Vec::new(),
+        chunks: 1,
+        chunk_interval: Time::ZERO,
+        chunk_deadline: None,
+        pipelined: true,
+        chunk_pending: Vec::new(),
+        chunk_completed_at: Vec::new(),
     };
     kernel::simulate(specs, net, std::slice::from_mut(&mut session), None);
     (session.delivered_at, session.completed_at)

@@ -37,7 +37,7 @@ use crate::faults::LossProfile;
 use crate::kernel;
 use hnow_core::planner::{find, Plan, PlanContext, PlanRequest, Planner};
 use hnow_core::{RepairPlacement, ScheduleTree};
-use hnow_model::{NetParams, NodeSpec, Time, TypedMulticast};
+use hnow_model::{ChunkProfile, NetParams, NodeSpec, Time, TypedMulticast};
 use hnow_workload::{NodePool, SessionRequest};
 use serde::Serialize;
 use std::sync::Arc;
@@ -60,11 +60,15 @@ pub struct TrafficConfig {
     /// Repairer placement policy annotated onto every admitted plan (only
     /// consulted when [`TrafficConfig::loss`] is active).
     pub repair: RepairPlacement,
+    /// Run-wide default chunk profile for streaming sessions. A request
+    /// carrying its own [`SessionRequest::chunks`] wins; `None` (the
+    /// default) leaves profile-less requests on the atomic path.
+    pub chunks: Option<ChunkProfile>,
 }
 
 impl Default for TrafficConfig {
     /// Refined greedy, batches of 64, at most 128 cached DP tables, no
-    /// loss, source-only repair.
+    /// loss, source-only repair, atomic sessions.
     fn default() -> Self {
         TrafficConfig {
             planner: "greedy+leaf".to_string(),
@@ -72,12 +76,17 @@ impl Default for TrafficConfig {
             dp_cache_capacity: Some(128),
             loss: None,
             repair: RepairPlacement::SourceOnly,
+            chunks: None,
         }
     }
 }
 
 impl TrafficConfig {
     /// Config with a different planner, other fields default.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RunConfig::for_planner` and `TrafficEngine::with_config`"
+    )]
     pub fn for_planner(planner: &str) -> Self {
         TrafficConfig {
             planner: planner.to_string(),
@@ -158,10 +167,19 @@ pub struct SessionRecord {
     /// Per repaired receiver: reception completion minus the instant the
     /// receiver first learned it missed a delivery, in completion order.
     pub repair_delays: Vec<u64>,
+    /// Chunks of the session's payload train (1 = the atomic base model).
+    pub chunks: u32,
+    /// Chunks that settled past their playout deadline at some member
+    /// (always 0 on atomic, abandoned or deadline-less sessions).
+    pub chunk_deadline_misses: u64,
+    /// `|inter-chunk completion gap − release interval|` per consecutive
+    /// chunk pair (empty on atomic and abandoned sessions).
+    pub chunk_jitters: Vec<u64>,
 }
 
 /// Loss, repair and degradation aggregates of one run (the report's
-/// `reliability` section, schema 3).
+/// `reliability` section, schema 3; unchanged in schema 4 apart from
+/// counting per *chunk*-delivery on streaming runs).
 ///
 /// Like [`TrafficMetrics`], every ratio is defined on an empty denominator:
 /// [`delivered_fraction`](ReliabilityReport::delivered_fraction) is **1**
@@ -170,8 +188,9 @@ pub struct SessionRecord {
 /// runs serialize as the lossless fixed point rather than `NaN`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ReliabilityReport {
-    /// Destination deliveries offered by non-abandoned sessions (sum of
-    /// their group sizes).
+    /// Deliveries offered by non-abandoned sessions: group size × chunks,
+    /// so a streaming session's chunks count individually (an atomic
+    /// session offers its group size, as before).
     pub offered_deliveries: usize,
     /// Deliveries that completed reception (originally or via repair).
     pub delivered: usize,
@@ -211,7 +230,7 @@ impl ReliabilityReport {
             if record.abandoned {
                 continue;
             }
-            offered += record.group_size;
+            offered += record.group_size * record.chunks.max(1) as usize;
             failed += record.failed_members;
             if record.failed_members > 0 {
                 degraded += 1;
@@ -246,6 +265,104 @@ impl ReliabilityReport {
             p50_repair_delay: percentile(50),
             p95_repair_delay: percentile(95),
             p99_repair_delay: percentile(99),
+        }
+    }
+}
+
+/// Streaming aggregates of one run (the report's `streaming` section,
+/// schema 4).
+///
+/// A *chunk* here is one link of a session's payload train (session
+/// granularity: released once, delivered group-wide); a *chunk-delivery*
+/// is one chunk reaching one member. Atomic sessions contribute their
+/// group size to the chunk-delivery counts (they move exactly one payload)
+/// but nothing to the chunk counts, deadline statistics or jitter — so a
+/// fully atomic run serializes the all-zero fixed point for those fields
+/// and every ratio is 0 (never `NaN`) on an empty denominator.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StreamingReport {
+    /// Non-abandoned streaming sessions (`chunks > 1`).
+    pub streaming_sessions: usize,
+    /// Chunks offered by non-abandoned streaming sessions.
+    pub offered_chunks: u64,
+    /// Chunk-deliveries offered by non-abandoned sessions (group size ×
+    /// chunks).
+    pub offered_chunk_deliveries: u64,
+    /// Chunk-deliveries that completed reception, originally or via
+    /// repair.
+    pub completed_chunk_deliveries: u64,
+    /// Chunks that settled past their playout deadline at some member.
+    pub deadline_misses: u64,
+    /// `deadline_misses / offered_chunks` (0 when no chunks were offered).
+    pub deadline_miss_rate: f64,
+    /// Steady-state throughput: completed chunk-deliveries per 1000 time
+    /// units of makespan (0 for a zero makespan).
+    pub steady_state_throughput: f64,
+    /// Median `|inter-chunk completion gap − release interval|` over
+    /// consecutive chunk pairs of streaming sessions (0 when none).
+    pub p50_interchunk_jitter: u64,
+    /// 95th-percentile inter-chunk jitter.
+    pub p95_interchunk_jitter: u64,
+    /// 99th-percentile inter-chunk jitter.
+    pub p99_interchunk_jitter: u64,
+}
+
+impl StreamingReport {
+    /// Aggregates the streaming section from per-session records;
+    /// `makespan` is the run's reception makespan (the throughput
+    /// denominator, shared with [`TrafficMetrics`]).
+    pub fn from_records<'a>(
+        records: impl IntoIterator<Item = &'a SessionRecord>,
+        makespan: u64,
+    ) -> Self {
+        let mut streaming_sessions = 0usize;
+        let mut offered_chunks = 0u64;
+        let mut offered_deliveries = 0u64;
+        let mut failed_deliveries = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut jitters: Vec<u64> = Vec::new();
+        for record in records {
+            if record.abandoned {
+                continue;
+            }
+            let chunks = u64::from(record.chunks.max(1));
+            offered_deliveries += record.group_size as u64 * chunks;
+            failed_deliveries += record.failed_members as u64;
+            if record.chunks > 1 {
+                streaming_sessions += 1;
+                offered_chunks += chunks;
+                deadline_misses += record.chunk_deadline_misses;
+                jitters.extend_from_slice(&record.chunk_jitters);
+            }
+        }
+        jitters.sort_unstable();
+        let percentile = |q: usize| -> u64 {
+            if jitters.is_empty() {
+                0
+            } else {
+                jitters[(jitters.len() - 1) * q / 100]
+            }
+        };
+        let completed = offered_deliveries - failed_deliveries;
+        StreamingReport {
+            streaming_sessions,
+            offered_chunks,
+            offered_chunk_deliveries: offered_deliveries,
+            completed_chunk_deliveries: completed,
+            deadline_misses,
+            deadline_miss_rate: if offered_chunks == 0 {
+                0.0
+            } else {
+                deadline_misses as f64 / offered_chunks as f64
+            },
+            steady_state_throughput: if makespan == 0 {
+                0.0
+            } else {
+                completed as f64 * 1000.0 / makespan as f64
+            },
+            p50_interchunk_jitter: percentile(50),
+            p95_interchunk_jitter: percentile(95),
+            p99_interchunk_jitter: percentile(99),
         }
     }
 }
@@ -409,6 +526,8 @@ pub struct TrafficReport {
     /// Loss, repair and degradation aggregates (all-zero/fixed-point on
     /// lossless runs).
     pub reliability: ReliabilityReport,
+    /// Streaming aggregates (all-zero/fixed-point on atomic runs).
+    pub streaming: StreamingReport,
     /// Shared DP-cache statistics of the planning phase.
     pub cache: CacheStats,
     /// One record per offered session, in request order.
@@ -422,6 +541,7 @@ pub struct TrafficEngine<'a> {
     pool: &'a NodePool,
     net: NetParams,
     config: TrafficConfig,
+    threads: Option<usize>,
 }
 
 /// Per-session state during planning and simulation. Shared with the
@@ -456,24 +576,92 @@ pub(crate) struct SessionRuntime {
     pub(crate) nacks: u64,
     /// Repair retransmissions charged against repairer occupancy.
     pub(crate) repair_sends: u64,
-    /// Members given up on after exhausting retries.
+    /// Members given up on after exhausting retries. On streaming sessions
+    /// each `(chunk, member)` give-up counts once.
     pub(crate) failed_members: usize,
     /// Reception minus first-missed instant per repaired receiver.
     pub(crate) repair_delays: Vec<u64>,
+    /// Chunks of the session's payload train (1 = the atomic base model;
+    /// the kernel takes no streaming branch at 1).
+    pub(crate) chunks: u32,
+    /// Release interval between consecutive chunks.
+    pub(crate) chunk_interval: Time,
+    /// Per-chunk playout deadline past each chunk's release, for the
+    /// report's deadline-miss accounting.
+    pub(crate) chunk_deadline: Option<Time>,
+    /// Pipelined train (source opens the next chunk as soon as its port
+    /// frees) vs sequential one-shot re-sends.
+    pub(crate) pipelined: bool,
+    /// Destinations still to settle each chunk (empty unless `chunks > 1`).
+    pub(crate) chunk_pending: Vec<usize>,
+    /// Latest reception completion per chunk (empty unless `chunks > 1`).
+    pub(crate) chunk_completed_at: Vec<Time>,
+}
+
+impl SessionRuntime {
+    /// Stamps a chunk profile onto a freshly built atomic runtime: scales
+    /// `pending` to members × chunks and sizes the per-chunk bookkeeping.
+    /// `None` — or a degenerate 1-chunk profile — leaves the atomic
+    /// defaults untouched.
+    pub(crate) fn apply_chunks(&mut self, profile: Option<ChunkProfile>) {
+        let Some(profile) = profile else { return };
+        let chunks = profile.chunks.max(1);
+        self.chunks = chunks;
+        self.chunk_interval = Time::new(profile.interval);
+        self.chunk_deadline = profile.deadline.map(Time::new);
+        self.pipelined = profile.pipelined;
+        if chunks > 1 {
+            let members = self.pending;
+            self.pending = members * chunks as usize;
+            self.chunk_pending = vec![members; chunks as usize];
+            self.chunk_completed_at = vec![self.arrival; chunks as usize];
+        }
+    }
 }
 
 impl<'a> TrafficEngine<'a> {
     /// Creates an engine over a pool at the given network latency.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a `RunConfig` and use `TrafficEngine::with_config`"
+    )]
     pub fn new(pool: &'a NodePool, net: NetParams, config: TrafficConfig) -> Self {
-        TrafficEngine { pool, net, config }
+        TrafficEngine {
+            pool,
+            net,
+            config,
+            threads: None,
+        }
+    }
+
+    /// Creates an engine from the unified [`RunConfig`](crate::config::RunConfig)
+    /// surface (its sharding and control fields are ignored here).
+    pub fn with_config(
+        pool: &'a NodePool,
+        net: NetParams,
+        config: &crate::config::RunConfig,
+    ) -> Self {
+        TrafficEngine {
+            pool,
+            net,
+            config: config.traffic(),
+            threads: config.threads,
+        }
     }
 
     /// Plans and simulates the given sessions, returning the full report.
     ///
     /// Requests are admitted (planned) in slice order in batches of
     /// [`TrafficConfig::batch_size`]; the simulation then interleaves all
-    /// sessions by arrival time against shared per-node busy state.
+    /// sessions by arrival time against shared per-node busy state. With
+    /// [`RunConfig::threads`](crate::config::RunConfig::threads) pinned,
+    /// the whole run executes on a dedicated rayon pool of that size — the
+    /// report is byte-identical at every thread count.
     pub fn run(&self, requests: &[SessionRequest]) -> Result<TrafficReport, SimError> {
+        crate::config::install_pool(self.threads, || self.run_inner(requests))?
+    }
+
+    fn run_inner(&self, requests: &[SessionRequest]) -> Result<TrafficReport, SimError> {
         let planner = find(&self.config.planner).ok_or_else(|| SimError::UnknownPlanner {
             name: self.config.planner.clone(),
         })?;
@@ -528,7 +716,9 @@ impl<'a> TrafficEngine<'a> {
         let mut runtimes = Vec::with_capacity(batch.len());
         for ((request, typed), plan_request) in batch.iter().zip(typeds).zip(&plan_requests) {
             let plan = planner.plan_with(plan_request, ctx)?;
-            runtimes.push(runtime_for(self.pool, request, &typed, &plan, repair));
+            let mut runtime = runtime_for(self.pool, request, &typed, &plan, repair);
+            runtime.apply_chunks(request.chunks.or(self.config.chunks));
+            runtimes.push(runtime);
         }
         Ok(runtimes)
     }
@@ -548,10 +738,12 @@ impl<'a> TrafficEngine<'a> {
             .collect();
         let metrics = TrafficMetrics::from_records(&per_session, busy_time);
         let reliability = ReliabilityReport::from_records(&per_session);
+        let streaming = StreamingReport::from_records(&per_session, metrics.makespan);
         TrafficReport {
-            // Schema 3: reliability section + per-session repair fields
-            // (2 was the sharded report's gateway/control extension).
-            schema: 3,
+            // Schema 4: streaming section + per-session chunk fields
+            // (3 added the reliability section, 2 was the sharded report's
+            // gateway/control extension).
+            schema: 4,
             planner: self.config.planner.clone(),
             batch_size: self.config.batch_size,
             net_latency: self.net.latency().raw(),
@@ -568,6 +760,7 @@ impl<'a> TrafficEngine<'a> {
             mean_node_utilization: metrics.mean_node_utilization,
             peak_node_utilization: metrics.peak_node_utilization,
             reliability,
+            streaming,
             cache,
             per_session,
         }
@@ -686,6 +879,12 @@ pub(crate) fn runtime_for(
         repair_sends: 0,
         failed_members: 0,
         repair_delays: Vec::new(),
+        chunks: 1,
+        chunk_interval: Time::ZERO,
+        chunk_deadline: None,
+        pipelined: true,
+        chunk_pending: Vec::new(),
+        chunk_completed_at: Vec::new(),
     }
 }
 
@@ -697,6 +896,35 @@ pub(crate) fn record_for(request: &SessionRequest, session: &SessionRuntime) -> 
         .started
         .map(|s| s.saturating_sub(session.arrival).raw())
         .unwrap_or(0);
+    let streamed = !session.abandoned && session.chunks > 1;
+    let chunk_deadline_misses = match (streamed, session.chunk_deadline) {
+        (true, Some(deadline)) => session
+            .chunk_completed_at
+            .iter()
+            .enumerate()
+            .filter(|&(c, &done)| {
+                let release = session.arrival + session.chunk_interval * c as u64;
+                done > release.saturating_add(deadline)
+            })
+            .count() as u64,
+        _ => 0,
+    };
+    let chunk_jitters = if streamed {
+        // Completion gaps can invert when a late repair drags an earlier
+        // chunk past its successor; the saturating gap folds that case into
+        // a full-interval jitter rather than going negative.
+        session
+            .chunk_completed_at
+            .windows(2)
+            .map(|w| {
+                w[1].saturating_sub(w[0])
+                    .raw()
+                    .abs_diff(session.chunk_interval.raw())
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     SessionRecord {
         id: request.id,
         arrival: session.arrival.raw(),
@@ -720,6 +948,9 @@ pub(crate) fn record_for(request: &SessionRequest, session: &SessionRuntime) -> 
         nacks: session.nacks,
         repair_sends: session.repair_sends,
         repair_delays: session.repair_delays.clone(),
+        chunks: session.chunks,
+        chunk_deadline_misses,
+        chunk_jitters,
     }
 }
 
@@ -891,6 +1122,7 @@ pub(crate) mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RunConfig;
     use hnow_workload::{
         default_message_size, two_class_table, ChurnProfile, GroupSizeDist, TrafficPattern,
     };
@@ -915,10 +1147,10 @@ mod tests {
         let pool = pool();
         let requests = spaced_requests(&pool, 12, 1_000_000);
         for planner in ["greedy", "greedy+leaf", "dp-optimal", "chain", "star"] {
-            let engine = TrafficEngine::new(
+            let engine = TrafficEngine::with_config(
                 &pool,
                 NetParams::new(2),
-                TrafficConfig::for_planner(planner),
+                &RunConfig::for_planner(planner),
             );
             let report = engine.run(&requests).unwrap();
             assert_eq!(report.completed, 12);
@@ -947,7 +1179,7 @@ mod tests {
         for r in &mut requests {
             r.arrival = Time::ZERO;
         }
-        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let engine = TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default());
         let report = engine.run(&requests).unwrap();
         assert_eq!(report.completed, 30);
         assert_eq!(report.abandoned, 0);
@@ -977,7 +1209,7 @@ mod tests {
             }),
         };
         let requests = pattern.generate(&pool, 100, 42).unwrap();
-        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let engine = TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default());
         let a = serde_json::to_string(&engine.run(&requests).unwrap()).unwrap();
         let b = serde_json::to_string(&engine.run(&requests).unwrap()).unwrap();
         assert_eq!(a, b, "same requests must serialize byte-identically");
@@ -996,7 +1228,7 @@ mod tests {
             r.arrival = Time::ZERO;
             r.patience = Some(Time::new(1));
         }
-        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let engine = TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default());
         let report = engine.run(&requests).unwrap();
         assert!(report.abandoned > 0, "tiny patience under a stampede");
         assert_eq!(report.completed + report.abandoned, 40);
@@ -1016,10 +1248,10 @@ mod tests {
     fn dp_tables_are_shared_across_a_session_stream() {
         let pool = pool();
         let requests = spaced_requests(&pool, 50, 10_000);
-        let engine = TrafficEngine::new(
+        let engine = TrafficEngine::with_config(
             &pool,
             NetParams::new(2),
-            TrafficConfig::for_planner("dp-optimal"),
+            &RunConfig::for_planner("dp-optimal"),
         );
         let report = engine.run(&requests).unwrap();
         assert_eq!(report.cache.lookups, 50);
@@ -1041,17 +1273,17 @@ mod tests {
     fn config_errors_are_reported() {
         let pool = pool();
         let requests = spaced_requests(&pool, 2, 1000);
-        let engine = TrafficEngine::new(
+        let engine = TrafficEngine::with_config(
             &pool,
             NetParams::new(1),
-            TrafficConfig::for_planner("no-such-planner"),
+            &RunConfig::for_planner("no-such-planner"),
         );
         assert!(matches!(
             engine.run(&requests),
             Err(SimError::UnknownPlanner { .. })
         ));
 
-        let engine = TrafficEngine::new(&pool, NetParams::new(1), TrafficConfig::default());
+        let engine = TrafficEngine::with_config(&pool, NetParams::new(1), &RunConfig::default());
         let mut bad = requests.clone();
         bad[1].members = vec![0, 0];
         bad[1].source = 3;
@@ -1073,7 +1305,7 @@ mod tests {
         // (never NaN), and the serialized report must not contain NaN — the
         // empty-shard case of the sharded cluster.
         let pool = pool();
-        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let engine = TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default());
         let report = engine.run(&[]).unwrap();
         assert_eq!(report.sessions, 0);
         assert_eq!(report.completed, 0);
@@ -1113,6 +1345,9 @@ mod tests {
             nacks: 0,
             repair_sends: 0,
             repair_delays: Vec::new(),
+            chunks: 1,
+            chunk_deadline_misses: 0,
+            chunk_jitters: Vec::new(),
         };
         let metrics = TrafficMetrics::from_records([&record], &[0, 0]);
         assert_eq!(metrics.sessions, 1);
@@ -1145,11 +1380,8 @@ mod tests {
         let pattern = TrafficPattern::poisson(20.0, 5);
         let requests = pattern.generate(&pool, 60, 17).unwrap();
         let run = |batch_size: usize| {
-            let config = TrafficConfig {
-                batch_size,
-                ..TrafficConfig::default()
-            };
-            TrafficEngine::new(&pool, NetParams::new(2), config)
+            let config = RunConfig::default().with_batch_size(batch_size);
+            TrafficEngine::with_config(&pool, NetParams::new(2), &config)
                 .run(&requests)
                 .unwrap()
                 .per_session
@@ -1165,10 +1397,10 @@ mod tests {
     fn admit_all(
         pool: &NodePool,
         net: NetParams,
-        config: &TrafficConfig,
+        config: &RunConfig,
         requests: &[SessionRequest],
     ) -> Vec<SessionRuntime> {
-        let engine = TrafficEngine::new(pool, net, config.clone());
+        let engine = TrafficEngine::with_config(pool, net, config);
         let planner = find(&config.planner).unwrap();
         let ctx = PlanContext::with_dp_capacity(128);
         let mut sessions = Vec::new();
@@ -1187,7 +1419,7 @@ mod tests {
         let pool = pool();
         let specs: Vec<NodeSpec> = (0..pool.len()).map(|g| pool.spec_of_node(g)).collect();
         let net = NetParams::new(2);
-        let config = TrafficConfig::default();
+        let config = RunConfig::default();
         let scenarios: &[(f64, bool)] = &[(1.0, false), (4.0, true), (0.5, true), (12.0, false)];
         for seed in 0..12u64 {
             for &(mean_gap, churn) in scenarios {
@@ -1229,12 +1461,10 @@ mod tests {
         }
     }
 
-    fn lossy_config(rate: f64, seed: u64, repair: RepairPlacement) -> TrafficConfig {
-        TrafficConfig {
-            loss: Some(LossProfile::iid(rate, seed)),
-            repair,
-            ..TrafficConfig::default()
-        }
+    fn lossy_config(rate: f64, seed: u64, repair: RepairPlacement) -> RunConfig {
+        RunConfig::default()
+            .with_loss(LossProfile::iid(rate, seed))
+            .with_repair(repair)
     }
 
     fn contended_requests(pool: &NodePool, n: usize, seed: u64) -> Vec<SessionRequest> {
@@ -1255,14 +1485,18 @@ mod tests {
         let pool = pool();
         for seed in [3u64, 17, 99] {
             let requests = contended_requests(&pool, 80, seed);
-            let lossless = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default())
+            let lossless =
+                TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default())
+                    .run(&requests)
+                    .unwrap();
+            for repair in [RepairPlacement::SourceOnly, RepairPlacement::SubtreeRoot] {
+                let zero = TrafficEngine::with_config(
+                    &pool,
+                    NetParams::new(2),
+                    &lossy_config(0.0, seed, repair),
+                )
                 .run(&requests)
                 .unwrap();
-            for repair in [RepairPlacement::SourceOnly, RepairPlacement::SubtreeRoot] {
-                let zero =
-                    TrafficEngine::new(&pool, NetParams::new(2), lossy_config(0.0, seed, repair))
-                        .run(&requests)
-                        .unwrap();
                 assert_eq!(
                     serde_json::to_string(&lossless).unwrap(),
                     serde_json::to_string(&zero).unwrap(),
@@ -1280,13 +1514,13 @@ mod tests {
     fn lossy_runs_repair_deterministically_and_report_reliability() {
         let pool = pool();
         let requests = contended_requests(&pool, 120, 21);
-        let engine = TrafficEngine::new(
+        let engine = TrafficEngine::with_config(
             &pool,
             NetParams::new(2),
-            lossy_config(0.1, 77, RepairPlacement::SubtreeRoot),
+            &lossy_config(0.1, 77, RepairPlacement::SubtreeRoot),
         );
         let report = engine.run(&requests).unwrap();
-        assert_eq!(report.schema, 3);
+        assert_eq!(report.schema, 4);
         let rel = &report.reliability;
         assert!(rel.nacks > 0, "10% loss over 120 sessions must NACK");
         assert!(rel.repair_sends > 0);
@@ -1305,10 +1539,10 @@ mod tests {
             serde_json::to_string(&again).unwrap()
         );
         // A different fault seed draws different losses.
-        let other = TrafficEngine::new(
+        let other = TrafficEngine::with_config(
             &pool,
             NetParams::new(2),
-            lossy_config(0.1, 78, RepairPlacement::SubtreeRoot),
+            &lossy_config(0.1, 78, RepairPlacement::SubtreeRoot),
         )
         .run(&requests)
         .unwrap();
@@ -1324,14 +1558,11 @@ mod tests {
         // completions (degraded sessions), never hangs or panics.
         let pool = pool();
         let requests = contended_requests(&pool, 60, 5);
-        let config = TrafficConfig {
-            loss: Some(LossProfile {
-                max_retries: 0,
-                ..LossProfile::iid(0.4, 13)
-            }),
-            ..TrafficConfig::default()
-        };
-        let report = TrafficEngine::new(&pool, NetParams::new(2), config)
+        let config = RunConfig::default().with_loss(LossProfile {
+            max_retries: 0,
+            ..LossProfile::iid(0.4, 13)
+        });
+        let report = TrafficEngine::with_config(&pool, NetParams::new(2), &config)
             .run(&requests)
             .unwrap();
         let rel = &report.reliability;
@@ -1343,10 +1574,10 @@ mod tests {
             assert!(record.failed_members <= record.group_size);
         }
         // With ample retries the same traffic recovers everything.
-        let recovered = TrafficEngine::new(
+        let recovered = TrafficEngine::with_config(
             &pool,
             NetParams::new(2),
-            lossy_config(0.4, 13, RepairPlacement::SubtreeRoot),
+            &lossy_config(0.4, 13, RepairPlacement::SubtreeRoot),
         )
         .run(&requests)
         .unwrap();
@@ -1385,6 +1616,91 @@ mod tests {
     }
 
     #[test]
+    fn a_one_chunk_profile_reproduces_the_atomic_report_byte_for_byte() {
+        // The streaming acceptance anchor: `chunks == 1` takes no streaming
+        // branch anywhere in the kernel, so stamping a one-chunk profile on
+        // every session must reproduce the atomic run byte for byte —
+        // lossless and under 5% injected loss alike.
+        let pool = pool();
+        let net = NetParams::new(2);
+        for seed in [3u64, 21] {
+            let requests = contended_requests(&pool, 80, seed);
+            for lossy in [false, true] {
+                let mut base = RunConfig::default();
+                if lossy {
+                    base = base
+                        .with_loss(LossProfile::iid(0.05, seed))
+                        .with_repair(RepairPlacement::SubtreeRoot);
+                }
+                let atomic = TrafficEngine::with_config(&pool, net, &base)
+                    .run(&requests)
+                    .unwrap();
+                let one_chunk = base.clone().with_chunks(ChunkProfile::new(1, 25));
+                let chunked = TrafficEngine::with_config(&pool, net, &one_chunk)
+                    .run(&requests)
+                    .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&atomic).unwrap(),
+                    serde_json::to_string(&chunked).unwrap(),
+                    "seed {seed}, lossy {lossy}: one-chunk run drifted from atomic"
+                );
+                assert_eq!(chunked.streaming.streaming_sessions, 0);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Per-chunk pipelining never double-books a port: the full
+        /// activity log of a chunked run — every chunk's planned sends and
+        /// receives plus band-2 repair retransmissions — passes the
+        /// one-port check, across pipelined and sequential trains, tight
+        /// and loose release intervals, lossless and lossy draws.
+        #[test]
+        fn chunk_trains_never_double_book_a_port(
+            seed in 0u64..64,
+            chunks in 2u32..=8,
+            interval in 0u64..=40,
+            sequential in proptest::bool::ANY,
+            lossy in proptest::bool::ANY,
+        ) {
+            use proptest::prelude::prop_assert;
+            let pool = pool();
+            let specs: Vec<NodeSpec> = (0..pool.len()).map(|g| pool.spec_of_node(g)).collect();
+            let class_of: Vec<usize> = (0..pool.len()).map(|g| pool.class_of(g)).collect();
+            let net = NetParams::new(2);
+            let requests = contended_requests(&pool, 25, seed);
+            let mut profile = ChunkProfile::new(chunks, interval);
+            if sequential {
+                profile = profile.sequential();
+            }
+            let mut config = RunConfig::default().with_chunks(profile);
+            if lossy {
+                config = config
+                    .with_loss(LossProfile::iid(0.15, seed))
+                    .with_repair(RepairPlacement::FastestInSubtree);
+            }
+            let mut sessions = admit_all(&pool, net, &config, &requests);
+            let ctx;
+            let faults = match config.loss.as_ref() {
+                Some(profile) => {
+                    ctx = kernel::FaultCtx {
+                        profile,
+                        class_of: &class_of,
+                    };
+                    Some(&ctx)
+                }
+                None => None,
+            };
+            let (_, log) = kernel::simulate_logged(&specs, net, &mut sessions, faults);
+            prop_assert!(!log.is_empty());
+            let offenders = crate::validate::check_one_port(pool.len(), &log);
+            prop_assert!(offenders.is_empty(), "overlap on {:?}", offenders);
+        }
+    }
+
+    #[test]
     fn an_abandoning_session_passes_the_freed_node_on() {
         // Three sessions race for source node 0 at t = 0. The FIFO admits
         // session 0; sessions 1 and 2 park. The node's release wakes session
@@ -1400,7 +1716,7 @@ mod tests {
             r.patience = None;
         }
         requests[1].patience = Some(Time::ZERO);
-        let engine = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::default());
+        let engine = TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::default());
         let report = engine.run(&requests).unwrap();
         assert!(
             report.per_session[1].abandoned,
@@ -1412,5 +1728,26 @@ mod tests {
         );
         assert!(!report.per_session[0].abandoned);
         assert!(!report.per_session[2].abandoned);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shim_matches_with_config() {
+        // The one-release migration shim: the old `new(TrafficConfig)`
+        // surface must keep producing the exact report of its `RunConfig`
+        // replacement.
+        let pool = pool();
+        let requests = spaced_requests(&pool, 8, 10_000);
+        let old = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::for_planner("fnf"))
+            .run(&requests)
+            .unwrap();
+        let new =
+            TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::for_planner("fnf"))
+                .run(&requests)
+                .unwrap();
+        assert_eq!(
+            serde_json::to_string(&old).unwrap(),
+            serde_json::to_string(&new).unwrap()
+        );
     }
 }

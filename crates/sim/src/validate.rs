@@ -64,7 +64,7 @@ pub fn check_one_port(n: usize, activities: &[(usize, Time, Time)]) -> Vec<usize
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hnow_core::algorithms::baselines::{build_schedule, Strategy};
+    use hnow_core::planner::{find, PlanContext, PlanRequest};
     use hnow_model::NodeSpec;
 
     #[test]
@@ -82,20 +82,25 @@ mod tests {
         )
         .unwrap();
         let strategies = [
-            Strategy::Greedy,
-            Strategy::GreedyRefined,
-            Strategy::FastestNodeFirst,
-            Strategy::Binomial,
-            Strategy::Chain,
-            Strategy::Star,
-            Strategy::Random,
+            "greedy",
+            "greedy+leaf",
+            "fnf",
+            "binomial",
+            "chain",
+            "star",
+            "random",
         ];
         for latency in [0u64, 1, 7] {
             let net = NetParams::new(latency);
-            for s in strategies {
-                let tree = build_schedule(s, &set, net, 11);
+            for name in strategies {
+                let request = PlanRequest::new(set.clone(), net).with_seed(11);
+                let tree = find(name)
+                    .unwrap()
+                    .construct(&request, &PlanContext::new())
+                    .unwrap()
+                    .tree;
                 let mismatches = check_against_analytic(&tree, &set, net).unwrap();
-                assert!(mismatches.is_empty(), "{}: {mismatches:?}", s.name());
+                assert!(mismatches.is_empty(), "{name}: {mismatches:?}");
             }
         }
     }

@@ -9,7 +9,7 @@
 //! --ignored`.
 
 use hnow_model::{NetParams, Time};
-use hnow_sim::{ShardedCluster, ShardedClusterConfig, ShardedTrafficReport};
+use hnow_sim::{RunConfig, ShardedCluster, ShardedTrafficReport};
 use hnow_workload::{
     default_message_size, two_class_table, NodePool, SessionRequest, ShardMap, ShardedPattern,
 };
@@ -22,21 +22,13 @@ fn run_serialized(
     requests: &[SessionRequest],
     threads: usize,
 ) -> (String, std::time::Duration) {
-    let tp = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .unwrap();
+    let config = RunConfig::default().sharded(shards).with_threads(threads);
     let started = std::time::Instant::now();
-    let report: ShardedTrafficReport = tp.install(|| {
-        ShardedCluster::new(
-            pool,
-            NetParams::new(2),
-            ShardedClusterConfig::with_shards(shards),
-        )
-        .unwrap()
-        .run(requests)
-        .unwrap()
-    });
+    let report: ShardedTrafficReport =
+        ShardedCluster::with_config(pool, NetParams::new(2), &config)
+            .unwrap()
+            .run(requests)
+            .unwrap();
     let elapsed = started.elapsed();
     (serde_json::to_string(&report).unwrap(), elapsed)
 }

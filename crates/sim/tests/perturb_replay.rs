@@ -2,8 +2,9 @@
 //! seeded jitter must be reproducible end-to-end (same seed → identical
 //! trace), and a zero-jitter replay must match the nominal analytic times.
 
+use hnow_core::greedy_schedule;
+use hnow_core::planner::{find, PlanContext, PlanRequest};
 use hnow_core::schedule::evaluate;
-use hnow_core::{build_schedule, greedy_schedule, Strategy};
 use hnow_model::{MulticastSet, NetParams, NodeSpec};
 use hnow_sim::{execute_with_specs, PerturbConfig};
 
@@ -54,16 +55,21 @@ fn different_seeds_change_the_trace() {
 #[test]
 fn zero_jitter_replay_matches_nominal_analytic_times() {
     let (set, net) = mixed_instance();
-    for strategy in [
-        Strategy::Greedy,
-        Strategy::GreedyRefined,
-        Strategy::FastestNodeFirst,
-        Strategy::Binomial,
-        Strategy::Chain,
-        Strategy::Star,
-        Strategy::Random,
+    for name in [
+        "greedy",
+        "greedy+leaf",
+        "fnf",
+        "binomial",
+        "chain",
+        "star",
+        "random",
     ] {
-        let tree = build_schedule(strategy, &set, net, 7);
+        let request = PlanRequest::new(set.clone(), net).with_seed(7);
+        let tree = find(name)
+            .unwrap()
+            .construct(&request, &PlanContext::new())
+            .unwrap()
+            .tree;
         let specs = PerturbConfig::new(0.0, 99).perturb(&set);
         let trace = execute_with_specs(&tree, &specs, net).expect("replay succeeds");
         let timing = evaluate(&tree, &set, net).expect("evaluation succeeds");
@@ -71,21 +77,18 @@ fn zero_jitter_replay_matches_nominal_analytic_times() {
             assert_eq!(
                 trace.delivery(v),
                 timing.delivery(v),
-                "{}: delivery of {v:?} drifted under zero jitter",
-                strategy.name()
+                "{name}: delivery of {v:?} drifted under zero jitter"
             );
             assert_eq!(
                 trace.reception(v),
                 timing.reception(v),
-                "{}: reception of {v:?} drifted under zero jitter",
-                strategy.name()
+                "{name}: reception of {v:?} drifted under zero jitter"
             );
         }
         assert_eq!(
             trace.completion,
             timing.reception_completion(),
-            "{}: completion drifted under zero jitter",
-            strategy.name()
+            "{name}: completion drifted under zero jitter"
         );
     }
 }

@@ -8,7 +8,8 @@
 
 use hnow_core::planner::{find, PlanRequest};
 use hnow_model::{NetParams, Time};
-use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
+use hnow_sim::sessions::TrafficEngine;
+use hnow_sim::RunConfig;
 use hnow_workload::traffic::{GroupSizeDist, NodePool, TrafficPattern};
 use hnow_workload::{default_message_size, two_class_table};
 use proptest::prelude::*;
@@ -47,13 +48,13 @@ proptest! {
         }
         let net = NetParams::new(latency);
         for planner_name in ["greedy", "greedy+leaf", "dp-optimal", "binomial"] {
-            let config = TrafficConfig {
+            let config = RunConfig {
                 planner: planner_name.to_string(),
                 batch_size: 1,
                 dp_cache_capacity: Some(8),
-                ..TrafficConfig::default()
+                ..RunConfig::default()
             };
-            let report = TrafficEngine::new(&pool, net, config)
+            let report = TrafficEngine::with_config(&pool, net, &config)
                 .run(&requests)
                 .unwrap();
             prop_assert_eq!(report.completed, sessions);

@@ -62,6 +62,8 @@ pub enum WorkloadError {
     },
     /// A hot-spot pattern was configured with zero sessions per phase.
     DegeneratePhase,
+    /// A stream pattern was configured with zero chunks per session.
+    DegenerateChunks,
 }
 
 impl fmt::Display for WorkloadError {
@@ -98,6 +100,9 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::DegeneratePhase => {
                 write!(f, "hot-spot pattern needs at least one session per phase")
+            }
+            WorkloadError::DegenerateChunks => {
+                write!(f, "stream pattern needs at least one chunk per session")
             }
         }
     }

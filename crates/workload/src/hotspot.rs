@@ -113,6 +113,7 @@ impl HotSpotPattern {
                 source,
                 members,
                 patience,
+                chunks: None,
             });
         }
         Ok(requests)

@@ -17,9 +17,10 @@
 //! partitions one large pool into class-aware shards and generates traffic
 //! with a controlled cross-shard fraction, [`hotspot`] layers a
 //! deterministically shifting hot-spot phase schedule on top of a shard
-//! partition (the control plane's adversarial workload), and [`lossy`]
+//! partition (the control plane's adversarial workload), [`lossy`]
 //! pairs a traffic pattern with the loss parameters the simulator's fault
-//! model injects.
+//! model injects, and [`stream`] stamps a chunked streaming profile onto a
+//! pattern's sessions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +34,7 @@ pub mod lossy;
 pub mod profiles;
 pub mod scenario;
 pub mod sharding;
+pub mod stream;
 pub mod sweep;
 pub mod traffic;
 
@@ -47,6 +49,7 @@ pub use profiles::{
 };
 pub use scenario::{ClusterKind, Scenario};
 pub use sharding::{ShardMap, ShardedPattern};
+pub use stream::StreamPattern;
 pub use sweep::{Sweep, SweepPoint};
 pub use traffic::{
     ArrivalProfile, ChurnProfile, GroupSizeDist, NodePool, SessionRequest, TrafficPattern,

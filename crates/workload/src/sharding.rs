@@ -278,6 +278,7 @@ impl ShardedPattern {
                 source,
                 members,
                 patience,
+                chunks: None,
             });
         }
         Ok(requests)

@@ -1,0 +1,120 @@
+//! Streaming traffic: a [`TrafficPattern`] whose sessions carry a chunk
+//! train instead of one atomic payload.
+//!
+//! The request *stream* (arrivals, sources, groups, churn) is exactly the
+//! wrapped pattern's — [`StreamPattern::generate`] delegates to it and then
+//! stamps the same [`ChunkProfile`] onto every emitted request — so a
+//! streaming scenario differs from its atomic twin only in how each
+//! session's payload moves through the tree. That makes pipelined vs
+//! sequential (and chunked vs atomic) comparisons claims about the chunk
+//! machinery, never about luck in the request draw.
+
+use crate::error::WorkloadError;
+use crate::traffic::{NodePool, SessionRequest, TrafficPattern};
+use hnow_model::ChunkProfile;
+use serde::{Deserialize, Serialize};
+
+/// A traffic pattern whose sessions stream chunk trains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamPattern {
+    /// The offered-load pattern (arrivals, group sizes, churn).
+    pub base: TrafficPattern,
+    /// Chunks per session (must be at least 1; `1` degenerates to the
+    /// atomic path byte-for-byte).
+    pub chunks: u32,
+    /// Release interval between consecutive chunks, in time units.
+    pub interval: u64,
+    /// Optional per-chunk playout deadline, in time units past each chunk's
+    /// release.
+    pub deadline: Option<u64>,
+    /// Pipelined train (`true`, the streaming default) or sequential
+    /// one-shot re-sends (`false`, the E14 baseline).
+    pub pipelined: bool,
+}
+
+impl StreamPattern {
+    /// A pipelined stream over `base`: `chunks` chunks released every
+    /// `interval` ticks, no deadline.
+    pub fn pipelined(base: TrafficPattern, chunks: u32, interval: u64) -> Self {
+        StreamPattern {
+            base,
+            chunks,
+            interval,
+            deadline: None,
+            pipelined: true,
+        }
+    }
+
+    /// The per-session chunk profile this pattern stamps onto requests.
+    pub fn profile(&self) -> ChunkProfile {
+        ChunkProfile {
+            chunks: self.chunks.max(1),
+            interval: self.interval,
+            deadline: self.deadline,
+            pipelined: self.pipelined,
+        }
+    }
+
+    /// Generates the wrapped pattern's request stream with every request
+    /// carrying this pattern's chunk profile.
+    pub fn generate(
+        &self,
+        pool: &NodePool,
+        sessions: usize,
+        seed: u64,
+    ) -> Result<Vec<SessionRequest>, WorkloadError> {
+        if self.chunks == 0 {
+            return Err(WorkloadError::DegenerateChunks);
+        }
+        let profile = self.profile();
+        let mut requests = self.base.generate(pool, sessions, seed)?;
+        for request in &mut requests {
+            request.chunks = Some(profile);
+        }
+        Ok(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{default_message_size, two_class_table};
+
+    #[test]
+    fn generation_matches_the_wrapped_pattern_modulo_chunks() {
+        let pool = NodePool::new(two_class_table(), default_message_size(), &[6, 4]).unwrap();
+        let base = TrafficPattern::poisson(8.0, 4);
+        let stream = StreamPattern::pipelined(base.clone(), 8, 25);
+        let chunked = stream.generate(&pool, 40, 7).unwrap();
+        let atomic = base.generate(&pool, 40, 7).unwrap();
+        assert_eq!(chunked.len(), atomic.len());
+        for (c, a) in chunked.iter().zip(&atomic) {
+            assert_eq!(c.chunks, Some(ChunkProfile::new(8, 25)));
+            let mut stripped = c.clone();
+            stripped.chunks = None;
+            assert_eq!(&stripped, a, "chunking must not perturb the offered stream");
+        }
+    }
+
+    #[test]
+    fn zero_chunks_is_rejected() {
+        let pool = NodePool::new(two_class_table(), default_message_size(), &[4, 2]).unwrap();
+        let mut stream = StreamPattern::pipelined(TrafficPattern::poisson(8.0, 3), 4, 10);
+        stream.chunks = 0;
+        assert_eq!(
+            stream.generate(&pool, 4, 1).unwrap_err(),
+            WorkloadError::DegenerateChunks
+        );
+    }
+
+    #[test]
+    fn sequential_and_deadline_flow_into_the_profile() {
+        let mut stream = StreamPattern::pipelined(TrafficPattern::poisson(8.0, 3), 4, 10);
+        stream.pipelined = false;
+        stream.deadline = Some(120);
+        let p = stream.profile();
+        assert!(!p.pipelined);
+        assert_eq!(p.deadline, Some(120));
+        assert_eq!(p, ChunkProfile::new(4, 10).with_deadline(120).sequential());
+    }
+}

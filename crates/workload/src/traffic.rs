@@ -21,7 +21,7 @@
 //! `TrafficReport` rests on.
 
 use crate::error::WorkloadError;
-use hnow_model::{ClassTable, MessageSize, NodeSpec, Time};
+use hnow_model::{ChunkProfile, ClassTable, MessageSize, NodeSpec, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -136,6 +136,12 @@ pub struct SessionRequest {
     /// `arrival + patience` (because contention keeps it busy), the session
     /// leaves the system unserved.
     pub patience: Option<Time>,
+    /// Streaming: chunk the payload into a train instead of one atomic
+    /// send. `None` (and any profile with `chunks <= 1`) is the base
+    /// model's atomic session; engines may also supply a run-wide default
+    /// through their configuration.
+    #[serde(default)]
+    pub chunks: Option<ChunkProfile>,
 }
 
 impl SessionRequest {
@@ -248,6 +254,7 @@ impl TrafficPattern {
                 source,
                 members,
                 patience,
+                chunks: None,
             });
         }
         Ok(requests)

@@ -7,6 +7,7 @@
 //! traffic_demo [--sessions N] [--seed S] [--planner NAME] [--mean-gap G]
 //!              [--group N] [--churn] [--shards N] [--cross-shard-frac F]
 //!              [--policy NAME] [--rebalance] [--loss RATE] [--repair NAME]
+//!              [--chunks N] [--chunk-interval T] [--sequential]
 //!              [--threads N] [--out PATH]
 //! ```
 //!
@@ -25,18 +26,25 @@
 //! at the given rate (keyed off the run seed) with NACK-driven repair, and
 //! `--repair NAME` picks the repairer placement (`source-only`,
 //! `subtree-root`, `fastest-in-subtree` or `gateway`; default
-//! `source-only`; requires `--loss`). `--threads N` runs the whole
-//! pipeline inside
-//! a rayon pool of N worker threads (0 = automatic). Either way the run
+//! `source-only`; requires `--loss`). `--chunks N` streams every session
+//! as a train of N chunks released every `--chunk-interval T` ticks
+//! (default 25; requires `--chunks`), pipelined through the session's tree
+//! unless `--sequential` asks for one-shot re-sends per chunk; the report
+//! gains a streaming section (steady-state throughput, deadline misses,
+//! inter-chunk jitter). `--threads N` runs the whole pipeline inside a
+//! rayon pool of N worker threads (0 = automatic). Either way the run
 //! is deterministic: the same arguments — at *any* `--threads` value —
 //! always produce a byte-identical report, which `--out` writes as JSON.
 //! `--churn` makes 30% of the sessions impatient.
+//!
+//! Every flag maps 1:1 onto a [`RunConfig`] field, so a demo invocation is
+//! a readable specification of the engine configuration it measured.
 
 use hnow_core::RepairPlacement;
-use hnow_model::NetParams;
-use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster, ShardedClusterConfig};
-use hnow_sim::sessions::{TrafficConfig, TrafficEngine};
-use hnow_sim::{LossProfile, ReliabilityReport};
+use hnow_model::{ChunkProfile, NetParams};
+use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster};
+use hnow_sim::sessions::TrafficEngine;
+use hnow_sim::{LossProfile, ReliabilityReport, RunConfig, StreamingReport};
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{default_message_size, two_class_table, ShardMap, ShardedPattern};
 use std::process::ExitCode;
@@ -63,6 +71,9 @@ fn main() -> ExitCode {
     let mut rebalance = false;
     let mut loss: Option<f64> = None;
     let mut repair: Option<String> = None;
+    let mut chunks: Option<u32> = None;
+    let mut chunk_interval: Option<u64> = None;
+    let mut sequential = false;
     let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -88,6 +99,11 @@ fn main() -> ExitCode {
             "--rebalance" => rebalance = true,
             "--loss" => loss = Some(parse("--loss", take("--loss"))),
             "--repair" => repair = Some(take("--repair")),
+            "--chunks" => chunks = Some(parse("--chunks", take("--chunks"))),
+            "--chunk-interval" => {
+                chunk_interval = Some(parse("--chunk-interval", take("--chunk-interval")));
+            }
+            "--sequential" => sequential = true,
             "--threads" => threads = Some(parse("--threads", take("--threads"))),
             "--out" => out = Some(take("--out")),
             other => {
@@ -96,7 +112,8 @@ fn main() -> ExitCode {
                     "usage: traffic_demo [--sessions N] [--seed S] [--planner NAME] \
                      [--mean-gap G] [--group N] [--churn] [--shards N] \
                      [--cross-shard-frac F] [--policy NAME] [--rebalance] \
-                     [--loss RATE] [--repair NAME] [--threads N] [--out PATH]"
+                     [--loss RATE] [--repair NAME] [--chunks N] [--chunk-interval T] \
+                     [--sequential] [--threads N] [--out PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -126,6 +143,14 @@ fn main() -> ExitCode {
         eprintln!("--repair requires --loss");
         return ExitCode::FAILURE;
     }
+    if chunks == Some(0) {
+        eprintln!("--chunks requires at least 1 chunk");
+        return ExitCode::FAILURE;
+    }
+    if (chunk_interval.is_some() || sequential) && chunks.is_none() {
+        eprintln!("--chunk-interval and --sequential require --chunks");
+        return ExitCode::FAILURE;
+    }
     let placement = match repair.as_deref() {
         None => RepairPlacement::SourceOnly,
         Some(name) => match RepairPlacement::from_name(name) {
@@ -147,6 +172,26 @@ fn main() -> ExitCode {
         rebalance: rebalance.then(RebalanceConfig::default),
         ..ControlConfig::default()
     });
+    let profile = chunks.map(|n| {
+        let p = ChunkProfile::new(n, chunk_interval.unwrap_or(25));
+        if sequential {
+            p.sequential()
+        } else {
+            p
+        }
+    });
+
+    // Every flag lands on one unified RunConfig; the two run paths below
+    // only choose which surface consumes it.
+    let mut config = RunConfig::for_planner(&planner);
+    config.loss = faults;
+    config.repair = placement;
+    config.chunks = profile;
+    config.threads = threads;
+    if shards >= 2 {
+        config = config.sharded(shards);
+        config.control = control;
+    }
 
     let pool = match NodePool::new(two_class_table(), default_message_size(), &[32, 16]) {
         Ok(pool) => pool,
@@ -163,50 +208,28 @@ fn main() -> ExitCode {
         });
     }
 
-    // With --threads the whole pipeline runs inside a rayon pool of that
-    // size; the report is byte-identical either way.
-    let run = || -> ExitCode {
-        if shards >= 2 {
-            return run_sharded(
-                &pool,
-                pattern,
-                sessions,
-                seed,
-                &planner,
-                shards,
-                cross_frac.unwrap_or(0.0),
-                control,
-                faults,
-                placement,
-                out,
-            );
-        }
-        run_flat(
-            &pool, pattern, sessions, seed, &planner, faults, placement, out,
+    if shards >= 2 {
+        run_sharded(
+            &pool,
+            pattern,
+            sessions,
+            seed,
+            &config,
+            cross_frac.unwrap_or(0.0),
+            out,
         )
-    };
-    match threads {
-        Some(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
-            Ok(tp) => tp.install(run),
-            Err(err) => {
-                eprintln!("failed to build the thread pool: {err}");
-                ExitCode::FAILURE
-            }
-        },
-        None => run(),
+    } else {
+        run_flat(&pool, pattern, sessions, seed, &config, out)
     }
 }
 
 /// The flat (single-engine) path: generate traffic, run, print the report.
-#[allow(clippy::too_many_arguments)]
 fn run_flat(
     pool: &NodePool,
     pattern: TrafficPattern,
     sessions: usize,
     seed: u64,
-    planner: &str,
-    faults: Option<LossProfile>,
-    placement: RepairPlacement,
+    config: &RunConfig,
     out: Option<String>,
 ) -> ExitCode {
     let requests = match pattern.generate(pool, sessions, seed) {
@@ -217,13 +240,7 @@ fn run_flat(
         }
     };
 
-    let lossy = faults.is_some();
-    let config = TrafficConfig {
-        loss: faults,
-        repair: placement,
-        ..TrafficConfig::for_planner(planner)
-    };
-    let engine = TrafficEngine::new(pool, NetParams::new(2), config);
+    let engine = TrafficEngine::with_config(pool, NetParams::new(2), config);
     let report = match engine.run(&requests) {
         Ok(report) => report,
         Err(err) => {
@@ -257,9 +274,10 @@ fn run_flat(
         "  dp cache: {} lookups, {} hits, {} misses, {} evictions",
         report.cache.lookups, report.cache.hits, report.cache.misses, report.cache.evictions
     );
-    if lossy {
-        print_reliability(&report.reliability, placement);
+    if config.loss.is_some() {
+        print_reliability(&report.reliability, config.repair);
     }
+    print_streaming(&report.streaming);
 
     write_json(out, &report)
 }
@@ -284,23 +302,38 @@ fn print_reliability(rel: &ReliabilityReport, placement: RepairPlacement) {
     );
 }
 
+/// Prints the streaming section of a chunked run's report (no-op when the
+/// run carried no chunk trains).
+fn print_streaming(streaming: &StreamingReport) {
+    if streaming.streaming_sessions == 0 {
+        return;
+    }
+    println!(
+        "  streaming: {} sessions, {} chunks offered, throughput {:.3} chunk-deliveries/kilotick",
+        streaming.streaming_sessions, streaming.offered_chunks, streaming.steady_state_throughput
+    );
+    println!(
+        "  deadline misses {} ({:.4})   inter-chunk jitter p50 {} p95 {} p99 {}",
+        streaming.deadline_misses,
+        streaming.deadline_miss_rate,
+        streaming.p50_interchunk_jitter,
+        streaming.p95_interchunk_jitter,
+        streaming.p99_interchunk_jitter
+    );
+}
+
 /// The sharded service path: partition the pool, generate cross-shard-aware
 /// traffic, run the dispatcher, print the merged report.
-#[allow(clippy::too_many_arguments)]
 fn run_sharded(
     pool: &NodePool,
     base: TrafficPattern,
     sessions: usize,
     seed: u64,
-    planner: &str,
-    shards: usize,
+    config: &RunConfig,
     cross_frac: f64,
-    control: Option<ControlConfig>,
-    faults: Option<LossProfile>,
-    placement: RepairPlacement,
     out: Option<String>,
 ) -> ExitCode {
-    let map = match ShardMap::partition(pool, shards) {
+    let map = match ShardMap::partition(pool, config.shards) {
         Ok(map) => map,
         Err(err) => {
             eprintln!("failed to partition the pool: {err}");
@@ -318,12 +351,7 @@ fn run_sharded(
             return ExitCode::FAILURE;
         }
     };
-    let lossy = faults.is_some();
-    let mut config = ShardedClusterConfig::for_planner(shards, planner);
-    config.control = control;
-    config.traffic.loss = faults;
-    config.traffic.repair = placement;
-    let cluster = match ShardedCluster::new(pool, NetParams::new(2), config) {
+    let cluster = match ShardedCluster::with_config(pool, NetParams::new(2), config) {
         Ok(cluster) => cluster,
         Err(err) => {
             eprintln!("failed to build the sharded cluster: {err}");
@@ -378,9 +406,10 @@ fn run_sharded(
             control.plan_cache_invalidations
         );
     }
-    if lossy {
-        print_reliability(&report.reliability, placement);
+    if config.loss.is_some() {
+        print_reliability(&report.reliability, config.repair);
     }
+    print_streaming(&report.streaming);
     for shard in &report.per_shard {
         println!(
             "  shard {}: {} nodes, {} sessions, p99 {}, dp hit rate {:.3} ({} evictions), {} plan signatures ({} evictions)",

@@ -1,12 +1,22 @@
 //! E7 and E8 — the leaf refinement and the baseline comparison, exercised
 //! across crates on generated workloads.
 
+use hnow_core::planner::{find, PlanContext, PlanRequest};
 use hnow_core::schedule::{reception_completion, refine_leaves, validate};
-use hnow_core::{build_schedule, Strategy};
 use hnow_integration::small_mixed_instance;
-use hnow_model::NetParams;
+use hnow_model::{MulticastSet, NetParams};
 use hnow_workload::{bimodal_cluster, RandomClusterConfig};
 use proptest::prelude::*;
+
+/// Registry lookup shared by every test: plan `name` on `set` with `seed`.
+fn schedule(name: &str, set: &MulticastSet, net: NetParams, seed: u64) -> hnow_core::ScheduleTree {
+    let request = PlanRequest::new(set.clone(), net).with_seed(seed);
+    find(name)
+        .unwrap_or_else(|| panic!("{name}: missing from the registry"))
+        .construct(&request, &PlanContext::new())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .tree
+}
 
 #[test]
 fn every_strategy_produces_valid_schedules_on_generated_clusters() {
@@ -18,17 +28,17 @@ fn every_strategy_produces_valid_schedules_on_generated_clusters() {
         .generate(seed)
         .unwrap();
         let net = NetParams::new(2);
-        for strategy in [
-            Strategy::Greedy,
-            Strategy::GreedyRefined,
-            Strategy::FastestNodeFirst,
-            Strategy::Binomial,
-            Strategy::Chain,
-            Strategy::Star,
-            Strategy::Random,
+        for name in [
+            "greedy",
+            "greedy+leaf",
+            "fnf",
+            "binomial",
+            "chain",
+            "star",
+            "random",
         ] {
-            let tree = build_schedule(strategy, &set, net, seed);
-            validate(&tree, &set).unwrap_or_else(|e| panic!("{}: {e}", strategy.name()));
+            let tree = schedule(name, &set, net, seed);
+            validate(&tree, &set).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 }
@@ -39,25 +49,14 @@ fn refined_greedy_beats_oblivious_baselines_on_bimodal_clusters() {
         for slow_fraction in [0.1, 0.3, 0.6] {
             let set = bimodal_cluster(32, slow_fraction, seed).unwrap();
             let net = NetParams::new(4);
-            let greedy = reception_completion(
-                &build_schedule(Strategy::GreedyRefined, &set, net, seed),
-                &set,
-                net,
-            )
-            .unwrap();
-            for strategy in [
-                Strategy::Binomial,
-                Strategy::Chain,
-                Strategy::Star,
-                Strategy::Random,
-            ] {
+            let greedy =
+                reception_completion(&schedule("greedy+leaf", &set, net, seed), &set, net).unwrap();
+            for name in ["binomial", "chain", "star", "random"] {
                 let other =
-                    reception_completion(&build_schedule(strategy, &set, net, seed), &set, net)
-                        .unwrap();
+                    reception_completion(&schedule(name, &set, net, seed), &set, net).unwrap();
                 assert!(
                     greedy <= other,
-                    "seed {seed} frac {slow_fraction}: greedy {greedy} lost to {} {other}",
-                    strategy.name()
+                    "seed {seed} frac {slow_fraction}: greedy {greedy} lost to {name} {other}"
                 );
             }
         }
@@ -67,16 +66,16 @@ fn refined_greedy_beats_oblivious_baselines_on_bimodal_clusters() {
 #[test]
 fn small_mixed_instance_orders_strategies_as_expected() {
     let (set, net) = small_mixed_instance();
-    let completion = |s: Strategy| {
-        reception_completion(&build_schedule(s, &set, net, 1), &set, net)
+    let completion = |name: &str| {
+        reception_completion(&schedule(name, &set, net, 1), &set, net)
             .unwrap()
             .raw()
     };
-    let refined = completion(Strategy::GreedyRefined);
-    let dp = completion(Strategy::DpOptimal);
+    let refined = completion("greedy+leaf");
+    let dp = completion("dp-optimal");
     assert!(dp <= refined);
-    assert!(refined <= completion(Strategy::Chain));
-    assert!(refined <= completion(Strategy::Star));
+    assert!(refined <= completion("chain"));
+    assert!(refined <= completion("star"));
 }
 
 proptest! {
@@ -91,7 +90,7 @@ proptest! {
         latency in 0u64..=4,
         strategy_idx in 0usize..4,
     ) {
-        let strategies = [Strategy::Greedy, Strategy::Binomial, Strategy::Random, Strategy::Chain];
+        let strategies = ["greedy", "binomial", "random", "chain"];
         let set = RandomClusterConfig {
             destinations: n,
             ..RandomClusterConfig::default()
@@ -99,7 +98,7 @@ proptest! {
         .generate(seed)
         .unwrap();
         let net = NetParams::new(latency);
-        let tree = build_schedule(strategies[strategy_idx], &set, net, seed);
+        let tree = schedule(strategies[strategy_idx], &set, net, seed);
         let before = reception_completion(&tree, &set, net).unwrap();
         let refined = refine_leaves(&tree, &set, net).unwrap();
         validate(&refined, &set).unwrap();

@@ -4,6 +4,7 @@
 use hnow_core::algorithms::dp::{dp_optimum, DpTable};
 use hnow_core::algorithms::greedy::{greedy_with_options, GreedyOptions};
 use hnow_core::algorithms::optimal::{search, SearchOptions};
+use hnow_core::planner::{find, PlanContext, PlanRequest};
 use hnow_core::schedule::{reception_completion, validate};
 use hnow_model::{NetParams, NodeSpec, TypedMulticast};
 use proptest::prelude::*;
@@ -54,18 +55,15 @@ proptest! {
         let net = NetParams::new(latency);
         let set = typed.to_multicast_set().unwrap();
         let optimum = dp_optimum(&set, net);
-        for strategy in [
-            hnow_core::Strategy::Greedy,
-            hnow_core::Strategy::GreedyRefined,
-            hnow_core::Strategy::FastestNodeFirst,
-            hnow_core::Strategy::Binomial,
-            hnow_core::Strategy::Chain,
-            hnow_core::Strategy::Star,
-            hnow_core::Strategy::Random,
-        ] {
-            let tree = hnow_core::build_schedule(strategy, &set, net, 5);
+        for name in ["greedy", "greedy+leaf", "fnf", "binomial", "chain", "star", "random"] {
+            let request = PlanRequest::new(set.clone(), net).with_seed(5);
+            let tree = find(name)
+                .unwrap()
+                .construct(&request, &PlanContext::new())
+                .unwrap()
+                .tree;
             let r = reception_completion(&tree, &set, net).unwrap();
-            prop_assert!(optimum <= r, "{}: {} < dp {}", strategy.name(), r, optimum);
+            prop_assert!(optimum <= r, "{}: {} < dp {}", name, r, optimum);
         }
     }
 

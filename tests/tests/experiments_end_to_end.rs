@@ -6,11 +6,11 @@ use hnow_experiments::{render_markdown, run_all};
 #[test]
 fn all_experiments_run_and_report() {
     let reports = run_all(0xE2E);
-    assert_eq!(reports.len(), 12);
+    assert_eq!(reports.len(), 13);
     let md = render_markdown(&reports);
     // Every experiment id appears.
     for id in [
-        "E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+        "E1", "E2", "E3", "E4+E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
     ] {
         assert!(md.contains(&format!("## {id}")), "missing {id}");
     }

@@ -2,11 +2,31 @@
 //! times for every strategy on arbitrary instances, and perturbed execution
 //! behaves sanely.
 
+use hnow_core::planner::{find, PlanContext, PlanRequest};
 use hnow_core::schedule::evaluate;
-use hnow_core::{build_schedule, Strategy as Algo};
 use hnow_model::{MulticastSet, NetParams, NodeSpec};
 use hnow_sim::{check_against_analytic, execute, execute_with_specs, PerturbConfig};
 use proptest::prelude::*;
+
+const ALL_STRATEGIES: [&str; 7] = [
+    "greedy",
+    "greedy+leaf",
+    "fnf",
+    "binomial",
+    "chain",
+    "star",
+    "random",
+];
+
+/// Registry lookup shared by every test: plan `name` on `set` with `seed`.
+fn schedule(name: &str, set: &MulticastSet, net: NetParams, seed: u64) -> hnow_core::ScheduleTree {
+    let request = PlanRequest::new(set.clone(), net).with_seed(seed);
+    find(name)
+        .unwrap_or_else(|| panic!("{name}: missing from the registry"))
+        .construct(&request, &PlanContext::new())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .tree
+}
 
 fn arb_multicast(
     max_destinations: usize,
@@ -27,16 +47,6 @@ fn arb_multicast(
     })
 }
 
-const ALL_STRATEGIES: [Algo; 7] = [
-    Algo::Greedy,
-    Algo::GreedyRefined,
-    Algo::FastestNodeFirst,
-    Algo::Binomial,
-    Algo::Chain,
-    Algo::Star,
-    Algo::Random,
-];
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -49,7 +59,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let net = NetParams::new(latency);
-        let tree = build_schedule(ALL_STRATEGIES[strategy_idx], &set, net, seed);
+        let tree = schedule(ALL_STRATEGIES[strategy_idx], &set, net, seed);
         let mismatches = check_against_analytic(&tree, &set, net).unwrap();
         prop_assert!(mismatches.is_empty(), "{mismatches:?}");
     }
@@ -62,7 +72,7 @@ proptest! {
         latency in 0u64..=4,
     ) {
         let net = NetParams::new(latency);
-        let tree = build_schedule(Algo::Greedy, &set, net, 0);
+        let tree = schedule("greedy", &set, net, 0);
         let trace = execute(&tree, &set, net).unwrap();
         for (i, timeline) in trace.timelines.iter().enumerate() {
             for pair in timeline.windows(2) {
@@ -84,7 +94,7 @@ proptest! {
         extra in 1u64..=5,
     ) {
         let net = NetParams::new(latency);
-        let tree = build_schedule(Algo::GreedyRefined, &set, net, 1);
+        let tree = schedule("greedy+leaf", &set, net, 1);
         let nominal = execute(&tree, &set, net).unwrap();
         let inflated: Vec<NodeSpec> = (0..set.num_nodes())
             .map(|i| {
@@ -107,16 +117,11 @@ fn evaluate_and_execute_agree_on_a_large_cluster() {
     .generate(99)
     .unwrap();
     let net = NetParams::new(3);
-    for strategy in ALL_STRATEGIES {
-        let tree = build_schedule(strategy, &set, net, 4);
+    for name in ALL_STRATEGIES {
+        let tree = schedule(name, &set, net, 4);
         let timing = evaluate(&tree, &set, net).unwrap();
         let trace = execute(&tree, &set, net).unwrap();
-        assert_eq!(
-            trace.completion,
-            timing.reception_completion(),
-            "{}",
-            strategy.name()
-        );
+        assert_eq!(trace.completion, timing.reception_completion(), "{name}");
     }
 }
 
@@ -130,7 +135,7 @@ fn perturbation_band_respected_end_to_end() {
     .generate(7)
     .unwrap();
     let net = NetParams::new(2);
-    let tree = build_schedule(Algo::GreedyRefined, &set, net, 0);
+    let tree = schedule("greedy+leaf", &set, net, 0);
     let nominal = execute(&tree, &set, net).unwrap().completion;
     for seed in 0..10u64 {
         let specs = PerturbConfig::new(0.2, seed).perturb(&set);
