@@ -10,9 +10,11 @@
 //! 8-thread rayon pools), a control-plane soak (`control_plane`, the
 //! epoch-batched service loop with admission toggled on and off), and a
 //! lossy-repair soak (`lossy_soak`, the flat engine under 5% injected loss
-//! with NACK-driven repair, per repairer placement), and a streaming soak
+//! with NACK-driven repair, per repairer placement), a streaming soak
 //! (`stream_soak`, the flat engine moving 8-chunk trains, pipelined and
-//! sequential, against the atomic anchor) — and
+//! sequential, against the atomic anchor), and a telemetry-overhead group
+//! (`telemetry_overhead`, the pipelined train untraced, with an attached
+//! trace sink, and with the time-series collector) — and
 //! renders the
 //! results as a serializable [`BaselineReport`], written to
 //! `BENCH_core.json` by the `perf_baseline` example binary. The checked-in
@@ -131,6 +133,7 @@ pub fn run(mode: BaselineMode) -> BaselineReport {
     control_plane_cases(mode, &mut cases);
     lossy_soak_cases(mode, &mut cases);
     stream_soak_cases(mode, &mut cases);
+    telemetry_overhead_cases(mode, &mut cases);
     BaselineReport {
         schema: 1,
         mode: mode.label().to_string(),
@@ -571,6 +574,68 @@ fn stream_soak_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
     }
 }
 
+/// Telemetry overhead over the `stream_soak` pipelined train (the
+/// workspace's event-densest scenario, 8× the kernel events per session):
+/// `off` re-times the untraced anchor inside this group so the pair shares
+/// one machine state; `sink` attaches an in-memory trace sink (every
+/// kernel event constructed, remapped and pushed); `timeseries` folds the
+/// same stream into the report's windowed telemetry section. The pinned
+/// claim is that `off` stays within 2% of `stream_soak/pipelined8` — the
+/// disabled path costs one `Option<&Recorder>` branch per emission site —
+/// while `sink`/`off` prices the active machinery on the trajectory.
+fn telemetry_overhead_cases(mode: BaselineMode, cases: &mut Vec<BaselineCase>) {
+    use hnow_telemetry::{MemorySink, TelemetryConfig};
+    use std::sync::Arc;
+    let net = NetParams::new(2);
+    let pool = NodePool::new(
+        two_class_table(),
+        MessageSize::from_kib(4),
+        match mode {
+            BaselineMode::Quick => &[16, 8],
+            BaselineMode::Full => &[32, 16],
+        },
+    )
+    .expect("soak pool is valid");
+    let (sessions, iters) = match mode {
+        BaselineMode::Quick => (64usize, 2u64),
+        BaselineMode::Full => (256, 3),
+    };
+    let pattern = TrafficPattern::poisson(40.0, 6);
+    let requests = pattern
+        .generate(&pool, sessions, 0xBEEF)
+        .expect("soak pattern is valid");
+    let sink = Arc::new(MemorySink::new());
+    let variants: [(&str, Option<TelemetryConfig>); 3] = [
+        ("off", None),
+        ("sink", Some(TelemetryConfig::new().with_sink(sink.clone()))),
+        (
+            "timeseries",
+            Some(TelemetryConfig::new().with_timeseries(64)),
+        ),
+    ];
+    for (variant, telemetry) in variants {
+        let config = RunConfig {
+            chunks: Some(ChunkProfile::new(8, 8)),
+            telemetry,
+            ..RunConfig::default()
+        };
+        let engine = TrafficEngine::with_config(&pool, net, &config);
+        cases.push(time_case(
+            "telemetry_overhead",
+            format!("telemetry_overhead/{variant}/{sessions}"),
+            sessions as u64,
+            iters,
+            || {
+                black_box(engine.run(black_box(&requests)).expect("soak run succeeds"));
+                // Keep the sink's buffer from growing across iterations —
+                // the measurement prices emission, not reallocation of an
+                // ever-larger Vec.
+                sink.take();
+            },
+        ));
+    }
+}
+
 /// How one baseline entry moved between two reports.
 #[derive(Debug, Clone, Serialize)]
 pub struct CaseDelta {
@@ -731,6 +796,9 @@ mod tests {
                 "stream_soak/atomic/64",
                 "stream_soak/pipelined8/64",
                 "stream_soak/sequential8/64",
+                "telemetry_overhead/off/64",
+                "telemetry_overhead/sink/64",
+                "telemetry_overhead/timeseries/64",
             ]
         );
         for case in &report.cases {

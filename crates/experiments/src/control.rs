@@ -320,4 +320,67 @@ mod tests {
             baseline.p99_queue_delay
         );
     }
+
+    #[test]
+    fn trace_backed_decisions_cover_every_session_exactly_once() {
+        // The full control-plane point of the study, re-verified from the
+        // trace stream: the admission controller emits exactly one
+        // decision event per offered session, the per-kind counts
+        // reconcile with the control report, and the stream — admission
+        // decisions plus per-epoch kernel events under live migrations —
+        // passes the kernel invariant checker.
+        use hnow_telemetry::{check_invariants, MemorySink, TelemetryConfig, TraceEventKind};
+        use std::sync::Arc;
+        let config = ControlStudyConfig::default();
+        let pool = NodePool::new(
+            two_class_table(),
+            default_message_size(),
+            &[config.pool_counts[0], config.pool_counts[1]],
+        )
+        .unwrap();
+        let map = ShardMap::partition(&pool, config.shards).unwrap();
+        let mut pattern = HotSpotPattern::bursty(
+            config.burst,
+            config.period,
+            config.group.0,
+            config.group.1,
+            config.phase_sessions,
+            config.hot_fraction,
+        );
+        pattern.base.churn = Some(ChurnProfile {
+            impatient_fraction: config.impatient_fraction,
+            mean_patience: config.mean_patience,
+        });
+        let requests = pattern
+            .generate(&map, config.sessions, config.seed)
+            .unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let run_config = RunConfig::for_planner(&config.planner)
+            .sharded(config.shards)
+            .with_control(ControlConfig {
+                epoch: config.epoch,
+                admission: true,
+                policy: "load-aware".to_string(),
+                rebalance: Some(config.rebalance.clone()),
+            })
+            .telemetry(TelemetryConfig::new().with_sink(sink.clone()));
+        let cluster =
+            ShardedCluster::with_config(&pool, NetParams::new(config.latency), &run_config)
+                .unwrap();
+        let report = cluster.run(&requests).unwrap();
+        let events = sink.take();
+        check_invariants(&events).unwrap();
+        let control = report.control.as_ref().expect("controlled run");
+        let count = |kind: TraceEventKind| events.iter().filter(|ev| ev.kind == kind).count();
+        assert_eq!(count(TraceEventKind::Admitted), control.admitted);
+        assert_eq!(count(TraceEventKind::Reordered), control.reordered);
+        assert_eq!(count(TraceEventKind::Shed), control.shed);
+        assert_eq!(
+            count(TraceEventKind::Admitted)
+                + count(TraceEventKind::Reordered)
+                + count(TraceEventKind::Shed),
+            config.sessions,
+            "one decision event per offered session"
+        );
+    }
 }

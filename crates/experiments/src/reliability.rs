@@ -314,4 +314,64 @@ mod tests {
             );
         }
     }
+
+    #[test]
+    fn trace_backed_counts_reconcile_with_the_lossy_report() {
+        // The study's aggregate NACK/repair counters, re-derived from the
+        // kernel's event stream: one `Nack` event per NACK raised, one
+        // `Repair` event per retransmission charged, one `SessionOpen` per
+        // offered session — and the stream passes the kernel invariant
+        // checker (one-port, FIFO, bands, causality) on the preset's
+        // bursty 5% point.
+        use hnow_telemetry::{check_invariants, MemorySink, TelemetryConfig, TraceEventKind};
+        use std::sync::Arc;
+        let config = ReliabilityStudyConfig::default();
+        let pool = NodePool::new(
+            two_class_table(),
+            default_message_size(),
+            &[config.pool_counts[0], config.pool_counts[1]],
+        )
+        .unwrap();
+        let base = TrafficPattern {
+            group_size: GroupSizeDist::Uniform {
+                min: config.group.0,
+                max: config.group.1,
+            },
+            ..TrafficPattern::poisson(config.mean_gap, config.group.0)
+        };
+        let requests = base.generate(&pool, config.sessions, config.seed).unwrap();
+        let scenario = LossyPattern {
+            rate: 0.05,
+            per_class: None,
+            burst_frequency: config.burst_frequency,
+            burst_rate: config.burst_rate,
+            burst_bucket: config.burst_bucket,
+            max_retries: config.max_retries,
+            backoff: config.backoff,
+            repair_deadline: config.repair_deadline,
+            fault_seed: config.fault_seed,
+            base: base.clone(),
+        };
+        let sink = Arc::new(MemorySink::new());
+        let traffic = RunConfig {
+            planner: config.planner.clone(),
+            loss: Some(LossProfile::from(&scenario)),
+            repair: RepairPlacement::SubtreeRoot,
+            ..RunConfig::default()
+        }
+        .telemetry(TelemetryConfig::new().with_sink(sink.clone()));
+        let report = TrafficEngine::with_config(&pool, NetParams::new(config.latency), &traffic)
+            .run(&requests)
+            .unwrap();
+        let events = sink.take();
+        check_invariants(&events).unwrap();
+        let count = |kind: TraceEventKind| events.iter().filter(|ev| ev.kind == kind).count();
+        assert_eq!(count(TraceEventKind::SessionOpen), config.sessions);
+        assert_eq!(count(TraceEventKind::Nack) as u64, report.reliability.nacks);
+        assert_eq!(
+            count(TraceEventKind::Repair) as u64,
+            report.reliability.repair_sends
+        );
+        assert!(report.reliability.nacks > 0, "5% bursty loss must NACK");
+    }
 }

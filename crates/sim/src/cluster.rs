@@ -84,7 +84,7 @@ use crate::error::SimError;
 use crate::kernel;
 use crate::sessions::{
     bind_node_map, children_lists, record_for, CacheStats, ReliabilityReport, SessionRecord,
-    SessionRuntime, StreamingReport, TrafficConfig, TrafficMetrics,
+    SessionRuntime, StreamingReport, TraceDest, TrafficConfig, TrafficMetrics,
 };
 use hnow_control::{
     admit, find_policy, AdmissionDecision, AdmissionIntent, GatewayCandidate, GatewayPolicy,
@@ -94,6 +94,7 @@ use hnow_core::planner::{find, PlanContext, PlanRequest, Planner};
 use hnow_core::schedule::compose::compose;
 use hnow_core::{RepairPlacement, ScheduleTree};
 use hnow_model::{NetParams, NodeId, NodeSpec, Time, TypedMulticast};
+use hnow_telemetry::{Recorder, TelemetryConfig, TelemetryReport, TraceEvent, TraceEventKind};
 use hnow_workload::{NodePool, SessionRequest, ShardMap};
 
 pub use hnow_control::RebalanceConfig;
@@ -123,34 +124,6 @@ pub struct ShardedClusterConfig {
 }
 
 impl ShardedClusterConfig {
-    /// `shards` shards with the default traffic config and plan caching on.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RunConfig::default().sharded(n)` and `ShardedCluster::with_config`"
-    )]
-    pub fn with_shards(shards: usize) -> Self {
-        ShardedClusterConfig {
-            shards,
-            traffic: TrafficConfig::default(),
-            plan_cache: true,
-            plan_cache_capacity: Some(256),
-            control: None,
-        }
-    }
-
-    /// Same, with a named planner.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RunConfig::for_planner(name).sharded(n)` and `ShardedCluster::with_config`"
-    )]
-    pub fn for_planner(shards: usize, planner: &str) -> Self {
-        #[allow(deprecated)]
-        ShardedClusterConfig {
-            traffic: TrafficConfig::for_planner(planner),
-            ..ShardedClusterConfig::with_shards(shards)
-        }
-    }
-
     /// Turns on the online control plane.
     pub fn with_control(mut self, control: ControlConfig) -> Self {
         self.control = Some(control);
@@ -278,6 +251,12 @@ pub struct ShardedTrafficReport {
     pub per_shard: Vec<ShardReport>,
     /// One record per offered session, in request order.
     pub per_session: Vec<ShardedSessionRecord>,
+    /// Fixed-window time series over the run's trace (schema 5); present
+    /// only when the run config attached a
+    /// [`TelemetryConfig::with_timeseries`](hnow_telemetry::TelemetryConfig::with_timeseries)
+    /// window. Kept last so untraced reports differ from their schema-4
+    /// ancestors only in this trailing field.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// One node migration committed by the rebalancer.
@@ -454,29 +433,10 @@ pub struct ShardedCluster<'a> {
     net: NetParams,
     config: ShardedClusterConfig,
     threads: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl<'a> ShardedCluster<'a> {
-    /// Partitions `pool` into the configured number of shards.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `RunConfig` and use `ShardedCluster::with_config`"
-    )]
-    pub fn new(
-        pool: &'a NodePool,
-        net: NetParams,
-        config: ShardedClusterConfig,
-    ) -> Result<Self, SimError> {
-        let map = ShardMap::partition(pool, config.shards).map_err(SimError::Sharding)?;
-        Ok(ShardedCluster {
-            pool,
-            map,
-            net,
-            config,
-            threads: None,
-        })
-    }
-
     /// Partitions `pool` per the unified
     /// [`RunConfig`](crate::config::RunConfig) surface. A flat config
     /// (`shards == 0`) is clamped to one shard, which reproduces the flat
@@ -487,6 +447,7 @@ impl<'a> ShardedCluster<'a> {
         config: &crate::config::RunConfig,
     ) -> Result<Self, SimError> {
         let threads = config.threads;
+        let telemetry = config.telemetry.clone();
         let config = config.cluster();
         let map = ShardMap::partition(pool, config.shards).map_err(SimError::Sharding)?;
         Ok(ShardedCluster {
@@ -495,6 +456,7 @@ impl<'a> ShardedCluster<'a> {
             net,
             config,
             threads,
+            telemetry,
         })
     }
 
@@ -539,6 +501,13 @@ impl<'a> ShardedCluster<'a> {
             Some(cap) => PlanContext::with_dp_capacity(cap),
             None => PlanContext::new(),
         };
+        let profiler = self.telemetry.as_ref().and_then(|t| t.profiler.clone());
+        let trace = TraceDest::from(self.telemetry.as_ref());
+        let shard_of: Vec<usize> = match &trace {
+            Some(_) => (0..self.pool.len()).map(|g| self.map.shard_of(g)).collect(),
+            None => Vec::new(),
+        };
+        let plan_span = profiler.as_ref().map(|p| p.span("plan"));
 
         // Dispatch: validate ids and split into per-shard intra lists and
         // the cross list. Local requests carry shard-local node ids.
@@ -627,6 +596,8 @@ impl<'a> ShardedCluster<'a> {
             )?;
             runtimes[idx] = Some(runtime);
         }
+        drop(plan_span);
+        let bind_span = profiler.as_ref().map(|p| p.span("bind"));
 
         // Group sessions into simulation components over the session-node
         // contact graph: sessions sharing any pool node must share one
@@ -655,6 +626,8 @@ impl<'a> ShardedCluster<'a> {
             component_sessions[slot].push((idx, runtime));
         }
         let components = component_sessions.len();
+        drop(bind_span);
+        let simulate_span = profiler.as_ref().map(|p| p.span("simulate"));
 
         // Simulate each component through the shared occupancy kernel,
         // fanned over rayon's workers. Sessions stay in request order
@@ -695,7 +668,21 @@ impl<'a> ShardedCluster<'a> {
                         profile,
                         class_of: &dense_class,
                     });
-                let busy = kernel::simulate(&dense_specs, self.net, &mut locals, faults.as_ref());
+                // Per-component recorder: dense node ids become global,
+                // globals gain their shard, and every worker fans into the
+                // same order-independent sinks.
+                let recorder = trace.as_ref().map(|t| {
+                    Recorder::fanout(t.sinks())
+                        .with_node_map(&nodes)
+                        .with_shards(&shard_of)
+                });
+                let busy = kernel::simulate(
+                    &dense_specs,
+                    self.net,
+                    &mut locals,
+                    faults.as_ref(),
+                    recorder.as_ref(),
+                );
                 let sparse: Vec<(usize, u64)> = nodes.into_iter().zip(busy).collect();
                 let sessions: IndexedRuntimes = idxs.into_iter().zip(locals).collect();
                 (sessions, sparse)
@@ -722,6 +709,11 @@ impl<'a> ShardedCluster<'a> {
             .into_iter()
             .map(|r| r.expect("every session was simulated"))
             .collect();
+        drop(simulate_span);
+        let telemetry = trace.and_then(|t| {
+            let sizes: Vec<usize> = (0..shards).map(|s| self.map.shard(s).len()).collect();
+            t.report(&sizes)
+        });
 
         Ok(self.report(
             &self.map,
@@ -733,6 +725,7 @@ impl<'a> ShardedCluster<'a> {
             &gateway_cache,
             components,
             None,
+            telemetry,
         ))
     }
 
@@ -757,6 +750,11 @@ impl<'a> ShardedCluster<'a> {
             Some(cap) => PlanContext::with_dp_capacity(cap),
             None => PlanContext::new(),
         };
+        let profiler = self.telemetry.as_ref().and_then(|t| t.profiler.clone());
+        let trace = TraceDest::from(self.telemetry.as_ref());
+        // Admission decisions carry no node, so one run-wide recorder
+        // (no remap) serves every epoch.
+        let decision_recorder = trace.as_ref().map(|t| Recorder::fanout(t.sinks()));
 
         // Long-lived state: the (mutable) partition, per-shard DP contexts
         // and plan caches, and the per-node busy horizons coupling epochs.
@@ -791,6 +789,7 @@ impl<'a> ShardedCluster<'a> {
 
             // Plan every session of the epoch against the *current* map,
             // in submission order (plan caches make repeats cheap).
+            let plan_span = profiler.as_ref().map(|p| p.span("plan"));
             let mut routes: Vec<Routing> = Vec::with_capacity(batch.len());
             let mut runtimes: Vec<SessionRuntime> = Vec::with_capacity(batch.len());
             for request in batch {
@@ -832,9 +831,11 @@ impl<'a> ShardedCluster<'a> {
                 routes.push(route);
                 runtimes.push(runtime);
             }
+            drop(plan_span);
 
             // Admission: reorder same-instant arrivals shortest-planned-R_T
             // first and shed sessions already doomed by their patience.
+            let admit_span = profiler.as_ref().map(|p| p.span("admit"));
             let (order, epoch_decisions) = if control.admission {
                 let intents: Vec<AdmissionIntent> = runtimes
                     .iter()
@@ -857,15 +858,34 @@ impl<'a> ShardedCluster<'a> {
             };
             for (j, decision) in epoch_decisions.iter().enumerate() {
                 decisions[base + j] = decision.label();
-                match decision {
-                    AdmissionDecision::Admitted => n_admitted += 1,
-                    AdmissionDecision::Reordered => n_reordered += 1,
+                let kind = match decision {
+                    AdmissionDecision::Admitted => {
+                        n_admitted += 1;
+                        TraceEventKind::Admitted
+                    }
+                    AdmissionDecision::Reordered => {
+                        n_reordered += 1;
+                        TraceEventKind::Reordered
+                    }
                     AdmissionDecision::Shed => {
                         n_shed += 1;
                         runtimes[j].abandoned = true;
+                        TraceEventKind::Shed
                     }
+                };
+                if let Some(recorder) = decision_recorder.as_ref() {
+                    // Stamped with the session's arrival: the decision is
+                    // taken at epoch granularity, but arrival is the
+                    // deterministic sim-time instant it concerns.
+                    recorder.emit(TraceEvent::new(
+                        runtimes[j].arrival.raw(),
+                        kind,
+                        runtimes[j].id,
+                    ));
                 }
             }
+            drop(admit_span);
+            let bind_span = profiler.as_ref().map(|p| p.span("bind"));
 
             // Contact-group the admitted sessions and simulate each
             // component from the carried busy horizons. Execution order —
@@ -892,6 +912,15 @@ impl<'a> ShardedCluster<'a> {
                 component_sessions[slot].push((j, runtime));
             }
             components_total += component_sessions.len();
+            drop(bind_span);
+            let simulate_span = profiler.as_ref().map(|p| p.span("simulate"));
+            // The partition migrates between epochs, so the global→shard
+            // map is rebuilt per epoch: traced events carry the shard that
+            // owned their node *when they happened*.
+            let shard_of: Vec<usize> = match &trace {
+                Some(_) => (0..self.pool.len()).map(|g| map.shard_of(g)).collect(),
+                None => Vec::new(),
+            };
 
             type Simulated = (IndexedRuntimes, Vec<(usize, u64, Time)>);
             let simulated: Vec<Simulated> = component_sessions
@@ -925,12 +954,18 @@ impl<'a> ShardedCluster<'a> {
                                 profile,
                                 class_of: &dense_class,
                             });
+                    let recorder = trace.as_ref().map(|t| {
+                        Recorder::fanout(t.sinks())
+                            .with_node_map(&nodes)
+                            .with_shards(&shard_of)
+                    });
                     let carry = kernel::simulate_from(
                         &dense_specs,
                         self.net,
                         &mut locals,
                         &dense_busy0,
                         faults.as_ref(),
+                        recorder.as_ref(),
                     );
                     let sparse: Vec<(usize, u64, Time)> = nodes
                         .into_iter()
@@ -951,6 +986,7 @@ impl<'a> ShardedCluster<'a> {
                     slots[j] = Some(runtime);
                 }
             }
+            drop(simulate_span);
 
             // Records, plus the per-shard epoch signal for the rebalancer.
             let mut delay_sum = vec![0u64; shards];
@@ -973,6 +1009,7 @@ impl<'a> ShardedCluster<'a> {
 
             // Rebalance between epochs (never after the last — the loop
             // only migrates where a future epoch can benefit).
+            let _rebalance_span = profiler.as_ref().map(|p| p.span("rebalance"));
             if let Some(rebalancer) = rebalancer.as_mut() {
                 if epoch_no + 1 < epochs {
                     let delays: Vec<f64> = (0..shards)
@@ -1043,6 +1080,10 @@ impl<'a> ShardedCluster<'a> {
             migrations,
             decisions: decisions.into_iter().map(str::to_string).collect(),
         };
+        let telemetry = trace.and_then(|t| {
+            let sizes: Vec<usize> = (0..shards).map(|s| map.shard(s).len()).collect();
+            t.report(&sizes)
+        });
         Ok(self.report(
             &map,
             per_session,
@@ -1053,6 +1094,7 @@ impl<'a> ShardedCluster<'a> {
             &gateway_cache,
             components_total,
             Some(control_report),
+            telemetry,
         ))
     }
 
@@ -1291,6 +1333,7 @@ impl<'a> ShardedCluster<'a> {
         gateway_cache: &PlanCache,
         components: usize,
         control: Option<ControlPlaneReport>,
+        telemetry: Option<TelemetryReport>,
     ) -> ShardedTrafficReport {
         let total = TrafficMetrics::from_records(per_session.iter().map(|s| &s.record), busy_time);
         let cross_records: Vec<&SessionRecord> = per_session
@@ -1335,9 +1378,10 @@ impl<'a> ShardedCluster<'a> {
         let streaming =
             StreamingReport::from_records(per_session.iter().map(|s| &s.record), total.makespan);
         ShardedTrafficReport {
-            // Schema 4: streaming section + per-session chunk fields (3
-            // added the reliability section).
-            schema: 4,
+            // Schema 5: optional trailing `telemetry` time-series section
+            // (4 added streaming + per-session chunk fields, 3 the
+            // reliability section).
+            schema: 5,
             planner: self.config.traffic.planner.clone(),
             shards: map.num_shards(),
             plan_cache: self.config.plan_cache,
@@ -1360,6 +1404,7 @@ impl<'a> ShardedCluster<'a> {
             control,
             per_shard,
             per_session,
+            telemetry,
         }
     }
 }
@@ -1733,7 +1778,7 @@ mod tests {
             serde_json::to_string(&zero).unwrap(),
             "a rate-0 profile must not perturb a single event"
         );
-        assert_eq!(lossless.schema, 4);
+        assert_eq!(lossless.schema, 5);
         assert_eq!(lossless.reliability.delivered_fraction, 1.0);
     }
 
@@ -2068,7 +2113,6 @@ mod tests {
     fn config_errors_are_reported() {
         let pool = pool();
         // The unified surface treats `shards == 0` as "flat": one shard.
-        // The deprecated shim keeps the old zero-shard rejection.
         assert_eq!(
             ShardedCluster::with_config(&pool, NetParams::new(1), &RunConfig::default().sharded(0))
                 .unwrap()
@@ -2076,16 +2120,6 @@ mod tests {
                 .num_shards(),
             1
         );
-        #[allow(deprecated)]
-        let zero_shards = ShardedCluster::new(
-            &pool,
-            NetParams::new(1),
-            ShardedClusterConfig {
-                shards: 0,
-                ..RunConfig::default().cluster()
-            },
-        );
-        assert!(matches!(zero_shards, Err(SimError::Sharding(_))));
         assert!(matches!(
             ShardedCluster::with_config(
                 &pool,
@@ -2281,6 +2315,7 @@ mod tests {
             net: NetParams::new(2),
             config: config.cluster(),
             threads: None,
+            telemetry: None,
         };
         let requests = hot_requests(&pool, 4, 96, 17);
         let a = serde_json::to_string(&cluster.run(&requests).unwrap()).unwrap();
@@ -2333,5 +2368,144 @@ mod tests {
         let err = cluster.run(&requests).unwrap_err();
         assert!(matches!(err, SimError::UnknownPolicy { ref name } if name == "no-such-policy"));
         assert!(err.to_string().contains("no-such-policy"));
+    }
+
+    #[test]
+    fn sharded_tracing_is_observation_only_and_thread_count_free() {
+        // The sharded leg of the telemetry determinism gate: attaching a
+        // trace sink never changes a report byte — lossless and under 5%
+        // injected loss, at 1 and at 8 rayon threads — the event count is
+        // thread-count-free even though parallel components interleave
+        // their emissions, every port-tied event is shard-attributed, and
+        // the interleaved stream still passes the kernel invariant checker.
+        use hnow_telemetry::{check_invariants, MemorySink};
+        let pool = pool();
+        let net = NetParams::new(2);
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let requests = ShardedPattern::poisson(6.0, 5, 0.3)
+            .generate(&map, 100, 42)
+            .unwrap();
+        for lossy in [false, true] {
+            let base = if lossy {
+                lossy_run(0.05, 42, RepairPlacement::SubtreeRoot, 4)
+            } else {
+                RunConfig::default().sharded(4)
+            };
+            let mut counts = Vec::new();
+            for threads in [1usize, 8] {
+                let plain = base.clone().with_threads(threads);
+                let untraced = ShardedCluster::with_config(&pool, net, &plain)
+                    .unwrap()
+                    .run(&requests)
+                    .unwrap();
+                let sink = Arc::new(MemorySink::new());
+                let traced_config = plain.telemetry(TelemetryConfig::new().with_sink(sink.clone()));
+                let traced = ShardedCluster::with_config(&pool, net, &traced_config)
+                    .unwrap()
+                    .run(&requests)
+                    .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&untraced).unwrap(),
+                    serde_json::to_string(&traced).unwrap(),
+                    "lossy {lossy}, threads {threads}: tracing changed the report"
+                );
+                let events = sink.take();
+                assert!(!events.is_empty());
+                check_invariants(&events).unwrap();
+                assert!(
+                    events
+                        .iter()
+                        .filter(|ev| ev.node.is_some())
+                        .all(|ev| ev.shard.is_some()),
+                    "every port-tied event must carry its owning shard"
+                );
+                counts.push(events.len());
+            }
+            assert_eq!(
+                counts[0], counts[1],
+                "lossy {lossy}: event count must not depend on the thread count"
+            );
+        }
+    }
+
+    #[test]
+    fn the_sharded_timeseries_section_attributes_shards() {
+        // A time-series window adds the trailing `telemetry` section — one
+        // utilization row per shard — and nothing else: stripping it
+        // reproduces the untraced serialization byte for byte.
+        let pool = pool();
+        let net = NetParams::new(2);
+        let map = ShardMap::partition(&pool, 4).unwrap();
+        let requests = ShardedPattern::poisson(6.0, 5, 0.3)
+            .generate(&map, 100, 42)
+            .unwrap();
+        let base = lossy_run(0.05, 42, RepairPlacement::SubtreeRoot, 4);
+        let untraced = ShardedCluster::with_config(&pool, net, &base)
+            .unwrap()
+            .run(&requests)
+            .unwrap();
+        assert!(untraced.telemetry.is_none());
+        let traced_config = base.telemetry(TelemetryConfig::new().with_timeseries(64));
+        let traced = ShardedCluster::with_config(&pool, net, &traced_config)
+            .unwrap()
+            .run(&requests)
+            .unwrap();
+        let telemetry = traced.telemetry.as_ref().unwrap();
+        assert_eq!(telemetry.window, 64);
+        assert!(telemetry.events > 0);
+        assert_eq!(telemetry.per_shard_utilization.len(), 4);
+        assert_eq!(telemetry.per_node_busy.len(), pool.len());
+        let mut stripped = traced;
+        stripped.telemetry = None;
+        assert_eq!(
+            serde_json::to_string(&untraced).unwrap(),
+            serde_json::to_string(&stripped).unwrap(),
+            "outside the telemetry section the report must be unchanged"
+        );
+    }
+
+    #[test]
+    fn controlled_runs_trace_admission_decisions() {
+        // The control plane emits one decision event per session, stamped
+        // with its arrival time; the per-kind counts must reconcile with
+        // the control report, tracing must not move a byte of the report,
+        // and the stream (decisions plus per-epoch kernel events under
+        // live migrations) must satisfy the kernel invariants.
+        use hnow_telemetry::{check_invariants, MemorySink};
+        let pool = pool();
+        let net = NetParams::new(2);
+        let requests = hot_requests(&pool, 4, 120, 7);
+        let config = RunConfig::default().sharded(4).with_control(ControlConfig {
+            epoch: 32,
+            admission: true,
+            policy: "load-aware".to_string(),
+            rebalance: Some(RebalanceConfig::default()),
+        });
+        let untraced = ShardedCluster::with_config(&pool, net, &config)
+            .unwrap()
+            .run(&requests)
+            .unwrap();
+        let sink = Arc::new(MemorySink::new());
+        let traced_config = config.telemetry(TelemetryConfig::new().with_sink(sink.clone()));
+        let traced = ShardedCluster::with_config(&pool, net, &traced_config)
+            .unwrap()
+            .run(&requests)
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&untraced).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "tracing changed the controlled report"
+        );
+        let events = sink.take();
+        check_invariants(&events).unwrap();
+        let control = traced.control.as_ref().unwrap();
+        let count = |kind: TraceEventKind| events.iter().filter(|ev| ev.kind == kind).count();
+        assert_eq!(count(TraceEventKind::Admitted), control.admitted);
+        assert_eq!(count(TraceEventKind::Reordered), control.reordered);
+        assert_eq!(count(TraceEventKind::Shed), control.shed);
+        assert!(
+            count(TraceEventKind::Shed) > 0,
+            "churny hot spots must shed"
+        );
     }
 }

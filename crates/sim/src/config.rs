@@ -15,11 +15,11 @@
 //!
 //! # Migration
 //!
-//! The pre-unification constructors
-//! [`TrafficEngine::new`](crate::sessions::TrafficEngine::new) and
-//! [`ShardedCluster::new`](crate::cluster::ShardedCluster::new) are
-//! deprecated shims for one release; they keep accepting the old
-//! per-surface config structs. Ports are mechanical:
+//! The pre-unification constructors (`TrafficEngine::new`,
+//! `ShardedCluster::new`) and the per-surface config builders
+//! (`TrafficConfig::for_planner`, `ShardedClusterConfig::with_shards`,
+//! `ShardedClusterConfig::for_planner`) shipped as deprecated shims for
+//! one release and are now gone. Ports are mechanical:
 //!
 //! | before | after |
 //! |---|---|
@@ -39,6 +39,7 @@ use crate::faults::LossProfile;
 use crate::sessions::TrafficConfig;
 use hnow_core::RepairPlacement;
 use hnow_model::ChunkProfile;
+use hnow_telemetry::TelemetryConfig;
 
 /// Runs `f` on a freshly built rayon pool of `threads` workers, or inline
 /// on the inherited pool when `threads` is `None`. Shared by both engines'
@@ -102,6 +103,11 @@ pub struct RunConfig {
     /// determinism contract is thread-count-independent and CI pins a
     /// 1-vs-8 comparison.
     pub threads: Option<usize>,
+    /// Telemetry attachments (trace sink, time-series window, phase
+    /// profiler); `None` — the default — runs fully untraced. Telemetry is
+    /// observation-only: attaching any combination never changes a report
+    /// outside its optional `telemetry` section.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for RunConfig {
@@ -121,6 +127,7 @@ impl Default for RunConfig {
             plan_cache_capacity: Some(256),
             control: None,
             threads: None,
+            telemetry: None,
         }
     }
 }
@@ -189,6 +196,29 @@ impl RunConfig {
         self
     }
 
+    /// Attaches telemetry to the run: a kernel trace sink, a time-series
+    /// window, a phase profiler, or any combination. Telemetry is strictly
+    /// observation-only — reports stay byte-identical outside the optional
+    /// `telemetry` section they gain when a time-series window is set.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use hnow_sim::RunConfig;
+    /// use hnow_telemetry::{MemorySink, TelemetryConfig};
+    ///
+    /// let sink = Arc::new(MemorySink::new());
+    /// let config = RunConfig::default().telemetry(
+    ///     TelemetryConfig::new()
+    ///         .with_sink(sink.clone())
+    ///         .with_timeseries(100),
+    /// );
+    /// assert!(config.telemetry.as_ref().unwrap().is_active());
+    /// ```
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Projection onto the flat engine's internal [`TrafficConfig`].
     pub fn traffic(&self) -> TrafficConfig {
         TrafficConfig {
@@ -223,10 +253,12 @@ mod tests {
     fn projections_match_the_per_surface_defaults() {
         let run = RunConfig::default();
         assert_eq!(run.traffic(), TrafficConfig::default());
-        // `with_shards` is the old sharded default surface.
-        #[allow(deprecated)]
-        let old = ShardedClusterConfig::with_shards(1);
-        assert_eq!(run.cluster(), old);
+        let cluster = run.cluster();
+        assert_eq!(cluster.shards, 1);
+        assert_eq!(cluster.traffic, TrafficConfig::default());
+        assert!(cluster.plan_cache);
+        assert_eq!(cluster.plan_cache_capacity, Some(256));
+        assert_eq!(cluster.control, None);
     }
 
     #[test]

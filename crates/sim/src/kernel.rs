@@ -105,6 +105,7 @@
 use crate::faults::LossProfile;
 use crate::sessions::SessionRuntime;
 use hnow_model::{NetParams, NodeSpec, Time};
+use hnow_telemetry::{Recorder, TraceEvent, TraceEventKind as Kind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -154,6 +155,19 @@ impl KernelEvent {
         match self {
             KernelEvent::Nack { .. } | KernelEvent::RepairSend { .. } => 2,
             _ => 1,
+        }
+    }
+
+    /// Chunk index the event belongs to (0 for node wakes), for trace
+    /// emission.
+    fn chunk(&self) -> u32 {
+        match self {
+            KernelEvent::Send { chunk, .. }
+            | KernelEvent::Arrive { chunk, .. }
+            | KernelEvent::Recv { chunk, .. }
+            | KernelEvent::Nack { chunk, .. }
+            | KernelEvent::RepairSend { chunk, .. } => *chunk,
+            KernelEvent::Free { .. } => 0,
         }
     }
 }
@@ -260,9 +274,10 @@ pub(crate) fn simulate(
     net: NetParams,
     sessions: &mut [SessionRuntime],
     faults: Option<&FaultCtx<'_>>,
+    trace: Option<&Recorder<'_>>,
 ) -> Vec<u64> {
     let idle = vec![Time::ZERO; specs.len()];
-    simulate_from(specs, net, sessions, &idle, faults).busy_time
+    simulate_from(specs, net, sessions, &idle, faults, trace).busy_time
 }
 
 /// [`simulate`] with carried-in busy state: `busy0[node]` is the node's
@@ -278,8 +293,9 @@ pub(crate) fn simulate_from(
     sessions: &mut [SessionRuntime],
     busy0: &[Time],
     faults: Option<&FaultCtx<'_>>,
+    trace: Option<&Recorder<'_>>,
 ) -> CarryOut {
-    run(specs, net, sessions, busy0, faults, None)
+    run(specs, net, sessions, busy0, faults, None, trace)
 }
 
 /// [`simulate`] with a full activity log: every occupancy interval the run
@@ -294,12 +310,18 @@ pub(crate) fn simulate_logged(
 ) -> (Vec<u64>, Vec<(usize, Time, Time)>) {
     let idle = vec![Time::ZERO; specs.len()];
     let mut log = Vec::new();
-    let carry = run(specs, net, sessions, &idle, faults, Some(&mut log));
+    let carry = run(specs, net, sessions, &idle, faults, Some(&mut log), None);
     (carry.busy_time, log)
 }
 
 /// The event loop. `log`, when present, records every charged occupancy
-/// interval.
+/// interval; `trace`, when present, receives a structured [`TraceEvent`]
+/// at every instrumented instant (session openings, send start/finish,
+/// receives, park/wake pairs, NACKs, repair transmissions, chunk
+/// releases, abandonments). Tracing is observation only — no emission
+/// site reads the recorder back — so an attached recorder cannot perturb
+/// the event order, and a `None` recorder costs one predictable branch
+/// per site.
 fn run(
     specs: &[NodeSpec],
     net: NetParams,
@@ -307,6 +329,7 @@ fn run(
     busy0: &[Time],
     faults: Option<&FaultCtx<'_>>,
     mut log: Option<&mut Vec<(usize, Time, Time)>>,
+    trace: Option<&Recorder<'_>>,
 ) -> CarryOut {
     let n = specs.len();
     debug_assert_eq!(busy0.len(), n);
@@ -332,12 +355,28 @@ fn run(
     order.sort_by_key(|&slot| (sessions[slot].arrival, slot));
     let mut next_inject = 0usize;
 
+    // Session ids by slot, so wake emissions can name the woken session
+    // while another session holds the `&mut sessions` borrow. Only traced
+    // runs pay for the table.
+    let ids: Vec<u64> = match trace {
+        Some(_) => sessions.iter().map(|session| session.id).collect(),
+        None => Vec::new(),
+    };
+
     macro_rules! push {
         ($time:expr, $slot:expr, $event:expr) => {{
             let event = $event;
             heap.push(Reverse(($time, event.band(), seq, $slot, event)));
             seq += 1;
         }};
+    }
+
+    macro_rules! trace_ev {
+        ($ev:expr) => {
+            if let Some(recorder) = trace {
+                recorder.emit($ev);
+            }
+        };
     }
 
     // Gives receiver `$local` of the session in `$slot` up on chunk
@@ -352,6 +391,10 @@ fn run(
             $state.status[at] = RepairStatus::Failed;
             $session.pending -= 1;
             $session.failed_members += 1;
+            trace_ev!(TraceEvent::new($t.raw(), Kind::Abandon, $session.id)
+                .node($session.node_map[$local])
+                .band(2)
+                .chunk($chunk));
             for child in 0..$session.children[$local].len() {
                 let c = $session.children[$local][child];
                 push!(
@@ -384,6 +427,15 @@ fn run(
                 {
                     let release =
                         $session.arrival + $session.chunk_interval * (u64::from($chunk) + 1);
+                    trace_ev!(TraceEvent::new(
+                        $t.max(release).raw(),
+                        Kind::ChunkRelease,
+                        $session.id
+                    )
+                    .node($session.node_map[0])
+                    .band(1)
+                    .chunk($chunk + 1)
+                    .seq(seq));
                     push!(
                         $t.max(release),
                         $slot,
@@ -422,6 +474,11 @@ fn run(
                 break;
             }
             if !sessions[slot].children[0].is_empty() {
+                trace_ev!(
+                    TraceEvent::new(arrival.raw(), Kind::SessionOpen, sessions[slot].id)
+                        .node(sessions[slot].node_map[0])
+                        .seq(next_inject as u64)
+                );
                 heap.push(Reverse((
                     arrival,
                     0u8,
@@ -436,7 +493,7 @@ fn run(
             }
             next_inject += 1;
         }
-        let Some(Reverse((t, _, _, slot, event))) = heap.pop() else {
+        let Some(Reverse((t, _, eseq, slot, event))) = heap.pop() else {
             break;
         };
 
@@ -445,6 +502,11 @@ fn run(
             // node; the claimant scheduled its own wake (rule 5).
             if busy_until[node] <= t {
                 if let Some((waiter, parked)) = waiting[node].pop_front() {
+                    trace_ev!(TraceEvent::new(t.raw(), Kind::Wake, ids[waiter])
+                        .node(node)
+                        .band(parked.band())
+                        .chunk(parked.chunk())
+                        .seq(seq));
                     push!(t, waiter, parked);
                 }
             }
@@ -475,6 +537,11 @@ fn run(
             } => {
                 let node = session.node_map[local];
                 if busy_until[node] > t {
+                    trace_ev!(TraceEvent::new(t.raw(), Kind::Park, session.id)
+                        .node(node)
+                        .band(event.band())
+                        .chunk(chunk)
+                        .seq(eseq));
                     waiting[node].push_back((slot, event));
                     continue;
                 }
@@ -482,10 +549,19 @@ fn run(
                     // First activity of the session: the churn gate.
                     if session.deadline.is_some_and(|d| t > d) {
                         session.abandoned = true;
+                        trace_ev!(TraceEvent::new(t.raw(), Kind::Abandon, session.id)
+                            .node(node)
+                            .band(1)
+                            .chunk(chunk));
                         // The session declined a free node; pass it on so
                         // parked waiters never starve (no wake is pending
                         // for this idle node).
                         if let Some((waiter, parked)) = waiting[node].pop_front() {
+                            trace_ev!(TraceEvent::new(t.raw(), Kind::Wake, ids[waiter])
+                                .node(node)
+                                .band(parked.band())
+                                .chunk(parked.chunk())
+                                .seq(seq));
                             push!(t, waiter, parked);
                         }
                         continue;
@@ -499,6 +575,17 @@ fn run(
                 if let Some(log) = log.as_deref_mut() {
                     log.push((node, t, end));
                 }
+                trace_ev!(TraceEvent::new(t.raw(), Kind::SendStart, session.id)
+                    .node(node)
+                    .band(1)
+                    .chunk(chunk)
+                    .seq(eseq)
+                    .dur(dur.raw()));
+                trace_ev!(TraceEvent::new(end.raw(), Kind::SendFinish, session.id)
+                    .node(node)
+                    .band(1)
+                    .chunk(chunk)
+                    .seq(eseq));
                 let target = session.children[local][child];
                 // A lost delivery consumed the sender's occupancy all the
                 // same; the receiver detects the gap one latency later
@@ -548,6 +635,15 @@ fn run(
                     // moment its port is free and the chunk is released —
                     // relays downstream are still draining this one.
                     let release = session.arrival + session.chunk_interval * (u64::from(chunk) + 1);
+                    trace_ev!(TraceEvent::new(
+                        end.max(release).raw(),
+                        Kind::ChunkRelease,
+                        session.id
+                    )
+                    .node(node)
+                    .band(1)
+                    .chunk(chunk + 1)
+                    .seq(seq));
                     push!(
                         end.max(release),
                         slot,
@@ -570,6 +666,11 @@ fn run(
             KernelEvent::Recv { local, chunk } => {
                 let node = session.node_map[local];
                 if busy_until[node] > t {
+                    trace_ev!(TraceEvent::new(t.raw(), Kind::Park, session.id)
+                        .node(node)
+                        .band(event.band())
+                        .chunk(chunk)
+                        .seq(eseq));
                     waiting[node].push_back((slot, event));
                     continue;
                 }
@@ -580,6 +681,12 @@ fn run(
                 if let Some(log) = log.as_deref_mut() {
                     log.push((node, t, end));
                 }
+                trace_ev!(TraceEvent::new(t.raw(), Kind::Receive, session.id)
+                    .node(node)
+                    .band(1)
+                    .chunk(chunk)
+                    .seq(eseq)
+                    .dur(dur.raw()));
                 session.pending -= 1;
                 session.completed_at = session.completed_at.max(end);
                 if !repair.is_empty() {
@@ -618,6 +725,15 @@ fn run(
                         // settled at every member and its release is due.
                         let release =
                             session.arrival + session.chunk_interval * (u64::from(chunk) + 1);
+                        trace_ev!(TraceEvent::new(
+                            end.max(release).raw(),
+                            Kind::ChunkRelease,
+                            session.id
+                        )
+                        .node(session.node_map[0])
+                        .band(1)
+                        .chunk(chunk + 1)
+                        .seq(seq));
                         push!(
                             end.max(release),
                             slot,
@@ -668,6 +784,11 @@ fn run(
                     continue;
                 }
                 session.nacks += 1;
+                trace_ev!(TraceEvent::new(t.raw(), Kind::Nack, session.id)
+                    .node(session.node_map[local])
+                    .band(2)
+                    .chunk(chunk)
+                    .seq(eseq));
                 let delay = ctx
                     .profile
                     .retry_delay(fault_id(session.id, chunk), local, attempt);
@@ -711,6 +832,11 @@ fn run(
                 }
                 let node = session.node_map[rp];
                 if busy_until[node] > t {
+                    trace_ev!(TraceEvent::new(t.raw(), Kind::Park, session.id)
+                        .node(node)
+                        .band(event.band())
+                        .chunk(chunk)
+                        .seq(eseq));
                     waiting[node].push_back((slot, event));
                     continue;
                 }
@@ -727,6 +853,11 @@ fn run(
                 {
                     give_up!(state, session, slot, local, chunk, t);
                     if let Some((waiter, parked)) = waiting[node].pop_front() {
+                        trace_ev!(TraceEvent::new(t.raw(), Kind::Wake, ids[waiter])
+                            .node(node)
+                            .band(parked.band())
+                            .chunk(parked.chunk())
+                            .seq(seq));
                         push!(t, waiter, parked);
                     }
                     continue;
@@ -738,6 +869,12 @@ fn run(
                 if let Some(log) = log.as_deref_mut() {
                     log.push((node, t, end));
                 }
+                trace_ev!(TraceEvent::new(t.raw(), Kind::Repair, session.id)
+                    .node(node)
+                    .band(2)
+                    .chunk(chunk)
+                    .seq(eseq)
+                    .dur(dur.raw()));
                 session.repair_sends += 1;
                 let lost = ctx.profile.lost(
                     fault_id(session.id, chunk),

@@ -24,7 +24,19 @@
 //!   surfaces share one documented same-instant tie-break rule.
 //! * [`config`] — the unified builder-style [`RunConfig`] consumed by both
 //!   engines via `with_config` (planner, loss/repair, chunk profile,
-//!   sharding, control plane, thread pinning).
+//!   sharding, control plane, thread pinning, telemetry).
+//!
+//! Both engines carry an optional, strictly observation-only telemetry
+//! layer (the `hnow-telemetry` crate, attached via
+//! [`RunConfig::telemetry`]): the occupancy kernel streams structured
+//! [`TraceEvent`](hnow_telemetry::TraceEvent)s into any
+//! [`TraceSink`](hnow_telemetry::TraceSink) — exportable as Chrome
+//! `trace_event` JSON — a time-series collector folds the same stream into
+//! the report's schema-5 `telemetry` section, and a wall-clock
+//! [`PhaseProfiler`](hnow_telemetry::PhaseProfiler) attributes
+//! plan/admit/bind/simulate/rebalance spans to worker threads without ever
+//! entering a report. Attaching or detaching any of the three never
+//! changes a report outside that optional trailing section.
 //! * [`trace`] — execution traces, per-node timelines and ASCII Gantt
 //!   rendering.
 //! * [`faults`] — seeded, deterministic message loss ([`LossProfile`]):

@@ -112,7 +112,7 @@ pub fn kernel_replay(tree: &ScheduleTree, specs: &[NodeSpec], net: NetParams) ->
         chunk_pending: Vec::new(),
         chunk_completed_at: Vec::new(),
     };
-    kernel::simulate(specs, net, std::slice::from_mut(&mut session), None);
+    kernel::simulate(specs, net, std::slice::from_mut(&mut session), None, None);
     (session.delivered_at, session.completed_at)
 }
 

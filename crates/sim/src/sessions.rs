@@ -38,6 +38,9 @@ use crate::kernel;
 use hnow_core::planner::{find, Plan, PlanContext, PlanRequest, Planner};
 use hnow_core::{RepairPlacement, ScheduleTree};
 use hnow_model::{ChunkProfile, NetParams, NodeSpec, Time, TypedMulticast};
+use hnow_telemetry::{
+    LogHistogram, MemorySink, Recorder, TelemetryConfig, TelemetryReport, TimeSeries, TraceSink,
+};
 use hnow_workload::{NodePool, SessionRequest};
 use serde::Serialize;
 use std::sync::Arc;
@@ -77,20 +80,6 @@ impl Default for TrafficConfig {
             loss: None,
             repair: RepairPlacement::SourceOnly,
             chunks: None,
-        }
-    }
-}
-
-impl TrafficConfig {
-    /// Config with a different planner, other fields default.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RunConfig::for_planner` and `TrafficEngine::with_config`"
-    )]
-    pub fn for_planner(planner: &str) -> Self {
-        TrafficConfig {
-            planner: planner.to_string(),
-            ..TrafficConfig::default()
         }
     }
 }
@@ -223,7 +212,7 @@ impl ReliabilityReport {
         let mut degraded = 0usize;
         let mut nacks = 0u64;
         let mut repair_sends = 0u64;
-        let mut delays: Vec<u64> = Vec::new();
+        let mut delays = LogHistogram::new();
         for record in records {
             nacks += record.nacks;
             repair_sends += record.repair_sends;
@@ -235,16 +224,10 @@ impl ReliabilityReport {
             if record.failed_members > 0 {
                 degraded += 1;
             }
-            delays.extend_from_slice(&record.repair_delays);
-        }
-        delays.sort_unstable();
-        let percentile = |q: usize| -> u64 {
-            if delays.is_empty() {
-                0
-            } else {
-                delays[(delays.len() - 1) * q / 100]
+            for &delay in &record.repair_delays {
+                delays.record(delay);
             }
-        };
+        }
         ReliabilityReport {
             offered_deliveries: offered,
             delivered: offered - failed,
@@ -262,9 +245,9 @@ impl ReliabilityReport {
             degraded_sessions: degraded,
             nacks,
             repair_sends,
-            p50_repair_delay: percentile(50),
-            p95_repair_delay: percentile(95),
-            p99_repair_delay: percentile(99),
+            p50_repair_delay: delays.percentile(50),
+            p95_repair_delay: delays.percentile(95),
+            p99_repair_delay: delays.percentile(99),
         }
     }
 }
@@ -320,7 +303,7 @@ impl StreamingReport {
         let mut offered_deliveries = 0u64;
         let mut failed_deliveries = 0u64;
         let mut deadline_misses = 0u64;
-        let mut jitters: Vec<u64> = Vec::new();
+        let mut jitters = LogHistogram::new();
         for record in records {
             if record.abandoned {
                 continue;
@@ -332,17 +315,11 @@ impl StreamingReport {
                 streaming_sessions += 1;
                 offered_chunks += chunks;
                 deadline_misses += record.chunk_deadline_misses;
-                jitters.extend_from_slice(&record.chunk_jitters);
+                for &jitter in &record.chunk_jitters {
+                    jitters.record(jitter);
+                }
             }
         }
-        jitters.sort_unstable();
-        let percentile = |q: usize| -> u64 {
-            if jitters.is_empty() {
-                0
-            } else {
-                jitters[(jitters.len() - 1) * q / 100]
-            }
-        };
         let completed = offered_deliveries - failed_deliveries;
         StreamingReport {
             streaming_sessions,
@@ -360,9 +337,9 @@ impl StreamingReport {
             } else {
                 completed as f64 * 1000.0 / makespan as f64
             },
-            p50_interchunk_jitter: percentile(50),
-            p95_interchunk_jitter: percentile(95),
-            p99_interchunk_jitter: percentile(99),
+            p50_interchunk_jitter: jitters.percentile(50),
+            p95_interchunk_jitter: jitters.percentile(95),
+            p99_interchunk_jitter: jitters.percentile(99),
         }
     }
 }
@@ -375,6 +352,13 @@ impl StreamingReport {
 /// poisoning the JSON report with `NaN`. Both the flat [`TrafficReport`]
 /// and the sharded cluster's per-shard aggregates are computed through this
 /// one implementation.
+///
+/// Percentiles (here and in the reliability/streaming sections) stream
+/// through a fixed-allocation [`LogHistogram`] instead of sorting a cloned
+/// sample vector: the reported value is the lower bound of the log bucket
+/// holding the exact rank-`q` sample — identical below 64 and at most 1/64
+/// low above — while means stay exact (the histogram keeps exact
+/// sum/count).
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TrafficMetrics {
     /// Number of offered sessions.
@@ -417,7 +401,7 @@ impl TrafficMetrics {
         let mut completed = 0usize;
         let mut abandoned = 0usize;
         let mut makespan = 0u64;
-        let mut latencies: Vec<u64> = Vec::new();
+        let mut latencies = LogHistogram::new();
         let mut queue_delay_sum = 0u64;
         for record in records {
             sessions += 1;
@@ -426,18 +410,10 @@ impl TrafficMetrics {
             } else {
                 completed += 1;
                 makespan = makespan.max(record.arrival + record.reception_latency);
-                latencies.push(record.reception_latency);
+                latencies.record(record.reception_latency);
                 queue_delay_sum += record.queue_delay;
             }
         }
-        latencies.sort_unstable();
-        let percentile = |q: usize| -> u64 {
-            if latencies.is_empty() {
-                0
-            } else {
-                latencies[(latencies.len() - 1) * q / 100]
-            }
-        };
         TrafficMetrics {
             sessions,
             completed,
@@ -448,14 +424,12 @@ impl TrafficMetrics {
             } else {
                 completed as f64 * 1000.0 / makespan as f64
             },
-            mean_reception_latency: if latencies.is_empty() {
-                0.0
-            } else {
-                latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
-            },
-            p50_reception_latency: percentile(50),
-            p95_reception_latency: percentile(95),
-            p99_reception_latency: percentile(99),
+            // The histogram keeps the exact sum and count, so the mean is
+            // exact; only the percentiles are bucket-quantized (≤ 1/64 low).
+            mean_reception_latency: latencies.mean(),
+            p50_reception_latency: latencies.percentile(50),
+            p95_reception_latency: latencies.percentile(95),
+            p99_reception_latency: latencies.percentile(99),
             mean_queue_delay: if completed == 0 {
                 0.0
             } else {
@@ -532,6 +506,57 @@ pub struct TrafficReport {
     pub cache: CacheStats,
     /// One record per offered session, in request order.
     pub per_session: Vec<SessionRecord>,
+    /// Fixed-window time series over the run's trace (schema 5); present
+    /// only when the run config attached a
+    /// [`TelemetryConfig::with_timeseries`](hnow_telemetry::TelemetryConfig::with_timeseries)
+    /// window. Always the report's last field, so untraced reports differ
+    /// from their schema-4 ancestors only in this trailing `null`.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// Run-scoped trace destinations, shared by both engines: the user's sink
+/// (from [`TelemetryConfig::with_sink`]), the internal memory sink backing
+/// the report's `telemetry` time-series section
+/// ([`TelemetryConfig::with_timeseries`]), or both. `None` when neither is
+/// attached — the kernel then sees no recorder and skips every emission
+/// site.
+pub(crate) struct TraceDest {
+    user: Option<Arc<dyn TraceSink>>,
+    internal: Option<(u64, MemorySink)>,
+}
+
+impl TraceDest {
+    /// The run's destinations, or `None` when nothing needs the trace.
+    pub(crate) fn from(telemetry: Option<&TelemetryConfig>) -> Option<TraceDest> {
+        let user = telemetry.and_then(|t| t.sink.clone());
+        let internal = telemetry
+            .and_then(|t| t.timeseries)
+            .map(|window| (window, MemorySink::new()));
+        if user.is_none() && internal.is_none() {
+            None
+        } else {
+            Some(TraceDest { user, internal })
+        }
+    }
+
+    /// The sink fan-out list a [`Recorder`] is built over.
+    pub(crate) fn sinks(&self) -> Vec<&dyn TraceSink> {
+        let mut sinks: Vec<&dyn TraceSink> = Vec::new();
+        if let Some(sink) = self.user.as_deref() {
+            sinks.push(sink);
+        }
+        if let Some((_, sink)) = self.internal.as_ref() {
+            sinks.push(sink);
+        }
+        sinks
+    }
+
+    /// Folds the internal sink into the report's `telemetry` section
+    /// (`None` when no time-series window was attached).
+    pub(crate) fn report(self, shard_sizes: &[usize]) -> Option<TelemetryReport> {
+        self.internal
+            .map(|(window, sink)| TimeSeries::over(&sink.take(), window, shard_sizes))
+    }
 }
 
 /// Plans and simulates streams of multicast sessions over one shared
@@ -542,6 +567,7 @@ pub struct TrafficEngine<'a> {
     net: NetParams,
     config: TrafficConfig,
     threads: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 /// Per-session state during planning and simulation. Shared with the
@@ -620,20 +646,6 @@ impl SessionRuntime {
 }
 
 impl<'a> TrafficEngine<'a> {
-    /// Creates an engine over a pool at the given network latency.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a `RunConfig` and use `TrafficEngine::with_config`"
-    )]
-    pub fn new(pool: &'a NodePool, net: NetParams, config: TrafficConfig) -> Self {
-        TrafficEngine {
-            pool,
-            net,
-            config,
-            threads: None,
-        }
-    }
-
     /// Creates an engine from the unified [`RunConfig`](crate::config::RunConfig)
     /// surface (its sharding and control fields are ignored here).
     pub fn with_config(
@@ -646,6 +658,7 @@ impl<'a> TrafficEngine<'a> {
             net,
             config: config.traffic(),
             threads: config.threads,
+            telemetry: config.telemetry.clone(),
         }
     }
 
@@ -669,9 +682,13 @@ impl<'a> TrafficEngine<'a> {
             Some(cap) => PlanContext::with_dp_capacity(cap),
             None => PlanContext::new(),
         };
+        let profiler = self.telemetry.as_ref().and_then(|t| t.profiler.clone());
         let mut sessions = Vec::with_capacity(requests.len());
-        for batch in requests.chunks(self.config.batch_size.max(1)) {
-            sessions.extend(self.admit_batch(planner, batch, &ctx)?);
+        {
+            let _plan = profiler.as_ref().map(|p| p.span("plan"));
+            for batch in requests.chunks(self.config.batch_size.max(1)) {
+                sessions.extend(self.admit_batch(planner, batch, &ctx)?);
+            }
         }
         let cache = CacheStats::from_context(&ctx);
         let specs: Vec<NodeSpec> = (0..self.pool.len())
@@ -684,8 +701,20 @@ impl<'a> TrafficEngine<'a> {
             profile,
             class_of: &class_of,
         });
-        let busy_time = kernel::simulate(&specs, self.net, &mut sessions, faults.as_ref());
-        Ok(self.report(requests, &sessions, &busy_time, cache))
+        let trace = TraceDest::from(self.telemetry.as_ref());
+        let recorder = trace.as_ref().map(|t| Recorder::fanout(t.sinks()));
+        let busy_time = {
+            let _simulate = profiler.as_ref().map(|p| p.span("simulate"));
+            kernel::simulate(
+                &specs,
+                self.net,
+                &mut sessions,
+                faults.as_ref(),
+                recorder.as_ref(),
+            )
+        };
+        let telemetry = trace.and_then(|t| t.report(&[self.pool.len()]));
+        Ok(self.report(requests, &sessions, &busy_time, cache, telemetry))
     }
 
     /// Plans one admission batch and prepares the per-session runtimes.
@@ -730,6 +759,7 @@ impl<'a> TrafficEngine<'a> {
         sessions: &[SessionRuntime],
         busy_time: &[u64],
         cache: CacheStats,
+        telemetry: Option<TelemetryReport>,
     ) -> TrafficReport {
         let per_session: Vec<SessionRecord> = requests
             .iter()
@@ -740,10 +770,11 @@ impl<'a> TrafficEngine<'a> {
         let reliability = ReliabilityReport::from_records(&per_session);
         let streaming = StreamingReport::from_records(&per_session, metrics.makespan);
         TrafficReport {
-            // Schema 4: streaming section + per-session chunk fields
-            // (3 added the reliability section, 2 was the sharded report's
-            // gateway/control extension).
-            schema: 4,
+            // Schema 5: optional trailing `telemetry` time-series section
+            // (4 added streaming + per-session chunk fields, 3 the
+            // reliability section, 2 the sharded gateway/control
+            // extension).
+            schema: 5,
             planner: self.config.planner.clone(),
             batch_size: self.config.batch_size,
             net_latency: self.net.latency().raw(),
@@ -763,6 +794,7 @@ impl<'a> TrafficEngine<'a> {
             streaming,
             cache,
             per_session,
+            telemetry,
         }
     }
 }
@@ -1435,7 +1467,7 @@ mod tests {
                 let requests = pattern.generate(&pool, 60, seed).unwrap();
                 let mut unified = admit_all(&pool, net, &config, &requests);
                 let mut old = admit_all(&pool, net, &config, &requests);
-                let unified_busy = kernel::simulate(&specs, net, &mut unified, None);
+                let unified_busy = kernel::simulate(&specs, net, &mut unified, None, None);
                 let old_busy = reference::simulate(&specs, net, &mut old);
                 let tag = format!("seed {seed}, mean_gap {mean_gap}, churn {churn}");
                 assert_eq!(unified_busy, old_busy, "busy time diverged ({tag})");
@@ -1520,7 +1552,7 @@ mod tests {
             &lossy_config(0.1, 77, RepairPlacement::SubtreeRoot),
         );
         let report = engine.run(&requests).unwrap();
-        assert_eq!(report.schema, 4);
+        assert_eq!(report.schema, 5);
         let rel = &report.reliability;
         assert!(rel.nacks > 0, "10% loss over 120 sessions must NACK");
         assert!(rel.repair_sends > 0);
@@ -1731,23 +1763,157 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_shim_matches_with_config() {
-        // The one-release migration shim: the old `new(TrafficConfig)`
-        // surface must keep producing the exact report of its `RunConfig`
-        // replacement.
+    fn tracing_is_observation_only_and_thread_count_free() {
+        // The telemetry determinism gate: attaching a trace sink and a
+        // phase profiler never changes a single report byte — lossless and
+        // under 5% injected loss, at 1 and at 8 rayon threads — and the
+        // trace stream itself is seed-stable: repeated runs produce
+        // identical event sequences, and every thread count produces the
+        // same event count.
+        use hnow_telemetry::PhaseProfiler;
         let pool = pool();
-        let requests = spaced_requests(&pool, 8, 10_000);
-        let old = TrafficEngine::new(&pool, NetParams::new(2), TrafficConfig::for_planner("fnf"))
+        let net = NetParams::new(2);
+        let requests = contended_requests(&pool, 60, 9);
+        for lossy in [false, true] {
+            let mut base = RunConfig::default();
+            if lossy {
+                base = base
+                    .with_loss(LossProfile::iid(0.05, 9))
+                    .with_repair(RepairPlacement::SubtreeRoot);
+            }
+            let mut counts = Vec::new();
+            for threads in [1usize, 8] {
+                let plain = base.clone().with_threads(threads);
+                let untraced = TrafficEngine::with_config(&pool, net, &plain)
+                    .run(&requests)
+                    .unwrap();
+                let sink = Arc::new(MemorySink::new());
+                let profiler = Arc::new(PhaseProfiler::new());
+                let traced_config = plain.telemetry(
+                    TelemetryConfig::new()
+                        .with_sink(sink.clone())
+                        .with_profiler(profiler.clone()),
+                );
+                let traced = TrafficEngine::with_config(&pool, net, &traced_config)
+                    .run(&requests)
+                    .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&untraced).unwrap(),
+                    serde_json::to_string(&traced).unwrap(),
+                    "lossy {lossy}, threads {threads}: tracing changed the report"
+                );
+                let first = sink.take();
+                assert!(!first.is_empty());
+                TrafficEngine::with_config(&pool, net, &traced_config)
+                    .run(&requests)
+                    .unwrap();
+                assert_eq!(
+                    first,
+                    sink.take(),
+                    "lossy {lossy}, threads {threads}: trace not seed-stable"
+                );
+                for phase in ["plan", "simulate"] {
+                    assert!(
+                        profiler.spans().iter().any(|s| s.phase == phase),
+                        "missing {phase} span"
+                    );
+                }
+                counts.push(first.len());
+            }
+            assert_eq!(
+                counts[0], counts[1],
+                "lossy {lossy}: event count must not depend on the thread count"
+            );
+        }
+    }
+
+    #[test]
+    fn the_timeseries_section_rides_after_an_unchanged_report() {
+        // With a time-series window set, the report gains its optional
+        // trailing `telemetry` section — and nothing else: stripping the
+        // section reproduces the untraced serialization, and the section
+        // itself is byte-identical across thread counts.
+        let pool = pool();
+        let net = NetParams::new(2);
+        let requests = contended_requests(&pool, 60, 5);
+        let base = RunConfig::default()
+            .with_loss(LossProfile::iid(0.05, 5))
+            .with_repair(RepairPlacement::SubtreeRoot);
+        let untraced = TrafficEngine::with_config(&pool, net, &base)
             .run(&requests)
             .unwrap();
-        let new =
-            TrafficEngine::with_config(&pool, NetParams::new(2), &RunConfig::for_planner("fnf"))
+        assert!(untraced.telemetry.is_none());
+        let run = |threads: usize| {
+            let config = base
+                .clone()
+                .with_threads(threads)
+                .telemetry(TelemetryConfig::new().with_timeseries(64));
+            TrafficEngine::with_config(&pool, net, &config)
+                .run(&requests)
+                .unwrap()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(
+            serde_json::to_string(&one).unwrap(),
+            serde_json::to_string(&eight).unwrap(),
+            "the telemetry section must not depend on the thread count"
+        );
+        let telemetry = one.telemetry.as_ref().unwrap();
+        assert_eq!(telemetry.window, 64);
+        assert!(telemetry.events > 0);
+        assert!(telemetry.buckets > 0);
+        assert!(telemetry.nacks.iter().sum::<u64>() > 0, "5% loss must NACK");
+        let mut stripped = one;
+        stripped.telemetry = None;
+        assert_eq!(
+            serde_json::to_string(&untraced).unwrap(),
+            serde_json::to_string(&stripped).unwrap(),
+            "outside the telemetry section the report must be unchanged"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// The kernel invariant checker over the engine's trace stream, on
+        /// the same scenario grid as `chunk_trains_never_double_book_a_port`:
+        /// no port double-booking, FIFO park/wake per node, correct band
+        /// labels and session-open causality — across pipelined and
+        /// sequential chunk trains, tight and loose release intervals,
+        /// lossless and lossy draws.
+        #[test]
+        fn traced_runs_satisfy_the_kernel_invariants(
+            seed in 0u64..64,
+            chunks in 2u32..=8,
+            interval in 0u64..=40,
+            sequential in proptest::bool::ANY,
+            lossy in proptest::bool::ANY,
+        ) {
+            use proptest::prelude::prop_assert;
+            let pool = pool();
+            let net = NetParams::new(2);
+            let requests = contended_requests(&pool, 25, seed);
+            let mut profile = ChunkProfile::new(chunks, interval);
+            if sequential {
+                profile = profile.sequential();
+            }
+            let mut config = RunConfig::default().with_chunks(profile);
+            if lossy {
+                config = config
+                    .with_loss(LossProfile::iid(0.15, seed))
+                    .with_repair(RepairPlacement::FastestInSubtree);
+            }
+            let sink = Arc::new(MemorySink::new());
+            config = config.telemetry(TelemetryConfig::new().with_sink(sink.clone()));
+            TrafficEngine::with_config(&pool, net, &config)
                 .run(&requests)
                 .unwrap();
-        assert_eq!(
-            serde_json::to_string(&old).unwrap(),
-            serde_json::to_string(&new).unwrap()
-        );
+            let events = sink.take();
+            prop_assert!(!events.is_empty());
+            if let Err(violation) = hnow_telemetry::check_invariants(&events) {
+                prop_assert!(false, "{}", violation);
+            }
+        }
     }
 }

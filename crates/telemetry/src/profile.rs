@@ -1,0 +1,125 @@
+//! Wall-clock phase profiling, kept strictly apart from sim-time data.
+//!
+//! Phase spans measure the host's planning/admission/binding/simulation/
+//! rebalancing wall time with thread attribution. They are never folded
+//! into a traffic report: wall-clock readings differ run to run, and the
+//! reports must stay byte-identical per seed.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed wall-clock span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase label (`"plan"`, `"admit"`, `"bind"`, `"simulate"`,
+    /// `"rebalance"`).
+    pub phase: &'static str,
+    /// Debug rendering of the `std::thread::ThreadId` that ran the span.
+    pub thread: String,
+    /// Wall-clock length in nanoseconds.
+    pub nanos: u128,
+}
+
+/// Collects [`PhaseSpan`]s from any thread. Attach one to a run with
+/// `TelemetryConfig::with_profiler` and read it back once the run
+/// returns.
+#[derive(Debug, Default)]
+pub struct PhaseProfiler {
+    spans: Mutex<Vec<PhaseSpan>>,
+}
+
+impl PhaseProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        PhaseProfiler::default()
+    }
+
+    /// Opens a span; it records itself when the guard drops.
+    pub fn span(&self, phase: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            profiler: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Everything recorded so far, in completion order.
+    pub fn spans(&self) -> Vec<PhaseSpan> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Total wall nanoseconds attributed to `phase` so far.
+    pub fn total_nanos(&self, phase: &str) -> u128 {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.nanos)
+            .sum()
+    }
+
+    /// A one-line-per-phase human summary (span count and total wall
+    /// time), sorted by label for stable output.
+    pub fn summary(&self) -> String {
+        let spans = self.spans.lock().unwrap();
+        let mut phases: Vec<&'static str> = spans.iter().map(|s| s.phase).collect();
+        phases.sort_unstable();
+        phases.dedup();
+        let mut out = String::new();
+        for phase in phases {
+            let (count, nanos) = spans
+                .iter()
+                .filter(|s| s.phase == phase)
+                .fold((0u64, 0u128), |(c, n), s| (c + 1, n + s.nanos));
+            out.push_str(&format!(
+                "{phase}: {count} spans, {:.3} ms\n",
+                nanos as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+/// RAII guard for an open phase span.
+#[must_use = "a phase span measures until the guard drops"]
+pub struct PhaseGuard<'a> {
+    profiler: &'a PhaseProfiler,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let span = PhaseSpan {
+            phase: self.phase,
+            thread: format!("{:?}", std::thread::current().id()),
+            nanos: self.start.elapsed().as_nanos(),
+        };
+        self.profiler.spans.lock().unwrap().push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_phase_and_thread() {
+        let profiler = PhaseProfiler::new();
+        {
+            let _plan = profiler.span("plan");
+            let _sim = profiler.span("simulate");
+        }
+        let spans = profiler.spans();
+        assert_eq!(spans.len(), 2);
+        // Guards drop in reverse declaration order.
+        assert_eq!(spans[0].phase, "simulate");
+        assert_eq!(spans[1].phase, "plan");
+        assert!(!spans[0].thread.is_empty());
+        assert!(profiler.total_nanos("plan") >= spans[1].nanos);
+        let summary = profiler.summary();
+        assert!(summary.contains("plan: 1 spans"));
+        assert!(summary.contains("simulate: 1 spans"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Time-bucketed metrics over a trace stream.
+
+use crate::event::{TraceEvent, TraceEventKind};
+use serde::Serialize;
+
+/// Per-bucket counter vector that grows to cover the highest bucket seen.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Counters(Vec<u64>);
+
+impl Counters {
+    fn add(&mut self, bucket: usize, amount: u64) {
+        if self.0.len() <= bucket {
+            self.0.resize(bucket + 1, 0);
+        }
+        self.0[bucket] += amount;
+    }
+
+    fn padded(&self, buckets: usize) -> Vec<u64> {
+        let mut out = self.0.clone();
+        out.resize(buckets, 0);
+        out
+    }
+}
+
+/// Folds [`TraceEvent`]s into fixed-window sim-time buckets.
+///
+/// Every accumulator is a per-bucket `u64` sum, so feeding the collector
+/// any permutation of the same event multiset produces the same
+/// [`TelemetryReport`] — which is what keeps the schema-5 `telemetry`
+/// section byte-identical across thread counts. Occupancy events are
+/// split across the bucket boundaries they straddle.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window: u64,
+    shard_sizes: Vec<usize>,
+    nodes: usize,
+    events: u64,
+    busy: Counters,
+    per_shard_busy: Vec<Counters>,
+    per_node_busy: Vec<Counters>,
+    parks: Counters,
+    wakes: Counters,
+    nacks: Counters,
+    repairs: Counters,
+    opens: Counters,
+    admitted: Counters,
+    reordered: Counters,
+    shed: Counters,
+}
+
+impl TimeSeries {
+    /// A collector bucketing sim time into `window`-tick buckets over a
+    /// cluster described by `shard_sizes` (node count per shard; a flat
+    /// run is one shard holding the whole pool). `window` is clamped to
+    /// at least 1.
+    pub fn new(window: u64, shard_sizes: &[usize]) -> Self {
+        let nodes = shard_sizes.iter().sum();
+        TimeSeries {
+            window: window.max(1),
+            shard_sizes: shard_sizes.to_vec(),
+            nodes,
+            events: 0,
+            busy: Counters::default(),
+            per_shard_busy: vec![Counters::default(); shard_sizes.len()],
+            per_node_busy: vec![Counters::default(); nodes],
+            parks: Counters::default(),
+            wakes: Counters::default(),
+            nacks: Counters::default(),
+            repairs: Counters::default(),
+            opens: Counters::default(),
+            admitted: Counters::default(),
+            reordered: Counters::default(),
+            shed: Counters::default(),
+        }
+    }
+
+    /// Folds one event in.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        let bucket = (ev.time / self.window) as usize;
+        match ev.kind {
+            TraceEventKind::SessionOpen => self.opens.add(bucket, 1),
+            TraceEventKind::Park => self.parks.add(bucket, 1),
+            TraceEventKind::Wake => self.wakes.add(bucket, 1),
+            TraceEventKind::Nack => self.nacks.add(bucket, 1),
+            TraceEventKind::Admitted => self.admitted.add(bucket, 1),
+            TraceEventKind::Reordered => self.reordered.add(bucket, 1),
+            TraceEventKind::Shed => self.shed.add(bucket, 1),
+            TraceEventKind::Repair => {
+                self.repairs.add(bucket, 1);
+                self.occupy(ev);
+            }
+            TraceEventKind::SendStart | TraceEventKind::Receive => self.occupy(ev),
+            TraceEventKind::SendFinish | TraceEventKind::ChunkRelease | TraceEventKind::Abandon => {
+            }
+        }
+    }
+
+    /// Charges an occupancy interval `[time, time + dur)` to every bucket
+    /// it overlaps.
+    fn occupy(&mut self, ev: &TraceEvent) {
+        let mut start = ev.time;
+        let end = ev.time.saturating_add(ev.dur);
+        while start < end {
+            let bucket = start / self.window;
+            let bucket_end = (bucket + 1) * self.window;
+            let ticks = end.min(bucket_end) - start;
+            self.busy.add(bucket as usize, ticks);
+            if let Some(shard) = ev.shard {
+                self.per_shard_busy[shard].add(bucket as usize, ticks);
+            } else if self.shard_sizes.len() == 1 {
+                self.per_shard_busy[0].add(bucket as usize, ticks);
+            }
+            if let Some(node) = ev.node {
+                self.per_node_busy[node].add(bucket as usize, ticks);
+            }
+            start = bucket_end;
+        }
+    }
+
+    /// Folds a whole stream and renders the report in one call.
+    pub fn over(events: &[TraceEvent], window: u64, shard_sizes: &[usize]) -> TelemetryReport {
+        let mut series = TimeSeries::new(window, shard_sizes);
+        for ev in events {
+            series.observe(ev);
+        }
+        series.report()
+    }
+
+    /// Renders the collected buckets as the report's `telemetry` section.
+    pub fn report(&self) -> TelemetryReport {
+        let buckets = [
+            &self.busy,
+            &self.parks,
+            &self.wakes,
+            &self.nacks,
+            &self.repairs,
+            &self.opens,
+            &self.admitted,
+            &self.reordered,
+            &self.shed,
+        ]
+        .iter()
+        .map(|c| c.0.len())
+        .chain(self.per_node_busy.iter().map(|c| c.0.len()))
+        .max()
+        .unwrap_or(0);
+        let busy_ticks = self.busy.padded(buckets);
+        let capacity = (self.window * self.nodes as u64).max(1) as f64;
+        let utilization = busy_ticks.iter().map(|&b| b as f64 / capacity).collect();
+        let per_shard_utilization = self
+            .per_shard_busy
+            .iter()
+            .zip(&self.shard_sizes)
+            .map(|(c, &n)| {
+                let capacity = (self.window * n as u64).max(1) as f64;
+                c.padded(buckets)
+                    .iter()
+                    .map(|&b| b as f64 / capacity)
+                    .collect()
+            })
+            .collect();
+        let cumulative_depth = |plus: &Counters, minus: &Counters| {
+            let mut depth = 0u64;
+            plus.padded(buckets)
+                .iter()
+                .zip(minus.padded(buckets))
+                .map(|(&p, m)| {
+                    depth = (depth + p).saturating_sub(m);
+                    depth
+                })
+                .collect::<Vec<u64>>()
+        };
+        TelemetryReport {
+            window: self.window,
+            buckets,
+            events: self.events,
+            busy_ticks,
+            utilization,
+            queue_depth: cumulative_depth(&self.parks, &self.wakes),
+            session_opens: self.opens.padded(buckets),
+            nacks: self.nacks.padded(buckets),
+            repair_backlog: cumulative_depth(&self.nacks, &self.repairs),
+            admitted: self.admitted.padded(buckets),
+            reordered: self.reordered.padded(buckets),
+            shed: self.shed.padded(buckets),
+            per_shard_utilization,
+            per_node_busy: self
+                .per_node_busy
+                .iter()
+                .map(|c| c.padded(buckets))
+                .collect(),
+        }
+    }
+}
+
+/// The optional `telemetry` section of a schema-5 traffic report: fixed-
+/// window time series over the run's trace stream. Every series has
+/// [`TelemetryReport::buckets`] entries covering sim time
+/// `[0, buckets * window)`; index `i` describes
+/// `[i * window, (i + 1) * window)`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetryReport {
+    /// Bucket width in sim ticks.
+    pub window: u64,
+    /// Number of buckets every series below carries.
+    pub buckets: usize,
+    /// Total trace events folded in.
+    pub events: u64,
+    /// Port-busy ticks per bucket, summed over all nodes.
+    pub busy_ticks: Vec<u64>,
+    /// `busy_ticks / (window * nodes)`: mean cluster utilization per
+    /// bucket, in `[0, 1]`.
+    pub utilization: Vec<f64>,
+    /// Parked (deferred) claims still waiting at each bucket's close.
+    pub queue_depth: Vec<u64>,
+    /// Sessions opened per bucket.
+    pub session_opens: Vec<u64>,
+    /// NACKs raised per bucket (a rate: count per window).
+    pub nacks: Vec<u64>,
+    /// NACKs not yet answered by a repair transmission at each bucket's
+    /// close.
+    pub repair_backlog: Vec<u64>,
+    /// Control-plane in-order admissions per bucket (arrival-stamped).
+    pub admitted: Vec<u64>,
+    /// Control-plane reordered admissions per bucket.
+    pub reordered: Vec<u64>,
+    /// Control-plane shed sessions per bucket.
+    pub shed: Vec<u64>,
+    /// Per-shard utilization in `[0, 1]`, indexed `[shard][bucket]`.
+    pub per_shard_utilization: Vec<Vec<f64>>,
+    /// Per-node busy ticks, indexed `[node][bucket]`; divide by `window`
+    /// for per-node utilization.
+    pub per_node_busy: Vec<Vec<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind as K;
+
+    fn ev(time: u64, kind: K) -> TraceEvent {
+        TraceEvent::new(time, kind, 1)
+    }
+
+    #[test]
+    fn occupancy_splits_across_bucket_boundaries() {
+        let events = [
+            ev(8, K::SendStart).node(0).dur(7), // 2 ticks in bucket 0, 5 in bucket 1
+            ev(25, K::Receive).node(1).dur(5),  // all in bucket 2
+        ];
+        let report = TimeSeries::over(&events, 10, &[2]);
+        assert_eq!(report.buckets, 3);
+        assert_eq!(report.busy_ticks, vec![2, 5, 5]);
+        assert_eq!(report.utilization, vec![0.1, 0.25, 0.25]);
+        assert_eq!(report.per_node_busy, vec![vec![2, 5, 0], vec![0, 0, 5]]);
+        // One shard holding the whole pool mirrors overall utilization.
+        assert_eq!(report.per_shard_utilization, vec![vec![0.1, 0.25, 0.25]]);
+    }
+
+    #[test]
+    fn cumulative_series_track_backlogs() {
+        let events = [
+            ev(1, K::Park),
+            ev(2, K::Park),
+            ev(12, K::Wake),
+            ev(13, K::Nack).band(2),
+            ev(14, K::Nack).band(2),
+            ev(27, K::Repair).node(0).dur(2),
+        ];
+        let report = TimeSeries::over(&events, 10, &[1]);
+        assert_eq!(report.queue_depth, vec![2, 1, 1]);
+        assert_eq!(report.nacks, vec![0, 2, 0]);
+        assert_eq!(report.repair_backlog, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn report_is_order_independent() {
+        let mut events = vec![
+            ev(3, K::SessionOpen),
+            ev(5, K::SendStart).node(0).dur(12),
+            ev(17, K::Receive).node(2).dur(4),
+            ev(6, K::Park),
+            ev(17, K::Wake),
+            ev(30, K::Admitted),
+        ];
+        let forward = TimeSeries::over(&events, 8, &[2, 1]);
+        events.reverse();
+        let backward = TimeSeries::over(&events, 8, &[2, 1]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.events, 6);
+    }
+
+    #[test]
+    fn empty_stream_is_empty_but_nan_free() {
+        let report = TimeSeries::over(&[], 100, &[4, 4]);
+        assert_eq!(report.buckets, 0);
+        assert!(report.utilization.is_empty());
+        assert_eq!(report.per_shard_utilization.len(), 2);
+        assert_eq!(report.per_node_busy.len(), 8);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("NaN"));
+    }
+}

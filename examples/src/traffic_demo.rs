@@ -8,7 +8,7 @@
 //!              [--group N] [--churn] [--shards N] [--cross-shard-frac F]
 //!              [--policy NAME] [--rebalance] [--loss RATE] [--repair NAME]
 //!              [--chunks N] [--chunk-interval T] [--sequential]
-//!              [--threads N] [--out PATH]
+//!              [--threads N] [--out PATH] [--trace PATH]
 //! ```
 //!
 //! A seeded Poisson session stream (default: 1000 sessions, mean gap 12,
@@ -35,7 +35,12 @@
 //! rayon pool of N worker threads (0 = automatic). Either way the run
 //! is deterministic: the same arguments — at *any* `--threads` value —
 //! always produce a byte-identical report, which `--out` writes as JSON.
-//! `--churn` makes 30% of the sessions impatient.
+//! `--churn` makes 30% of the sessions impatient. `--trace PATH` attaches
+//! an in-memory kernel trace sink and writes the collected event stream to
+//! PATH as Chrome `trace_event` JSON (load it in `chrome://tracing` or
+//! Perfetto: one process per shard, one thread lane per node port);
+//! tracing is observation-only, so the report — and `--out` — stay
+//! byte-identical with the flag on or off.
 //!
 //! Every flag maps 1:1 onto a [`RunConfig`] field, so a demo invocation is
 //! a readable specification of the engine configuration it measured.
@@ -45,9 +50,11 @@ use hnow_model::{ChunkProfile, NetParams};
 use hnow_sim::cluster::{ControlConfig, RebalanceConfig, ShardedCluster};
 use hnow_sim::sessions::TrafficEngine;
 use hnow_sim::{LossProfile, ReliabilityReport, RunConfig, StreamingReport};
+use hnow_telemetry::{chrome_trace_json, MemorySink, TelemetryConfig};
 use hnow_workload::traffic::{ChurnProfile, NodePool, TrafficPattern};
 use hnow_workload::{default_message_size, two_class_table, ShardMap, ShardedPattern};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Parses a flag's value, exiting with a diagnostic on malformed input —
 /// silently substituting a default would misreport what was measured.
@@ -76,6 +83,7 @@ fn main() -> ExitCode {
     let mut sequential = false;
     let mut threads: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |what: &str| {
@@ -106,6 +114,7 @@ fn main() -> ExitCode {
             "--sequential" => sequential = true,
             "--threads" => threads = Some(parse("--threads", take("--threads"))),
             "--out" => out = Some(take("--out")),
+            "--trace" => trace_out = Some(take("--trace")),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
@@ -113,7 +122,7 @@ fn main() -> ExitCode {
                      [--mean-gap G] [--group N] [--churn] [--shards N] \
                      [--cross-shard-frac F] [--policy NAME] [--rebalance] \
                      [--loss RATE] [--repair NAME] [--chunks N] [--chunk-interval T] \
-                     [--sequential] [--threads N] [--out PATH]"
+                     [--sequential] [--threads N] [--out PATH] [--trace PATH]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -192,6 +201,12 @@ fn main() -> ExitCode {
         config = config.sharded(shards);
         config.control = control;
     }
+    // Observation-only: attaching the sink never changes the report.
+    let sink = trace_out
+        .map(|path| (path, Arc::new(MemorySink::new())))
+        .inspect(|(_, sink)| {
+            config.telemetry = Some(TelemetryConfig::new().with_sink(sink.clone()));
+        });
 
     let pool = match NodePool::new(two_class_table(), default_message_size(), &[32, 16]) {
         Ok(pool) => pool,
@@ -217,10 +232,25 @@ fn main() -> ExitCode {
             &config,
             cross_frac.unwrap_or(0.0),
             out,
+            sink,
         )
     } else {
-        run_flat(&pool, pattern, sessions, seed, &config, out)
+        run_flat(&pool, pattern, sessions, seed, &config, out, sink)
     }
+}
+
+/// Exports the collected trace as Chrome `trace_event` JSON (no-op without
+/// `--trace`).
+fn write_trace(trace: Option<(String, Arc<MemorySink>)>) -> Result<(), ExitCode> {
+    if let Some((path, sink)) = trace {
+        let events = sink.take();
+        if let Err(err) = std::fs::write(&path, chrome_trace_json(&events) + "\n") {
+            eprintln!("failed to write {path}: {err}");
+            return Err(ExitCode::FAILURE);
+        }
+        println!("wrote {} trace events to {path}", events.len());
+    }
+    Ok(())
 }
 
 /// The flat (single-engine) path: generate traffic, run, print the report.
@@ -231,6 +261,7 @@ fn run_flat(
     seed: u64,
     config: &RunConfig,
     out: Option<String>,
+    trace: Option<(String, Arc<MemorySink>)>,
 ) -> ExitCode {
     let requests = match pattern.generate(pool, sessions, seed) {
         Ok(requests) => requests,
@@ -279,6 +310,9 @@ fn run_flat(
     }
     print_streaming(&report.streaming);
 
+    if let Err(code) = write_trace(trace) {
+        return code;
+    }
     write_json(out, &report)
 }
 
@@ -324,6 +358,7 @@ fn print_streaming(streaming: &StreamingReport) {
 
 /// The sharded service path: partition the pool, generate cross-shard-aware
 /// traffic, run the dispatcher, print the merged report.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded(
     pool: &NodePool,
     base: TrafficPattern,
@@ -332,6 +367,7 @@ fn run_sharded(
     config: &RunConfig,
     cross_frac: f64,
     out: Option<String>,
+    trace: Option<(String, Arc<MemorySink>)>,
 ) -> ExitCode {
     let map = match ShardMap::partition(pool, config.shards) {
         Ok(map) => map,
@@ -424,6 +460,9 @@ fn run_sharded(
         );
     }
 
+    if let Err(code) = write_trace(trace) {
+        return code;
+    }
     write_json(out, &report)
 }
 
